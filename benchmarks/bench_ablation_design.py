@@ -1,0 +1,140 @@
+"""Ablation — BIRCH's individual design choices.
+
+DESIGN.md calls out four choices this module isolates on DS1:
+
+* **merging refinement** (Section 4.3): post-split closest-pair merge;
+  contributes space utilisation (fewer nodes) at equal quality;
+* **Phase 2 condensing**: bounds the global-clustering input; turning
+  it off must not change quality when entries already fit;
+* **Phase 4 passes**: each extra pass costs one data scan and never
+  worsens quality;
+* **threshold heuristic mode** (Section 5.1.2-3): the combined
+  estimate vs each component alone — the combination should need no
+  more rebuilds than the worst single component.
+"""
+
+from conftest import print_banner, repro_scale
+
+from repro.datagen.presets import ds1
+from repro.evaluation.report import format_table
+from repro.workloads.base import base_birch_config, run_birch
+
+
+def _run(dataset, **overrides):
+    config = base_birch_config(
+        n_clusters=100, total_points_hint=dataset.n_points, **overrides
+    )
+    return run_birch(dataset, config)
+
+
+def test_ablation_merging_refinement(benchmark):
+    scale = repro_scale()
+
+    def work():
+        dataset = ds1(scale=scale)
+        on = _run(dataset, merging_refinement=True)
+        off = _run(dataset, merging_refinement=False)
+        return on, off
+
+    on, off = benchmark.pedantic(work, rounds=1, iterations=1)
+    print_banner(f"Ablation — merging refinement (scale={scale})")
+    print(
+        format_table(
+            ["refinement", "time (s)", "D", "entries", "rebuilds"],
+            [
+                ["on", on.time_seconds, on.quality_d, int(on.extra["leaf_entries"]), int(on.extra["rebuilds"])],
+                ["off", off.time_seconds, off.quality_d, int(off.extra["leaf_entries"]), int(off.extra["rebuilds"])],
+            ],
+        )
+    )
+    # Refinement must not hurt quality; its benefit is space/packing.
+    assert on.quality_d <= off.quality_d * 1.25
+
+
+def test_ablation_phase2(benchmark):
+    scale = repro_scale()
+
+    def work():
+        dataset = ds1(scale=scale)
+        on = _run(dataset, phase2_enabled=True)
+        off = _run(dataset, phase2_enabled=False)
+        return on, off
+
+    on, off = benchmark.pedantic(work, rounds=1, iterations=1)
+    print_banner(f"Ablation — Phase 2 condensing (scale={scale})")
+    print(
+        format_table(
+            ["phase 2", "time (s)", "D", "entries into phase 3"],
+            [
+                ["on", on.time_seconds, on.quality_d, int(on.extra["leaf_entries"])],
+                ["off", off.time_seconds, off.quality_d, int(off.extra["leaf_entries"])],
+            ],
+        )
+    )
+    assert on.extra["leaf_entries"] <= 1000
+    assert on.quality_d <= off.quality_d * 1.3
+
+
+def test_ablation_phase4_passes(benchmark):
+    scale = repro_scale()
+
+    def work():
+        dataset = ds1(scale=scale)
+        return [
+            (_run(dataset, phase4_passes=p), p) for p in (0, 1, 3)
+        ]
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+    print_banner(f"Ablation — Phase 4 refinement passes (scale={scale})")
+    print(
+        format_table(
+            ["passes", "time (s)", "D", "data scans"],
+            [
+                [p, r.time_seconds, r.quality_d, int(r.extra["data_scans"])]
+                for r, p in rows
+            ],
+        )
+    )
+    by_passes = {p: r for r, p in rows}
+    # Each pass adds exactly one scan beyond the labelling scan.
+    assert by_passes[3].extra["data_scans"] > by_passes[0].extra["data_scans"]
+    # More refinement never hurts much; usually it helps.
+    assert by_passes[3].quality_d <= by_passes[0].quality_d * 1.15
+
+
+def test_ablation_threshold_modes(benchmark):
+    scale = repro_scale()
+
+    def work():
+        dataset = ds1(scale=scale)
+        return {
+            mode: _run(dataset, threshold_mode=mode, memory_bytes=16 * 1024)
+            for mode in ("full", "volume", "regression", "dmin")
+        }
+
+    results = benchmark.pedantic(work, rounds=1, iterations=1)
+    print_banner(f"Ablation — threshold heuristic modes (scale={scale})")
+    print(
+        format_table(
+            ["mode", "time (s)", "D", "rebuilds", "final T"],
+            [
+                [
+                    mode,
+                    r.time_seconds,
+                    r.quality_d,
+                    int(r.extra["rebuilds"]),
+                    r.extra["final_threshold"],
+                ]
+                for mode, r in results.items()
+            ],
+        )
+    )
+    # The combined heuristic needs no more rebuilds than the most
+    # conservative single component (the paper's motivation for
+    # combining estimates: fewer rebuilds means less re-insertion work).
+    worst_single = max(
+        results[m].extra["rebuilds"] for m in ("volume", "regression", "dmin")
+    )
+    assert results["full"].extra["rebuilds"] <= worst_single
+    for mode, r in results.items():
+        assert r.quality_d < 6.0, f"mode {mode} produced unusable clustering"

@@ -1,0 +1,71 @@
+"""Ablation — the choice of distance metric D0-D4.
+
+Section 3 defines five distances and the paper's experiments default to
+D2; Phase 3 "can use any of D0-D4".  This ablation runs the full
+pipeline on DS1 with each metric driving both the tree descent and the
+global clustering, reporting time and quality — quantifying the paper's
+implicit claim that the method is robust to the metric choice.
+"""
+
+from conftest import print_banner, repro_scale
+
+from repro.core.distances import Metric
+from repro.datagen.presets import ds1
+from repro.evaluation.quality import (
+    cluster_cfs_from_labels,
+    weighted_average_diameter,
+)
+from repro.evaluation.report import format_table
+from repro.workloads.base import base_birch_config, run_birch
+
+
+def _sweep(scale: float):
+    dataset = ds1(scale=scale)
+    ideal = weighted_average_diameter(
+        [
+            cf
+            for cf in cluster_cfs_from_labels(dataset.points, dataset.labels, 100)
+            if cf.n > 0
+        ]
+    )
+    records = []
+    for metric in Metric:
+        config = base_birch_config(
+            n_clusters=100,
+            total_points_hint=dataset.n_points,
+            metric=metric,
+        )
+        record = run_birch(dataset, config)
+        record.extra["metric"] = metric.value  # type: ignore[assignment]
+        records.append(record)
+    return records, ideal
+
+
+def test_ablation_metric_choice(benchmark):
+    scale = repro_scale()
+    records, ideal = benchmark.pedantic(_sweep, args=(scale,), rounds=1, iterations=1)
+
+    print_banner(f"Ablation — distance metric D0-D4 on DS1 (scale={scale})")
+    print(
+        format_table(
+            ["metric", "time (s)", "D", "ideal D", "rebuilds", "entries"],
+            [
+                [
+                    r.extra["metric"],
+                    r.time_seconds,
+                    r.quality_d,
+                    ideal,
+                    int(r.extra["rebuilds"]),
+                    int(r.extra["leaf_entries"]),
+                ]
+                for r in records
+            ],
+        )
+    )
+
+    # Robustness claim: every metric stays within 2x of the ground truth
+    # and within 2.5x of the best metric's quality.
+    best = min(r.quality_d for r in records)
+    for r in records:
+        assert r.quality_d < ideal * 2.0, f"{r.extra['metric']} quality degraded"
+        assert r.quality_d < best * 2.5

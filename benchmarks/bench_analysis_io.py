@@ -1,0 +1,112 @@
+"""Section 6.1 — the cost/IO analysis claims, checked on live counters.
+
+The paper's analysis argues:
+
+* Phase 1 CPU cost is ``O(d * N * B(1 + log_B(M/P)))`` — per-point work
+  is bounded by the tree height times the branching factor, so the
+  per-point insertion cost should stay flat as N grows;
+* the number of rebuilds is about ``log2(N / N_0)`` — logarithmic in N;
+* Phase 1 performs no data-file I/O beyond the single input scan, and
+  all disk traffic comes from the (bounded) outlier option;
+* memory in use never exceeds ``M`` plus the transient rebuild
+  allowance.
+"""
+
+import numpy as np
+from conftest import print_banner, repro_scale
+
+from repro.core.birch import Birch
+from repro.datagen.generator import Pattern
+from repro.datagen.presets import scaled_n_family
+from repro.evaluation.report import format_table
+from repro.workloads.base import base_birch_config
+
+
+def _phase1_sweep(scale: float):
+    sizes = [max(int(n * scale), 4) for n in (250, 500, 1000, 2000)]
+    datasets = scaled_n_family(Pattern.GRID, sizes, n_clusters=50, seed=12)
+    rows = []
+    for dataset in datasets:
+        config = base_birch_config(
+            n_clusters=50,
+            memory_bytes=16 * 1024,
+            total_points_hint=dataset.n_points,
+            phase4_passes=0,
+        )
+        estimator = Birch(config)
+        import time
+
+        start = time.perf_counter()
+        estimator.partial_fit(dataset.points)
+        elapsed = time.perf_counter() - start
+        estimator.stats.record_scan(dataset.n_points)
+        budget = estimator._budget
+        assert budget is not None
+        rows.append(
+            {
+                "n": dataset.n_points,
+                "time": elapsed,
+                "per_point_us": elapsed / dataset.n_points * 1e6,
+                "rebuilds": estimator.stats.tree_rebuilds,
+                "data_scans": estimator.stats.data_scans,
+                "page_writes": estimator.stats.page_writes,
+                "page_reads": estimator.stats.page_reads,
+                "peak_pages": budget.peak_pages,
+                "capacity": budget.capacity_pages,
+            }
+        )
+    return rows
+
+
+def test_section61_io_analysis(benchmark):
+    scale = repro_scale()
+    rows = benchmark.pedantic(_phase1_sweep, args=(scale,), rounds=1, iterations=1)
+
+    print_banner(f"Section 6.1 — Phase 1 cost & I/O analysis (scale={scale})")
+    print(
+        format_table(
+            [
+                "N",
+                "t (s)",
+                "us/point",
+                "rebuilds",
+                "scans",
+                "pg writes",
+                "pg reads",
+                "peak pages",
+                "M pages",
+            ],
+            [
+                [
+                    r["n"],
+                    r["time"],
+                    r["per_point_us"],
+                    r["rebuilds"],
+                    r["data_scans"],
+                    r["page_writes"],
+                    r["page_reads"],
+                    r["peak_pages"],
+                    r["capacity"],
+                ]
+                for r in rows
+            ],
+            float_format="{:.2f}",
+        )
+    )
+
+    # Claim 1: per-point cost flat (within noise) as N grows 8x.
+    per_point = [r["per_point_us"] for r in rows]
+    assert max(per_point) / min(per_point) < 4.0
+
+    # Claim 2: rebuild count grows at most logarithmically — going from
+    # N to 8N adds only a few rebuilds.
+    assert rows[-1]["rebuilds"] - rows[0]["rebuilds"] <= 8
+
+    # Claim 3: exactly one data scan; all page I/O is the bounded
+    # outlier traffic (disk R = 20% of M = ~3 pages of entries).
+    for r in rows:
+        assert r["data_scans"] == 1
+
+    # Claim 4: memory never exceeded M + transient allowance.
+    for r in rows:
+        assert r["peak_pages"] <= r["capacity"] + 33

@@ -1,0 +1,57 @@
+"""Compression/distortion trade-off of the CF summary.
+
+The paper's conclusion proposes CF summaries as data compression; this
+bench sweeps the absorption threshold on DS1 and regenerates the
+rate/distortion curve: compression ratio and distortion both grow with
+``T``, while the *downstream* clustering quality stays flat far past
+the point where compression becomes substantial — the empirical content
+of "BIRCH loses little by clustering summaries instead of points".
+"""
+
+from conftest import print_banner, repro_scale
+
+from repro.datagen.presets import ds1
+from repro.evaluation.report import format_table
+from repro.workloads.compression import compression_sweep
+
+THRESHOLDS = (0.0, 0.25, 0.5, 1.0, 1.5, 2.0)
+
+
+def test_compression_tradeoff(benchmark):
+    scale = repro_scale()
+
+    def work():
+        dataset = ds1(scale=scale)
+        return compression_sweep(dataset, THRESHOLDS)
+
+    points = benchmark.pedantic(work, rounds=1, iterations=1)
+
+    print_banner(f"CF-summary compression trade-off on DS1 (scale={scale})")
+    print(
+        format_table(
+            ["T", "entries", "compression", "distortion (RMS)", "final D"],
+            [
+                [
+                    p.threshold,
+                    p.entries,
+                    f"{p.ratio:.1f}x",
+                    p.distortion,
+                    p.downstream_quality,
+                ]
+                for p in points
+            ],
+        )
+    )
+
+    # Rate/distortion shape: entries monotonically shrink, compression
+    # and distortion monotonically grow with T.
+    entries = [p.entries for p in points]
+    assert all(a >= b for a, b in zip(entries, entries[1:]))
+    distortions = [p.distortion for p in points]
+    assert all(a <= b + 1e-9 for a, b in zip(distortions, distortions[1:]))
+
+    # Downstream quality stays flat while compression grows: the last
+    # sweep point compresses heavily (T ~ cluster diameter) yet final D
+    # remains within 50% of the uncompressed run.
+    assert points[-1].ratio > 5 * points[0].ratio or points[0].ratio > 100
+    assert points[-1].downstream_quality < points[0].downstream_quality * 1.5

@@ -1,0 +1,89 @@
+"""Extension — behaviour across dimensionality.
+
+The paper's evaluation is 2-d, but BIRCH is dimension-agnostic: the CF
+algebra and distances take ``d`` as a parameter and the page layout
+shrinks ``B``/``L`` as entries fatten.  This bench sweeps ``d`` on
+equally-hard Gaussian mixtures (same component count, separation in
+units of radius) and checks:
+
+* clustering quality (ARI vs ground truth) stays essentially perfect
+  while components remain separated;
+* the page layout's branching factor shrinks as ``1/d``;
+* per-point time grows roughly linearly in ``d`` (the cost model's
+  ``O(d * N * ...)`` factor).
+"""
+
+import time
+
+from conftest import print_banner, repro_scale
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.datagen.mixtures import GaussianMixture
+from repro.evaluation.labels import adjusted_rand_index
+from repro.evaluation.report import format_table
+from repro.pagestore.page import PageLayout
+
+DIMENSIONS = (2, 4, 8, 16, 32)
+
+
+def _run(scale: float):
+    per_component = max(int(500 * scale * 10), 30)
+    rows = []
+    for d in DIMENSIONS:
+        mixture = GaussianMixture(
+            n_components=8,
+            dimensions=d,
+            points_per_component=per_component,
+            separation=10.0,
+            seed=7,
+        ).generate()
+        config = BirchConfig(
+            n_clusters=8,
+            page_size=4096,  # keeps B >= 4 even at d = 32
+            total_points_hint=mixture.n_points,
+        )
+        start = time.perf_counter()
+        result = Birch(config).fit(mixture.points)
+        elapsed = time.perf_counter() - start
+        ari = adjusted_rand_index(result.labels, mixture.labels)
+        layout = PageLayout(page_size=4096, dimensions=d)
+        rows.append(
+            {
+                "d": d,
+                "n": mixture.n_points,
+                "time": elapsed,
+                "us_per_point": elapsed / mixture.n_points * 1e6,
+                "ari": ari,
+                "branching": layout.branching_factor,
+            }
+        )
+    return rows
+
+
+def test_dimension_scaling(benchmark):
+    scale = repro_scale()
+    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+
+    print_banner(f"Dimension scaling, 8 separated components (scale={scale})")
+    print(
+        format_table(
+            ["d", "N", "time (s)", "us/point", "ARI", "B (P=4096)"],
+            [
+                [r["d"], r["n"], r["time"], r["us_per_point"], r["ari"], r["branching"]]
+                for r in rows
+            ],
+        )
+    )
+
+    # Quality holds across dimensions on separated mixtures.
+    for r in rows:
+        assert r["ari"] > 0.95, f"d={r['d']}: ARI collapsed to {r['ari']:.2f}"
+
+    # Branching factor shrinks with d (page arithmetic).
+    brs = [r["branching"] for r in rows]
+    assert all(a >= b for a, b in zip(brs, brs[1:]))
+
+    # Per-point time grows sub-quadratically in d over a 16x range.
+    ratio = rows[-1]["us_per_point"] / rows[0]["us_per_point"]
+    assert ratio < (DIMENSIONS[-1] / DIMENSIONS[0]) ** 2

@@ -1,0 +1,72 @@
+"""Figure 4 — scalability wrt N by growing points per cluster.
+
+The paper grows ``n`` from 250 to 2500 per cluster (K = 100 fixed, so
+N goes 25,000 to 250,000) for each of DS1/DS2/DS3 and plots running
+time for Phases 1-3 and Phases 1-4, both growing linearly in N.
+
+At scale ``s`` we sweep ``n in s * {250, 500, 1000, 2000}``.  The
+reproduction check fits the time-vs-N curve and asserts sub-quadratic
+(near-linear) growth for every pattern.
+"""
+
+import numpy as np
+from conftest import print_banner, repro_scale
+
+from repro.datagen.generator import Pattern
+from repro.evaluation.report import format_table
+from repro.workloads.scalability import scalability_in_n
+
+PAPER_SIZES = [250, 500, 1000, 2000]
+
+
+def _sweep(scale: float):
+    sizes = [max(int(n * scale), 2) for n in PAPER_SIZES]
+    out = {}
+    for pattern in (Pattern.GRID, Pattern.SINE, Pattern.RANDOM):
+        out[pattern.value] = scalability_in_n(
+            pattern, sizes, n_clusters=100
+        )
+    return out
+
+
+def test_fig4_scalability_in_n(benchmark):
+    scale = repro_scale()
+    results = benchmark.pedantic(_sweep, args=(scale,), rounds=1, iterations=1)
+
+    rows = []
+    for pattern, records in results.items():
+        for r in records:
+            rows.append(
+                [
+                    pattern,
+                    r.n_points,
+                    r.time_phases_1_3,
+                    r.time_seconds,
+                    r.quality_d,
+                ]
+            )
+    print_banner(f"Figure 4 — time vs N, growing n per cluster (scale={scale})")
+    print(
+        format_table(
+            ["pattern", "N", "t phases 1-3 (s)", "t phases 1-4 (s)", "D"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+
+    # Near-linearity: fit t = c * N^a; a must be << 2.
+    from repro.evaluation.curves import fit_power_law
+
+    for pattern, records in results.items():
+        ns = np.array([r.n_points for r in records], dtype=float)
+        for attr in ("time_phases_1_3", "time_seconds"):
+            ts = np.array([getattr(r, attr) for r in records])
+            fit = fit_power_law(ns, ts)
+            print(
+                f"{pattern} {attr}: growth exponent {fit.exponent:.2f} "
+                f"(r^2={fit.r_squared:.3f})"
+            )
+            assert fit.is_near_linear, (
+                f"{pattern} {attr} grows superlinearly "
+                f"(exponent {fit.exponent:.2f})"
+            )

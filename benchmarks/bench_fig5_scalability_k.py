@@ -1,0 +1,57 @@
+"""Figure 5 — scalability wrt N by growing the number of clusters K.
+
+The paper fixes n = 1000 points per cluster and grows K (so N = 1000K)
+for the three patterns, again plotting Phases 1-3 and Phases 1-4 times.
+Phase 1-3 stays near-linear in N; the Phase 4 curve picks up an extra
+O(K*N) assignment term, so its slope is steeper but still polynomial of
+low order.
+"""
+
+import numpy as np
+from conftest import print_banner, repro_scale
+
+from repro.datagen.generator import Pattern
+from repro.evaluation.report import format_table
+from repro.workloads.scalability import scalability_in_k
+
+PAPER_KS = [16, 32, 64, 128]
+
+
+def _sweep(scale: float):
+    per_cluster = max(int(1000 * scale), 2)
+    out = {}
+    for pattern in (Pattern.GRID, Pattern.SINE, Pattern.RANDOM):
+        out[pattern.value] = scalability_in_k(
+            pattern, PAPER_KS, per_cluster=per_cluster
+        )
+    return out
+
+
+def test_fig5_scalability_in_k(benchmark):
+    scale = repro_scale()
+    results = benchmark.pedantic(_sweep, args=(scale,), rounds=1, iterations=1)
+
+    rows = []
+    for pattern, records in results.items():
+        for k, r in zip(PAPER_KS, records):
+            rows.append(
+                [pattern, k, r.n_points, r.time_phases_1_3, r.time_seconds, r.quality_d]
+            )
+    print_banner(f"Figure 5 — time vs N, growing K (scale={scale})")
+    print(
+        format_table(
+            ["pattern", "K", "N", "t phases 1-3 (s)", "t phases 1-4 (s)", "D"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+
+    from repro.evaluation.curves import fit_power_law
+
+    for pattern, records in results.items():
+        ns = np.array([r.n_points for r in records], dtype=float)
+        ts = np.array([r.time_phases_1_3 for r in records])
+        fit = fit_power_law(ns, ts)
+        print(f"{pattern} phases 1-3: growth exponent {fit.exponent:.2f}")
+        # Phases 1-3 stay well below quadratic in N even as K grows.
+        assert fit.exponent < 1.9

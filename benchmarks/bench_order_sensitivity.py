@@ -1,0 +1,52 @@
+"""Extended order-sensitivity study (strengthens Table 4's DS vs DSO).
+
+The paper compares one ordered and one shuffled permutation per
+dataset.  This bench runs BIRCH on the same DS1 point set under five
+orders — generated order, uniform shuffles (two seeds), reversed, a
+coordinate sweep, and cluster round-robin — and asserts the quality
+spread stays small.  The coordinate sweep and round-robin are *harder*
+than anything in the paper: every cluster trickles in gradually, which
+maximally stresses the threshold heuristic and the merging refinement.
+"""
+
+from conftest import print_banner, repro_scale
+
+from repro.datagen.presets import ds1
+from repro.evaluation.report import format_table
+from repro.workloads.order_study import run_order_study
+
+
+def test_order_sensitivity_study(benchmark):
+    scale = repro_scale()
+
+    def work():
+        dataset = ds1(scale=scale)
+        return run_order_study(dataset, shuffle_seeds=(0, 1))
+
+    study = benchmark.pedantic(work, rounds=1, iterations=1)
+
+    print_banner(f"Order-sensitivity study on DS1 (scale={scale})")
+    print(
+        format_table(
+            ["order", "time (s)", "D", "rebuilds", "entries"],
+            [
+                [
+                    r.extra["order_mode"],
+                    r.time_seconds,
+                    r.quality_d,
+                    int(r.extra["rebuilds"]),
+                    int(r.extra["leaf_entries"]),
+                ]
+                for r in study.records
+            ],
+        )
+    )
+    print(
+        f"quality spread (max-min)/mean = {study.spread:.1%} "
+        f"(paper: a few percent between DS and DSO)"
+    )
+
+    # The reproduction claim, strengthened: even adversarial orders stay
+    # within a modest band of each other.
+    assert study.spread < 0.35
+    assert study.mean_quality < 3.0  # all orders produce usable clusters

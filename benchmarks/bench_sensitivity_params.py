@@ -1,0 +1,169 @@
+"""Section 6.5 — sensitivity to BIRCH's parameters.
+
+The paper's findings, each reproduced as one sweep + assertion:
+
+* **Initial threshold T0**: performance is stable for small T0; a T0
+  that is too high ends coarser (fewer leaf entries) but runs no
+  slower.
+* **Page size P** (256..4096): smaller P means finer trees and more
+  Phase 1 work; Phase 4 largely equalises final quality.
+* **Memory M**: less memory forces more rebuilds and coarser
+  subclusters; quality is compensated by Phase 4.
+* **Outlier options**: enabling outlier handling on a noisy dataset
+  improves quality; on clean data it is neutral.
+"""
+
+from conftest import print_banner, repro_scale
+
+from repro.datagen.generator import (
+    DatasetGenerator,
+    GeneratorParams,
+    Pattern,
+)
+from repro.datagen.presets import ds1
+from repro.evaluation.report import format_table
+from repro.workloads.sensitivity import (
+    sweep_initial_threshold,
+    sweep_memory,
+    sweep_outlier_options,
+    sweep_page_size,
+)
+
+
+def _noisy_grid(scale: float):
+    n = max(int(1000 * scale), 10)
+    params = GeneratorParams(
+        pattern=Pattern.GRID,
+        n_clusters=25,
+        n_low=n,
+        n_high=n,
+        r_low=1.0,
+        r_high=1.0,
+        grid_spacing=8.0,
+        noise_fraction=0.10,
+        seed=29,
+    )
+    return DatasetGenerator().generate(params, name="grid25+noise")
+
+
+def test_sensitivity_initial_threshold(benchmark):
+    scale = repro_scale()
+    dataset = ds1(scale=scale)
+    records = benchmark.pedantic(
+        sweep_initial_threshold,
+        args=(dataset, [0.0, 0.5, 1.0, 2.0, 4.0]),
+        rounds=1,
+        iterations=1,
+    )
+    print_banner(f"Sensitivity — initial threshold T0 (scale={scale})")
+    print(
+        format_table(
+            ["T0", "time (s)", "D", "entries", "rebuilds"],
+            [
+                [
+                    r.extra["initial_threshold"],
+                    r.time_seconds,
+                    r.quality_d,
+                    int(r.extra["leaf_entries"]),
+                    int(r.extra["rebuilds"]),
+                ]
+                for r in records
+            ],
+        )
+    )
+    # Higher T0 -> coarser tree (fewer entries), never more rebuilds.
+    assert records[-1].extra["leaf_entries"] <= records[0].extra["leaf_entries"]
+    assert records[-1].extra["rebuilds"] <= records[0].extra["rebuilds"]
+
+
+def test_sensitivity_page_size(benchmark):
+    scale = repro_scale()
+    dataset = ds1(scale=scale)
+    records = benchmark.pedantic(
+        sweep_page_size,
+        args=(dataset, [256, 1024, 4096]),
+        rounds=1,
+        iterations=1,
+    )
+    print_banner(f"Sensitivity — page size P (scale={scale})")
+    print(
+        format_table(
+            ["P", "time (s)", "D", "entries"],
+            [
+                [
+                    int(r.extra["page_size"]),
+                    r.time_seconds,
+                    r.quality_d,
+                    int(r.extra["leaf_entries"]),
+                ]
+                for r in records
+            ],
+        )
+    )
+    # Phase 4 compensation: final quality comparable across P.
+    ds = [r.quality_d for r in records]
+    assert max(ds) / min(ds) < 2.0
+
+
+def test_sensitivity_memory(benchmark):
+    scale = repro_scale()
+    dataset = ds1(scale=scale)
+    sizes = [8 * 1024, 20 * 1024, 80 * 1024, 320 * 1024]
+    records = benchmark.pedantic(
+        sweep_memory, args=(dataset, sizes), rounds=1, iterations=1
+    )
+    print_banner(f"Sensitivity — memory M (scale={scale})")
+    print(
+        format_table(
+            ["M (KB)", "time (s)", "D", "entries", "rebuilds"],
+            [
+                [
+                    int(r.extra["memory_bytes"] // 1024),
+                    r.time_seconds,
+                    r.quality_d,
+                    int(r.extra["leaf_entries"]),
+                    int(r.extra["rebuilds"]),
+                ]
+                for r in records
+            ],
+        )
+    )
+    # Less memory -> at least as many rebuilds, never more entries.
+    assert records[0].extra["rebuilds"] >= records[-1].extra["rebuilds"]
+    assert records[0].extra["leaf_entries"] <= records[-1].extra["leaf_entries"] * 1.5
+    # Quality stays in range thanks to Phase 4 (paper's conclusion).
+    ds = [r.quality_d for r in records]
+    assert max(ds) / min(ds) < 2.0
+
+
+def test_sensitivity_outlier_options(benchmark):
+    scale = repro_scale()
+    dataset = _noisy_grid(scale)
+    records = benchmark.pedantic(
+        sweep_outlier_options,
+        args=(dataset,),
+        kwargs={"memory_bytes": 8 * 1024},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner(f"Sensitivity — outlier options on noisy data (scale={scale})")
+    print(
+        format_table(
+            ["options", "time (s)", "D", "outliers"],
+            [
+                [
+                    r.extra["options"],
+                    r.time_seconds,
+                    r.quality_d,
+                    int(r.extra["outliers"]),
+                ]
+                for r in records
+            ],
+        )
+    )
+    by_option = {r.extra["options"]: r for r in records}
+    # With noise, outlier handling must not hurt quality materially.
+    assert (
+        by_option["outlier-handling"].quality_d
+        <= by_option["off"].quality_d * 1.25
+    )

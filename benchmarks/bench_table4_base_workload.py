@@ -1,0 +1,97 @@
+"""Table 4 — BIRCH performance on the base workload.
+
+Paper values (N = 100,000, HP 9000/720): DS1 47.1 s / D 1.87,
+DS2 47.5 s / D 1.99, DS3 47.4 s / D 3.26, with the randomized-order
+variants DS1O/DS2O/DS3O within a few percent on both time and quality.
+
+Reproduction targets (shape, not absolute numbers):
+
+* running time roughly constant across the three patterns;
+* quality ``D`` close to the ground-truth ``D`` of the generated
+  clusters;
+* ordered vs randomized input differing only marginally.
+"""
+
+import pytest
+from conftest import print_banner, repro_scale
+
+from repro.datagen.presets import ds1, ds1o, ds2, ds2o, ds3, ds3o
+from repro.evaluation.quality import (
+    cluster_cfs_from_labels,
+    weighted_average_diameter,
+)
+from repro.evaluation.report import format_table
+from repro.workloads.base import base_birch_config, run_birch
+
+MAKERS = [ds1, ds2, ds3, ds1o, ds2o, ds3o]
+
+
+def _run_all(scale: float):
+    records = []
+    ideals = {}
+    for maker in MAKERS:
+        dataset = maker(scale=scale)
+        config = base_birch_config(
+            n_clusters=100, total_points_hint=dataset.n_points
+        )
+        records.append(run_birch(dataset, config))
+        ideals[dataset.name] = weighted_average_diameter(
+            [
+                cf
+                for cf in cluster_cfs_from_labels(
+                    dataset.points, dataset.labels, 100
+                )
+                if cf.n > 0
+            ]
+        )
+    return records, ideals
+
+
+def test_table4_base_workload(benchmark):
+    scale = repro_scale()
+    records, ideals = benchmark.pedantic(
+        _run_all, args=(scale,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            r.dataset,
+            r.n_points,
+            r.time_phases_1_3,
+            r.time_seconds,
+            r.quality_d,
+            ideals[r.dataset],
+            int(r.extra["rebuilds"]),
+            int(r.extra["leaf_entries"]),
+        ]
+        for r in records
+    ]
+    print_banner(f"Table 4 — BIRCH on the base workload (scale={scale})")
+    print(
+        format_table(
+            [
+                "dataset",
+                "N",
+                "t 1-3 (s)",
+                "t 1-4 (s)",
+                "D",
+                "D actual",
+                "rebuilds",
+                "entries",
+            ],
+            rows,
+        )
+    )
+
+    by_name = {r.dataset: r for r in records}
+    # Quality close to ground truth on the clean, separable patterns.
+    for name in ("DS1", "DS2", "DS1O", "DS2O"):
+        assert by_name[name].quality_d < ideals[name] * 1.5
+    # Order insensitivity: DS vs DSO quality within a modest factor.
+    for base, shuffled in (("DS1", "DS1O"), ("DS2", "DS2O"), ("DS3", "DS3O")):
+        ratio = by_name[shuffled].quality_d / by_name[base].quality_d
+        assert 0.6 < ratio < 1.6, f"{base} vs {shuffled}: ratio {ratio}"
+    # Times comparable across patterns (paper: all within ~5%; we allow
+    # more at reduced scale).
+    times = [by_name[n].time_seconds for n in ("DS1", "DS2", "DS3")]
+    assert max(times) / min(times) < 3.0

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Clustering by diameter bound instead of K, with tree diagnostics.
+
+The paper's Phase 3 lets the user specify "either the number of
+clusters or the desired diameter threshold for clusters".  When the
+number of natural groups is unknown — the common production case — the
+diameter bound is the ergonomic knob: "give me every group no wider
+than X".
+
+This example generates a dataset whose true K is *not* told to BIRCH,
+clusters it purely by a diameter bound, and then uses the diagnostics
+module to show what the CF-tree looked like inside.
+
+Run:  python examples/diameter_driven_clustering.py
+"""
+
+import numpy as np
+
+from repro import Birch, BirchConfig
+from repro.core.diagnostics import diagnose, render_outline
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    # Seven groups of varying size; BIRCH is not told there are seven.
+    true_centers = rng.uniform(0, 60, size=(7, 2))
+    sizes = rng.integers(100, 400, size=7)
+    points = np.concatenate(
+        [
+            rng.normal(center, 0.8, size=(size, 2))
+            for center, size in zip(true_centers, sizes)
+        ]
+    )
+    rng.shuffle(points)
+    print(f"{len(points)} points from 7 hidden groups (K not given to BIRCH)")
+
+    config = BirchConfig(
+        n_clusters=1,              # no K: the diameter bound drives Phase 3
+        phase3_stop_diameter=5.0,  # "no cluster wider than 5"
+        total_points_hint=len(points),
+    )
+    estimator = Birch(config)
+    result = estimator.fit(points)
+
+    print(f"\ndiameter bound 5.0 produced {result.n_clusters} clusters:")
+    for i, cf in enumerate(sorted(result.clusters, key=lambda c: -c.n)):
+        print(
+            f"  cluster {i}: {cf.n:>4} points, diameter {cf.diameter:.2f}, "
+            f"centroid ({cf.centroid[0]:6.2f}, {cf.centroid[1]:6.2f})"
+        )
+
+    print("\nCF-tree diagnostics:")
+    for line in diagnose(estimator.tree).summary_lines():
+        print(f"  {line}")
+    print("\ntree outline:")
+    print(render_outline(estimator.tree, max_depth=2, max_children=3))
+
+
+if __name__ == "__main__":
+    main()

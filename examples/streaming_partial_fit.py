@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Streaming clustering with a bounded memory footprint.
+
+BIRCH's defining property (and the paper's title claim) is clustering a
+dataset far larger than memory in a single scan.  This example streams
+100 batches through ``partial_fit`` with a deliberately tiny 8 KB
+budget, printing the tree's page usage as it goes — the tree grows, hits
+the budget, rebuilds itself coarser, and keeps going.  At the end,
+``finalize`` produces the global clusters without ever revisiting the
+stream.
+
+Run:  python examples/streaming_partial_fit.py
+"""
+
+import numpy as np
+
+from repro import Birch, BirchConfig
+
+
+def stream(rng: np.random.Generator, n_batches: int, batch: int):
+    """An infinite-style source: ten drifting Gaussian sources."""
+    centers = np.array(
+        [[np.cos(k * 0.628) * 20, np.sin(k * 0.628) * 20] for k in range(10)]
+    )
+    for _ in range(n_batches):
+        which = rng.integers(0, 10, size=batch)
+        yield centers[which] + rng.normal(0, 0.5, size=(batch, 2))
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    config = BirchConfig(
+        n_clusters=10,
+        memory_bytes=8 * 1024,  # ~8 pages: far too small to hold the data
+        phase4_passes=0,
+    )
+    estimator = Birch(config)
+
+    for i, batch in enumerate(stream(rng, n_batches=100, batch=200)):
+        estimator.partial_fit(batch)
+        if (i + 1) % 20 == 0:
+            budget = estimator._budget
+            stats = estimator.tree.tree_stats()
+            print(
+                f"batch {i + 1:>3}: seen {estimator.points_seen:>6} points | "
+                f"pages {budget.pages_in_use}/{budget.capacity_pages} | "
+                f"leaf entries {stats.leaf_entry_count:>4} | "
+                f"threshold {estimator.tree.threshold:.3f} | "
+                f"rebuilds {estimator.rebuilds}"
+            )
+
+    result = estimator.finalize()
+    print()
+    print(f"final clusters from {estimator.points_seen} streamed points:")
+    for i, cf in enumerate(sorted(result.clusters, key=lambda c: -c.n)):
+        cx, cy = cf.centroid
+        print(f"  cluster {i}: {cf.n:>6} points at ({cx:7.2f}, {cy:7.2f})")
+    print()
+    print(
+        f"memory never exceeded "
+        f"{config.memory_bytes // 1024} KB + rebuild allowance; "
+        f"{result.io['tree_rebuilds']} rebuilds total"
+    )
+
+
+if __name__ == "__main__":
+    main()

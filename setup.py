@@ -1,0 +1,5 @@
+"""Legacy setup shim for environments whose setuptools lacks PEP 660 support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of BIRCH (Zhang, Ramakrishnan & Livny, SIGMOD 1996).
+
+A memory-bounded, single-scan clustering library built around the
+Clustering Feature (CF) and the CF-tree, together with every substrate
+the paper's evaluation needs: a paged memory/disk simulation, the
+CLARANS baseline, the grid/sine/random synthetic dataset generator, a
+synthetic NIR/VIS image application, and an evaluation toolkit.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Birch, BirchConfig
+>>> rng = np.random.default_rng(7)
+>>> data = np.concatenate(
+...     [rng.normal(c, 0.4, (300, 2)) for c in (0.0, 4.0, 8.0)]
+... )
+>>> result = Birch(BirchConfig(n_clusters=3)).fit(data)
+>>> sorted(round(float(c[0])) for c in result.centroids)
+[0, 4, 8]
+"""
+
+from repro.core.birch import Birch, BirchResult, PhaseTimings
+from repro.core.config import BirchConfig
+from repro.core.distances import Metric
+from repro.core.features import CF
+from repro.core.tree import CFTree, ThresholdKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Birch",
+    "BirchConfig",
+    "BirchResult",
+    "CF",
+    "CFTree",
+    "Metric",
+    "PhaseTimings",
+    "ThresholdKind",
+    "__version__",
+]

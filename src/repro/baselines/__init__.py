@@ -1,0 +1,31 @@
+"""Baseline clustering algorithms the paper compares against or builds on.
+
+* :mod:`repro.baselines.clarans` — the CLARANS randomized medoid search
+  of Ng & Han (VLDB 1994), the paper's principal competitor (Section 6.7).
+* :mod:`repro.baselines.kmeans` — Lloyd k-means over raw points, used as
+  a reference global method and by Phase 4-style refinement.
+* :mod:`repro.baselines.kmedoids` — PAM-style k-medoids, the building
+  block of CLARA that CLARANS generalises.
+* :mod:`repro.baselines.hierarchical` — agglomerative hierarchical
+  clustering over raw points, the unadapted version of Phase 3's
+  algorithm (used to validate the CF adaptation).
+"""
+
+from repro.baselines.clara import CLARA, ClaraResult
+from repro.baselines.clarans import CLARANS, ClaransResult, default_maxneighbor
+from repro.baselines.hierarchical import agglomerative_points
+from repro.baselines.kmeans import KMeans, KMeansResult
+from repro.baselines.kmedoids import KMedoids, KMedoidsResult
+
+__all__ = [
+    "CLARA",
+    "CLARANS",
+    "ClaraResult",
+    "ClaransResult",
+    "KMeans",
+    "KMeansResult",
+    "KMedoids",
+    "KMedoidsResult",
+    "agglomerative_points",
+    "default_maxneighbor",
+]

@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the adopt-this-library workflow:
+
+* ``generate`` — write one of the paper's synthetic datasets (or a
+  d-dimensional mixture) to CSV with ground-truth labels;
+* ``cluster``  — run the four-phase BIRCH pipeline on a CSV of points,
+  print the cluster summary, and optionally save labels/result;
+* ``compare``  — run BIRCH and CLARANS side by side on a CSV and print
+  the Section 6.7-style comparison table.
+
+CSV convention: one point per row, numeric columns only; a trailing
+``label`` column is written by ``generate`` and ignored by ``cluster``
+unless ``--truth-column`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.clarans import CLARANS
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.serialization import save_result
+from repro.datagen.generator import InputOrder
+from repro.datagen.mixtures import GaussianMixture
+from repro.datagen.presets import ds1, ds2, ds3
+from repro.evaluation.labels import adjusted_rand_index, purity
+from repro.evaluation.quality import (
+    cluster_cfs_from_labels,
+    weighted_average_diameter,
+)
+from repro.evaluation.report import format_table
+from repro.evaluation.timing import Timer
+
+__all__ = ["build_parser", "main"]
+
+_PRESETS = {"ds1": ds1, "ds2": ds2, "ds3": ds3}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BIRCH (SIGMOD 1996) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    gen.add_argument(
+        "dataset",
+        choices=sorted(_PRESETS) + ["mixture"],
+        help="paper preset or a d-dimensional Gaussian mixture",
+    )
+    gen.add_argument("output", type=Path, help="CSV file to write")
+    gen.add_argument("--scale", type=float, default=0.02, help="preset scale (0,1]")
+    gen.add_argument("--shuffle", action="store_true", help="randomized input order")
+    gen.add_argument("--dimensions", type=int, default=2, help="mixture only")
+    gen.add_argument("--components", type=int, default=10, help="mixture only")
+    gen.add_argument("--points", type=int, default=100, help="mixture: per component")
+    gen.add_argument("--seed", type=int, default=0)
+
+    cluster = sub.add_parser("cluster", help="run BIRCH on a CSV of points")
+    cluster.add_argument("input", type=Path, help="CSV with one point per row")
+    cluster.add_argument("-k", "--clusters", type=int, required=True)
+    cluster.add_argument("--memory-kb", type=int, default=80, help="M in KB")
+    cluster.add_argument("--page-size", type=int, default=1024, help="P in bytes")
+    cluster.add_argument(
+        "--metric", default="d2", choices=["d0", "d1", "d2", "d3", "d4"]
+    )
+    cluster.add_argument("--passes", type=int, default=1, help="Phase 4 passes")
+    cluster.add_argument(
+        "--truth-column",
+        action="store_true",
+        help="treat the last CSV column as ground-truth labels and score",
+    )
+    cluster.add_argument(
+        "--save-labels", type=Path, default=None, help="write labels CSV"
+    )
+    cluster.add_argument(
+        "--save-result", type=Path, default=None, help="write result .npz"
+    )
+
+    compare = sub.add_parser("compare", help="BIRCH vs CLARANS on a CSV")
+    compare.add_argument("input", type=Path)
+    compare.add_argument("-k", "--clusters", type=int, required=True)
+    compare.add_argument("--numlocal", type=int, default=2)
+    compare.add_argument("--maxneighbor", type=int, default=None)
+    compare.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["table4", "table5", "order", "compression"],
+        help="which experiment to run",
+    )
+    experiment.add_argument(
+        "--scale", type=float, default=0.02, help="dataset scale (0,1]"
+    )
+
+    return parser
+
+
+def _load_points(
+    path: Path, truth_column: bool
+) -> tuple[np.ndarray, np.ndarray | None]:
+    data = np.loadtxt(path, delimiter=",", ndmin=2)
+    if truth_column:
+        if data.shape[1] < 2:
+            raise SystemExit("--truth-column needs at least two CSV columns")
+        return data[:, :-1], data[:, -1].astype(np.int64)
+    return data, None
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "mixture":
+        mixture = GaussianMixture(
+            n_components=args.components,
+            dimensions=args.dimensions,
+            points_per_component=args.points,
+            seed=args.seed,
+        ).generate()
+        points, labels = mixture.points, mixture.labels
+    else:
+        order = InputOrder.RANDOMIZED if args.shuffle else InputOrder.ORDERED
+        dataset = _PRESETS[args.dataset](scale=args.scale, order=order)
+        points, labels = dataset.points, dataset.labels
+    stacked = np.column_stack([points, labels])
+    np.savetxt(args.output, stacked, delimiter=",", fmt="%.8g")
+    print(
+        f"wrote {points.shape[0]} points (d={points.shape[1]}, "
+        f"labels in last column) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    points, truth = _load_points(args.input, args.truth_column)
+    config = BirchConfig(
+        n_clusters=args.clusters,
+        memory_bytes=args.memory_kb * 1024,
+        page_size=args.page_size,
+        metric=args.metric,
+        phase4_passes=args.passes,
+        total_points_hint=points.shape[0],
+    )
+    estimator = Birch(config)
+    with Timer() as timer:
+        result = estimator.fit(points)
+
+    live = [cf for cf in result.clusters if cf.n > 0]
+    print(
+        f"clustered {points.shape[0]} points into {len(live)} clusters "
+        f"in {timer.elapsed:.2f}s "
+        f"({result.rebuilds} rebuilds, final T={result.final_threshold:.4g})"
+    )
+    print(
+        format_table(
+            ["cluster", "points", "radius", "diameter"],
+            [
+                [i, cf.n, cf.radius, cf.diameter]
+                for i, cf in enumerate(result.clusters)
+                if cf.n > 0
+            ],
+            float_format="{:.4f}",
+        )
+    )
+    print(f"weighted average diameter D = {weighted_average_diameter(live):.4f}")
+
+    if truth is not None and result.labels is not None:
+        print(
+            f"vs ground truth: purity={purity(result.labels, truth):.3f} "
+            f"ARI={adjusted_rand_index(result.labels, truth):.3f}"
+        )
+    if args.save_labels is not None:
+        labels = (
+            result.labels
+            if result.labels is not None
+            else estimator.predict(points)
+        )
+        np.savetxt(args.save_labels, labels, fmt="%d")
+        print(f"labels written to {args.save_labels}")
+    if args.save_result is not None:
+        save_result(args.save_result, result)
+        print(f"result archive written to {args.save_result}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    points, _ = _load_points(args.input, truth_column=False)
+    k = args.clusters
+
+    with Timer() as birch_timer:
+        birch_result = Birch(
+            BirchConfig(n_clusters=k, total_points_hint=points.shape[0])
+        ).fit(points)
+    birch_d = weighted_average_diameter(
+        [cf for cf in birch_result.clusters if cf.n > 0]
+    )
+
+    with Timer() as clarans_timer:
+        clarans_result = CLARANS(
+            n_clusters=k,
+            numlocal=args.numlocal,
+            maxneighbor=args.maxneighbor,
+            seed=args.seed,
+        ).fit(points)
+    clarans_d = weighted_average_diameter(
+        [
+            cf
+            for cf in cluster_cfs_from_labels(points, clarans_result.labels, k)
+            if cf.n > 0
+        ]
+    )
+
+    print(
+        format_table(
+            ["algorithm", "time (s)", "weighted avg diameter D"],
+            [
+                ["BIRCH", birch_timer.elapsed, birch_d],
+                ["CLARANS", clarans_timer.elapsed, clarans_d],
+            ],
+        )
+    )
+    print(f"speedup: {clarans_timer.elapsed / birch_timer.elapsed:.1f}x")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = args.scale
+    if args.name == "table4":
+        from repro.datagen.presets import ds1o, ds2o, ds3o
+        from repro.workloads.base import run_birch
+
+        rows = []
+        for maker in (ds1, ds2, ds3, ds1o, ds2o, ds3o):
+            dataset = maker(scale=scale)
+            record = run_birch(dataset)
+            rows.append(
+                [
+                    record.dataset,
+                    record.n_points,
+                    record.time_seconds,
+                    record.quality_d,
+                ]
+            )
+        print(format_table(["dataset", "N", "time (s)", "D"], rows, title="Table 4"))
+        return 0
+    if args.name == "table5":
+        from repro.workloads.base import run_birch, run_clarans
+
+        rows = []
+        for maker in (ds1, ds2, ds3):
+            dataset = maker(scale=scale)
+            b = run_birch(dataset)
+            c = run_clarans(dataset, n_clusters=100)
+            rows.append([b.dataset, "birch", b.time_seconds, b.quality_d])
+            rows.append([c.dataset, "clarans", c.time_seconds, c.quality_d])
+        print(
+            format_table(
+                ["dataset", "algorithm", "time (s)", "D"], rows, title="Table 5"
+            )
+        )
+        return 0
+    if args.name == "order":
+        from repro.workloads.order_study import run_order_study
+
+        study = run_order_study(ds1(scale=scale))
+        print(
+            format_table(
+                ["order", "time (s)", "D"],
+                [
+                    [r.extra["order_mode"], r.time_seconds, r.quality_d]
+                    for r in study.records
+                ],
+                title="Order-sensitivity study (DS1)",
+            )
+        )
+        print(f"quality spread: {study.spread:.1%}")
+        return 0
+    if args.name == "compression":
+        from repro.workloads.compression import compression_sweep
+
+        points = compression_sweep(ds1(scale=scale), [0.0, 0.5, 1.0, 2.0])
+        print(
+            format_table(
+                ["T", "entries", "compression", "distortion", "final D"],
+                [
+                    [
+                        p.threshold,
+                        p.entries,
+                        p.ratio,
+                        p.distortion,
+                        p.downstream_quality,
+                    ]
+                    for p in points
+                ],
+                title="CF-summary compression trade-off (DS1)",
+            )
+        )
+        return 0
+    raise SystemExit(f"unknown experiment {args.name!r}")  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Core BIRCH implementation: CF algebra, CF-tree, and the phase drivers."""
+
+from repro.core.birch import Birch, BirchResult
+from repro.core.diagnostics import TreeDiagnostics, diagnose, render_outline
+from repro.core.config import BirchConfig
+from repro.core.distances import Metric
+from repro.core.merge import merge_trees
+from repro.core.features import CF
+from repro.core.tree import CFTree
+
+__all__ = [
+    "Birch",
+    "BirchConfig",
+    "BirchResult",
+    "CF",
+    "CFTree",
+    "Metric",
+    "merge_trees",
+    "TreeDiagnostics",
+    "diagnose",
+    "render_outline",
+]

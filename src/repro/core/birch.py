@@ -1,0 +1,544 @@
+"""The BIRCH estimator: Phases 1-4 glued together (Figure 1 of the paper).
+
+* **Phase 1** scans the data once, building a memory-bounded CF-tree;
+  memory exhaustion triggers a threshold increase and rebuild, with
+  optional outlier spilling and delay-split behaviour.
+* **Phase 2** (optional) condenses the tree until the number of leaf
+  entries fits the Phase 3 algorithm's input budget.
+* **Phase 3** clusters the leaf entries globally (agglomerative HC over
+  CFs, or CF-k-means).
+* **Phase 4** (optional) refines with additional passes over the
+  original data, labels every point, and can discard outliers.
+
+The estimator supports both the batch ``fit`` path used by the paper's
+experiments and an incremental ``partial_fit`` path that exposes
+BIRCH's single-scan/streaming nature directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import BirchConfig
+from repro.core.features import CF
+from repro.core.global_clustering import (
+    CFKMeans,
+    CFMedoids,
+    GlobalClustering,
+    agglomerative_cf,
+)
+from repro.core.outliers import OutlierHandler
+from repro.core.rebuild import rebuild_tree
+from repro.core.refinement import RefinementResult, refine
+from repro.core.threshold import ThresholdPolicy
+from repro.core.tree import CFTree
+from repro.pagestore.disk import DiskStore
+from repro.pagestore.iostats import IOStats
+from repro.pagestore.memory import MemoryBudget
+from repro.pagestore.page import PageLayout
+
+__all__ = ["Birch", "BirchResult", "PhaseTimings"]
+
+_MAX_CONDENSE_ROUNDS = 64
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each phase."""
+
+    phase1: float = 0.0
+    phase2: float = 0.0
+    phase3: float = 0.0
+    phase4: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum over all four phases."""
+        return self.phase1 + self.phase2 + self.phase3 + self.phase4
+
+    @property
+    def phases_1_3(self) -> float:
+        """Time through Phase 3 (the paper reports this separately)."""
+        return self.phase1 + self.phase2 + self.phase3
+
+
+@dataclass
+class BirchResult:
+    """Everything the pipeline produces for one dataset.
+
+    Attributes
+    ----------
+    centroids:
+        Final cluster centroids, shape ``(k, d)``.
+    clusters:
+        Exact CFs of the final clusters.
+    labels:
+        Per-point labels from Phase 4 (``None`` when Phase 4 is off);
+        ``-1`` marks discarded outliers.
+    subclusters:
+        The Phase 1/2 leaf entries fed into the global clustering.
+    entry_labels:
+        Phase 3 assignment of each subcluster to a cluster.
+    outliers:
+        Leaf entries left on the outlier disk at the end of Phase 1.
+    timings, io, tree_stats:
+        Performance accounting for the experiment harness.
+    final_threshold, rebuilds:
+        Where the Phase 1 threshold ended up and how many rebuilds it
+        took to get there.
+    refinement:
+        The raw Phase 4 result (``None`` when Phase 4 is off).
+    """
+
+    centroids: np.ndarray
+    clusters: list[CF]
+    labels: Optional[np.ndarray]
+    subclusters: list[CF]
+    entry_labels: np.ndarray
+    outliers: list[CF]
+    timings: PhaseTimings
+    io: dict[str, int]
+    tree_stats: dict[str, float]
+    final_threshold: float
+    rebuilds: int
+    refinement: Optional[RefinementResult] = field(default=None, repr=False)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters produced."""
+        return len(self.clusters)
+
+
+class Birch:
+    """Four-phase BIRCH clustering over d-dimensional points.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.BirchConfig`; see its docstring for
+        every knob.  ``n_clusters`` is the only required field.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import Birch, BirchConfig
+    >>> rng = np.random.default_rng(0)
+    >>> points = np.concatenate([
+    ...     rng.normal(0.0, 0.3, (200, 2)),
+    ...     rng.normal(5.0, 0.3, (200, 2)),
+    ... ])
+    >>> result = Birch(BirchConfig(n_clusters=2)).fit(points)
+    >>> result.n_clusters
+    2
+    """
+
+    def __init__(self, config: BirchConfig) -> None:
+        self.config = config
+        self.stats = IOStats()
+        self._dimensions: Optional[int] = None
+        self._tree: Optional[CFTree] = None
+        self._budget: Optional[MemoryBudget] = None
+        self._outlier_handler: Optional[OutlierHandler] = None
+        self._policy: Optional[ThresholdPolicy] = None
+        self._points_seen = 0
+        self._delay_mode = False
+        self._result: Optional[BirchResult] = None
+        self._rebuild_history: list[tuple[int, float]] = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def tree(self) -> CFTree:
+        """The live CF-tree (raises before any data has been seen)."""
+        if self._tree is None:
+            raise RuntimeError("no data inserted yet; call fit or partial_fit")
+        return self._tree
+
+    @property
+    def points_seen(self) -> int:
+        """Raw points consumed by Phase 1 so far."""
+        return self._points_seen
+
+    @property
+    def result(self) -> BirchResult:
+        """The last ``fit``/``finalize`` result."""
+        if self._result is None:
+            raise RuntimeError("not fitted yet; call fit or finalize")
+        return self._result
+
+    @property
+    def rebuilds(self) -> int:
+        """Tree rebuilds performed so far."""
+        return self.stats.tree_rebuilds
+
+    @property
+    def rebuild_history(self) -> list[tuple[int, float]]:
+        """``(points_seen, new_threshold)`` at each Phase 1 rebuild.
+
+        The paper's Section 6.1 analysis predicts roughly
+        ``log2(N / N_0)`` rebuilds, i.e. the points-seen values should
+        roughly double between consecutive rebuilds once the threshold
+        heuristic is warmed up.
+        """
+        return list(self._rebuild_history)
+
+    # -- Phase 1: incremental loading -------------------------------------------
+
+    def partial_fit(
+        self, points: np.ndarray, weights: Optional[np.ndarray] = None
+    ) -> "Birch":
+        """Feed a batch of points through Phase 1 (incremental).
+
+        May be called repeatedly; the CF-tree, threshold and outlier
+        disk persist across calls, which is exactly the paper's
+        "incrementally clusters incoming ... data points" claim.
+
+        Parameters
+        ----------
+        points:
+            Batch of shape ``(n, d)``.
+        weights:
+            Optional positive integer multiplicities, shape ``(n,)``.
+            A point with weight ``w`` is treated as ``w`` coincident
+            points — the mechanism behind the paper's image study
+            "weighting" of pixel values, exact by CF additivity.
+        """
+        points = self._validate(points)
+        if self._tree is None:
+            self._initialise(points.shape[1])
+        assert self._tree is not None and self._budget is not None
+        if weights is None:
+            weight_arr = np.ones(points.shape[0], dtype=np.int64)
+        else:
+            weight_arr = np.asarray(weights)
+            if weight_arr.shape != (points.shape[0],):
+                raise ValueError(
+                    f"weights shape {weight_arr.shape} does not match "
+                    f"{points.shape[0]} points"
+                )
+            if (weight_arr <= 0).any():
+                raise ValueError("weights must be positive integers")
+            weight_arr = weight_arr.astype(np.int64)
+        norms = np.einsum("ij,ij->i", points, points)
+        for row, norm, w in zip(points, norms, weight_arr):
+            self._insert_one(CF(int(w), w * row, float(w * norm)))
+        return self
+
+    def _insert_one(self, cf: CF) -> None:
+        assert self._tree is not None and self._budget is not None
+        if self._delay_mode and self._outlier_handler is not None:
+            # Delay-split option: while memory is exhausted, absorb what
+            # fits and spill the rest instead of rebuilding per point.
+            if self._tree.try_absorb_cf(cf):
+                self._points_seen += cf.n
+                return
+            if self._outlier_handler.spill(cf):
+                self._points_seen += cf.n
+                return
+            # Disk is full too: fall through to a proper rebuild.
+            self._rebuild()
+            self._delay_mode = False
+        self._tree.insert_cf(cf)
+        self._points_seen += cf.n
+        if self._budget.over_budget:
+            if self.config.delay_split and self._outlier_handler is not None:
+                self._delay_mode = True
+            else:
+                self._rebuild()
+
+    def _rebuild(self) -> None:
+        assert self._tree is not None and self._policy is not None
+        new_threshold = self._policy.next_threshold(self._tree, self._points_seen)
+        self._rebuild_history.append((self._points_seen, new_threshold))
+        sink = None
+        predicate = None
+        if self._outlier_handler is not None:
+            handler = self._outlier_handler
+            sink = handler.spill
+            predicate = handler.is_potential_outlier
+        self._tree = rebuild_tree(
+            self._tree, new_threshold, outlier_sink=sink, outlier_predicate=predicate
+        )
+        if self._outlier_handler is not None and self._outlier_handler.disk.is_full:
+            self._outlier_handler.reabsorb(self._tree)
+
+    def _initialise(self, dimensions: int) -> None:
+        layout = PageLayout(page_size=self.config.page_size, dimensions=dimensions)
+        self._dimensions = dimensions
+        self._budget = MemoryBudget(self.config.memory_bytes, layout)
+        self._policy = ThresholdPolicy(
+            expansion_factor=self.config.expansion_factor,
+            total_points_hint=self.config.total_points_hint,
+            mode=self.config.threshold_mode,
+        )
+        self._tree = CFTree(
+            layout=layout,
+            threshold=self.config.initial_threshold,
+            metric=self.config.metric,
+            threshold_kind=self.config.threshold_kind,
+            budget=self._budget,
+            stats=self.stats,
+            merging_refinement=self.config.merging_refinement,
+        )
+        if self.config.outlier_handling:
+            disk: DiskStore[CF] = DiskStore(
+                capacity_bytes=self.config.effective_disk_bytes,
+                record_bytes=layout.outlier_record_bytes(),
+                page_size=self.config.page_size,
+                stats=self.stats,
+            )
+            self._outlier_handler = OutlierHandler(
+                disk, fraction=self.config.outlier_fraction
+            )
+
+    def _validate(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError(
+                f"points must be a non-empty (n, d) array, got shape {points.shape}"
+            )
+        if self._dimensions is not None and points.shape[1] != self._dimensions:
+            raise ValueError(
+                f"dimension mismatch: estimator saw d={self._dimensions}, "
+                f"batch has d={points.shape[1]}"
+            )
+        return points
+
+    # -- the full pipeline ---------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> BirchResult:
+        """Run all configured phases on ``points`` and return the result."""
+        points = self._validate(points)
+        self._reset()
+        timings = PhaseTimings()
+
+        start = time.perf_counter()
+        self.partial_fit(points)
+        self.stats.record_scan(points.shape[0])
+        outliers = self._finish_phase1()
+        timings.phase1 = time.perf_counter() - start
+
+        start = time.perf_counter()
+        self._phase2_condense()
+        timings.phase2 = time.perf_counter() - start
+
+        start = time.perf_counter()
+        global_result = self._phase3_cluster()
+        timings.phase3 = time.perf_counter() - start
+
+        refinement: Optional[RefinementResult] = None
+        labels: Optional[np.ndarray] = None
+        clusters = global_result.clusters
+        centroids = global_result.centroids
+        start = time.perf_counter()
+        if self.config.phase4_passes > 0:
+            refinement = refine(
+                points,
+                centroids,
+                passes=self.config.phase4_passes,
+                discard_outliers=self.config.phase4_discard_outliers,
+                outlier_factor=self.config.phase4_outlier_factor,
+                stats=self.stats,
+            )
+            labels = refinement.labels
+            centroids = refinement.centroids
+            clusters = [cf for cf in refinement.clusters]
+        timings.phase4 = time.perf_counter() - start
+
+        assert self._tree is not None
+        tree_stats = self._tree.tree_stats()
+        self._result = BirchResult(
+            centroids=centroids,
+            clusters=clusters,
+            labels=labels,
+            subclusters=self._tree.leaf_entries(),
+            entry_labels=global_result.labels,
+            outliers=outliers,
+            timings=timings,
+            io=self.stats.summary(),
+            tree_stats={
+                "height": tree_stats.height,
+                "node_count": tree_stats.node_count,
+                "leaf_count": tree_stats.leaf_count,
+                "leaf_entry_count": tree_stats.leaf_entry_count,
+                "points": tree_stats.points,
+                "avg_entries_per_leaf": tree_stats.average_entries_per_leaf,
+            },
+            final_threshold=self._tree.threshold,
+            rebuilds=self.stats.tree_rebuilds,
+            refinement=refinement,
+        )
+        return self._result
+
+    def finalize(self) -> BirchResult:
+        """Phases 2-3 after incremental loading (no Phase 4 data scan).
+
+        For streaming use: after any number of ``partial_fit`` calls,
+        produce clusters from the tree alone.  Phase 4 needs the raw
+        data, so it is skipped here.
+        """
+        if self._tree is None:
+            raise RuntimeError("no data inserted yet; call partial_fit first")
+        timings = PhaseTimings()
+
+        start = time.perf_counter()
+        outliers = self._finish_phase1()
+        self._phase2_condense()
+        timings.phase2 = time.perf_counter() - start
+
+        start = time.perf_counter()
+        global_result = self._phase3_cluster()
+        timings.phase3 = time.perf_counter() - start
+
+        tree_stats = self._tree.tree_stats()
+        self._result = BirchResult(
+            centroids=global_result.centroids,
+            clusters=global_result.clusters,
+            labels=None,
+            subclusters=self._tree.leaf_entries(),
+            entry_labels=global_result.labels,
+            outliers=outliers,
+            timings=timings,
+            io=self.stats.summary(),
+            tree_stats={
+                "height": tree_stats.height,
+                "node_count": tree_stats.node_count,
+                "leaf_count": tree_stats.leaf_count,
+                "leaf_entry_count": tree_stats.leaf_entry_count,
+                "points": tree_stats.points,
+                "avg_entries_per_leaf": tree_stats.average_entries_per_leaf,
+            },
+            final_threshold=self._tree.threshold,
+            rebuilds=self.stats.tree_rebuilds,
+        )
+        return self._result
+
+    def improve(self, points: np.ndarray, passes: int = 1) -> BirchResult:
+        """Spend more time to improve the last result (extra Phase 4).
+
+        The paper's introduction frames BIRCH as letting a user who "is
+        willing to wait" trade additional scans for quality; this method
+        is that trade: run ``passes`` more refinement passes over
+        ``points`` starting from the current centroids, and replace the
+        stored result.  Each call adds data scans and never increases
+        the assignment cost.
+
+        Raises
+        ------
+        RuntimeError
+            If called before ``fit``/``finalize``.
+        """
+        if self._result is None:
+            raise RuntimeError("not fitted yet; call fit or finalize first")
+        points = np.asarray(points, dtype=np.float64)
+        start = time.perf_counter()
+        refinement = refine(
+            points,
+            self._result.centroids,
+            passes=passes,
+            discard_outliers=self.config.phase4_discard_outliers,
+            outlier_factor=self.config.phase4_outlier_factor,
+            stats=self.stats,
+        )
+        elapsed = time.perf_counter() - start
+        old = self._result
+        timings = PhaseTimings(
+            phase1=old.timings.phase1,
+            phase2=old.timings.phase2,
+            phase3=old.timings.phase3,
+            phase4=old.timings.phase4 + elapsed,
+        )
+        self._result = BirchResult(
+            centroids=refinement.centroids,
+            clusters=list(refinement.clusters),
+            labels=refinement.labels,
+            subclusters=old.subclusters,
+            entry_labels=old.entry_labels,
+            outliers=old.outliers,
+            timings=timings,
+            io=self.stats.summary(),
+            tree_stats=old.tree_stats,
+            final_threshold=old.final_threshold,
+            rebuilds=old.rebuilds,
+            refinement=refinement,
+        )
+        return self._result
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign each point to the nearest fitted centroid."""
+        if self._result is None:
+            raise RuntimeError("not fitted yet; call fit or finalize")
+        points = np.asarray(points, dtype=np.float64)
+        centroids = self._result.centroids
+        labels = np.empty(points.shape[0], dtype=np.int64)
+        chunk = 8192
+        for start in range(0, points.shape[0], chunk):
+            block = points[start : start + chunk]
+            dist2 = ((block[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            labels[start : start + chunk] = np.argmin(dist2, axis=1)
+        return labels
+
+    # -- phase helpers ------------------------------------------------------------
+
+    def _finish_phase1(self) -> list[CF]:
+        """End-of-scan outlier resolution; returns the true outliers."""
+        assert self._tree is not None
+        self._delay_mode = False
+        if self._outlier_handler is None:
+            return []
+        return self._outlier_handler.final_outliers(self._tree)
+
+    def _phase2_condense(self) -> None:
+        """Shrink the tree until Phase 3's input budget is met."""
+        if not self.config.phase2_enabled:
+            return
+        assert self._tree is not None and self._policy is not None
+        limit = self.config.phase3_input_limit
+        rounds = 0
+        while self._tree.tree_stats().leaf_entry_count > limit:
+            rounds += 1
+            if rounds > _MAX_CONDENSE_ROUNDS:
+                raise RuntimeError(
+                    f"Phase 2 failed to condense below {limit} entries after "
+                    f"{_MAX_CONDENSE_ROUNDS} rebuilds"
+                )
+            new_threshold = self._policy.next_threshold(
+                self._tree, max(self._points_seen, 1)
+            )
+            self._tree = rebuild_tree(self._tree, new_threshold)
+
+    def _phase3_cluster(self) -> GlobalClustering:
+        """Global clustering of the leaf entries."""
+        assert self._tree is not None
+        entries = self._tree.leaf_entries()
+        if not entries:
+            raise RuntimeError("tree holds no subclusters; was any data inserted?")
+        if self.config.phase3_algorithm == "kmeans":
+            return CFKMeans(
+                n_clusters=self.config.n_clusters, seed=self.config.random_seed
+            ).fit(entries)
+        if self.config.phase3_algorithm == "medoids":
+            return CFMedoids(n_clusters=self.config.n_clusters).fit(entries)
+        return agglomerative_cf(
+            entries,
+            n_clusters=self.config.n_clusters,
+            metric=self.config.metric,
+            stop_diameter=self.config.phase3_stop_diameter,
+        )
+
+    def _reset(self) -> None:
+        """Discard all state so ``fit`` starts from scratch."""
+        self.stats.reset()
+        self._dimensions = None
+        self._tree = None
+        self._budget = None
+        self._outlier_handler = None
+        self._policy = None
+        self._points_seen = 0
+        self._delay_mode = False
+        self._result = None
+        self._rebuild_history = []

@@ -1,0 +1,159 @@
+"""Configuration for the BIRCH pipeline.
+
+Defaults mirror the experimental setup of Table 2 in the paper:
+memory ``M`` = 80 KB, disk ``R`` = 20% of ``M``, distance metric D2,
+threshold on the diameter, initial threshold 0, page size ``P`` = 1024
+bytes, outlier handling on, and Phase 3 consuming at most 1000 leaf
+entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.distances import Metric
+from repro.core.tree import ThresholdKind
+
+__all__ = ["BirchConfig"]
+
+
+@dataclass
+class BirchConfig:
+    """Tunable parameters of the four-phase BIRCH pipeline.
+
+    Attributes
+    ----------
+    n_clusters:
+        ``K``, the number of clusters Phase 3 produces.
+    memory_bytes:
+        ``M``: the CF-tree's memory budget (Table 2 default 80 KB).
+    page_size:
+        ``P``: bytes per tree node, determining ``B`` and ``L``.
+    disk_bytes:
+        ``R``: simulated disk for potential outliers; ``None`` means
+        20% of ``memory_bytes`` as in the paper.
+    metric:
+        Distance D0-D4 used for descent, Phase 3 and Phase 4
+        (experiments use D2).
+    threshold_kind:
+        Whether the threshold bounds merged diameter (default) or radius.
+    initial_threshold:
+        ``T_0``; 0.0 is the paper's safe default.
+    outlier_handling:
+        Enables the potential-outlier spill/re-absorb option.
+    outlier_fraction:
+        "Far fewer points than average" cut-off for spilling.
+    delay_split:
+        When memory runs out, spill threshold-violating entries to disk
+        instead of rebuilding immediately, so rebuilds happen with more
+        data seen (Section 5.1.4 "delay-split" option).
+    phase2_enabled:
+        Condense the tree so Phase 3 sees at most
+        ``phase3_input_limit`` subclusters.
+    phase3_input_limit:
+        Maximum leaf entries fed to the global clustering.
+    phase3_algorithm:
+        ``"hierarchical"`` (the paper's adapted agglomerative HC),
+        ``"kmeans"`` (the adapted CF k-means alternative) or
+        ``"medoids"`` (weighted PAM over entry centroids).
+    phase3_stop_diameter:
+        Optional cluster-diameter bound for the hierarchical Phase 3 —
+        the paper lets the user "specify either the number of clusters
+        or the desired diameter threshold"; when set, merges that would
+        exceed it are refused and more than ``n_clusters`` clusters may
+        be returned.
+    phase4_passes:
+        Number of refinement passes over the original data (0 disables
+        Phase 4).
+    phase4_discard_outliers:
+        During Phase 4, drop points farther from their closest seed
+        than ``phase4_outlier_factor`` times that cluster's radius.
+    phase4_outlier_factor:
+        The factor above (the paper's image study uses 2).
+    expansion_factor:
+        Minimum multiplicative threshold growth per rebuild.
+    total_points_hint:
+        ``N`` if known; sharpens the threshold heuristic's
+        ``Min(2 N_i, N)`` target.
+    random_seed:
+        Seed for the k-means variant of Phase 3.
+    merging_refinement:
+        The Section 4.3 post-split merge of the two closest entries;
+        on by default, exposed for ablation.
+    threshold_mode:
+        Which next-threshold estimates to use ("full", "volume",
+        "regression", "dmin"); exposed for ablation.
+    """
+
+    n_clusters: int
+    memory_bytes: int = 80 * 1024
+    page_size: int = 1024
+    disk_bytes: Optional[int] = None
+    metric: Metric = Metric.D2_AVG_INTERCLUSTER
+    threshold_kind: ThresholdKind = ThresholdKind.DIAMETER
+    initial_threshold: float = 0.0
+    outlier_handling: bool = True
+    outlier_fraction: float = 0.25
+    delay_split: bool = False
+    phase2_enabled: bool = True
+    phase3_input_limit: int = 1000
+    phase3_algorithm: str = "hierarchical"
+    phase3_stop_diameter: Optional[float] = None
+    phase4_passes: int = 1
+    phase4_discard_outliers: bool = False
+    phase4_outlier_factor: float = 2.0
+    expansion_factor: float = 1.5
+    total_points_hint: Optional[int] = None
+    random_seed: int = 0
+    merging_refinement: bool = True
+    threshold_mode: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be positive, got {self.memory_bytes}")
+        if self.page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {self.page_size}")
+        if self.disk_bytes is not None and self.disk_bytes < 0:
+            raise ValueError(f"disk_bytes must be >= 0, got {self.disk_bytes}")
+        if self.initial_threshold < 0:
+            raise ValueError(
+                f"initial_threshold must be >= 0, got {self.initial_threshold}"
+            )
+        if self.phase3_algorithm not in ("hierarchical", "kmeans", "medoids"):
+            raise ValueError(
+                "phase3_algorithm must be 'hierarchical', 'kmeans' or "
+                f"'medoids', got {self.phase3_algorithm!r}"
+            )
+        if self.phase3_input_limit < self.n_clusters:
+            raise ValueError(
+                f"phase3_input_limit ({self.phase3_input_limit}) must be at "
+                f"least n_clusters ({self.n_clusters})"
+            )
+        if self.phase4_passes < 0:
+            raise ValueError(f"phase4_passes must be >= 0, got {self.phase4_passes}")
+        if self.phase4_outlier_factor <= 0:
+            raise ValueError(
+                f"phase4_outlier_factor must be positive, "
+                f"got {self.phase4_outlier_factor}"
+            )
+        if self.phase3_stop_diameter is not None and self.phase3_stop_diameter < 0:
+            raise ValueError(
+                f"phase3_stop_diameter must be >= 0, "
+                f"got {self.phase3_stop_diameter}"
+            )
+        if self.threshold_mode not in ("full", "volume", "regression", "dmin"):
+            raise ValueError(
+                "threshold_mode must be 'full', 'volume', 'regression' or "
+                f"'dmin', got {self.threshold_mode!r}"
+            )
+        self.metric = Metric.from_name(self.metric)
+
+    @property
+    def effective_disk_bytes(self) -> int:
+        """``R``: explicit value, or the paper's 20%-of-``M`` default."""
+        if self.disk_bytes is not None:
+            return self.disk_bytes
+        return self.memory_bytes // 5

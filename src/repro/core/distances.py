@@ -1,0 +1,180 @@
+"""Inter-cluster distances D0-D4 computed exactly from CFs.
+
+Section 3 of the paper defines five alternatives for measuring the
+closeness of two clusters; Section 4.1 observes all of them are
+closed-form functions of the clusters' CF vectors.  Given clusters 1 and
+2 with CFs ``(N1, LS1, SS1)`` and ``(N2, LS2, SS2)`` and centroids
+``c1 = LS1/N1``, ``c2 = LS2/N2``:
+
+* **D0** — centroid Euclidean distance: ``||c1 - c2||``  (eq. 4)
+* **D1** — centroid Manhattan distance: ``sum_t |c1(t) - c2(t)|``  (eq. 5)
+* **D2** — average inter-cluster distance:
+  ``sqrt( (N2*SS1 + N1*SS2 - 2*LS1.LS2) / (N1*N2) )``  (eq. 6)
+* **D3** — average intra-cluster distance of the merged cluster, i.e.
+  the diameter of ``CF1 + CF2``.
+* **D4** — variance-increase distance: the square root of the increase
+  in total squared deviation caused by merging,
+  ``||LS1||^2/N1 + ||LS2||^2/N2 - ||LS1+LS2||^2/(N1+N2)``.
+
+Both scalar (CF-vs-CF) and vectorised (CF-vs-array-of-CFs) forms are
+provided; the vectorised forms are what the CF-tree's descent loop uses.
+All squared quantities are clamped at zero before the square root to
+guard against floating-point cancellation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from repro.core.features import CF
+
+__all__ = ["Metric", "distance", "distances_to_set"]
+
+
+class Metric(enum.Enum):
+    """The five distance definitions of Section 3."""
+
+    D0_EUCLIDEAN = "d0"
+    D1_MANHATTAN = "d1"
+    D2_AVG_INTERCLUSTER = "d2"
+    D3_AVG_INTRACLUSTER = "d3"
+    D4_VARIANCE_INCREASE = "d4"
+
+    @classmethod
+    def from_name(cls, name: "str | Metric") -> "Metric":
+        """Accept 'd0'..'d4' strings, enum names, or Metric values."""
+        if isinstance(name, Metric):
+            return name
+        lowered = name.strip().lower()
+        for metric in cls:
+            if lowered in (metric.value, metric.name.lower()):
+                return metric
+        raise ValueError(f"unknown metric {name!r}; expected one of d0..d4")
+
+
+def distance(a: CF, b: CF, metric: Metric = Metric.D2_AVG_INTERCLUSTER) -> float:
+    """Distance between two non-empty CFs under ``metric``."""
+    if a.n == 0 or b.n == 0:
+        raise ValueError("distances are undefined for empty CFs")
+    if metric is Metric.D0_EUCLIDEAN:
+        diff = a.ls / a.n - b.ls / b.n
+        return math.sqrt(max(float(diff @ diff), 0.0))
+    if metric is Metric.D1_MANHATTAN:
+        diff = a.ls / a.n - b.ls / b.n
+        return float(np.abs(diff).sum())
+    if metric is Metric.D2_AVG_INTERCLUSTER:
+        d2 = (b.n * a.ss + a.n * b.ss - 2.0 * float(a.ls @ b.ls)) / (a.n * b.n)
+        return math.sqrt(max(d2, 0.0))
+    if metric is Metric.D3_AVG_INTRACLUSTER:
+        return a.merge(b).diameter
+    if metric is Metric.D4_VARIANCE_INCREASE:
+        return math.sqrt(max(_variance_increase(a, b), 0.0))
+    raise ValueError(f"unhandled metric {metric!r}")
+
+
+def _variance_increase(a: CF, b: CF) -> float:
+    """Increase in total squared deviation when merging ``a`` and ``b``."""
+    merged_norm = a.ls + b.ls
+    return (
+        float(a.ls @ a.ls) / a.n
+        + float(b.ls @ b.ls) / b.n
+        - float(merged_norm @ merged_norm) / (a.n + b.n)
+    )
+
+
+def distances_to_set(
+    probe: CF,
+    ns: np.ndarray,
+    ls: np.ndarray,
+    ss: np.ndarray,
+    metric: Metric = Metric.D2_AVG_INTERCLUSTER,
+) -> np.ndarray:
+    """Distances from ``probe`` to ``k`` CFs given as parallel arrays.
+
+    Parameters
+    ----------
+    probe:
+        The CF being inserted or compared.
+    ns, ls, ss:
+        Arrays of shape ``(k,)``, ``(k, d)`` and ``(k,)`` holding the
+        target CFs (the struct-of-arrays view of a tree node).
+    metric:
+        Which of D0-D4 to evaluate.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(k,)`` array of distances.
+    """
+    ns = np.asarray(ns, dtype=np.float64)
+    ls = np.asarray(ls, dtype=np.float64)
+    ss = np.asarray(ss, dtype=np.float64)
+    if ns.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if probe.n == 0 or (ns <= 0).any():
+        raise ValueError("distances are undefined for empty CFs")
+
+    if metric is Metric.D0_EUCLIDEAN:
+        diff = ls / ns[:, None] - probe.centroid
+        return np.sqrt(np.maximum(np.einsum("ij,ij->i", diff, diff), 0.0))
+    if metric is Metric.D1_MANHATTAN:
+        diff = ls / ns[:, None] - probe.centroid
+        return np.abs(diff).sum(axis=1)
+    if metric is Metric.D2_AVG_INTERCLUSTER:
+        cross = ls @ probe.ls
+        d2 = (ns * probe.ss + probe.n * ss - 2.0 * cross) / (ns * probe.n)
+        return np.sqrt(np.maximum(d2, 0.0))
+    if metric is Metric.D3_AVG_INTRACLUSTER:
+        n_merged = ns + probe.n
+        ls_merged = ls + probe.ls
+        ss_merged = ss + probe.ss
+        norm = np.einsum("ij,ij->i", ls_merged, ls_merged)
+        denom = n_merged * (n_merged - 1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d2 = np.where(
+                denom > 0, (2.0 * n_merged * ss_merged - 2.0 * norm) / denom, 0.0
+            )
+        return np.sqrt(np.maximum(d2, 0.0))
+    if metric is Metric.D4_VARIANCE_INCREASE:
+        ls_merged = ls + probe.ls
+        own = np.einsum("ij,ij->i", ls, ls) / ns
+        probe_own = float(probe.ls @ probe.ls) / probe.n
+        merged = np.einsum("ij,ij->i", ls_merged, ls_merged) / (ns + probe.n)
+        return np.sqrt(np.maximum(own + probe_own - merged, 0.0))
+    raise ValueError(f"unhandled metric {metric!r}")
+
+
+def merged_diameter(
+    probe: CF, ns: np.ndarray, ls: np.ndarray, ss: np.ndarray
+) -> np.ndarray:
+    """Diameter of ``probe`` merged with each CF in the set.
+
+    Used by the leaf-level absorption test when the threshold condition
+    is expressed on diameter.  Identical to D3 but kept under its paper
+    name for readability at call sites.
+    """
+    return distances_to_set(probe, ns, ls, ss, Metric.D3_AVG_INTRACLUSTER)
+
+
+def merged_radius(
+    probe: CF, ns: np.ndarray, ls: np.ndarray, ss: np.ndarray
+) -> np.ndarray:
+    """Radius of ``probe`` merged with each CF in the set.
+
+    ``R^2 = SS/N - ||LS/N||^2`` of each hypothetical merge; the
+    alternative threshold condition mentioned in Section 4.1.
+    """
+    ns = np.asarray(ns, dtype=np.float64)
+    ls = np.asarray(ls, dtype=np.float64)
+    ss = np.asarray(ss, dtype=np.float64)
+    if ns.size == 0:
+        return np.empty(0, dtype=np.float64)
+    n_merged = ns + probe.n
+    ls_merged = ls + probe.ls
+    ss_merged = ss + probe.ss
+    norm = np.einsum("ij,ij->i", ls_merged, ls_merged)
+    r2 = ss_merged / n_merged - norm / (n_merged * n_merged)
+    return np.sqrt(np.maximum(r2, 0.0))

@@ -1,0 +1,196 @@
+"""The Clustering Feature (CF) — Definition 4.1 of the paper.
+
+A CF is the triple ``(N, LS, SS)`` for a cluster of ``N`` d-dimensional
+points ``{X_i}``:
+
+* ``N``  — the number of points;
+* ``LS`` — the linear sum ``sum_i X_i`` (a d-vector);
+* ``SS`` — the square sum ``sum_i ||X_i||^2`` (a scalar).
+
+The CF Additivity Theorem (Theorem 4.1) states that for disjoint
+clusters, ``CF_1 + CF_2 = (N_1+N_2, LS_1+LS_2, SS_1+SS_2)``.  Because
+centroid, radius, diameter and all five inter-cluster distances D0-D4
+are closed-form functions of CFs, BIRCH never needs the raw points after
+absorbing them.
+
+This module provides the scalar :class:`CF` object used throughout the
+tree.  Hot loops operate on the struct-of-arrays views exposed by the
+tree nodes (see :mod:`repro.core.node`), but every formula lives here
+and in :mod:`repro.core.distances` in exact correspondence with the
+paper's equations (1)-(6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["CF"]
+
+
+class CF:
+    """A Clustering Feature summarising a set of d-dimensional points.
+
+    Instances are mutable: absorbing a point or merging another CF
+    updates ``(N, LS, SS)`` in place, which is exactly how the CF-tree
+    maintains its node summaries incrementally.
+
+    Parameters
+    ----------
+    n:
+        Number of points summarised (``N``).
+    ls:
+        Linear sum, an array of shape ``(d,)``.
+    ss:
+        Square sum, ``sum_i ||X_i||^2``.
+    """
+
+    __slots__ = ("n", "ls", "ss")
+
+    def __init__(self, n: int, ls: np.ndarray, ss: float) -> None:
+        if n < 0:
+            raise ValueError(f"N must be >= 0, got {n}")
+        self.n = int(n)
+        self.ls = np.asarray(ls, dtype=np.float64)
+        if self.ls.ndim != 1:
+            raise ValueError(f"LS must be a 1-d vector, got shape {self.ls.shape}")
+        self.ss = float(ss)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls, dimensions: int) -> "CF":
+        """The identity element of CF addition."""
+        return cls(0, np.zeros(dimensions, dtype=np.float64), 0.0)
+
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "CF":
+        """CF of a single point: ``(1, X, ||X||^2)``."""
+        point = np.asarray(point, dtype=np.float64)
+        return cls(1, point.copy(), float(point @ point))
+
+    @classmethod
+    def from_points(cls, points: np.ndarray | Iterable[Iterable[float]]) -> "CF":
+        """CF of a batch of points given as an ``(n, d)`` array."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-d, got shape {points.shape}")
+        n = points.shape[0]
+        ls = points.sum(axis=0)
+        ss = float(np.einsum("ij,ij->", points, points))
+        return cls(n, ls, ss)
+
+    # -- algebra (Theorem 4.1) ----------------------------------------------
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality ``d`` of the summarised points."""
+        return self.ls.shape[0]
+
+    def copy(self) -> "CF":
+        """An independent copy."""
+        return CF(self.n, self.ls.copy(), self.ss)
+
+    def merge(self, other: "CF") -> "CF":
+        """``self + other`` as a new CF (Additivity Theorem)."""
+        self._check_compatible(other)
+        return CF(self.n + other.n, self.ls + other.ls, self.ss + other.ss)
+
+    def merge_inplace(self, other: "CF") -> None:
+        """Absorb ``other`` into this CF."""
+        self._check_compatible(other)
+        self.n += other.n
+        self.ls += other.ls
+        self.ss += other.ss
+
+    def subtract(self, other: "CF") -> "CF":
+        """``self - other``; valid when ``other`` summarises a subset."""
+        self._check_compatible(other)
+        if other.n > self.n:
+            raise ValueError(
+                f"cannot subtract CF with N={other.n} from CF with N={self.n}"
+            )
+        return CF(self.n - other.n, self.ls - other.ls, self.ss - other.ss)
+
+    def add_point(self, point: np.ndarray) -> None:
+        """Absorb a single point in place."""
+        point = np.asarray(point, dtype=np.float64)
+        self.n += 1
+        self.ls += point
+        self.ss += float(point @ point)
+
+    def __add__(self, other: "CF") -> "CF":
+        return self.merge(other)
+
+    def __iadd__(self, other: "CF") -> "CF":
+        self.merge_inplace(other)
+        return self
+
+    # -- derived statistics (equations (1)-(3)) -------------------------------
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Centroid ``X0 = LS / N`` (equation (1))."""
+        if self.n == 0:
+            raise ValueError("centroid of an empty CF is undefined")
+        return self.ls / self.n
+
+    @property
+    def radius(self) -> float:
+        """Radius ``R``: RMS distance of members to the centroid (eq. (2)).
+
+        ``R^2 = SS/N - ||LS/N||^2``, clamped at zero against round-off.
+        """
+        if self.n == 0:
+            raise ValueError("radius of an empty CF is undefined")
+        centroid = self.ls / self.n
+        r2 = self.ss / self.n - float(centroid @ centroid)
+        return math.sqrt(max(r2, 0.0))
+
+    @property
+    def diameter(self) -> float:
+        """Diameter ``D``: RMS pairwise member distance (eq. (3)).
+
+        ``D^2 = (2 N SS - 2 ||LS||^2) / (N (N - 1))`` for ``N >= 2``;
+        a singleton cluster has diameter 0 by convention.
+        """
+        if self.n == 0:
+            raise ValueError("diameter of an empty CF is undefined")
+        if self.n == 1:
+            return 0.0
+        d2 = (2.0 * self.n * self.ss - 2.0 * float(self.ls @ self.ls)) / (
+            self.n * (self.n - 1)
+        )
+        return math.sqrt(max(d2, 0.0))
+
+    @property
+    def sum_squared_deviation(self) -> float:
+        """``sum_i ||X_i - X0||^2 = SS - ||LS||^2 / N`` (used by D4)."""
+        if self.n == 0:
+            return 0.0
+        ssd = self.ss - float(self.ls @ self.ls) / self.n
+        return max(ssd, 0.0)
+
+    # -- comparison -----------------------------------------------------------
+
+    def allclose(self, other: "CF", rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+        """Approximate equality, tolerant of float accumulation order."""
+        return (
+            self.n == other.n
+            and np.allclose(self.ls, other.ls, rtol=rtol, atol=atol)
+            and math.isclose(self.ss, other.ss, rel_tol=rtol, abs_tol=atol)
+        )
+
+    def _check_compatible(self, other: "CF") -> None:
+        if self.dimensions != other.dimensions:
+            raise ValueError(
+                f"dimension mismatch: {self.dimensions} vs {other.dimensions}"
+            )
+
+    def __repr__(self) -> str:
+        ls_repr = np.array2string(self.ls, precision=3)
+        return f"CF(n={self.n}, ls={ls_repr}, ss={self.ss:.3f})"

@@ -1,0 +1,84 @@
+"""Merging CF-trees — the parallel/distributed Phase 1 pattern.
+
+The paper's closing discussion points at "opportunities of parallelism".
+CF additivity makes the data-parallel scheme trivial to state: shard
+the input, build one CF-tree per shard independently (each within its
+own memory budget), then fold the shards' *leaf entries* into a single
+tree.  Because a leaf entry is an exact CF of its points, the fold
+loses nothing beyond what the absorption threshold always loses — the
+merged tree is a valid Phase 1 output for the union of the shards.
+
+:func:`merge_trees` implements the fold: entries of the donor trees are
+inserted into (a rebuild-grown copy of) the first tree, growing the
+threshold with the standard policy whenever the merged tree would
+exceed its memory budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.rebuild import rebuild_tree
+from repro.core.threshold import ThresholdPolicy
+from repro.core.tree import CFTree
+
+__all__ = ["merge_trees"]
+
+
+def merge_trees(
+    trees: Sequence[CFTree],
+    policy: Optional[ThresholdPolicy] = None,
+) -> CFTree:
+    """Fold several CF-trees into one.
+
+    Parameters
+    ----------
+    trees:
+        Trees built over disjoint data shards.  They must share
+        dimensionality, metric and threshold kind.  The first tree is
+        the accumulator (consumed and returned, possibly rebuilt); the
+        others are read (their entries copied) but not freed — callers
+        in a real parallel setting would drop them afterwards.
+    policy:
+        Threshold policy used when the merged tree outgrows the
+        accumulator's memory budget; a default policy is created if
+        omitted.
+
+    Returns
+    -------
+    CFTree
+        A tree summarising the union of all inputs, with threshold at
+        least the maximum of the inputs' thresholds.
+    """
+    if not trees:
+        raise ValueError("need at least one tree to merge")
+    first = trees[0]
+    for other in trees[1:]:
+        if other.layout.dimensions != first.layout.dimensions:
+            raise ValueError(
+                f"dimension mismatch: {other.layout.dimensions} vs "
+                f"{first.layout.dimensions}"
+            )
+        if other.metric is not first.metric:
+            raise ValueError("metric mismatch between trees")
+        if other.threshold_kind is not first.threshold_kind:
+            raise ValueError("threshold-kind mismatch between trees")
+
+    if policy is None:
+        policy = ThresholdPolicy()
+
+    # Level the playing field: the accumulator must be at least as
+    # coarse as the coarsest donor, or donor entries could violate its
+    # threshold invariant.
+    target_threshold = max(tree.threshold for tree in trees)
+    merged = first
+    if target_threshold > merged.threshold:
+        merged = rebuild_tree(merged, target_threshold)
+
+    for donor in trees[1:]:
+        for cf in donor.leaf_entries():
+            merged.insert_cf(cf)
+            if merged.budget is not None and merged.budget.over_budget:
+                new_threshold = policy.next_threshold(merged, merged.points)
+                merged = rebuild_tree(merged, new_threshold)
+    return merged

@@ -1,0 +1,238 @@
+"""CF-tree nodes (Section 4.2 of the paper).
+
+A nonleaf node holds up to ``B`` entries of the form ``[CF_i, child_i]``
+where ``CF_i`` summarises everything under ``child_i``.  A leaf node
+holds up to ``L`` entries ``[CF_i]``, each a *subcluster* whose diameter
+(or radius) must satisfy the threshold ``T``, plus ``prev``/``next``
+pointers chaining all leaves together for efficient scans.
+
+Entries are stored struct-of-arrays — parallel ``N``/``LS``/``SS``
+arrays pre-allocated to the node's page capacity — so the insertion
+descent can evaluate D0-D4 against a whole node with one vectorised
+call (:func:`repro.core.distances.distances_to_set`).
+
+Node capacities come from a :class:`repro.pagestore.PageLayout`; every
+node corresponds to exactly one simulated page.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.distances import Metric, distances_to_set
+from repro.core.features import CF
+from repro.pagestore.page import PageLayout
+
+__all__ = ["CFNode"]
+
+
+class CFNode:
+    """One page-sized node of the CF-tree.
+
+    Parameters
+    ----------
+    layout:
+        Page layout from which the entry capacity is derived.
+    is_leaf:
+        Leaf nodes store subcluster entries and chain pointers; nonleaf
+        nodes store child pointers parallel to their entries.
+    """
+
+    __slots__ = (
+        "layout",
+        "is_leaf",
+        "size",
+        "_ns",
+        "_ls",
+        "_ss",
+        "children",
+        "prev_leaf",
+        "next_leaf",
+    )
+
+    def __init__(self, layout: PageLayout, is_leaf: bool) -> None:
+        self.layout = layout
+        self.is_leaf = is_leaf
+        capacity = layout.leaf_capacity if is_leaf else layout.branching_factor
+        self.size = 0
+        self._ns = np.zeros(capacity, dtype=np.float64)
+        self._ls = np.zeros((capacity, layout.dimensions), dtype=np.float64)
+        self._ss = np.zeros(capacity, dtype=np.float64)
+        self.children: Optional[list[CFNode]] = None if is_leaf else []
+        self.prev_leaf: Optional[CFNode] = None
+        self.next_leaf: Optional[CFNode] = None
+
+    # -- capacity & views -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum entries this node can hold (``L`` or ``B``)."""
+        return self._ns.shape[0]
+
+    @property
+    def is_full(self) -> bool:
+        """True when no further entry fits without a split."""
+        return self.size >= self.capacity
+
+    @property
+    def ns(self) -> np.ndarray:
+        """View of the live entry counts, shape ``(size,)``."""
+        return self._ns[: self.size]
+
+    @property
+    def ls(self) -> np.ndarray:
+        """View of the live linear sums, shape ``(size, d)``."""
+        return self._ls[: self.size]
+
+    @property
+    def ss(self) -> np.ndarray:
+        """View of the live square sums, shape ``(size,)``."""
+        return self._ss[: self.size]
+
+    def entry_cf(self, index: int) -> CF:
+        """Entry ``index`` as an independent :class:`CF` object."""
+        self._check_index(index)
+        return CF(int(self._ns[index]), self._ls[index].copy(), float(self._ss[index]))
+
+    def iter_entry_cfs(self) -> Iterator[CF]:
+        """All live entries as CF objects (copies)."""
+        for i in range(self.size):
+            yield self.entry_cf(i)
+
+    def summary_cf(self) -> CF:
+        """CF of everything stored under this node (sum of entries)."""
+        return CF(
+            int(self.ns.sum()),
+            self.ls.sum(axis=0)
+            if self.size
+            else np.zeros(self.layout.dimensions, dtype=np.float64),
+            float(self.ss.sum()),
+        )
+
+    # -- entry mutation ---------------------------------------------------------
+
+    def append_entry(self, cf: CF, child: Optional["CFNode"] = None) -> int:
+        """Add an entry; returns its index.
+
+        Raises
+        ------
+        ValueError
+            If the node is full (the caller must split instead) or if a
+            child is supplied/omitted inconsistently with the node kind.
+        """
+        if self.is_full:
+            raise ValueError("cannot append to a full node; split required")
+        if self.is_leaf != (child is None):
+            kind = "leaf" if self.is_leaf else "nonleaf"
+            raise ValueError(f"{kind} node entry child mismatch")
+        index = self.size
+        self._ns[index] = cf.n
+        self._ls[index] = cf.ls
+        self._ss[index] = cf.ss
+        if child is not None:
+            assert self.children is not None
+            self.children.append(child)
+        self.size += 1
+        return index
+
+    def set_entry(self, index: int, cf: CF) -> None:
+        """Overwrite the summary of entry ``index``."""
+        self._check_index(index)
+        self._ns[index] = cf.n
+        self._ls[index] = cf.ls
+        self._ss[index] = cf.ss
+
+    def add_to_entry(self, index: int, cf: CF) -> None:
+        """Absorb ``cf`` into entry ``index`` (CF additivity)."""
+        self._check_index(index)
+        self._ns[index] += cf.n
+        self._ls[index] += cf.ls
+        self._ss[index] += cf.ss
+
+    def remove_entry(self, index: int) -> None:
+        """Delete entry ``index``, compacting the arrays."""
+        self._check_index(index)
+        last = self.size - 1
+        if index != last:
+            self._ns[index] = self._ns[last]
+            self._ls[index] = self._ls[last]
+            self._ss[index] = self._ss[last]
+            if self.children is not None:
+                self.children[index] = self.children[last]
+        self._ns[last] = 0.0
+        self._ls[last] = 0.0
+        self._ss[last] = 0.0
+        if self.children is not None:
+            self.children.pop()
+        self.size -= 1
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._ns[: self.size] = 0.0
+        self._ls[: self.size] = 0.0
+        self._ss[: self.size] = 0.0
+        if self.children is not None:
+            self.children.clear()
+        self.size = 0
+
+    # -- searching ----------------------------------------------------------------
+
+    def closest_entry(self, probe: CF, metric: Metric) -> tuple[int, float]:
+        """Index and distance of the entry closest to ``probe``.
+
+        Raises
+        ------
+        ValueError
+            If the node has no entries.
+        """
+        if self.size == 0:
+            raise ValueError("closest_entry on an empty node")
+        dists = distances_to_set(probe, self.ns, self.ls, self.ss, metric)
+        index = int(np.argmin(dists))
+        return index, float(dists[index])
+
+    def entry_distances(self, probe: CF, metric: Metric) -> np.ndarray:
+        """Distances from ``probe`` to every live entry."""
+        return distances_to_set(probe, self.ns, self.ls, self.ss, metric)
+
+    def pairwise_entry_distances(self, metric: Metric) -> np.ndarray:
+        """Full ``(size, size)`` matrix of entry-vs-entry distances.
+
+        Used by the split procedure (farthest pair as seeds) and the
+        merging refinement (closest pair).  The diagonal is zero.
+        """
+        k = self.size
+        out = np.zeros((k, k), dtype=np.float64)
+        for i in range(k):
+            probe = self.entry_cf(i)
+            out[i] = distances_to_set(probe, self.ns, self.ls, self.ss, metric)
+            out[i, i] = 0.0
+        return out
+
+    # -- invariants -------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert structural invariants; used by tests and debug builds."""
+        if self.size < 0 or self.size > self.capacity:
+            raise AssertionError(f"size {self.size} out of range 0..{self.capacity}")
+        if self.is_leaf:
+            if self.children is not None:
+                raise AssertionError("leaf node must not have children")
+        else:
+            if self.children is None or len(self.children) != self.size:
+                raise AssertionError(
+                    f"nonleaf node has {self.size} entries but "
+                    f"{len(self.children or [])} children"
+                )
+        if (self.ns <= 0).any():
+            raise AssertionError("live entries must summarise at least one point")
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"entry index {index} out of range 0..{self.size - 1}")
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "nonleaf"
+        return f"CFNode({kind}, {self.size}/{self.capacity} entries)"

@@ -1,0 +1,171 @@
+"""Persistence of CF summaries, trees and results.
+
+The paper's closing discussion points at using CF summaries as a form
+of data compression and at feeding them to later analyses.  That
+requires the summaries to outlive the process, so this module provides
+round-trip serialisation:
+
+* :func:`save_cfs` / :func:`load_cfs` — a list of CF entries as a
+  compressed ``.npz`` (three arrays, exactly the ``(N, LS, SS)``
+  layout the page model charges for);
+* :func:`save_tree` / :func:`load_tree` — a CF-tree's leaf entries plus
+  its parameters; loading re-inserts the entries, which by CF
+  additivity reproduces an equivalent tree (same summaries, possibly
+  different internal node boundaries);
+* :func:`save_result` / :func:`load_result` — a fitted
+  :class:`~repro.core.birch.BirchResult`'s clusters, centroids and
+  labels.
+
+Formats are plain ``numpy.savez_compressed`` archives with a small JSON
+header — no pickle, so archives are safe to exchange.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.birch import BirchResult
+from repro.core.distances import Metric
+from repro.core.features import CF
+from repro.core.tree import CFTree, ThresholdKind
+from repro.pagestore.page import PageLayout
+
+__all__ = [
+    "load_cfs",
+    "load_result_arrays",
+    "load_tree",
+    "save_cfs",
+    "save_result",
+    "save_tree",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _cfs_to_arrays(cfs: list[CF]) -> dict[str, np.ndarray]:
+    if not cfs:
+        raise ValueError("cannot serialise an empty CF list")
+    return {
+        "ns": np.array([cf.n for cf in cfs], dtype=np.int64),
+        "ls": np.stack([cf.ls for cf in cfs]).astype(np.float64),
+        "ss": np.array([cf.ss for cf in cfs], dtype=np.float64),
+    }
+
+
+def _arrays_to_cfs(ns: np.ndarray, ls: np.ndarray, ss: np.ndarray) -> list[CF]:
+    return [
+        CF(int(n), ls_row.copy(), float(s)) for n, ls_row, s in zip(ns, ls, ss)
+    ]
+
+
+def save_cfs(path: str | Path, cfs: list[CF]) -> None:
+    """Write CF entries to a compressed ``.npz`` archive."""
+    arrays = _cfs_to_arrays(cfs)
+    np.savez_compressed(Path(path), version=_FORMAT_VERSION, **arrays)
+
+
+def load_cfs(path: str | Path) -> list[CF]:
+    """Read CF entries written by :func:`save_cfs`."""
+    with np.load(Path(path)) as data:
+        _check_version(int(data["version"]))
+        return _arrays_to_cfs(data["ns"], data["ls"], data["ss"])
+
+
+def save_tree(path: str | Path, tree: CFTree) -> None:
+    """Persist a CF-tree: its leaf entries plus construction parameters.
+
+    The interior structure is not stored — by the CF Additivity Theorem
+    the leaf entries are a complete summary, and reloading re-inserts
+    them under the same threshold/metric.
+    """
+    entries = tree.leaf_entries()
+    arrays = _cfs_to_arrays(entries)
+    header = {
+        "page_size": tree.layout.page_size,
+        "dimensions": tree.layout.dimensions,
+        "threshold": tree.threshold,
+        "metric": tree.metric.value,
+        "threshold_kind": tree.threshold_kind.value,
+    }
+    np.savez_compressed(
+        Path(path),
+        version=_FORMAT_VERSION,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **arrays,
+    )
+
+
+def load_tree(path: str | Path) -> CFTree:
+    """Rebuild a CF-tree from a :func:`save_tree` archive."""
+    with np.load(Path(path)) as data:
+        _check_version(int(data["version"]))
+        header = json.loads(bytes(data["header"]).decode())
+        entries = _arrays_to_cfs(data["ns"], data["ls"], data["ss"])
+    layout = PageLayout(
+        page_size=int(header["page_size"]), dimensions=int(header["dimensions"])
+    )
+    tree = CFTree(
+        layout,
+        threshold=float(header["threshold"]),
+        metric=Metric.from_name(header["metric"]),
+        threshold_kind=ThresholdKind(header["threshold_kind"]),
+    )
+    for cf in entries:
+        tree.insert_cf(cf)
+    return tree
+
+
+def save_result(path: str | Path, result: BirchResult) -> None:
+    """Persist a fitted result: clusters, centroids, labels, metadata."""
+    clusters = [cf for cf in result.clusters]
+    arrays = _cfs_to_arrays(clusters)
+    header = {
+        "final_threshold": result.final_threshold,
+        "rebuilds": result.rebuilds,
+        "io": result.io,
+        "tree_stats": result.tree_stats,
+    }
+    extra: dict[str, np.ndarray] = {
+        "centroids": np.asarray(result.centroids, dtype=np.float64),
+        "entry_labels": np.asarray(result.entry_labels, dtype=np.int64),
+    }
+    if result.labels is not None:
+        extra["labels"] = np.asarray(result.labels, dtype=np.int64)
+    np.savez_compressed(
+        Path(path),
+        version=_FORMAT_VERSION,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **arrays,
+        **extra,
+    )
+
+
+def load_result_arrays(
+    path: str | Path,
+) -> tuple[list[CF], np.ndarray, Optional[np.ndarray], dict]:
+    """Read a :func:`save_result` archive.
+
+    Returns ``(clusters, centroids, labels_or_None, header)`` — the
+    pieces a downstream consumer (labelling, reporting) actually needs;
+    the full BirchResult also carries live objects that are not
+    meaningful to rehydrate.
+    """
+    with np.load(Path(path)) as data:
+        _check_version(int(data["version"]))
+        header = json.loads(bytes(data["header"]).decode())
+        clusters = _arrays_to_cfs(data["ns"], data["ls"], data["ss"])
+        centroids = data["centroids"].copy()
+        labels = data["labels"].copy() if "labels" in data else None
+    return clusters, centroids, labels, header
+
+
+def _check_version(version: int) -> None:
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported archive version {version}; this build reads "
+            f"version {_FORMAT_VERSION}"
+        )

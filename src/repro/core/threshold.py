@@ -1,0 +1,231 @@
+"""Dynamic threshold heuristics (Sections 5.1.2 and 5.1.3).
+
+When Phase 1 runs out of memory after scanning ``N_i`` points with
+threshold ``T_i``, it must pick ``T_{i+1} > T_i`` and rebuild.  A good
+choice minimises the number of rebuilds.  The paper combines several
+estimates; all are implemented here:
+
+1. **Volume / N-doubling** — assume data points are uniformly packed in
+   leaf-entry spheres of radius ``T``; to absorb ``min(2 N_i, N)``
+   points next time, scale the threshold so that total leaf-entry
+   volume grows proportionally: ``T * (target_N / N_i)^(1/d)``.
+2. **Footprint regression** — record the average leaf-entry radius
+   ``r_i`` at each rebuild and extrapolate its growth against the
+   number of points seen with least-squares linear regression (the
+   paper's "greedy" approximation of the radius growth curve).
+3. **D_min** — the next threshold should be at least large enough that
+   the two closest entries in the most crowded leaf can merge,
+   otherwise the rebuild might not shrink the tree at all.
+4. **Expansion factor** — if everything above fails to grow the
+   threshold, multiply by ``max(1.01, ...)`` so progress is guaranteed.
+
+The resulting policy is deterministic and unit-testable; the ``Birch``
+driver calls :meth:`ThresholdPolicy.next_threshold` with the live tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.tree import CFTree, ThresholdKind
+
+__all__ = ["ThresholdPolicy"]
+
+
+@dataclass
+class _RebuildRecord:
+    """One observation used by the regression estimate."""
+
+    points_seen: int
+    threshold: float
+    avg_entry_radius: float
+
+
+@dataclass
+class ThresholdPolicy:
+    """Computes the next CF-tree threshold before a rebuild.
+
+    Parameters
+    ----------
+    expansion_factor:
+        Minimum multiplicative growth applied when the analytical
+        estimates fail to increase the threshold (paper: 1.01-ish,
+        guaranteeing progress).
+    total_points_hint:
+        ``N`` if known in advance; caps the N-doubling target at the
+        dataset size, as the paper's ``Min(2 N_i, N)`` does.  ``None``
+        leaves the target at ``2 N_i``.
+    mode:
+        Which estimates participate: ``"full"`` (default) combines all
+        of them; ``"volume"``, ``"regression"`` and ``"dmin"`` use only
+        the named heuristic (plus the growth floor).  The ablation
+        benchmarks sweep these to quantify each estimate's value.
+    """
+
+    expansion_factor: float = 1.5
+    total_points_hint: Optional[int] = None
+    mode: str = "full"
+    _history: list[_RebuildRecord] = field(default_factory=list, repr=False)
+
+    _MODES = ("full", "volume", "regression", "dmin")
+
+    def __post_init__(self) -> None:
+        if self.expansion_factor <= 1.0:
+            raise ValueError(
+                f"expansion_factor must exceed 1, got {self.expansion_factor}"
+            )
+        if self.mode not in self._MODES:
+            raise ValueError(
+                f"mode must be one of {self._MODES}, got {self.mode!r}"
+            )
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, tree: CFTree, points_seen: int) -> None:
+        """Record the tree state at a rebuild point for the regression."""
+        radii = [cf.radius for cf in tree.leaf_entries() if cf.n > 1]
+        avg_radius = float(np.mean(radii)) if radii else 0.0
+        self._history.append(
+            _RebuildRecord(points_seen, tree.threshold, avg_radius)
+        )
+
+    @property
+    def history_length(self) -> int:
+        """Number of rebuild observations recorded so far."""
+        return len(self._history)
+
+    # -- the estimate -------------------------------------------------------
+
+    def next_threshold(self, tree: CFTree, points_seen: int) -> float:
+        """Choose ``T_{i+1} > T_i`` for the rebuild of ``tree``.
+
+        Combines the volume, regression and D_min estimates, then
+        enforces strict growth with the expansion factor.
+        """
+        if points_seen <= 0:
+            raise ValueError(f"points_seen must be positive, got {points_seen}")
+        self.observe(tree, points_seen)
+        current = tree.threshold
+
+        candidates = []
+        if self.mode in ("full", "volume"):
+            candidates.append(self._volume_estimate(tree, points_seen))
+        if self.mode in ("full", "regression"):
+            candidates.append(self._regression_estimate(points_seen))
+        if self.mode in ("full", "dmin"):
+            candidates.append(self._dmin_estimate(tree))
+        live = [c for c in candidates if c is not None]
+        proposal = max(live) if live else 0.0
+
+        # A threshold at the scale of the whole dataset would collapse
+        # everything into one entry; cap well below the total spread.
+        summary = tree.summary_cf()
+        if summary.n >= 2:
+            spread = summary.diameter
+            if spread > 0:
+                proposal = min(proposal, spread / 4.0)
+
+        floor = self._growth_floor(tree, current)
+        return max(proposal, floor)
+
+    # -- individual heuristics ------------------------------------------------
+
+    def _volume_estimate(self, tree: CFTree, points_seen: int) -> Optional[float]:
+        """N-doubling via the uniform-packing volume argument."""
+        current = tree.threshold
+        if current <= 0:
+            return None
+        d = tree.layout.dimensions
+        target = 2 * points_seen
+        if self.total_points_hint is not None:
+            target = min(target, max(self.total_points_hint, points_seen + 1))
+        ratio = target / points_seen
+        return current * ratio ** (1.0 / d)
+
+    def _regression_estimate(self, points_seen: int) -> Optional[float]:
+        """Least-squares extrapolation of avg entry radius vs points.
+
+        Performed in log-log space so the fitted growth is a power law,
+        matching the packing argument; needs two usable observations.
+        """
+        usable = [
+            rec
+            for rec in self._history
+            if rec.avg_entry_radius > 0 and rec.points_seen > 0
+        ]
+        if len(usable) < 2:
+            return None
+        xs = np.log([rec.points_seen for rec in usable])
+        ys = np.log([rec.avg_entry_radius for rec in usable])
+        if np.allclose(xs, xs[0]):
+            return None
+        slope, intercept = np.polyfit(xs, ys, 1)
+        # The packing argument bounds growth at r ~ N^(1/d); noisy early
+        # observations can fit absurd slopes, so clamp to [0, 1] before
+        # extrapolating (an unclamped slope of e.g. 40 would explode T).
+        slope = float(np.clip(slope, 0.0, 1.0))
+        intercept = float(ys[-1] - slope * xs[-1])
+        target = 2 * points_seen
+        if self.total_points_hint is not None:
+            target = min(target, max(self.total_points_hint, points_seen + 1))
+        predicted = math.exp(intercept + slope * math.log(target))
+        return predicted if math.isfinite(predicted) else None
+
+    def _dmin_estimate(self, tree: CFTree) -> Optional[float]:
+        """Merged size of the closest pair in the most crowded leaf.
+
+        The paper uses the distance between the two closest entries; we
+        measure the *merged* diameter (or radius) of that pair, which is
+        exactly the quantity the absorb test compares against ``T`` —
+        guaranteeing the rebuild can actually coalesce the pair.
+        """
+        crowded = None
+        for leaf in tree.leaves():
+            if leaf.size >= 2 and (crowded is None or leaf.size > crowded.size):
+                crowded = leaf
+        if crowded is None:
+            return None
+
+        dists = crowded.pairwise_entry_distances(tree.metric)
+        np.fill_diagonal(dists, np.inf)
+        flat = int(np.argmin(dists))
+        i, j = flat // crowded.size, flat % crowded.size
+        merged = crowded.entry_cf(i).merge(crowded.entry_cf(j))
+        if tree.threshold_kind is ThresholdKind.DIAMETER:
+            return merged.diameter
+        return merged.radius
+
+    def _growth_floor(self, tree: CFTree, current: float) -> float:
+        """Smallest admissible next threshold (strict growth)."""
+        if current > 0:
+            return current * self.expansion_factor
+        # T grows from 0: pick a value that lets a healthy fraction of
+        # *locally close* entries merge.  Entries sharing a leaf are
+        # spatially coherent, so the median nearest-neighbour merge size
+        # within leaves halves the entry count without jumping to the
+        # scale of inter-cluster gaps (which a global sample would).
+        merge_sizes: list[float] = []
+        for leaf in tree.leaves():
+            if leaf.size < 2:
+                continue
+            dists = leaf.pairwise_entry_distances(tree.metric)
+            np.fill_diagonal(dists, np.inf)
+            nn = np.argmin(dists, axis=1)
+            for i in range(leaf.size):
+                merged = leaf.entry_cf(i).merge(leaf.entry_cf(int(nn[i])))
+                if tree.threshold_kind is ThresholdKind.DIAMETER:
+                    merge_sizes.append(merged.diameter)
+                else:
+                    merge_sizes.append(merged.radius)
+        positive = [s for s in merge_sizes if s > 0]
+        if positive:
+            return float(np.median(positive))
+        return 1e-6
+
+    def reset(self) -> None:
+        """Forget all rebuild history."""
+        self._history.clear()

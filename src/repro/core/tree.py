@@ -1,0 +1,604 @@
+"""The CF-tree: insertion, splitting and merging refinement (Section 4.3).
+
+The tree is height-balanced.  A new point (or subcluster CF, during
+rebuilds and outlier re-absorption) is inserted by:
+
+1. **Identifying the appropriate leaf** — descend from the root, at each
+   nonleaf choosing the child whose entry is closest under the chosen
+   metric (D0-D4).
+2. **Modifying the leaf** — absorb into the closest leaf entry if the
+   merged subcluster still satisfies the threshold condition (diameter
+   or radius <= ``T``); otherwise add a new entry, splitting the leaf by
+   the *farthest pair* seeding rule when it is full.
+3. **Modifying the path** — update each ancestor's summary; propagate
+   splits upward, growing a new root when the old root splits.
+4. **Merging refinement** — at the nonleaf where split propagation
+   stops, merge the two closest entries if they are not the pair that
+   just resulted from the split, re-splitting if the merged child
+   overflows a page.
+
+Every node occupies one simulated page from an optional
+:class:`~repro.pagestore.MemoryBudget`, and splits/merges are recorded
+in an optional :class:`~repro.pagestore.IOStats` ledger.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.distances import Metric, distance, merged_diameter, merged_radius
+from repro.core.features import CF
+from repro.core.node import CFNode
+from repro.pagestore.iostats import IOStats
+from repro.pagestore.memory import MemoryBudget
+from repro.pagestore.page import PageLayout
+
+__all__ = ["CFTree", "ThresholdKind", "TreeStats"]
+
+
+class ThresholdKind(enum.Enum):
+    """Which statistic of a merged subcluster the threshold bounds.
+
+    The paper states a leaf entry "has to satisfy a threshold
+    requirement with respect to a threshold value T: the diameter (or
+    radius) has to be less than T".
+    """
+
+    DIAMETER = "diameter"
+    RADIUS = "radius"
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Structural snapshot of a CF-tree."""
+
+    height: int
+    node_count: int
+    leaf_count: int
+    leaf_entry_count: int
+    points: int
+
+    @property
+    def average_entries_per_leaf(self) -> float:
+        """Mean leaf occupancy; a space-utilisation indicator."""
+        if self.leaf_count == 0:
+            return 0.0
+        return self.leaf_entry_count / self.leaf_count
+
+
+@dataclass
+class _SplitResult:
+    """Outcome of an insertion into a subtree."""
+
+    new_node: Optional[CFNode]  # sibling created by a split, else None
+
+
+class CFTree:
+    """A threshold-governed, height-balanced tree of Clustering Features.
+
+    Parameters
+    ----------
+    layout:
+        Page layout determining ``B`` and ``L``.
+    threshold:
+        ``T``; absorption into an existing leaf entry is allowed only if
+        the merged subcluster's diameter (or radius) stays within it.
+    metric:
+        Distance used to choose the closest entry during descent
+        (default D2, the experimental default of Table 2).
+    threshold_kind:
+        Whether ``T`` bounds the merged diameter (default) or radius.
+    budget:
+        Optional memory budget; each node allocates one page.
+    stats:
+        Optional shared I/O ledger recording splits and merges.
+    merging_refinement:
+        Enables the post-split closest-pair merge of Section 4.3.  On
+        by default; the ablation benchmarks switch it off to measure
+        its contribution to space utilisation and order robustness.
+    """
+
+    def __init__(
+        self,
+        layout: PageLayout,
+        threshold: float = 0.0,
+        metric: Metric = Metric.D2_AVG_INTERCLUSTER,
+        threshold_kind: ThresholdKind = ThresholdKind.DIAMETER,
+        budget: Optional[MemoryBudget] = None,
+        stats: Optional[IOStats] = None,
+        merging_refinement: bool = True,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.layout = layout
+        self.threshold = float(threshold)
+        self.metric = Metric.from_name(metric)
+        self.threshold_kind = threshold_kind
+        self.merging_refinement = merging_refinement
+        self.budget = budget
+        self.stats = stats
+        self._node_count = 0
+        self._points = 0
+        self.root: CFNode = self._new_node(is_leaf=True)
+        self._leaf_head: CFNode = self.root
+
+    # -- node lifecycle -------------------------------------------------------
+
+    def _new_node(self, is_leaf: bool) -> CFNode:
+        if self.budget is not None:
+            self.budget.allocate(1)
+        self._node_count += 1
+        return CFNode(self.layout, is_leaf)
+
+    def _free_node(self, node: CFNode) -> None:
+        if node.is_leaf:
+            self._unlink_leaf(node)
+        if self.budget is not None:
+            self.budget.release(1)
+        self._node_count -= 1
+
+    def _link_leaf_after(self, existing: CFNode, new: CFNode) -> None:
+        new.prev_leaf = existing
+        new.next_leaf = existing.next_leaf
+        if existing.next_leaf is not None:
+            existing.next_leaf.prev_leaf = new
+        existing.next_leaf = new
+
+    def _unlink_leaf(self, leaf: CFNode) -> None:
+        if self._leaf_head is leaf:
+            if leaf.next_leaf is not None:
+                self._leaf_head = leaf.next_leaf
+            elif leaf.prev_leaf is not None:
+                self._leaf_head = leaf.prev_leaf
+            # Otherwise this is the only leaf; the caller is replacing
+            # the whole tree and will reset the head.
+        if leaf.prev_leaf is not None:
+            leaf.prev_leaf.next_leaf = leaf.next_leaf
+        if leaf.next_leaf is not None:
+            leaf.next_leaf.prev_leaf = leaf.prev_leaf
+        leaf.prev_leaf = None
+        leaf.next_leaf = None
+
+    # -- public API --------------------------------------------------------------
+
+    @property
+    def points(self) -> int:
+        """Total number of raw points summarised by the tree."""
+        return self._points
+
+    @property
+    def node_count(self) -> int:
+        """Number of allocated nodes (= simulated pages in use)."""
+        return self._node_count
+
+    def insert_point(self, point: np.ndarray) -> None:
+        """Insert one raw data point."""
+        self.insert_cf(CF.from_point(point))
+
+    def insert_points(self, points: np.ndarray) -> None:
+        """Insert a batch of points (rows of an ``(n, d)`` array).
+
+        Semantically identical to calling :meth:`insert_point` per row;
+        the batch form precomputes the per-point square norms in one
+        vectorised pass, which is the hot path of Phase 1.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != self.layout.dimensions:
+            raise ValueError(
+                f"points must be (n, {self.layout.dimensions}), "
+                f"got shape {points.shape}"
+            )
+        norms = np.einsum("ij,ij->i", points, points)
+        for row, norm in zip(points, norms):
+            self.insert_cf(CF(1, row.copy(), float(norm)))
+
+    def insert_cf(self, cf: CF) -> None:
+        """Insert a subcluster CF (a point, an old leaf entry, an outlier)."""
+        if cf.n <= 0:
+            raise ValueError("cannot insert an empty CF")
+        result = self._insert(self.root, cf)
+        self._points += cf.n
+        if result.new_node is not None:
+            self._grow_root(result.new_node)
+
+    def try_absorb_cf(self, cf: CF) -> bool:
+        """Absorb ``cf`` only if it fits an existing leaf entry.
+
+        Implements the re-absorption test for potential outliers
+        (Section 5.1.4): the entry is added only when it can merge into
+        the closest existing leaf entry *without* splitting anything.
+        Returns True if absorbed.
+        """
+        if cf.n <= 0:
+            raise ValueError("cannot absorb an empty CF")
+        leaf, path = self._descend_to_leaf(cf)
+        if leaf.size == 0:
+            return False
+        index, _ = leaf.closest_entry(cf, self.metric)
+        if not self._fits_threshold(leaf, index, cf):
+            return False
+        leaf.add_to_entry(index, cf)
+        for node, child_idx in path:
+            node.add_to_entry(child_idx, cf)
+        self._points += cf.n
+        return True
+
+    def nearest_entry(self, point: np.ndarray) -> tuple[CF, float]:
+        """The leaf entry greedily closest to ``point``, with distance.
+
+        Descends the tree like an insertion would and returns the
+        closest entry of the reached leaf (as a CF copy) and its
+        distance under the tree's metric.  This treats the CF-tree as
+        an approximate nearest-subcluster index: greedy descent can
+        miss the global optimum near node boundaries, exactly as the
+        insertion path can — it answers "where would this point go?"
+        rather than "what is the true nearest subcluster?".
+
+        Raises
+        ------
+        ValueError
+            If the tree is empty.
+        """
+        if self.root.size == 0:
+            raise ValueError("nearest_entry on an empty tree")
+        probe = CF.from_point(np.asarray(point, dtype=np.float64))
+        leaf, _ = self._descend_to_leaf(probe)
+        index, dist = leaf.closest_entry(probe, self.metric)
+        return leaf.entry_cf(index), dist
+
+    def leaves(self) -> Iterator[CFNode]:
+        """Iterate leaf nodes via the leaf chain (left to right)."""
+        # The head may have been superseded if the first leaf split; walk
+        # back defensively in case of stale pointers.
+        node: Optional[CFNode] = self._leaf_head
+        while node is not None and node.prev_leaf is not None:
+            node = node.prev_leaf
+        while node is not None:
+            yield node
+            node = node.next_leaf
+
+    def leaf_entries(self) -> list[CF]:
+        """Every leaf entry (subcluster) as CF objects, in chain order."""
+        entries: list[CF] = []
+        for leaf in self.leaves():
+            entries.extend(leaf.iter_entry_cfs())
+        return entries
+
+    def summary_cf(self) -> CF:
+        """CF of the whole dataset held in the tree."""
+        if self.root.size == 0:
+            return CF.empty(self.layout.dimensions)
+        return self.root.summary_cf()
+
+    def tree_stats(self) -> TreeStats:
+        """Structural statistics (height, node/leaf/entry counts)."""
+        height = 1
+        node = self.root
+        while not node.is_leaf:
+            height += 1
+            assert node.children is not None
+            node = node.children[0]
+        leaf_count = 0
+        entry_count = 0
+        for leaf in self.leaves():
+            leaf_count += 1
+            entry_count += leaf.size
+        return TreeStats(
+            height=height,
+            node_count=self._node_count,
+            leaf_count=leaf_count,
+            leaf_entry_count=entry_count,
+            points=self._points,
+        )
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaf, inclusive."""
+        return self.tree_stats().height
+
+    # -- insertion machinery ---------------------------------------------------------
+
+    def _descend_to_leaf(self, cf: CF) -> tuple[CFNode, list[tuple[CFNode, int]]]:
+        """Walk to the closest leaf; returns (leaf, [(node, child_idx), ...])."""
+        path: list[tuple[CFNode, int]] = []
+        node = self.root
+        while not node.is_leaf:
+            index, _ = node.closest_entry(cf, self.metric)
+            path.append((node, index))
+            assert node.children is not None
+            node = node.children[index]
+        return node, path
+
+    def _fits_threshold(self, leaf: CFNode, index: int, cf: CF) -> bool:
+        """Would merging ``cf`` into ``leaf`` entry ``index`` satisfy T?
+
+        The squared statistic is a cancellation against SS, so it
+        carries an absolute float error of order ``eps * SS / (N-1)``;
+        the comparison allows exactly that slack, which is what lets
+        exact duplicates keep merging at T = 0 (their true merged
+        diameter is zero but the computed one is a rounding residue).
+        """
+        ns = leaf.ns[index : index + 1]
+        ls = leaf.ls[index : index + 1]
+        ss = leaf.ss[index : index + 1]
+        if self.threshold_kind is ThresholdKind.DIAMETER:
+            value = merged_diameter(cf, ns, ls, ss)[0]
+        else:
+            value = merged_radius(cf, ns, ls, ss)[0]
+        merged_ss = float(ss[0]) + cf.ss
+        eps = float(np.finfo(np.float64).eps)
+        # Error accumulates linearly over the N additions that built SS,
+        # so the squared-statistic uncertainty is O(eps * SS), not
+        # O(eps * SS / N).
+        slack_sq = 64.0 * eps * max(merged_ss, 1.0)
+        return bool(value * value <= self.threshold**2 + slack_sq)
+
+    def _insert(self, node: CFNode, cf: CF) -> _SplitResult:
+        if node.is_leaf:
+            return self._insert_into_leaf(node, cf)
+
+        assert node.children is not None
+        child_index, _ = node.closest_entry(cf, self.metric)
+        child = node.children[child_index]
+        result = self._insert(child, cf)
+
+        if result.new_node is None:
+            node.add_to_entry(child_index, cf)
+            return _SplitResult(new_node=None)
+
+        # The child split: refresh its summary and add the new sibling.
+        node.set_entry(child_index, child.summary_cf())
+        new_child = result.new_node
+        if not node.is_full:
+            new_index = node.append_entry(new_child.summary_cf(), new_child)
+            self._merging_refinement(node, child_index, new_index)
+            return _SplitResult(new_node=None)
+        sibling = self._split_node(node, new_child.summary_cf(), new_child)
+        return _SplitResult(new_node=sibling)
+
+    def _insert_into_leaf(self, leaf: CFNode, cf: CF) -> _SplitResult:
+        if leaf.size > 0:
+            index, _ = leaf.closest_entry(cf, self.metric)
+            if self._fits_threshold(leaf, index, cf):
+                leaf.add_to_entry(index, cf)
+                return _SplitResult(new_node=None)
+        if not leaf.is_full:
+            leaf.append_entry(cf)
+            return _SplitResult(new_node=None)
+        sibling = self._split_node(leaf, cf, None)
+        return _SplitResult(new_node=sibling)
+
+    def _split_node(
+        self, node: CFNode, extra_cf: CF, extra_child: Optional[CFNode]
+    ) -> CFNode:
+        """Split ``node`` to make room for one more entry.
+
+        Seeds are the *farthest pair* of entries; the rest are
+        redistributed to the closer seed (Section 4.3).  Returns the new
+        sibling node.
+        """
+        entries: list[tuple[CF, Optional[CFNode]]] = []
+        for i in range(node.size):
+            child = node.children[i] if node.children is not None else None
+            entries.append((node.entry_cf(i), child))
+        entries.append((extra_cf, extra_child))
+
+        seed_a, seed_b = self._farthest_pair([cf for cf, _ in entries])
+        assignment = self._assign_to_seeds(
+            [cf for cf, _ in entries], seed_a, seed_b, node.capacity
+        )
+
+        sibling = self._new_node(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            self._link_leaf_after(node, sibling)
+
+        node.clear()
+        for (cf, child), side in zip(entries, assignment):
+            target = node if side == 0 else sibling
+            target.append_entry(cf, child)
+        if self.stats is not None:
+            self.stats.record_split()
+        return sibling
+
+    @staticmethod
+    def _farthest_pair(cfs: list[CF]) -> tuple[int, int]:
+        """Indices of the two entries farthest apart (D0 on centroids).
+
+        The paper does not fix the seeding metric; centroid Euclidean
+        distance is the conventional choice and is well-defined for all
+        entry sizes.
+        """
+        k = len(cfs)
+        centroids = np.stack([cf.centroid for cf in cfs])
+        # k is at most B+1 (a page worth of entries), so O(k^2) is cheap.
+        diffs = centroids[:, None, :] - centroids[None, :, :]
+        dist2 = np.einsum("ijk,ijk->ij", diffs, diffs)
+        flat = int(np.argmax(dist2))
+        return flat // k, flat % k
+
+    @staticmethod
+    def _assign_to_seeds(
+        cfs: list[CF], seed_a: int, seed_b: int, capacity: int
+    ) -> list[int]:
+        """Assign each entry to the closer seed, respecting capacity.
+
+        Entries are processed closest-margin first so that when one side
+        fills up, the entries forced to the other side are the ones with
+        the least preference.
+        """
+        centroids = np.stack([cf.centroid for cf in cfs])
+        da = np.linalg.norm(centroids - centroids[seed_a], axis=1)
+        db = np.linalg.norm(centroids - centroids[seed_b], axis=1)
+        preference = np.where(da <= db, 0, 1)
+        margin = np.abs(da - db)
+
+        assignment = [-1] * len(cfs)
+        assignment[seed_a] = 0
+        assignment[seed_b] = 1
+        counts = [1, 1]
+        order = sorted(
+            (i for i in range(len(cfs)) if i not in (seed_a, seed_b)),
+            key=lambda i: -margin[i],
+        )
+        for i in order:
+            side = int(preference[i])
+            if counts[side] >= capacity:
+                side = 1 - side
+            assignment[i] = side
+            counts[side] += 1
+        return assignment
+
+    def _grow_root(self, sibling: CFNode) -> None:
+        """Create a new root after the old root split."""
+        old_root = self.root
+        new_root = self._new_node(is_leaf=False)
+        new_root.append_entry(old_root.summary_cf(), old_root)
+        new_root.append_entry(sibling.summary_cf(), sibling)
+        self.root = new_root
+
+    # -- merging refinement ----------------------------------------------------------
+
+    def _merging_refinement(self, node: CFNode, split_a: int, split_b: int) -> None:
+        """Merge the two closest entries of ``node`` if beneficial.
+
+        Runs at the nonleaf node where a split propagation stopped.  If
+        the closest pair of entries is not the pair produced by the
+        split, their children are merged (or re-split if the combined
+        entries overflow one page), improving space utilisation and
+        ameliorating input-order skew (Section 4.3).
+        """
+        if not self.merging_refinement:
+            return
+        if node.size < 2 or node.children is None:
+            return
+        dists = node.pairwise_entry_distances(self.metric)
+        np.fill_diagonal(dists, np.inf)
+        flat = int(np.argmin(dists))
+        i, j = flat // node.size, flat % node.size
+        if i > j:
+            i, j = j, i
+        if {i, j} == {split_a, split_b}:
+            return
+
+        left, right = node.children[i], node.children[j]
+        if left.is_leaf != right.is_leaf:  # pragma: no cover - structural guard
+            return
+        total = left.size + right.size
+        if total <= left.capacity:
+            self._merge_children(node, i, j)
+        else:
+            self._resplit_children(node, i, j)
+
+    def _merge_children(self, node: CFNode, i: int, j: int) -> None:
+        """Combine child ``j`` into child ``i`` and drop entry ``j``."""
+        assert node.children is not None
+        left, right = node.children[i], node.children[j]
+        for k in range(right.size):
+            child = right.children[k] if right.children is not None else None
+            left.append_entry(right.entry_cf(k), child)
+        node.set_entry(i, left.summary_cf())
+        node.remove_entry(j)
+        self._free_node(right)
+        if self.stats is not None:
+            self.stats.record_merge()
+
+    def _resplit_children(self, node: CFNode, i: int, j: int) -> None:
+        """Redistribute the entries of children ``i`` and ``j``.
+
+        The paper: "merge the two closest entries ... and resplit",
+        using one seed per page so occupancy balances out.
+        """
+        assert node.children is not None
+        left, right = node.children[i], node.children[j]
+        entries: list[tuple[CF, Optional[CFNode]]] = []
+        for source in (left, right):
+            for k in range(source.size):
+                child = source.children[k] if source.children is not None else None
+                entries.append((source.entry_cf(k), child))
+        cfs = [cf for cf, _ in entries]
+        seed_a, seed_b = self._farthest_pair(cfs)
+        assignment = self._assign_to_seeds(cfs, seed_a, seed_b, left.capacity)
+
+        left.clear()
+        right.clear()
+        for (cf, child), side in zip(entries, assignment):
+            target = left if side == 0 else right
+            target.append_entry(cf, child)
+        node.set_entry(i, left.summary_cf())
+        node.set_entry(j, right.summary_cf())
+        if self.stats is not None:
+            self.stats.record_merge()
+
+    # -- invariants -------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify every structural invariant; raises AssertionError on failure.
+
+        Checked: per-node consistency, parent summaries equal child
+        sums, uniform leaf depth, leaf chain completeness, threshold
+        satisfaction of multi-point leaf entries, and point conservation.
+        """
+        leaf_depths: set[int] = set()
+        leaves_via_tree: list[CFNode] = []
+
+        def visit(node: CFNode, depth: int) -> CF:
+            node.check_consistency()
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                leaves_via_tree.append(node)
+                self._check_leaf_threshold(node)
+                return node.summary_cf()
+            assert node.children is not None
+            for idx, child in enumerate(node.children):
+                child_cf = visit(child, depth + 1)
+                entry = node.entry_cf(idx)
+                if not entry.allclose(child_cf, rtol=1e-6, atol=1e-6):
+                    raise AssertionError(
+                        f"parent entry {entry!r} != child summary {child_cf!r}"
+                    )
+            return node.summary_cf()
+
+        total = visit(self.root, 0)
+        if len(leaf_depths) > 1:
+            raise AssertionError(f"leaves at multiple depths: {sorted(leaf_depths)}")
+        if total.n != self._points:
+            raise AssertionError(
+                f"tree summarises {total.n} points but {self._points} were inserted"
+            )
+        chain = list(self.leaves())
+        if set(map(id, chain)) != set(map(id, leaves_via_tree)):
+            raise AssertionError("leaf chain does not match tree leaves")
+
+    def _check_leaf_threshold(self, leaf: CFNode) -> None:
+        eps = float(np.finfo(np.float64).eps)
+        for i in range(leaf.size):
+            cf = leaf.entry_cf(i)
+            if cf.n < 2:
+                continue
+            value = (
+                cf.diameter
+                if self.threshold_kind is ThresholdKind.DIAMETER
+                else cf.radius
+            )
+            # The squared statistic is computed by cancellation against
+            # SS whose rounding error accumulated over N additions, so
+            # its absolute float error scales with eps * SS (e.g. points
+            # at coordinate 1e8 make D^2 uncertain to ~1e0).
+            slack_sq = 64.0 * eps * max(cf.ss, 1.0)
+            limit = math.sqrt(self.threshold**2 + slack_sq)
+            if value > limit * (1 + 1e-9) + 1e-12:
+                raise AssertionError(
+                    f"leaf entry {cf!r} violates threshold "
+                    f"{self.threshold} ({self.threshold_kind.value}={value})"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"CFTree(T={self.threshold:.4g}, metric={self.metric.value}, "
+            f"nodes={self._node_count}, points={self._points})"
+        )

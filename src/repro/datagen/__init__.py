@@ -1,0 +1,52 @@
+"""Synthetic dataset generator of Section 6.2 and the paper's presets.
+
+* :mod:`repro.datagen.generator` — the parametric generator: ``K``
+  clusters laid out on a *grid*, *sine* curve or at *random*, each with
+  ``n`` Gaussian points of radius ``r``, optional uniform noise, and
+  controlled input order.
+* :mod:`repro.datagen.presets` — DS1/DS2/DS3 and their randomised-order
+  variants DS1O/DS2O/DS3O (Table 3), plus the scaled families used by
+  the Figure 4/5 scalability experiments.
+"""
+
+from repro.datagen.generator import (
+    Cluster,
+    Dataset,
+    DatasetGenerator,
+    GeneratorParams,
+    InputOrder,
+    Pattern,
+)
+from repro.datagen.mixtures import GaussianMixture, MixtureDataset
+from repro.datagen.orders import ORDER_MODES, reorder
+from repro.datagen.presets import (
+    ds1,
+    ds2,
+    ds3,
+    ds1o,
+    ds2o,
+    ds3o,
+    scaled_k_family,
+    scaled_n_family,
+)
+
+__all__ = [
+    "Cluster",
+    "ORDER_MODES",
+    "Dataset",
+    "DatasetGenerator",
+    "GaussianMixture",
+    "GeneratorParams",
+    "InputOrder",
+    "MixtureDataset",
+    "Pattern",
+    "ds1",
+    "ds2",
+    "ds3",
+    "ds1o",
+    "ds2o",
+    "ds3o",
+    "reorder",
+    "scaled_k_family",
+    "scaled_n_family",
+]

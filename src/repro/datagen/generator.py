@@ -1,0 +1,374 @@
+"""The synthetic 2-d dataset generator of Section 6.2.
+
+Each dataset is a collection of ``K`` clusters controlled by:
+
+* a **pattern** deciding cluster-centre placement:
+
+  - ``grid``  — centres on a ``sqrt(K) x sqrt(K)`` grid, neighbouring
+    centres ``kg * (r_l + r_h) / 2`` apart on rows and columns;
+  - ``sine``  — centres on a sine curve: cluster ``i`` sits at
+    ``x = 2*pi*i`` with ``y = amplitude * sin(2*pi*i / cycle)`` where
+    ``cycle = K / n_c`` (``n_c`` sine cycles across the dataset);
+  - ``random`` — centres placed uniformly at random in ``[0, K]^2``;
+
+* per-cluster size ``n`` drawn uniformly from ``[n_l, n_h]`` and radius
+  ``r`` drawn uniformly from ``[r_l, r_h]`` (degenerate ranges give
+  fixed values);
+* cluster points drawn from a 2-d normal centred at the cluster centre
+  with per-dimension ``sigma = r / sqrt(2)``, so the *expected* cluster
+  radius (RMS distance to the centroid) equals ``r``.  The normal is
+  unbounded, so some points land far out — the paper calls these
+  "outsiders" and counts them as members;
+* optional uniform **noise**: a fraction ``r_n`` of extra points spread
+  over the data's bounding box;
+* an **input order**: ``ordered`` emits cluster 1's points, then
+  cluster 2's, ... (noise either interleaved randomly or appended at
+  the end), while ``randomized`` shuffles all points.
+
+The sine amplitude is garbled in the scanned paper; we default to
+``K/2``, which produces the wavy band of Figure 6, and expose it as a
+parameter.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Cluster",
+    "Dataset",
+    "DatasetGenerator",
+    "GeneratorParams",
+    "InputOrder",
+    "Pattern",
+]
+
+NOISE_LABEL = -1
+
+
+class Pattern(enum.Enum):
+    """Cluster-centre placement patterns."""
+
+    GRID = "grid"
+    SINE = "sine"
+    RANDOM = "random"
+
+
+class InputOrder(enum.Enum):
+    """How generated points are ordered in the output array."""
+
+    ORDERED = "ordered"
+    RANDOMIZED = "randomized"
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Full parameterisation of one synthetic dataset (Table 1).
+
+    Attributes
+    ----------
+    pattern:
+        Centre placement (grid / sine / random).
+    n_clusters:
+        ``K``, number of clusters.
+    n_low, n_high:
+        Range of points per cluster (``n_l``, ``n_h``).
+    r_low, r_high:
+        Range of cluster radii (``r_l``, ``r_h``).
+    grid_spacing:
+        ``k_g``: grid neighbour distance in units of the average radius.
+    sine_cycles:
+        ``n_c``: number of sine cycles across the K clusters.
+    sine_amplitude:
+        Sine curve amplitude; ``None`` means ``K / 2``.
+    noise_fraction:
+        ``r_n``: fraction of the dataset that is uniform noise.
+    noise_at_end:
+        With ordered input, place noise after all clusters (the paper's
+        option ``o``) instead of interleaving it randomly.
+    order:
+        Ordered or randomized point sequence.
+    seed:
+        RNG seed; datasets are fully reproducible.
+    """
+
+    pattern: Pattern
+    n_clusters: int
+    n_low: int
+    n_high: int
+    r_low: float
+    r_high: float
+    grid_spacing: float = 4.0
+    sine_cycles: int = 4
+    sine_amplitude: Optional[float] = None
+    noise_fraction: float = 0.0
+    noise_at_end: bool = False
+    order: InputOrder = InputOrder.ORDERED
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if not 0 <= self.n_low <= self.n_high:
+            raise ValueError(
+                f"need 0 <= n_low <= n_high, got [{self.n_low}, {self.n_high}]"
+            )
+        if not 0 <= self.r_low <= self.r_high:
+            raise ValueError(
+                f"need 0 <= r_low <= r_high, got [{self.r_low}, {self.r_high}]"
+            )
+        if not 0.0 <= self.noise_fraction < 1.0:
+            raise ValueError(
+                f"noise_fraction must be in [0, 1), got {self.noise_fraction}"
+            )
+        if self.grid_spacing <= 0:
+            raise ValueError(f"grid_spacing must be positive, got {self.grid_spacing}")
+        if self.sine_cycles < 1:
+            raise ValueError(f"sine_cycles must be >= 1, got {self.sine_cycles}")
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Ground-truth description of one generated cluster.
+
+    ``center``/``radius`` are the generator's *parameters*; the actual
+    centroid and RMS radius of the sampled points are in
+    ``actual_centroid``/``actual_radius``.
+    """
+
+    center: np.ndarray
+    radius: float
+    n_points: int
+    actual_centroid: np.ndarray
+    actual_radius: float
+
+
+@dataclass
+class Dataset:
+    """A generated dataset plus its ground truth.
+
+    Attributes
+    ----------
+    points:
+        The data, shape ``(N, 2)``, in the requested input order.
+    labels:
+        Ground-truth cluster index per point (``-1`` for noise).
+    clusters:
+        Per-cluster ground truth (excluding noise).
+    params:
+        The :class:`GeneratorParams` that produced this dataset.
+    """
+
+    points: np.ndarray
+    labels: np.ndarray
+    clusters: list[Cluster]
+    params: GeneratorParams
+    name: str = ""
+    _bounding_box: Optional[tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def n_points(self) -> int:
+        """Total points, noise included."""
+        return self.points.shape[0]
+
+    @property
+    def n_noise(self) -> int:
+        """Number of noise points."""
+        return int((self.labels == NOISE_LABEL).sum())
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """(min, max) corners over all points."""
+        if self._bounding_box is None:
+            self._bounding_box = (
+                self.points.min(axis=0),
+                self.points.max(axis=0),
+            )
+        return self._bounding_box
+
+    def actual_centroids(self) -> np.ndarray:
+        """Actual cluster centroids, shape ``(K, 2)``."""
+        return np.stack([c.actual_centroid for c in self.clusters])
+
+    def weighted_average_radius(self) -> float:
+        """Point-weighted mean of actual cluster radii.
+
+        The paper's quality measurement "weighted average diameter"
+        family: larger clusters count proportionally more.
+        """
+        weights = np.array([c.n_points for c in self.clusters], dtype=np.float64)
+        radii = np.array([c.actual_radius for c in self.clusters])
+        if weights.sum() == 0:
+            return 0.0
+        return float((weights * radii).sum() / weights.sum())
+
+
+class DatasetGenerator:
+    """Builds :class:`Dataset` objects from :class:`GeneratorParams`."""
+
+    def generate(self, params: GeneratorParams, name: str = "") -> Dataset:
+        """Generate one dataset (deterministic given ``params.seed``)."""
+        rng = np.random.default_rng(params.seed)
+        centers = self._place_centers(params, rng)
+        sizes = self._draw_sizes(params, rng)
+        radii = self._draw_radii(params, rng)
+
+        cluster_points: list[np.ndarray] = []
+        clusters: list[Cluster] = []
+        for center, n, r in zip(centers, sizes, radii):
+            if n == 0:
+                clusters.append(
+                    Cluster(
+                        center=center,
+                        radius=r,
+                        n_points=0,
+                        actual_centroid=center.copy(),
+                        actual_radius=0.0,
+                    )
+                )
+                cluster_points.append(np.empty((0, 2)))
+                continue
+            sigma = r / math.sqrt(2.0)
+            pts = rng.normal(loc=center, scale=max(sigma, 1e-12), size=(n, 2))
+            centroid = pts.mean(axis=0)
+            actual_radius = float(
+                np.sqrt(((pts - centroid) ** 2).sum(axis=1).mean())
+            )
+            clusters.append(
+                Cluster(
+                    center=center,
+                    radius=r,
+                    n_points=n,
+                    actual_centroid=centroid,
+                    actual_radius=actual_radius,
+                )
+            )
+            cluster_points.append(pts)
+
+        points = (
+            np.concatenate([p for p in cluster_points if p.size > 0])
+            if any(p.size for p in cluster_points)
+            else np.empty((0, 2))
+        )
+        labels = np.concatenate(
+            [
+                np.full(c.n_points, idx, dtype=np.int64)
+                for idx, c in enumerate(clusters)
+            ]
+            or [np.empty(0, dtype=np.int64)]
+        )
+
+        points, labels = self._add_noise(points, labels, params, rng)
+        points, labels = self._apply_order(points, labels, params, rng)
+        return Dataset(
+            points=points,
+            labels=labels,
+            clusters=clusters,
+            params=params,
+            name=name,
+        )
+
+    # -- placement ------------------------------------------------------------
+
+    def _place_centers(
+        self, params: GeneratorParams, rng: np.random.Generator
+    ) -> np.ndarray:
+        k = params.n_clusters
+        if params.pattern is Pattern.GRID:
+            side = max(int(math.ceil(math.sqrt(k))), 1)
+            spacing = params.grid_spacing * (params.r_low + params.r_high) / 2.0
+            if spacing <= 0:
+                spacing = params.grid_spacing
+            coords = [
+                (col * spacing, row * spacing)
+                for row in range(side)
+                for col in range(side)
+            ][:k]
+            return np.array(coords, dtype=np.float64)
+        if params.pattern is Pattern.SINE:
+            amplitude = (
+                params.sine_amplitude
+                if params.sine_amplitude is not None
+                else k / 2.0
+            )
+            cycle = k / params.sine_cycles
+            xs = 2.0 * math.pi * np.arange(k)
+            ys = amplitude * np.sin(2.0 * math.pi * np.arange(k) / cycle)
+            return np.stack([xs, ys], axis=1)
+        if params.pattern is Pattern.RANDOM:
+            return rng.uniform(0.0, float(k), size=(k, 2))
+        raise ValueError(f"unhandled pattern {params.pattern!r}")
+
+    @staticmethod
+    def _draw_sizes(params: GeneratorParams, rng: np.random.Generator) -> np.ndarray:
+        if params.n_low == params.n_high:
+            return np.full(params.n_clusters, params.n_low, dtype=np.int64)
+        return rng.integers(
+            params.n_low, params.n_high + 1, size=params.n_clusters
+        ).astype(np.int64)
+
+    @staticmethod
+    def _draw_radii(params: GeneratorParams, rng: np.random.Generator) -> np.ndarray:
+        if params.r_low == params.r_high:
+            return np.full(params.n_clusters, params.r_low, dtype=np.float64)
+        return rng.uniform(params.r_low, params.r_high, size=params.n_clusters)
+
+    # -- noise & ordering --------------------------------------------------------
+
+    @staticmethod
+    def _add_noise(
+        points: np.ndarray,
+        labels: np.ndarray,
+        params: GeneratorParams,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if params.noise_fraction <= 0.0 or points.shape[0] == 0:
+            return points, labels
+        n_clustered = points.shape[0]
+        # noise_fraction is a share of the *total* dataset.
+        n_noise = int(
+            round(n_clustered * params.noise_fraction / (1.0 - params.noise_fraction))
+        )
+        if n_noise == 0:
+            return points, labels
+        low = points.min(axis=0)
+        high = points.max(axis=0)
+        noise = rng.uniform(low, high, size=(n_noise, 2))
+        noise_labels = np.full(n_noise, NOISE_LABEL, dtype=np.int64)
+        if params.noise_at_end or params.order is InputOrder.RANDOMIZED:
+            return (
+                np.concatenate([points, noise]),
+                np.concatenate([labels, noise_labels]),
+            )
+        # Interleave noise uniformly through the ordered stream: pick a
+        # random slot for each noise point, keeping clustered points in
+        # their original relative order.
+        n_total = n_clustered + n_noise
+        slots = np.sort(rng.choice(n_total, size=n_noise, replace=False))
+        out_points = np.empty((n_total, 2), dtype=np.float64)
+        out_labels = np.empty(n_total, dtype=np.int64)
+        noise_mask = np.zeros(n_total, dtype=bool)
+        noise_mask[slots] = True
+        out_points[noise_mask] = noise
+        out_labels[noise_mask] = noise_labels
+        out_points[~noise_mask] = points
+        out_labels[~noise_mask] = labels
+        return out_points, out_labels
+
+    @staticmethod
+    def _apply_order(
+        points: np.ndarray,
+        labels: np.ndarray,
+        params: GeneratorParams,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if params.order is InputOrder.ORDERED or points.shape[0] == 0:
+            return points, labels
+        perm = rng.permutation(points.shape[0])
+        return points[perm], labels[perm]

@@ -1,0 +1,81 @@
+"""Input-order transformations for order-sensitivity studies.
+
+BIRCH's insertion order matters in principle (Section 4.3 discusses the
+anomalies; Phase 4 repairs them), and Table 4/5 compare *ordered*
+against *randomized* input.  This module generalises that comparison
+with further adversarial orders applied to an existing dataset:
+
+* ``ordered``      — the dataset as generated (cluster by cluster);
+* ``randomized``   — a uniform shuffle;
+* ``reversed``     — the generated order back to front;
+* ``sorted_x``     — a coordinate sweep (every cluster trickles in
+  gradually — the worst case for early threshold estimates);
+* ``interleaved``  — round-robin over the clusters (each cluster grows
+  one point at a time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.datagen.generator import Dataset
+
+__all__ = ["ORDER_MODES", "reorder"]
+
+ORDER_MODES = ("ordered", "randomized", "reversed", "sorted_x", "interleaved")
+
+
+def reorder(dataset: Dataset, mode: str, seed: int = 0) -> Dataset:
+    """A new :class:`Dataset` with the same points in a different order.
+
+    Ground-truth labels travel with their points; cluster metadata is
+    shared (it is order-independent).
+    """
+    if mode not in ORDER_MODES:
+        raise ValueError(f"mode must be one of {ORDER_MODES}, got {mode!r}")
+
+    n = dataset.n_points
+    if mode == "ordered":
+        perm = np.arange(n)
+    elif mode == "randomized":
+        perm = np.random.default_rng(seed).permutation(n)
+    elif mode == "reversed":
+        perm = np.arange(n)[::-1]
+    elif mode == "sorted_x":
+        perm = np.argsort(dataset.points[:, 0], kind="stable")
+    else:  # interleaved
+        perm = _interleave(dataset.labels)
+
+    return Dataset(
+        points=dataset.points[perm],
+        labels=dataset.labels[perm],
+        clusters=dataset.clusters,
+        params=replace(dataset.params),
+        name=f"{dataset.name}:{mode}" if dataset.name else mode,
+    )
+
+
+def _interleave(labels: np.ndarray) -> np.ndarray:
+    """Round-robin permutation over the label groups.
+
+    Emits the first point of each cluster, then the second of each, and
+    so on; noise points (label -1) form their own group.
+    """
+    order_within: dict[int, list[int]] = {}
+    for idx, label in enumerate(labels):
+        order_within.setdefault(int(label), []).append(idx)
+    queues = [order_within[key] for key in sorted(order_within)]
+    out: list[int] = []
+    position = 0
+    while len(out) < labels.shape[0]:
+        emitted = False
+        for queue in queues:
+            if position < len(queue):
+                out.append(queue[position])
+                emitted = True
+        if not emitted:  # pragma: no cover - defensive
+            break
+        position += 1
+    return np.array(out, dtype=np.int64)

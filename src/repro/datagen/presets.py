@@ -1,0 +1,196 @@
+"""The paper's named datasets (Table 3) and scalability families.
+
+Base workload (Section 6.3 / Table 3):
+
+* **DS1** — grid, ``K = 100``, ``n = 1000``, ``r = sqrt(2)``,
+  ``k_g = 4``, no noise, ordered input.
+* **DS2** — sine, ``K = 100``, ``n = 1000``, ``r = sqrt(2)``, ordered.
+* **DS3** — random, ``K = 100``, ``n`` uniform in ``[0, 2000]``, ``r``
+  uniform in ``[0, 4]``, ordered.
+* **DS1O/DS2O/DS3O** — the same point sets in randomized input order
+  (used for the order-sensitivity results of Tables 4-5).
+
+Scalability families (Section 6.6 / Figures 4-5):
+
+* :func:`scaled_n_family` grows ``N`` by increasing the per-cluster
+  ``n`` while keeping ``K`` fixed (Figure 4: ``n`` from 250 to 2500).
+* :func:`scaled_k_family` grows ``N`` by increasing ``K`` while keeping
+  ``n`` fixed (Figure 5: ``K`` from low tens up to 256).
+
+Every preset accepts a ``scale`` in ``(0, 1]`` shrinking the number of
+points per cluster, so the full experiment shapes can be reproduced at
+laptop-friendly sizes; ``scale=1.0`` is the paper's N = 100,000.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.datagen.generator import (
+    Dataset,
+    DatasetGenerator,
+    GeneratorParams,
+    InputOrder,
+    Pattern,
+)
+
+__all__ = [
+    "ds1",
+    "ds2",
+    "ds3",
+    "ds1o",
+    "ds2o",
+    "ds3o",
+    "scaled_n_family",
+    "scaled_k_family",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _scaled(n: int, scale: float) -> int:
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    return max(int(round(n * scale)), 1)
+
+
+def ds1(
+    scale: float = 1.0,
+    seed: int = 1,
+    order: InputOrder = InputOrder.ORDERED,
+) -> Dataset:
+    """DS1: 100 clusters of 1000 points on a 10x10 grid, r = sqrt(2)."""
+    n = _scaled(1000, scale)
+    params = GeneratorParams(
+        pattern=Pattern.GRID,
+        n_clusters=100,
+        n_low=n,
+        n_high=n,
+        r_low=_SQRT2,
+        r_high=_SQRT2,
+        grid_spacing=4.0,
+        order=order,
+        seed=seed,
+    )
+    suffix = "O" if order is InputOrder.RANDOMIZED else ""
+    return DatasetGenerator().generate(params, name=f"DS1{suffix}")
+
+
+def ds2(
+    scale: float = 1.0,
+    seed: int = 2,
+    order: InputOrder = InputOrder.ORDERED,
+) -> Dataset:
+    """DS2: 100 clusters of 1000 points along a sine curve, r = sqrt(2)."""
+    n = _scaled(1000, scale)
+    params = GeneratorParams(
+        pattern=Pattern.SINE,
+        n_clusters=100,
+        n_low=n,
+        n_high=n,
+        r_low=_SQRT2,
+        r_high=_SQRT2,
+        sine_cycles=4,
+        order=order,
+        seed=seed,
+    )
+    suffix = "O" if order is InputOrder.RANDOMIZED else ""
+    return DatasetGenerator().generate(params, name=f"DS2{suffix}")
+
+
+def ds3(
+    scale: float = 1.0,
+    seed: int = 3,
+    order: InputOrder = InputOrder.ORDERED,
+) -> Dataset:
+    """DS3: 100 random clusters, n in [0, 2000], r in [0, 4]."""
+    n_high = _scaled(2000, scale)
+    params = GeneratorParams(
+        pattern=Pattern.RANDOM,
+        n_clusters=100,
+        n_low=0,
+        n_high=n_high,
+        r_low=0.0,
+        r_high=4.0,
+        order=order,
+        seed=seed,
+    )
+    suffix = "O" if order is InputOrder.RANDOMIZED else ""
+    return DatasetGenerator().generate(params, name=f"DS3{suffix}")
+
+
+def ds1o(scale: float = 1.0, seed: int = 1) -> Dataset:
+    """DS1 point set in randomized input order (Table 4's DS1O)."""
+    return ds1(scale=scale, seed=seed, order=InputOrder.RANDOMIZED)
+
+
+def ds2o(scale: float = 1.0, seed: int = 2) -> Dataset:
+    """DS2 point set in randomized input order."""
+    return ds2(scale=scale, seed=seed, order=InputOrder.RANDOMIZED)
+
+
+def ds3o(scale: float = 1.0, seed: int = 3) -> Dataset:
+    """DS3 point set in randomized input order."""
+    return ds3(scale=scale, seed=seed, order=InputOrder.RANDOMIZED)
+
+
+def scaled_n_family(
+    pattern: Pattern,
+    per_cluster_sizes: list[int],
+    n_clusters: int = 100,
+    seed: int = 10,
+) -> list[Dataset]:
+    """Figure 4 family: fixed ``K``, growing points per cluster.
+
+    The paper sweeps ``n_l = n_h`` from 250 up to 2500 for each of the
+    three patterns; pass the (possibly scaled-down) sizes explicitly.
+    """
+    datasets = []
+    for n in per_cluster_sizes:
+        params = GeneratorParams(
+            pattern=pattern,
+            n_clusters=n_clusters,
+            n_low=n,
+            n_high=n,
+            r_low=_SQRT2,
+            r_high=_SQRT2,
+            order=InputOrder.ORDERED,
+            seed=seed,
+        )
+        datasets.append(
+            DatasetGenerator().generate(
+                params, name=f"{pattern.value}-n{n}-K{n_clusters}"
+            )
+        )
+    return datasets
+
+
+def scaled_k_family(
+    pattern: Pattern,
+    cluster_counts: list[int],
+    per_cluster: int = 1000,
+    seed: int = 11,
+) -> list[Dataset]:
+    """Figure 5 family: fixed points per cluster, growing ``K``.
+
+    The paper grows ``K`` (4 up to 256) with ``n`` fixed so that total
+    ``N = n * K`` scales linearly in ``K``.
+    """
+    datasets = []
+    for k in cluster_counts:
+        params = GeneratorParams(
+            pattern=pattern,
+            n_clusters=k,
+            n_low=per_cluster,
+            n_high=per_cluster,
+            r_low=_SQRT2,
+            r_high=_SQRT2,
+            order=InputOrder.ORDERED,
+            seed=seed,
+        )
+        datasets.append(
+            DatasetGenerator().generate(
+                params, name=f"{pattern.value}-n{per_cluster}-K{k}"
+            )
+        )
+    return datasets

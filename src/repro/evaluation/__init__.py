@@ -1,0 +1,45 @@
+"""Evaluation toolkit: quality metrics, ground-truth matching, reports.
+
+The paper measures clustering quality as the *weighted average diameter*
+of the clusters (smaller is better for the same K) and judges accuracy
+visually by comparing found clusters to the generator's actual clusters
+(Figures 6-8).  This package provides those measurements plus the table
+and ASCII-plot formatting used by the benchmark harnesses.
+"""
+
+from repro.evaluation.curves import PowerLawFit, fit_power_law
+from repro.evaluation.labels import (
+    adjusted_rand_index,
+    contingency_table,
+    purity,
+    rand_index,
+)
+from repro.evaluation.matching import ClusterMatch, match_clusters
+from repro.evaluation.plotting import ascii_clusters, ascii_scatter
+from repro.evaluation.quality import (
+    cluster_cfs_from_labels,
+    total_cost,
+    weighted_average_diameter,
+    weighted_average_radius,
+)
+from repro.evaluation.report import format_table
+from repro.evaluation.timing import Timer
+
+__all__ = [
+    "ClusterMatch",
+    "PowerLawFit",
+    "Timer",
+    "adjusted_rand_index",
+    "ascii_clusters",
+    "ascii_scatter",
+    "cluster_cfs_from_labels",
+    "contingency_table",
+    "fit_power_law",
+    "format_table",
+    "match_clusters",
+    "purity",
+    "rand_index",
+    "total_cost",
+    "weighted_average_diameter",
+    "weighted_average_radius",
+]

@@ -1,0 +1,87 @@
+"""Growth-curve analysis for the scalability experiments.
+
+Figures 4 and 5 of the paper argue running time is *linear* in ``N``.
+The benchmark harness verifies this by fitting a power law
+``t = c * N^a`` to measured (N, t) points and checking the exponent
+``a``; this module holds that fit (log-log least squares) plus simple
+linearity scoring so the logic is library code with its own tests, not
+arithmetic buried in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = coefficient * x^exponent``.
+
+    Attributes
+    ----------
+    exponent:
+        The growth order ``a`` (1.0 = linear, 2.0 = quadratic).
+    coefficient:
+        The scale factor ``c``.
+    r_squared:
+        Goodness of fit in log-log space.
+    """
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: "np.ndarray | float") -> np.ndarray:
+        """Evaluate the fitted law."""
+        return self.coefficient * np.asarray(x, dtype=np.float64) ** self.exponent
+
+    @property
+    def is_near_linear(self) -> bool:
+        """Whether the exponent is in the near-linear band used by the
+        Figure 4/5 reproduction checks."""
+        return self.exponent < 1.7
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> PowerLawFit:
+    """Fit ``y = c * x^a`` by least squares in log-log space.
+
+    Parameters
+    ----------
+    xs, ys:
+        Strictly positive samples; at least two distinct ``x`` values.
+
+    Raises
+    ------
+    ValueError
+        On non-positive data or a degenerate (constant-x) sample.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ValueError(
+            f"need two 1-d arrays of equal length >= 2, got {x.shape} / {y.shape}"
+        )
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fit requires strictly positive data")
+    log_x = np.log(x)
+    log_y = np.log(y)
+    if np.allclose(log_x, log_x[0]):
+        raise ValueError("cannot fit a power law to constant x")
+
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = intercept + slope * log_x
+    residual = float(((log_y - predicted) ** 2).sum())
+    total = float(((log_y - log_y.mean()) ** 2).sum())
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=r_squared,
+    )

@@ -1,0 +1,93 @@
+"""External clustering-validity measures on label vectors.
+
+The paper evaluates quality with the weighted average diameter and
+visual comparison; with the generator's ground truth available we can
+also score labellings directly.  Provided here:
+
+* :func:`purity` — point-weighted majority-class purity;
+* :func:`rand_index` and :func:`adjusted_rand_index` — pair-counting
+  agreement, with the chance-corrected variant;
+* :func:`contingency_table` — the underlying found-vs-truth counts.
+
+Points labelled ``-1`` (noise / discarded outliers) in *either* vector
+are excluded, matching how the generator and Phase 4 mark them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "adjusted_rand_index",
+    "contingency_table",
+    "purity",
+    "rand_index",
+]
+
+
+def _validated(labels_a: np.ndarray, labels_b: np.ndarray):
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape or labels_a.ndim != 1:
+        raise ValueError(
+            f"label vectors must be 1-d and equal length, got "
+            f"{labels_a.shape} vs {labels_b.shape}"
+        )
+    keep = (labels_a >= 0) & (labels_b >= 0)
+    return labels_a[keep], labels_b[keep]
+
+
+def contingency_table(found: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = points in found-cluster i, true-class j."""
+    found, truth = _validated(found, truth)
+    if found.size == 0:
+        return np.zeros((0, 0), dtype=np.int64)
+    found_ids, found_inv = np.unique(found, return_inverse=True)
+    truth_ids, truth_inv = np.unique(truth, return_inverse=True)
+    table = np.zeros((found_ids.size, truth_ids.size), dtype=np.int64)
+    np.add.at(table, (found_inv, truth_inv), 1)
+    return table
+
+
+def purity(found: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of points in their cluster's majority true class."""
+    table = contingency_table(found, truth)
+    total = table.sum()
+    if total == 0:
+        return 0.0
+    return float(table.max(axis=1).sum() / total)
+
+
+def rand_index(found: np.ndarray, truth: np.ndarray) -> float:
+    """Pairwise agreement: fraction of point pairs classified consistently."""
+    table = contingency_table(found, truth)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_squares = float((table.astype(np.float64) ** 2).sum())
+    sum_rows = float((table.sum(axis=1).astype(np.float64) ** 2).sum())
+    sum_cols = float((table.sum(axis=0).astype(np.float64) ** 2).sum())
+    n = float(n)
+    agreements = n * (n - 1) / 2 + sum_squares - (sum_rows + sum_cols) / 2
+    return agreements / (n * (n - 1) / 2)
+
+
+def adjusted_rand_index(found: np.ndarray, truth: np.ndarray) -> float:
+    """Rand index corrected for chance (1 = identical partitions)."""
+    table = contingency_table(found, truth).astype(np.float64)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_comb = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    total = comb2(np.array(n))
+    expected = sum_rows * sum_cols / total
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((sum_comb - expected) / (maximum - expected))

@@ -1,0 +1,141 @@
+"""Matching found clusters against the generator's actual clusters.
+
+The Figure 6/7/8 discussion compares BIRCH and CLARANS clusters with the
+actual clusters in terms of centroid displacement, radius inflation and
+point-count deviation.  :func:`match_clusters` produces an optimal
+one-to-one assignment between the two sets (Hungarian algorithm on
+centroid distances) and summarises exactly those statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # scipy is available in the evaluation environment but optional.
+    from scipy.optimize import linear_sum_assignment
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY = False
+
+__all__ = ["ClusterMatch", "match_clusters"]
+
+
+@dataclass
+class ClusterMatch:
+    """Summary of an optimal found-vs-actual cluster alignment.
+
+    Attributes
+    ----------
+    assignment:
+        ``assignment[i]`` is the actual-cluster index matched to found
+        cluster ``i`` (``-1`` if unmatched because the counts differ).
+    centroid_distances:
+        Per matched pair, Euclidean distance between centroids.
+    radius_ratios:
+        Per matched pair, found radius / actual radius (actual radius 0
+        pairs are skipped).
+    count_deviation:
+        Per matched pair, ``|found_n - actual_n| / actual_n`` (actual
+        count 0 pairs are skipped).
+    """
+
+    assignment: np.ndarray
+    centroid_distances: np.ndarray
+    radius_ratios: np.ndarray
+    count_deviation: np.ndarray
+
+    @property
+    def mean_centroid_distance(self) -> float:
+        """Average centroid displacement across matched pairs."""
+        if self.centroid_distances.size == 0:
+            return 0.0
+        return float(self.centroid_distances.mean())
+
+    @property
+    def max_centroid_distance(self) -> float:
+        """Worst centroid displacement."""
+        if self.centroid_distances.size == 0:
+            return 0.0
+        return float(self.centroid_distances.max())
+
+    @property
+    def mean_radius_ratio(self) -> float:
+        """Average found/actual radius ratio (1.0 = perfectly faithful)."""
+        return float(self.radius_ratios.mean()) if self.radius_ratios.size else 0.0
+
+    @property
+    def mean_count_deviation(self) -> float:
+        """Average relative point-count error across matched pairs."""
+        return float(self.count_deviation.mean()) if self.count_deviation.size else 0.0
+
+
+def match_clusters(
+    found_centroids: np.ndarray,
+    actual_centroids: np.ndarray,
+    found_radii: np.ndarray | None = None,
+    actual_radii: np.ndarray | None = None,
+    found_counts: np.ndarray | None = None,
+    actual_counts: np.ndarray | None = None,
+) -> ClusterMatch:
+    """Optimally align found clusters with actual clusters.
+
+    Uses the Hungarian algorithm on the centroid-distance matrix when
+    scipy is available, and a greedy nearest-pair fallback otherwise.
+    Radius and count statistics are filled only when the corresponding
+    arrays are supplied.
+    """
+    found_centroids = np.asarray(found_centroids, dtype=np.float64)
+    actual_centroids = np.asarray(actual_centroids, dtype=np.float64)
+    n_found = found_centroids.shape[0]
+    n_actual = actual_centroids.shape[0]
+    if n_found == 0 or n_actual == 0:
+        raise ValueError("both cluster sets must be non-empty")
+
+    diffs = found_centroids[:, None, :] - actual_centroids[None, :, :]
+    cost = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+
+    assignment = np.full(n_found, -1, dtype=np.int64)
+    if _HAVE_SCIPY:
+        rows, cols = linear_sum_assignment(cost)
+        assignment[rows] = cols
+    else:
+        taken: set[int] = set()
+        order = np.dstack(np.unravel_index(np.argsort(cost, axis=None), cost.shape))[0]
+        matched_found: set[int] = set()
+        for i, j in order:
+            if i in matched_found or j in taken:
+                continue
+            assignment[i] = j
+            matched_found.add(int(i))
+            taken.add(int(j))
+            if len(matched_found) == min(n_found, n_actual):
+                break
+
+    matched = assignment >= 0
+    pairs_found = np.nonzero(matched)[0]
+    pairs_actual = assignment[matched]
+    centroid_distances = cost[pairs_found, pairs_actual]
+
+    radius_ratios = np.empty(0)
+    if found_radii is not None and actual_radii is not None:
+        fr = np.asarray(found_radii, dtype=np.float64)[pairs_found]
+        ar = np.asarray(actual_radii, dtype=np.float64)[pairs_actual]
+        keep = ar > 0
+        radius_ratios = fr[keep] / ar[keep]
+
+    count_deviation = np.empty(0)
+    if found_counts is not None and actual_counts is not None:
+        fc = np.asarray(found_counts, dtype=np.float64)[pairs_found]
+        ac = np.asarray(actual_counts, dtype=np.float64)[pairs_actual]
+        keep = ac > 0
+        count_deviation = np.abs(fc[keep] - ac[keep]) / ac[keep]
+
+    return ClusterMatch(
+        assignment=assignment,
+        centroid_distances=centroid_distances,
+        radius_ratios=radius_ratios,
+        count_deviation=count_deviation,
+    )

@@ -1,0 +1,118 @@
+"""ASCII visualisations standing in for the paper's cluster plots.
+
+Figures 6-8 of the paper draw each cluster as a circle at its centroid
+with its radius.  Without a display, the benchmark harness renders the
+same information as character grids: :func:`ascii_clusters` draws
+centroid markers (circle area shown by glyph intensity), and
+:func:`ascii_scatter` draws raw points bucketed into cells.  These are
+coarse, but faithfully reveal the grid / sine / random shapes and gross
+misplacements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_clusters", "ascii_scatter"]
+
+_DENSITY_GLYPHS = " .:-=+*#%@"
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Density plot of raw points on a ``width x height`` grid.
+
+    Each cell's glyph encodes how many points fall into it, on a
+    log-ish scale from ``.`` (few) to ``@`` (many).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must be (n, 2), got shape {points.shape}")
+    if points.shape[0] == 0:
+        return "\n".join(" " * width for _ in range(height))
+
+    low = points.min(axis=0)
+    high = points.max(axis=0)
+    span = np.where(high > low, high - low, 1.0)
+    cols = np.clip(
+        ((points[:, 0] - low[0]) / span[0] * (width - 1)).astype(int), 0, width - 1
+    )
+    rows = np.clip(
+        ((points[:, 1] - low[1]) / span[1] * (height - 1)).astype(int), 0, height - 1
+    )
+
+    counts = np.zeros((height, width), dtype=np.int64)
+    np.add.at(counts, (rows, cols), 1)
+    peak = counts.max()
+    lines = []
+    for r in range(height - 1, -1, -1):  # y grows upward
+        chars = []
+        for c in range(width):
+            n = counts[r, c]
+            if n == 0:
+                chars.append(" ")
+            else:
+                level = int(
+                    np.ceil(
+                        np.log1p(n) / np.log1p(peak) * (len(_DENSITY_GLYPHS) - 1)
+                    )
+                )
+                chars.append(_DENSITY_GLYPHS[max(level, 1)])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def ascii_clusters(
+    centroids: np.ndarray,
+    radii: np.ndarray,
+    counts: np.ndarray | None = None,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Render clusters as circles on a character grid (Figures 6-8).
+
+    Each cluster paints the cells within its radius; the centroid cell
+    is marked ``o``.  Overlapping clusters simply overpaint, which is
+    enough to see radius inflation (CLARANS vs BIRCH) at a glance.
+    """
+    centroids = np.asarray(centroids, dtype=np.float64)
+    radii = np.asarray(radii, dtype=np.float64)
+    if centroids.ndim != 2 or centroids.shape[1] != 2:
+        raise ValueError(f"centroids must be (k, 2), got shape {centroids.shape}")
+    if radii.shape[0] != centroids.shape[0]:
+        raise ValueError("radii and centroids must have matching lengths")
+
+    pad = radii.max() if radii.size else 1.0
+    low = centroids.min(axis=0) - pad
+    high = centroids.max(axis=0) + pad
+    span = np.where(high > low, high - low, 1.0)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = int(np.clip((x - low[0]) / span[0] * (width - 1), 0, width - 1))
+        row = int(np.clip((y - low[1]) / span[1] * (height - 1), 0, height - 1))
+        return row, col
+
+    cell_w = span[0] / width
+    cell_h = span[1] / height
+    for idx in range(centroids.shape[0]):
+        cx, cy = centroids[idx]
+        r = radii[idx]
+        steps_x = max(int(r / cell_w), 0) + 1
+        steps_y = max(int(r / cell_h), 0) + 1
+        for dy in range(-steps_y, steps_y + 1):
+            for dx in range(-steps_x, steps_x + 1):
+                x = cx + dx * cell_w
+                y = cy + dy * cell_h
+                if (x - cx) ** 2 + (y - cy) ** 2 <= r * r:
+                    row, col = to_cell(x, y)
+                    if grid[row][col] == " ":
+                        grid[row][col] = "·"
+        row, col = to_cell(cx, cy)
+        grid[row][col] = "o"
+
+    return "\n".join("".join(grid[r]) for r in range(height - 1, -1, -1))

@@ -1,0 +1,62 @@
+"""Fixed-width table formatting for the experiment harnesses.
+
+Every benchmark prints its results in the same row/column shape as the
+paper's tables; this module is the single formatter they share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cells; floats are formatted with ``float_format``, other
+        values with ``str``.
+    title:
+        Optional caption printed above the table.
+    float_format:
+        Format spec applied to float cells.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)

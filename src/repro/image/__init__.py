@@ -1,0 +1,26 @@
+"""The NIR/VIS image application of Section 6.8, on a synthetic scene.
+
+The paper clusters pairs of brightness values from two co-registered
+512x1024 images of trees — one near-infrared (NIR) band and one visible
+(VIS) band — to separate sky, clouds, sunlit leaves and shadowed
+branches, then re-clusters the non-background pixels at a finer
+granularity.  The original NASA images are not available, so
+:mod:`repro.image.scene` synthesises a scene with the same category
+structure (sky bright in VIS, vegetation bright in NIR, shadows dark in
+both) and :mod:`repro.image.filtering` reproduces the two-pass BIRCH
+workflow on it.
+"""
+
+from repro.image.filtering import FilterReport, TwoPassFilter
+from repro.image.render import render_categories, render_cluster_map
+from repro.image.scene import Scene, SceneCategory, SceneGenerator
+
+__all__ = [
+    "FilterReport",
+    "Scene",
+    "SceneCategory",
+    "SceneGenerator",
+    "TwoPassFilter",
+    "render_categories",
+    "render_cluster_map",
+]

@@ -1,0 +1,81 @@
+"""Rendering helpers for the image application (Figure 9/10 analogues).
+
+The paper shows the NIR/VIS photographs and the filtered parts of the
+trees as images.  Headless, we render the same information as character
+maps: one glyph per (down-sampled) pixel, either by ground-truth
+category or by cluster assignment, so the before/after of the two-pass
+filter is visible in a terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.image.scene import Scene, SceneCategory
+
+__all__ = ["render_categories", "render_cluster_map"]
+
+#: Glyph per ground-truth category.
+CATEGORY_GLYPHS: dict[int, str] = {
+    int(SceneCategory.SKY): ".",
+    int(SceneCategory.CLOUD): "~",
+    int(SceneCategory.SUNLIT_LEAVES): "@",
+    int(SceneCategory.SHADOW_LEAVES): "%",
+    int(SceneCategory.BRANCHES): "|",
+}
+
+_CLUSTER_GLYPHS = "0123456789abcdef"
+
+
+def _downsample(grid: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Nearest-neighbour downsample of a 2-d array to (height, width)."""
+    rows = np.linspace(0, grid.shape[0] - 1, height).astype(int)
+    cols = np.linspace(0, grid.shape[1] - 1, width).astype(int)
+    return grid[np.ix_(rows, cols)]
+
+
+def render_categories(scene: Scene, width: int = 96, height: int = 28) -> str:
+    """Character map of the scene's ground-truth categories.
+
+    Sky is ``.``, clouds ``~``, sunlit leaves ``@``, shadowed leaves
+    ``%``, branches ``|`` — the legend the tests and examples print.
+    """
+    sampled = _downsample(scene.categories, width, height)
+    lines = []
+    for r in range(height - 1, -1, -1):  # row 0 is the bottom of the frame
+        lines.append(
+            "".join(CATEGORY_GLYPHS.get(int(v), "?") for v in sampled[r])
+        )
+    return "\n".join(lines)
+
+
+def render_cluster_map(
+    labels: np.ndarray,
+    shape: tuple[int, int],
+    width: int = 96,
+    height: int = 28,
+    hole_label: int = -1,
+) -> str:
+    """Character map of a per-pixel cluster labelling.
+
+    ``labels`` is the flattened assignment (e.g. ``pass2_labels`` from
+    the two-pass filter); ``hole_label`` pixels (filtered background)
+    render as spaces, everything else cycles through hex glyphs.
+    """
+    labels = np.asarray(labels)
+    if labels.size != shape[0] * shape[1]:
+        raise ValueError(
+            f"labels of size {labels.size} do not match shape {shape}"
+        )
+    grid = labels.reshape(shape)
+    sampled = _downsample(grid, width, height)
+    lines = []
+    for r in range(height - 1, -1, -1):
+        chars = []
+        for v in sampled[r]:
+            if int(v) == hole_label:
+                chars.append(" ")
+            else:
+                chars.append(_CLUSTER_GLYPHS[int(v) % len(_CLUSTER_GLYPHS)])
+        lines.append("".join(chars))
+    return "\n".join(lines)

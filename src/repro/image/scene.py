@@ -1,0 +1,217 @@
+"""Synthetic two-band (NIR, VIS) tree scene.
+
+Substitute for the NASA image pair of Section 6.8 (see DESIGN.md).  The
+scene contains the same pixel populations the paper reports finding:
+
+* **sky** — bright in VIS, dim in NIR (clear atmosphere reflects little
+  infrared);
+* **clouds** — bright in both bands;
+* **sunlit leaves** — very bright in NIR (healthy vegetation), moderate
+  VIS;
+* **shadowed leaves** — vegetation in shade: NIR clearly above the
+  branches but VIS low;
+* **branches / trunks in shadow** — dark in both bands.
+
+Spatially, sky fills the background with clouds as elliptical blobs,
+tree crowns are ellipses whose upper part is sunlit and lower part
+shaded, and trunks are vertical bars.  Per-pixel brightness is the
+category mean plus Gaussian noise, so the (NIR, VIS) scatter forms
+overlapping blobs — exactly the clustering problem the paper solves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Scene", "SceneCategory", "SceneGenerator"]
+
+
+class SceneCategory(enum.IntEnum):
+    """Ground-truth pixel categories of the synthetic scene."""
+
+    SKY = 0
+    CLOUD = 1
+    SUNLIT_LEAVES = 2
+    SHADOW_LEAVES = 3
+    BRANCHES = 4
+
+
+#: Mean (NIR, VIS) brightness per category, in 0-255 units.
+CATEGORY_MEANS: dict[SceneCategory, tuple[float, float]] = {
+    SceneCategory.SKY: (70.0, 215.0),
+    SceneCategory.CLOUD: (185.0, 245.0),
+    SceneCategory.SUNLIT_LEAVES: (230.0, 115.0),
+    SceneCategory.SHADOW_LEAVES: (130.0, 55.0),
+    SceneCategory.BRANCHES: (55.0, 35.0),
+}
+
+#: Per-category brightness standard deviation.
+CATEGORY_SIGMA: dict[SceneCategory, float] = {
+    SceneCategory.SKY: 8.0,
+    SceneCategory.CLOUD: 7.0,
+    SceneCategory.SUNLIT_LEAVES: 10.0,
+    SceneCategory.SHADOW_LEAVES: 9.0,
+    SceneCategory.BRANCHES: 7.0,
+}
+
+#: Categories the paper's first pass filters out as background.
+BACKGROUND_CATEGORIES = (SceneCategory.SKY, SceneCategory.CLOUD)
+
+
+@dataclass
+class Scene:
+    """A rendered scene: two brightness bands plus ground truth.
+
+    Attributes
+    ----------
+    nir, vis:
+        Brightness images of shape ``(height, width)``.
+    categories:
+        Ground-truth :class:`SceneCategory` per pixel, same shape.
+    """
+
+    nir: np.ndarray
+    vis: np.ndarray
+    categories: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(height, width) of the scene."""
+        return self.nir.shape  # type: ignore[return-value]
+
+    @property
+    def n_pixels(self) -> int:
+        """Total pixel count."""
+        return int(self.nir.size)
+
+    def pixel_tuples(self, weights: tuple[float, float] = (1.0, 1.0)) -> np.ndarray:
+        """Flatten to ``(n_pixels, 2)`` (NIR, VIS) tuples.
+
+        ``weights`` scales the two bands — the paper "weight[s] the NIR
+        and VIS values" when the bands should not contribute equally.
+        """
+        stacked = np.stack(
+            [self.nir.ravel() * weights[0], self.vis.ravel() * weights[1]], axis=1
+        )
+        return stacked.astype(np.float64)
+
+    def category_fractions(self) -> dict[SceneCategory, float]:
+        """Share of pixels per ground-truth category."""
+        total = self.categories.size
+        return {
+            cat: float((self.categories == cat).sum()) / total
+            for cat in SceneCategory
+        }
+
+
+class SceneGenerator:
+    """Procedurally renders :class:`Scene` objects.
+
+    Parameters
+    ----------
+    height, width:
+        Image dimensions.  The paper uses 512x1024; benchmarks shrink
+        this while keeping the aspect ratio.
+    n_trees:
+        Number of tree crowns along the bottom of the frame.
+    n_clouds:
+        Number of elliptical cloud blobs in the sky.
+    seed:
+        RNG seed; scenes are reproducible.
+    """
+
+    def __init__(
+        self,
+        height: int = 128,
+        width: int = 256,
+        n_trees: int = 4,
+        n_clouds: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if height < 16 or width < 16:
+            raise ValueError(f"scene must be at least 16x16, got {height}x{width}")
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        if n_clouds < 0:
+            raise ValueError(f"n_clouds must be >= 0, got {n_clouds}")
+        self.height = height
+        self.width = width
+        self.n_trees = n_trees
+        self.n_clouds = n_clouds
+        self.seed = seed
+
+    def generate(self) -> Scene:
+        """Render the scene."""
+        rng = np.random.default_rng(self.seed)
+        h, w = self.height, self.width
+        categories = np.full((h, w), SceneCategory.SKY, dtype=np.int64)
+
+        self._paint_clouds(categories, rng)
+        self._paint_trees(categories, rng)
+
+        nir = np.empty((h, w), dtype=np.float64)
+        vis = np.empty((h, w), dtype=np.float64)
+        for cat in SceneCategory:
+            mask = categories == cat
+            if not mask.any():
+                continue
+            mean_nir, mean_vis = CATEGORY_MEANS[cat]
+            sigma = CATEGORY_SIGMA[cat]
+            nir[mask] = rng.normal(mean_nir, sigma, size=int(mask.sum()))
+            vis[mask] = rng.normal(mean_vis, sigma, size=int(mask.sum()))
+        np.clip(nir, 0.0, 255.0, out=nir)
+        np.clip(vis, 0.0, 255.0, out=vis)
+        return Scene(nir=nir, vis=vis, categories=categories)
+
+    # -- painting helpers ----------------------------------------------------
+
+    def _paint_clouds(self, categories: np.ndarray, rng: np.random.Generator) -> None:
+        h, w = categories.shape
+        rows = np.arange(h)[:, None]
+        cols = np.arange(w)[None, :]
+        for _ in range(self.n_clouds):
+            cy = rng.uniform(0.55 * h, 0.95 * h)
+            cx = rng.uniform(0.0, w)
+            ry = rng.uniform(0.04 * h, 0.10 * h)
+            rx = rng.uniform(0.08 * w, 0.18 * w)
+            mask = ((rows - cy) / ry) ** 2 + ((cols - cx) / rx) ** 2 <= 1.0
+            categories[mask] = SceneCategory.CLOUD
+
+    def _paint_trees(self, categories: np.ndarray, rng: np.random.Generator) -> None:
+        h, w = categories.shape
+        rows = np.arange(h)[:, None]
+        cols = np.arange(w)[None, :]
+        spacing = w / self.n_trees
+        for t in range(self.n_trees):
+            cx = (t + 0.5) * spacing + rng.uniform(-0.1, 0.1) * spacing
+            crown_cy = rng.uniform(0.30 * h, 0.45 * h)
+            crown_ry = rng.uniform(0.16 * h, 0.24 * h)
+            crown_rx = rng.uniform(0.30, 0.45) * spacing
+
+            # Trunk: a vertical bar from the crown to the frame bottom.
+            trunk_w = max(int(0.04 * spacing), 1)
+            trunk = (np.abs(cols - cx) <= trunk_w) & (rows <= crown_cy)
+            categories[trunk] = SceneCategory.BRANCHES
+
+            crown = ((rows - crown_cy) / crown_ry) ** 2 + (
+                (cols - cx) / crown_rx
+            ) ** 2 <= 1.0
+            # Upper part of the crown is sunlit, lower part shaded.
+            sunlit = crown & (rows >= crown_cy)
+            shaded = crown & (rows < crown_cy)
+            categories[sunlit] = SceneCategory.SUNLIT_LEAVES
+            categories[shaded] = SceneCategory.SHADOW_LEAVES
+
+            # Branches poking through the shaded crown.
+            n_branches = 3
+            for b in range(n_branches):
+                by = crown_cy - (b + 1) * crown_ry / (n_branches + 1)
+                branch = (
+                    (np.abs(rows - by) <= 1)
+                    & (np.abs(cols - cx) <= crown_rx * 0.8)
+                    & crown
+                )
+                categories[branch] = SceneCategory.BRANCHES

@@ -1,0 +1,37 @@
+"""Simulated paged storage substrate for BIRCH.
+
+The BIRCH paper assumes a database-style environment: CF-tree nodes live
+on pages of ``P`` bytes, total memory is capped at ``M`` bytes, and a
+bounded amount of disk (``R`` bytes) is available for spilling potential
+outliers.  This package makes those resources concrete so that the tree's
+branching factors, rebuild triggers and outlier spills are driven by the
+same byte-level arithmetic the paper describes, and so that every
+experiment can report exact I/O counts.
+
+Public classes
+--------------
+``PageLayout``
+    Derives entry footprints and node capacities (B, L) from the page
+    size ``P`` and dimensionality ``d``.
+``MemoryBudget``
+    Byte-accounted allocator for in-memory pages, capped at ``M``.
+``DiskStore``
+    Append-oriented simulated disk of capacity ``R`` with read/write
+    accounting, used by the outlier-handling option.
+``IOStats``
+    Counters for page reads/writes and full data scans.
+"""
+
+from repro.pagestore.iostats import IOStats
+from repro.pagestore.memory import MemoryBudget, MemoryExhaustedError
+from repro.pagestore.page import PageLayout
+from repro.pagestore.disk import DiskFullError, DiskStore
+
+__all__ = [
+    "DiskFullError",
+    "DiskStore",
+    "IOStats",
+    "MemoryBudget",
+    "MemoryExhaustedError",
+    "PageLayout",
+]

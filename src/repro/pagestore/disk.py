@@ -1,0 +1,145 @@
+"""Simulated disk for potential-outlier spills.
+
+The outlier-handling option of Phase 1 (Section 5.1.4) writes leaf
+entries judged to be potential outliers to disk, re-absorbs them when
+the threshold grows, and bounds total disk use at ``R`` bytes (Table 2
+default: 20% of ``M``).  ``DiskStore`` models that disk: an
+append-oriented store of fixed-size records with page-granular I/O
+accounting and a hard capacity.
+
+Records are arbitrary Python objects (the tree spills ``CF`` leaf
+entries); the store charges each one ``record_bytes`` of simulated
+space so the "out of disk space" trigger for re-absorption cycles fires
+at the same fill levels the paper's would.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.pagestore.iostats import IOStats
+
+T = TypeVar("T")
+
+
+class DiskFullError(RuntimeError):
+    """Raised when a write would exceed the disk capacity ``R``."""
+
+
+class DiskStore(Generic[T]):
+    """Bounded append/drain store with I/O accounting.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        ``R`` in the paper; total simulated disk space available.
+    record_bytes:
+        Charged size of each stored record (one spilled CF entry).
+    page_size:
+        Transfer granularity for I/O accounting.
+    stats:
+        Shared :class:`IOStats` ledger; a private one is created if
+        omitted.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        record_bytes: int,
+        page_size: int = 1024,
+        stats: IOStats | None = None,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        if record_bytes <= 0:
+            raise ValueError(f"record_bytes must be positive, got {record_bytes}")
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.capacity_bytes = capacity_bytes
+        self.record_bytes = record_bytes
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        self._records: list[T] = []
+
+    # -- capacity ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def bytes_used(self) -> int:
+        """Simulated bytes currently occupied."""
+        return len(self._records) * self.record_bytes
+
+    @property
+    def bytes_free(self) -> int:
+        """Remaining simulated capacity."""
+        return self.capacity_bytes - self.bytes_used
+
+    @property
+    def is_full(self) -> bool:
+        """True when no further record fits."""
+        return self.bytes_free < self.record_bytes
+
+    def can_fit(self, n_records: int = 1) -> bool:
+        """Whether ``n_records`` more records fit on disk."""
+        return self.bytes_used + n_records * self.record_bytes <= self.capacity_bytes
+
+    # -- I/O ----------------------------------------------------------------
+
+    def write(self, record: T) -> None:
+        """Append one record, charging a page write.
+
+        Raises
+        ------
+        DiskFullError
+            If the record does not fit; callers treat this as the paper's
+            "out of disk space" trigger and run a re-absorption cycle.
+        """
+        if not self.can_fit(1):
+            raise DiskFullError(
+                f"disk full: {self.bytes_used}/{self.capacity_bytes} bytes used"
+            )
+        self._records.append(record)
+        self.stats.record_write(self.record_bytes, pages=self._pages(1))
+
+    def write_all(self, records: list[T]) -> None:
+        """Append many records; all-or-nothing on capacity."""
+        if not self.can_fit(len(records)):
+            raise DiskFullError(
+                f"disk full: cannot fit {len(records)} records in "
+                f"{self.bytes_free} free bytes"
+            )
+        self._records.extend(records)
+        if records:
+            self.stats.record_write(
+                self.record_bytes * len(records), pages=self._pages(len(records))
+            )
+
+    def drain(self) -> list[T]:
+        """Read back and remove every record, charging page reads."""
+        records = self._records
+        self._records = []
+        if records:
+            self.stats.record_read(
+                self.record_bytes * len(records), pages=self._pages(len(records))
+            )
+        return records
+
+    def peek(self) -> Iterator[T]:
+        """Iterate records without I/O charges (bookkeeping only)."""
+        return iter(self._records)
+
+    def clear(self) -> None:
+        """Discard all records without charging reads."""
+        self._records = []
+
+    def _pages(self, n_records: int) -> int:
+        nbytes = n_records * self.record_bytes
+        return -(-nbytes // self.page_size)  # ceil division
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskStore({len(self._records)} records, "
+            f"{self.bytes_used}/{self.capacity_bytes} bytes)"
+        )

@@ -1,0 +1,100 @@
+"""I/O and scan accounting.
+
+Section 6.1 of the paper analyses BIRCH's cost in terms of the number of
+full data scans, page reads and page writes.  ``IOStats`` is the single
+ledger those events are recorded in; the pagestore components and the
+``Birch`` driver all share one instance so experiment harnesses can print
+an exact I/O breakdown next to wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counters for simulated storage traffic.
+
+    Attributes
+    ----------
+    page_reads / page_writes:
+        Number of simulated disk page transfers (outlier spills and
+        re-absorption reads; the CF-tree itself is in-memory).
+    bytes_read / bytes_written:
+        Byte totals corresponding to the page counters.
+    data_scans:
+        Number of complete passes over the input dataset (Phase 1 is one
+        scan; each Phase 4 refinement pass adds one).
+    tree_rebuilds:
+        Number of CF-tree rebuilds triggered by memory exhaustion.
+    splits / merges:
+        CF-tree node splits and merging refinements performed.
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    data_scans: int = 0
+    tree_rebuilds: int = 0
+    splits: int = 0
+    merges: int = 0
+    _scan_points: int = field(default=0, repr=False)
+
+    def record_read(self, nbytes: int, pages: int = 1) -> None:
+        """Record ``pages`` simulated page reads totalling ``nbytes``."""
+        self.page_reads += pages
+        self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int, pages: int = 1) -> None:
+        """Record ``pages`` simulated page writes totalling ``nbytes``."""
+        self.page_writes += pages
+        self.bytes_written += nbytes
+
+    def record_scan(self, n_points: int = 0) -> None:
+        """Record one complete pass over the input data."""
+        self.data_scans += 1
+        self._scan_points += n_points
+
+    def record_rebuild(self) -> None:
+        """Record one CF-tree rebuild."""
+        self.tree_rebuilds += 1
+
+    def record_split(self) -> None:
+        """Record one node split."""
+        self.splits += 1
+
+    def record_merge(self) -> None:
+        """Record one merging refinement."""
+        self.merges += 1
+
+    @property
+    def points_scanned(self) -> int:
+        """Total data points touched across all recorded scans."""
+        return self._scan_points
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.page_reads = 0
+        self.page_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.data_scans = 0
+        self.tree_rebuilds = 0
+        self.splits = 0
+        self.merges = 0
+        self._scan_points = 0
+
+    def summary(self) -> dict[str, int]:
+        """Counters as a plain dict, for reports and assertions."""
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "data_scans": self.data_scans,
+            "tree_rebuilds": self.tree_rebuilds,
+            "splits": self.splits,
+            "merges": self.merges,
+        }

@@ -1,0 +1,145 @@
+"""Byte-accounted memory budget for the in-memory CF-tree.
+
+BIRCH's defining constraint is that the CF-tree must fit in ``M`` bytes
+of memory; when an insertion would exceed that, Phase 1 rebuilds the
+tree with a larger threshold.  ``MemoryBudget`` is the arbiter of that
+decision: the tree acquires one page per node and releases pages as
+nodes are freed, and the driver polls :meth:`would_exceed` /
+:attr:`over_budget` to decide when to rebuild.
+
+The budget is deliberately *advisory* rather than hard-failing during a
+rebuild: the Reducibility Theorem (Section 5.1.1) guarantees rebuilding
+needs at most ``h`` extra pages beyond the old tree, so the budget
+offers a matching transient allowance.
+"""
+
+from __future__ import annotations
+
+from repro.pagestore.page import PageLayout
+
+
+class MemoryExhaustedError(RuntimeError):
+    """Raised when a hard allocation exceeds the budget plus allowance."""
+
+
+#: Pages an in-flight insertion may overshoot the budget by — one split
+#: per tree level plus a new root; 32 covers any realistic tree height.
+_INSERTION_SLACK = 32
+
+
+class MemoryBudget:
+    """Tracks pages allocated against a byte budget ``M``.
+
+    Parameters
+    ----------
+    limit_bytes:
+        ``M`` in the paper.  The Table 2 default used by the experiment
+        harness is 80 KB.
+    layout:
+        The :class:`PageLayout` whose ``page_size`` each allocation
+        consumes.
+    transient_pages:
+        Extra pages tolerated while a rebuild is in flight (the paper's
+        "at most h extra pages").  The tree sets this to its height
+        before rebuilding.
+    """
+
+    def __init__(
+        self,
+        limit_bytes: int,
+        layout: PageLayout,
+        transient_pages: int = 0,
+    ) -> None:
+        if limit_bytes <= 0:
+            raise ValueError(f"limit_bytes must be positive, got {limit_bytes}")
+        self.limit_bytes = limit_bytes
+        self.layout = layout
+        self.transient_pages = transient_pages
+        self._pages_in_use = 0
+        self._peak_pages = 0
+
+    # -- capacity queries -------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per page, from the layout."""
+        return self.layout.page_size
+
+    @property
+    def capacity_pages(self) -> int:
+        """Pages that fit within the steady-state budget."""
+        return self.layout.max_pages(self.limit_bytes)
+
+    @property
+    def pages_in_use(self) -> int:
+        """Pages currently allocated."""
+        return self._pages_in_use
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes currently allocated."""
+        return self._pages_in_use * self.page_size
+
+    @property
+    def peak_pages(self) -> int:
+        """High-water mark of allocated pages."""
+        return self._peak_pages
+
+    @property
+    def over_budget(self) -> bool:
+        """True when current use exceeds the steady-state budget."""
+        return self._pages_in_use > self.capacity_pages
+
+    def would_exceed(self, extra_pages: int = 1) -> bool:
+        """Whether allocating ``extra_pages`` more would exceed budget."""
+        return self._pages_in_use + extra_pages > self.capacity_pages
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(self, pages: int = 1) -> None:
+        """Acquire ``pages`` pages.
+
+        Raises
+        ------
+        MemoryExhaustedError
+            If the allocation would exceed the budget *plus* the
+            transient rebuild allowance.  Routine over-budget growth is
+            allowed (and signalled via :attr:`over_budget`) so the
+            caller can finish the current insertion before rebuilding.
+        """
+        if pages < 0:
+            raise ValueError(f"pages must be >= 0, got {pages}")
+        hard_cap = self.capacity_pages + max(self.transient_pages, 0)
+        # Allow a split chain's worth of slack so the insertion that trips
+        # the budget can complete (one split per level plus a new root);
+        # the driver rebuilds immediately after.
+        if self._pages_in_use + pages > hard_cap + _INSERTION_SLACK and hard_cap > 0:
+            raise MemoryExhaustedError(
+                f"allocation of {pages} page(s) exceeds budget of "
+                f"{self.capacity_pages} + transient {self.transient_pages} "
+                f"pages (in use: {self._pages_in_use})"
+            )
+        self._pages_in_use += pages
+        self._peak_pages = max(self._peak_pages, self._pages_in_use)
+
+    def release(self, pages: int = 1) -> None:
+        """Return ``pages`` pages to the budget."""
+        if pages < 0:
+            raise ValueError(f"pages must be >= 0, got {pages}")
+        if pages > self._pages_in_use:
+            raise ValueError(
+                f"releasing {pages} page(s) but only {self._pages_in_use} in use"
+            )
+        self._pages_in_use -= pages
+
+    def reset(self) -> None:
+        """Release everything and clear the high-water mark."""
+        self._pages_in_use = 0
+        self._peak_pages = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryBudget(limit={self.limit_bytes}B, "
+            f"page={self.page_size}B, in_use={self._pages_in_use}/"
+            f"{self.capacity_pages} pages)"
+        )

@@ -1,0 +1,105 @@
+"""Page-size arithmetic for CF-tree nodes.
+
+A CF-tree node occupies one page of ``page_size`` bytes.  The paper
+derives the nonleaf branching factor ``B`` and the leaf capacity ``L``
+from the page size: "B and L are determined by P" (Section 4.1).  This
+module performs that derivation from an explicit byte layout:
+
+* a CF triple ``(N, LS, SS)`` stores one 8-byte count, ``d`` 8-byte
+  linear-sum coordinates and one 8-byte square sum;
+* a nonleaf entry additionally stores an 8-byte child pointer;
+* a leaf node reserves two 8-byte sibling pointers (``prev``/``next``)
+  for the leaf chain, plus a small fixed header on every node.
+
+The layout is deliberately simple and fixed — what matters for fidelity
+is that capacities scale the way the paper's do: linearly with ``P`` and
+inversely with ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_FLOAT_BYTES = 8
+_POINTER_BYTES = 8
+_NODE_HEADER_BYTES = 16  # entry count + node kind/flags
+
+
+@dataclass(frozen=True)
+class PageLayout:
+    """Byte layout of CF-tree pages for a given page size and dimension.
+
+    Parameters
+    ----------
+    page_size:
+        ``P`` in the paper, in bytes.  Defaults elsewhere to 1024 as in
+        the experimental setup (Table 2).
+    dimensions:
+        ``d``, the dimensionality of the data points being summarised.
+
+    Raises
+    ------
+    ValueError
+        If the page is too small to hold at least two entries of each
+        node kind (a tree cannot split nodes otherwise).
+    """
+
+    page_size: int
+    dimensions: int
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {self.page_size}")
+        if self.dimensions <= 0:
+            raise ValueError(f"dimensions must be positive, got {self.dimensions}")
+        if self.branching_factor < 2 or self.leaf_capacity < 2:
+            raise ValueError(
+                f"page_size={self.page_size} cannot hold two entries of "
+                f"dimension d={self.dimensions}; need at least "
+                f"{self.min_page_size(self.dimensions)} bytes"
+            )
+
+    @property
+    def cf_entry_bytes(self) -> int:
+        """Bytes for one bare CF triple (N, LS, SS)."""
+        return _FLOAT_BYTES * (1 + self.dimensions + 1)
+
+    @property
+    def nonleaf_entry_bytes(self) -> int:
+        """Bytes for one nonleaf entry ``[CF_i, child_i]``."""
+        return self.cf_entry_bytes + _POINTER_BYTES
+
+    @property
+    def leaf_entry_bytes(self) -> int:
+        """Bytes for one leaf entry ``[CF_i]`` (a subcluster)."""
+        return self.cf_entry_bytes
+
+    @property
+    def branching_factor(self) -> int:
+        """``B``: maximum children of a nonleaf node."""
+        usable = self.page_size - _NODE_HEADER_BYTES
+        return max(usable // self.nonleaf_entry_bytes, 0)
+
+    @property
+    def leaf_capacity(self) -> int:
+        """``L``: maximum subcluster entries in a leaf node."""
+        usable = self.page_size - _NODE_HEADER_BYTES - 2 * _POINTER_BYTES
+        return max(usable // self.leaf_entry_bytes, 0)
+
+    @staticmethod
+    def min_page_size(dimensions: int) -> int:
+        """Smallest page size that admits two entries per node kind."""
+        cf = _FLOAT_BYTES * (dimensions + 2)
+        nonleaf_need = _NODE_HEADER_BYTES + 2 * (cf + _POINTER_BYTES)
+        leaf_need = _NODE_HEADER_BYTES + 2 * _POINTER_BYTES + 2 * cf
+        return max(nonleaf_need, leaf_need)
+
+    def max_pages(self, memory_bytes: int) -> int:
+        """How many node pages fit in a memory budget of ``M`` bytes."""
+        if memory_bytes < 0:
+            raise ValueError(f"memory_bytes must be >= 0, got {memory_bytes}")
+        return memory_bytes // self.page_size
+
+    def outlier_record_bytes(self) -> int:
+        """Bytes for one spilled potential-outlier leaf entry on disk."""
+        return self.cf_entry_bytes

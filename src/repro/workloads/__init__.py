@@ -1,0 +1,42 @@
+"""Experiment workloads shared by the benchmark harness.
+
+* :mod:`repro.workloads.base` — the base workload of Section 6.3/6.4:
+  run BIRCH or CLARANS on a dataset and record time, quality and I/O.
+* :mod:`repro.workloads.scalability` — the Figure 4/5 sweeps over
+  growing N (via per-cluster n or via K).
+* :mod:`repro.workloads.sensitivity` — the Section 6.5 parameter sweeps
+  (initial threshold, page size, memory, outlier options).
+"""
+
+from repro.workloads.base import (
+    ExperimentRecord,
+    base_birch_config,
+    run_birch,
+    run_clarans,
+)
+from repro.workloads.compression import CompressionPoint, compression_sweep
+from repro.workloads.order_study import OrderStudy, run_order_study
+from repro.workloads.scalability import scalability_in_k, scalability_in_n
+from repro.workloads.sensitivity import (
+    sweep_initial_threshold,
+    sweep_memory,
+    sweep_outlier_options,
+    sweep_page_size,
+)
+
+__all__ = [
+    "CompressionPoint",
+    "ExperimentRecord",
+    "OrderStudy",
+    "base_birch_config",
+    "compression_sweep",
+    "run_birch",
+    "run_clarans",
+    "run_order_study",
+    "scalability_in_k",
+    "scalability_in_n",
+    "sweep_initial_threshold",
+    "sweep_memory",
+    "sweep_outlier_options",
+    "sweep_page_size",
+]

@@ -1,0 +1,176 @@
+"""Base-workload experiment runner (Sections 6.3 and 6.4).
+
+The paper's base workload runs BIRCH with the Table 2 defaults —
+``M`` = 80 KB, ``P`` = 1024, metric D2, ``T_0 = 0``, outlier handling
+on, Phase 4 refinement on — against DS1/DS2/DS3 and their randomized
+orders, recording running time and the weighted average diameter ``D``
+of the resulting clusters (Table 4), and the same for CLARANS with
+``numlocal = 2`` (Table 5).
+
+:func:`run_birch` / :func:`run_clarans` produce uniform
+:class:`ExperimentRecord` rows that the benchmark modules print in the
+papers' table shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.clarans import CLARANS
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.datagen.generator import Dataset
+from repro.evaluation.quality import (
+    cluster_cfs_from_labels,
+    weighted_average_diameter,
+)
+from repro.evaluation.timing import Timer
+
+__all__ = ["ExperimentRecord", "base_birch_config", "run_birch", "run_clarans"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One row of an experiment table.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset name (DS1, DS2O, ...).
+    algorithm:
+        "birch" or "clarans".
+    n_points:
+        Dataset size ``N``.
+    time_seconds:
+        Total wall-clock time of the run.
+    time_phases_1_3:
+        BIRCH time through Phase 3 (the paper reports both).
+    quality_d:
+        Weighted average cluster diameter (Tables 4-5's ``D``).
+    n_clusters:
+        Number of clusters produced.
+    extra:
+        Free-form additional metrics (rebuilds, I/O, thresholds...).
+    """
+
+    dataset: str
+    algorithm: str
+    n_points: int
+    time_seconds: float
+    time_phases_1_3: float
+    quality_d: float
+    n_clusters: int
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+def base_birch_config(
+    n_clusters: int = 100,
+    memory_bytes: int = 80 * 1024,
+    total_points_hint: Optional[int] = None,
+    **overrides: object,
+) -> BirchConfig:
+    """The Table 2 default configuration, with keyword overrides."""
+    kwargs: dict[str, object] = dict(
+        n_clusters=n_clusters,
+        memory_bytes=memory_bytes,
+        page_size=1024,
+        initial_threshold=0.0,
+        outlier_handling=True,
+        phase4_passes=1,
+        total_points_hint=total_points_hint,
+    )
+    kwargs.update(overrides)
+    return BirchConfig(**kwargs)  # type: ignore[arg-type]
+
+
+def run_birch(
+    dataset: Dataset, config: Optional[BirchConfig] = None
+) -> ExperimentRecord:
+    """Run the full BIRCH pipeline on a dataset and record the row."""
+    if config is None:
+        config = base_birch_config(
+            n_clusters=dataset.params.n_clusters,
+            total_points_hint=dataset.n_points,
+        )
+    estimator = Birch(config)
+    with Timer() as timer:
+        result = estimator.fit(dataset.points)
+
+    live_clusters = [cf for cf in result.clusters if cf.n > 0]
+    quality = weighted_average_diameter(live_clusters)
+    return ExperimentRecord(
+        dataset=dataset.name or "unnamed",
+        algorithm="birch",
+        n_points=dataset.n_points,
+        time_seconds=timer.elapsed,
+        time_phases_1_3=result.timings.phases_1_3,
+        quality_d=quality,
+        n_clusters=len(live_clusters),
+        extra={
+            "rebuilds": float(result.rebuilds),
+            "final_threshold": float(result.final_threshold),
+            "leaf_entries": float(result.tree_stats["leaf_entry_count"]),
+            "outliers": float(len(result.outliers)),
+            "data_scans": float(result.io["data_scans"]),
+            "page_reads": float(result.io["page_reads"]),
+            "page_writes": float(result.io["page_writes"]),
+            "phase1_s": result.timings.phase1,
+            "phase2_s": result.timings.phase2,
+            "phase3_s": result.timings.phase3,
+            "phase4_s": result.timings.phase4,
+        },
+    )
+
+
+def run_clarans(
+    dataset: Dataset,
+    n_clusters: Optional[int] = None,
+    numlocal: int = 2,
+    maxneighbor: Optional[int] = None,
+    seed: int = 0,
+) -> ExperimentRecord:
+    """Run CLARANS on a dataset with the paper's comparison settings."""
+    k = n_clusters if n_clusters is not None else dataset.params.n_clusters
+    algorithm = CLARANS(
+        n_clusters=k, numlocal=numlocal, maxneighbor=maxneighbor, seed=seed
+    )
+    with Timer() as timer:
+        result = algorithm.fit(dataset.points)
+
+    clusters = cluster_cfs_from_labels(dataset.points, result.labels, k)
+    live_clusters = [cf for cf in clusters if cf.n > 0]
+    quality = weighted_average_diameter(live_clusters)
+    return ExperimentRecord(
+        dataset=dataset.name or "unnamed",
+        algorithm="clarans",
+        n_points=dataset.n_points,
+        time_seconds=timer.elapsed,
+        time_phases_1_3=timer.elapsed,
+        quality_d=quality,
+        n_clusters=len(live_clusters),
+        extra={
+            "cost": result.cost,
+            "swaps": float(result.swaps_accepted),
+            "examined": float(result.neighbours_examined),
+        },
+    )
+
+
+def birch_point_labels(dataset: Dataset, config: Optional[BirchConfig] = None):
+    """Convenience: fit BIRCH and return (result, per-point labels)."""
+    if config is None:
+        config = base_birch_config(
+            n_clusters=dataset.params.n_clusters,
+            total_points_hint=dataset.n_points,
+        )
+    estimator = Birch(config)
+    result = estimator.fit(dataset.points)
+    labels = (
+        result.labels
+        if result.labels is not None
+        else estimator.predict(dataset.points)
+    )
+    return result, np.asarray(labels)

@@ -1,0 +1,75 @@
+"""Scalability sweeps (Section 6.6, Figures 4 and 5).
+
+Two ways of growing ``N``:
+
+* :func:`scalability_in_n` — keep ``K`` fixed, grow the per-cluster
+  point count (Figure 4: ``n`` from 250 to 2500, so ``N`` from 25k to
+  250k at full scale);
+* :func:`scalability_in_k` — keep ``n`` fixed, grow the number of
+  clusters (Figure 5: ``K`` up to 256).
+
+Each returns one :class:`~repro.workloads.base.ExperimentRecord` per
+dataset, with both the phases-1-3 and the phases-1-4 time so the two
+curve families of the figures can be plotted.  The paper's claim to
+check: both times grow *linearly* in ``N`` (Phase 4 adds a steeper but
+still linear component; the Figure 5 "1-4" curve also bears an
+``O(K * N)`` Phase 4 term).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datagen.generator import Pattern
+from repro.datagen.presets import scaled_k_family, scaled_n_family
+from repro.workloads.base import ExperimentRecord, base_birch_config, run_birch
+
+__all__ = ["scalability_in_k", "scalability_in_n"]
+
+
+def scalability_in_n(
+    pattern: Pattern,
+    per_cluster_sizes: Sequence[int],
+    n_clusters: int = 100,
+    memory_bytes: Optional[int] = None,
+    seed: int = 10,
+) -> list[ExperimentRecord]:
+    """Figure 4 sweep: fixed K, growing points per cluster.
+
+    ``memory_bytes`` defaults to the Table 2 value; the paper notes
+    memory need not grow with ``N`` because the tree summarises.
+    """
+    datasets = scaled_n_family(
+        pattern, list(per_cluster_sizes), n_clusters=n_clusters, seed=seed
+    )
+    records = []
+    for dataset in datasets:
+        config = base_birch_config(
+            n_clusters=n_clusters,
+            memory_bytes=memory_bytes or 80 * 1024,
+            total_points_hint=dataset.n_points,
+        )
+        records.append(run_birch(dataset, config))
+    return records
+
+
+def scalability_in_k(
+    pattern: Pattern,
+    cluster_counts: Sequence[int],
+    per_cluster: int = 1000,
+    memory_bytes: Optional[int] = None,
+    seed: int = 11,
+) -> list[ExperimentRecord]:
+    """Figure 5 sweep: fixed per-cluster n, growing K."""
+    datasets = scaled_k_family(
+        pattern, list(cluster_counts), per_cluster=per_cluster, seed=seed
+    )
+    records = []
+    for dataset in datasets:
+        config = base_birch_config(
+            n_clusters=dataset.params.n_clusters,
+            memory_bytes=memory_bytes or 80 * 1024,
+            total_points_hint=dataset.n_points,
+        )
+        records.append(run_birch(dataset, config))
+    return records

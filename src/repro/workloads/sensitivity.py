@@ -1,0 +1,122 @@
+"""Parameter-sensitivity sweeps (Section 6.5).
+
+The paper studies how BIRCH reacts to its knobs:
+
+* **initial threshold** ``T_0`` — performance is stable as long as
+  ``T_0`` is small; a ``T_0`` that is too high ends coarser than
+  optimal, but runs faster;
+* **page size** ``P`` — smaller pages mean finer trees and slower
+  Phase 1 but Phase 4 compensates quality; larger pages are coarser
+  but faster;
+* **memory size** ``M`` — less memory forces more rebuilds and coarser
+  subclusters, traded against Phase 4 refinement;
+* **outlier options** — handling on/off changes quality on noisy
+  datasets much more than on clean ones.
+
+Each sweep returns :class:`~repro.workloads.base.ExperimentRecord`
+rows over the swept values for a given dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datagen.generator import Dataset
+from repro.workloads.base import ExperimentRecord, base_birch_config, run_birch
+
+__all__ = [
+    "sweep_initial_threshold",
+    "sweep_memory",
+    "sweep_outlier_options",
+    "sweep_page_size",
+]
+
+
+def sweep_initial_threshold(
+    dataset: Dataset,
+    thresholds: Sequence[float],
+    n_clusters: int | None = None,
+    memory_bytes: int = 80 * 1024,
+) -> list[ExperimentRecord]:
+    """Vary ``T_0`` (Section 6.5 "Initial threshold")."""
+    k = n_clusters if n_clusters is not None else dataset.params.n_clusters
+    records = []
+    for t0 in thresholds:
+        config = base_birch_config(
+            n_clusters=k,
+            memory_bytes=memory_bytes,
+            total_points_hint=dataset.n_points,
+            initial_threshold=float(t0),
+        )
+        record = run_birch(dataset, config)
+        record.extra["initial_threshold"] = float(t0)
+        records.append(record)
+    return records
+
+
+def sweep_page_size(
+    dataset: Dataset,
+    page_sizes: Sequence[int],
+    n_clusters: int | None = None,
+    memory_bytes: int = 80 * 1024,
+) -> list[ExperimentRecord]:
+    """Vary ``P`` (Section 6.5 "Page Size": 256 to 4096 bytes)."""
+    k = n_clusters if n_clusters is not None else dataset.params.n_clusters
+    records = []
+    for p in page_sizes:
+        config = base_birch_config(
+            n_clusters=k,
+            memory_bytes=memory_bytes,
+            total_points_hint=dataset.n_points,
+            page_size=int(p),
+        )
+        record = run_birch(dataset, config)
+        record.extra["page_size"] = float(p)
+        records.append(record)
+    return records
+
+
+def sweep_memory(
+    dataset: Dataset,
+    memory_sizes: Sequence[int],
+    n_clusters: int | None = None,
+) -> list[ExperimentRecord]:
+    """Vary ``M`` (Section 6.5 "Memory Size")."""
+    k = n_clusters if n_clusters is not None else dataset.params.n_clusters
+    records = []
+    for m in memory_sizes:
+        config = base_birch_config(
+            n_clusters=k,
+            memory_bytes=int(m),
+            total_points_hint=dataset.n_points,
+        )
+        record = run_birch(dataset, config)
+        record.extra["memory_bytes"] = float(m)
+        records.append(record)
+    return records
+
+
+def sweep_outlier_options(
+    dataset: Dataset,
+    n_clusters: int | None = None,
+    memory_bytes: int = 80 * 1024,
+) -> list[ExperimentRecord]:
+    """Toggle outlier handling and delay-split (Section 6.5 "Outlier Options")."""
+    k = n_clusters if n_clusters is not None else dataset.params.n_clusters
+    records = []
+    for handling, delay, label in (
+        (False, False, "off"),
+        (True, False, "outlier-handling"),
+        (True, True, "outlier+delay-split"),
+    ):
+        config = base_birch_config(
+            n_clusters=k,
+            memory_bytes=memory_bytes,
+            total_points_hint=dataset.n_points,
+            outlier_handling=handling,
+            delay_split=delay,
+        )
+        record = run_birch(dataset, config)
+        record.extra["options"] = label  # type: ignore[assignment]
+        records.append(record)
+    return records

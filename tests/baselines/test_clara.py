@@ -1,0 +1,85 @@
+"""Tests for the CLARA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clara import CLARA
+from repro.baselines.kmedoids import KMedoids
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [15.0, 0.0], [0.0, 15.0]])
+    return (
+        np.concatenate([rng.normal(c, 0.5, size=(60, 2)) for c in centers]),
+        centers,
+    )
+
+
+class TestClustering:
+    def test_recovers_blobs(self, blobs):
+        points, centers = blobs
+        result = CLARA(n_clusters=3, n_samples=5, seed=0).fit(points)
+        for c in centers:
+            assert np.linalg.norm(result.medoids - c, axis=1).min() < 1.5
+
+    def test_labels_cover_dataset(self, blobs):
+        points, _ = blobs
+        result = CLARA(n_clusters=3, seed=0).fit(points)
+        assert result.labels.shape == (180,)
+        assert set(result.labels.tolist()) == {0, 1, 2}
+
+    def test_cost_is_full_dataset_cost(self, blobs):
+        points, _ = blobs
+        result = CLARA(n_clusters=3, seed=0).fit(points)
+        manual = sum(
+            float(np.linalg.norm(points[i] - result.medoids[result.labels[i]]))
+            for i in range(points.shape[0])
+        )
+        assert result.cost == pytest.approx(manual, rel=1e-9)
+
+    def test_medoids_come_from_dataset(self, blobs):
+        points, _ = blobs
+        result = CLARA(n_clusters=3, seed=0).fit(points)
+        for idx, medoid in zip(result.medoid_indices, result.medoids):
+            assert np.allclose(points[idx], medoid)
+
+    def test_more_samples_never_much_worse(self, blobs):
+        points, _ = blobs
+        one = CLARA(n_clusters=3, n_samples=1, seed=7).fit(points)
+        five = CLARA(n_clusters=3, n_samples=5, seed=7).fit(points)
+        assert five.cost <= one.cost + 1e-9  # same first sample, keeps best
+        assert five.samples_drawn == 5
+
+    def test_close_to_full_pam_on_small_data(self, blobs):
+        """With sample_size == N, CLARA degenerates to PAM exactly."""
+        points, _ = blobs
+        clara = CLARA(
+            n_clusters=3, n_samples=1, sample_size=points.shape[0], seed=0
+        ).fit(points)
+        pam = KMedoids(n_clusters=3).fit(points)
+        assert clara.cost == pytest.approx(pam.cost, rel=1e-9)
+
+    def test_deterministic_given_seed(self, blobs):
+        points, _ = blobs
+        a = CLARA(n_clusters=3, seed=5).fit(points)
+        b = CLARA(n_clusters=3, seed=5).fit(points)
+        assert np.array_equal(a.medoid_indices, b.medoid_indices)
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CLARA(n_clusters=0)
+        with pytest.raises(ValueError):
+            CLARA(n_clusters=3, n_samples=0)
+        with pytest.raises(ValueError):
+            CLARA(n_clusters=5, sample_size=3)
+
+    def test_too_few_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CLARA(n_clusters=10).fit(rng.normal(size=(4, 2)))
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CLARA(n_clusters=2).fit(rng.normal(size=8))

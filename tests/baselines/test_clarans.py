@@ -1,0 +1,121 @@
+"""Tests for the CLARANS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clarans import CLARANS, default_maxneighbor
+
+
+@pytest.fixture
+def four_blobs(rng):
+    centers = np.array([[0.0, 0.0], [15.0, 0.0], [0.0, 15.0], [15.0, 15.0]])
+    return np.concatenate([rng.normal(c, 0.5, size=(40, 2)) for c in centers]), centers
+
+
+class TestSearch:
+    def test_recovers_separated_blobs(self, four_blobs):
+        points, centers = four_blobs
+        result = CLARANS(n_clusters=4, numlocal=2, maxneighbor=150, seed=3).fit(points)
+        assert result.medoids.shape == (4, 2)
+        for c in centers:
+            nearest = np.linalg.norm(result.medoids - c, axis=1).min()
+            assert nearest < 1.5
+
+    def test_labels_partition_everything(self, four_blobs):
+        points, _ = four_blobs
+        result = CLARANS(n_clusters=4, maxneighbor=100, seed=0).fit(points)
+        assert result.labels.shape == (160,)
+        assert set(result.labels.tolist()) <= {0, 1, 2, 3}
+
+    def test_cost_matches_labelling(self, four_blobs):
+        points, _ = four_blobs
+        result = CLARANS(n_clusters=4, maxneighbor=100, seed=0).fit(points)
+        manual = 0.0
+        for i, label in enumerate(result.labels):
+            manual += np.linalg.norm(points[i] - result.medoids[label])
+        assert result.cost == pytest.approx(manual, rel=1e-9)
+
+    def test_medoids_are_dataset_points(self, four_blobs):
+        points, _ = four_blobs
+        result = CLARANS(n_clusters=4, maxneighbor=100, seed=0).fit(points)
+        for idx, medoid in zip(result.medoid_indices, result.medoids):
+            assert np.allclose(points[idx], medoid)
+
+    def test_deterministic_given_seed(self, four_blobs):
+        points, _ = four_blobs
+        a = CLARANS(n_clusters=4, maxneighbor=60, seed=5).fit(points)
+        b = CLARANS(n_clusters=4, maxneighbor=60, seed=5).fit(points)
+        assert np.array_equal(a.medoid_indices, b.medoid_indices)
+        assert a.cost == b.cost
+
+    def test_more_restarts_never_worse(self, four_blobs):
+        points, _ = four_blobs
+        one = CLARANS(n_clusters=4, numlocal=1, maxneighbor=40, seed=9).fit(points)
+        four = CLARANS(n_clusters=4, numlocal=4, maxneighbor=40, seed=9).fit(points)
+        # numlocal=4 explores a superset of restarts with the same RNG
+        # stream start, so its best cost is at most slightly worse.
+        assert four.cost <= one.cost * 1.25
+
+    def test_swaps_reduce_cost_vs_no_search(self, four_blobs):
+        points, _ = four_blobs
+        searched = CLARANS(n_clusters=4, numlocal=2, maxneighbor=120, seed=1).fit(points)
+        # "No search": maxneighbor=1 gives up almost immediately.
+        lazy = CLARANS(n_clusters=4, numlocal=1, maxneighbor=1, seed=1).fit(points)
+        assert searched.cost <= lazy.cost
+
+
+class TestParameters:
+    def test_default_maxneighbor_rule(self):
+        # max(250, 1.25% of K(N-K))
+        assert default_maxneighbor(1000, 10) == max(250, int(0.0125 * 10 * 990))
+        assert default_maxneighbor(100, 2) == 250  # floor applies
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CLARANS(n_clusters=0)
+        with pytest.raises(ValueError):
+            CLARANS(n_clusters=2, numlocal=0)
+        with pytest.raises(ValueError):
+            CLARANS(n_clusters=2, maxneighbor=0)
+
+    def test_too_few_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CLARANS(n_clusters=10).fit(rng.normal(size=(5, 2)))
+
+    def test_non_2d_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CLARANS(n_clusters=2).fit(rng.normal(size=10))
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(5, 2))
+        result = CLARANS(n_clusters=5, maxneighbor=10, seed=0).fit(points)
+        assert sorted(result.medoid_indices.tolist()) == [0, 1, 2, 3, 4]
+        assert result.cost == pytest.approx(0.0)
+
+
+class TestEffortCounters:
+    def test_examined_counts_accumulate(self, four_blobs):
+        points, _ = four_blobs
+        result = CLARANS(n_clusters=4, numlocal=2, maxneighbor=50, seed=2).fit(points)
+        assert result.neighbours_examined >= 2 * 50
+        assert result.restarts == 2
+
+
+class TestSwapDeltaProperty:
+    def test_delta_matches_recomputed_cost(self, four_blobs, rng):
+        """The O(N) swap delta equals the brute-force cost difference."""
+        from repro.baselines.clarans import _SwapState
+
+        points, _ = four_blobs
+        medoids = rng.choice(points.shape[0], size=4, replace=False)
+        state = _SwapState(points, medoids)
+        for _ in range(20):
+            out_pos = int(rng.integers(4))
+            candidate = int(rng.integers(points.shape[0]))
+            if state.is_medoid(candidate):
+                continue
+            delta = state.swap_delta(out_pos, candidate)
+            trial = state.medoid_indices.copy()
+            trial[out_pos] = candidate
+            brute = _SwapState(points, trial).cost - state.cost
+            assert delta == pytest.approx(brute, abs=1e-8)

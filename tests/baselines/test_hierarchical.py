@@ -1,0 +1,46 @@
+"""Tests for agglomerative clustering on raw points."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hierarchical import agglomerative_points
+from repro.core.distances import Metric
+from repro.core.features import CF
+from repro.core.global_clustering import agglomerative_cf
+
+
+class TestPointClustering:
+    def test_recovers_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        points = np.concatenate([rng.normal(c, 0.3, size=(15, 2)) for c in centers])
+        result = agglomerative_points(points, n_clusters=3)
+        truth = np.repeat(np.arange(3), 15)
+        for label in range(3):
+            assert len(set(result.labels[truth == label])) == 1
+
+    def test_equivalent_to_singleton_cf_clustering(self, rng):
+        points = rng.normal(size=(20, 2)) * 3
+        via_points = agglomerative_points(points, n_clusters=4)
+        via_cfs = agglomerative_cf(
+            [CF.from_point(p) for p in points], n_clusters=4
+        )
+        assert np.array_equal(via_points.labels, via_cfs.labels)
+
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_all_metrics(self, metric, rng):
+        points = np.concatenate(
+            [rng.normal(0, 0.3, size=(10, 2)), rng.normal(20, 0.3, size=(10, 2))]
+        )
+        result = agglomerative_points(points, n_clusters=2, metric=metric)
+        truth = np.repeat(np.arange(2), 10)
+        for label in range(2):
+            assert len(set(result.labels[truth == label])) == 1
+
+    def test_conservation(self, rng):
+        points = rng.normal(size=(25, 2))
+        result = agglomerative_points(points, n_clusters=5)
+        assert sum(cf.n for cf in result.clusters) == 25
+
+    def test_non_2d_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            agglomerative_points(rng.normal(size=9), n_clusters=2)

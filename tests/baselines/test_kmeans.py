@@ -1,0 +1,68 @@
+"""Tests for the Lloyd k-means baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeans
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [20.0, 0.0], [0.0, 20.0]])
+    return np.concatenate([rng.normal(c, 0.6, size=(70, 2)) for c in centers]), centers
+
+
+class TestClustering:
+    def test_recovers_blobs(self, blobs):
+        points, centers = blobs
+        result = KMeans(n_clusters=3, seed=0).fit(points)
+        for c in centers:
+            assert np.linalg.norm(result.centroids - c, axis=1).min() < 0.5
+
+    def test_inertia_matches_labels(self, blobs):
+        points, _ = blobs
+        result = KMeans(n_clusters=3, seed=0).fit(points)
+        manual = float(
+            ((points - result.centroids[result.labels]) ** 2).sum()
+        )
+        assert result.inertia == pytest.approx(manual, rel=1e-9)
+
+    def test_converges_on_easy_data(self, blobs):
+        points, _ = blobs
+        result = KMeans(n_clusters=3, seed=0).fit(points)
+        assert result.converged
+
+    def test_iterations_monotone_cost(self, blobs):
+        """Lloyd never increases inertia with more iterations."""
+        points, _ = blobs
+        short = KMeans(n_clusters=3, max_iter=1, seed=4).fit(points)
+        long = KMeans(n_clusters=3, max_iter=50, seed=4).fit(points)
+        assert long.inertia <= short.inertia + 1e-9
+
+    def test_deterministic_given_seed(self, blobs):
+        points, _ = blobs
+        a = KMeans(n_clusters=3, seed=11).fit(points)
+        b = KMeans(n_clusters=3, seed=11).fit(points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_k_larger_than_n(self, rng):
+        points = rng.normal(size=(4, 2))
+        result = KMeans(n_clusters=10, seed=0).fit(points)
+        assert result.centroids.shape[0] == 4
+
+    def test_duplicate_points(self):
+        points = np.tile([1.0, 2.0], (30, 1))
+        result = KMeans(n_clusters=2, seed=0).fit(points)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, max_iter=0)
+
+    def test_non_2d_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(rng.normal(size=7))

@@ -1,0 +1,68 @@
+"""Tests for the PAM k-medoids baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmedoids import KMedoids
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [12.0, 0.0]])
+    return np.concatenate([rng.normal(c, 0.4, size=(25, 2)) for c in centers]), centers
+
+
+class TestClustering:
+    def test_recovers_blobs(self, blobs):
+        points, centers = blobs
+        result = KMedoids(n_clusters=2).fit(points)
+        for c in centers:
+            assert np.linalg.norm(result.medoids - c, axis=1).min() < 1.0
+
+    def test_cost_matches_labels(self, blobs):
+        points, _ = blobs
+        result = KMedoids(n_clusters=2).fit(points)
+        manual = sum(
+            float(np.linalg.norm(points[i] - result.medoids[result.labels[i]]))
+            for i in range(points.shape[0])
+        )
+        assert result.cost == pytest.approx(manual, rel=1e-9)
+
+    def test_deterministic(self, blobs):
+        points, _ = blobs
+        a = KMedoids(n_clusters=2).fit(points)
+        b = KMedoids(n_clusters=2).fit(points)
+        assert np.array_equal(a.medoid_indices, b.medoid_indices)
+
+    def test_medoids_are_points(self, blobs):
+        points, _ = blobs
+        result = KMedoids(n_clusters=2).fit(points)
+        for idx, m in zip(result.medoid_indices, result.medoids):
+            assert np.allclose(points[idx], m)
+
+    def test_pam_at_least_as_good_as_clarans_local_minimum(self, blobs):
+        """PAM's exhaustive swaps reach a cost no worse than a short
+        randomized CLARANS run on the same data."""
+        from repro.baselines.clarans import CLARANS
+
+        points, _ = blobs
+        pam = KMedoids(n_clusters=2).fit(points)
+        clarans = CLARANS(n_clusters=2, numlocal=1, maxneighbor=20, seed=0).fit(points)
+        assert pam.cost <= clarans.cost + 1e-9
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            KMedoids(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMedoids(n_clusters=2, max_iter=0)
+
+    def test_too_few_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            KMedoids(n_clusters=5).fit(rng.normal(size=(3, 2)))
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(4, 2))
+        result = KMedoids(n_clusters=4).fit(points)
+        assert result.cost == pytest.approx(0.0)

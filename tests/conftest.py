@@ -1,0 +1,47 @@
+"""Shared fixtures for the BIRCH reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import CF
+from repro.pagestore.page import PageLayout
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that sample data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def layout_2d() -> PageLayout:
+    """Default 1 KB page layout for 2-d data (the paper's setting)."""
+    return PageLayout(page_size=1024, dimensions=2)
+
+
+@pytest.fixture
+def small_layout_2d() -> PageLayout:
+    """A tiny page so trees split early in tests."""
+    return PageLayout(page_size=128, dimensions=2)
+
+
+@pytest.fixture
+def blob_points(rng: np.random.Generator) -> np.ndarray:
+    """Three well-separated Gaussian blobs in 2-d, 150 points."""
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 9.0]])
+    return np.concatenate(
+        [rng.normal(c, 0.5, size=(50, 2)) for c in centers]
+    )
+
+
+@pytest.fixture
+def blob_labels() -> np.ndarray:
+    """Ground-truth labels for ``blob_points``."""
+    return np.repeat(np.arange(3), 50)
+
+
+def make_cf(points: np.ndarray) -> CF:
+    """Helper: exact CF of a point array."""
+    return CF.from_points(points)

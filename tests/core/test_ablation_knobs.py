@@ -1,0 +1,102 @@
+"""Tests for the ablation switches: merging refinement, threshold modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.rebuild import rebuild_tree
+from repro.core.threshold import ThresholdPolicy
+from repro.core.tree import CFTree
+from repro.pagestore.iostats import IOStats
+from repro.pagestore.page import PageLayout
+
+
+def build_tree(points, merging_refinement=True, stats=None) -> CFTree:
+    # Page big enough for B > 2, so the closest pair at the stop node is
+    # not always the freshly split pair and refinement can fire.
+    layout = PageLayout(page_size=512, dimensions=2)
+    tree = CFTree(
+        layout, threshold=0.2, stats=stats, merging_refinement=merging_refinement
+    )
+    for p in points:
+        tree.insert_point(p)
+    return tree
+
+
+class TestMergingRefinementToggle:
+    def test_disabled_tree_records_no_merges(self, rng):
+        pts = rng.normal(size=(400, 2)) * 20
+        stats = IOStats()
+        build_tree(pts, merging_refinement=False, stats=stats)
+        assert stats.merges == 0
+
+    def test_enabled_tree_merges(self, rng):
+        pts = rng.normal(size=(400, 2)) * 20
+        stats = IOStats()
+        build_tree(pts, merging_refinement=True, stats=stats)
+        assert stats.merges > 0
+
+    def test_disabled_tree_still_valid(self, rng):
+        pts = rng.normal(size=(400, 2)) * 20
+        tree = build_tree(pts, merging_refinement=False)
+        tree.check_invariants()
+        assert tree.points == 400
+
+    def test_refinement_improves_or_equals_node_count(self, rng):
+        """Merging refinement exists to improve space utilisation."""
+        pts = rng.normal(size=(600, 2)) * 20
+        with_ref = build_tree(pts, merging_refinement=True)
+        without = build_tree(pts, merging_refinement=False)
+        assert with_ref.node_count <= without.node_count * 1.1
+
+    def test_setting_survives_rebuild(self, rng):
+        pts = rng.normal(size=(200, 2)) * 10
+        tree = build_tree(pts, merging_refinement=False)
+        rebuilt = rebuild_tree(tree, 1.0)
+        assert rebuilt.merging_refinement is False
+
+    def test_config_pass_through(self, rng):
+        pts = rng.normal(size=(100, 2))
+        estimator = Birch(
+            BirchConfig(n_clusters=2, merging_refinement=False, phase4_passes=0)
+        )
+        estimator.partial_fit(pts)
+        assert estimator.tree.merging_refinement is False
+
+
+class TestThresholdModes:
+    @pytest.mark.parametrize("mode", ["full", "volume", "regression", "dmin"])
+    def test_all_modes_grow_threshold(self, mode, rng):
+        pts = rng.normal(size=(150, 2)) * 5
+        tree = build_tree(pts)
+        policy = ThresholdPolicy(mode=mode)
+        t_next = policy.next_threshold(tree, 150)
+        assert t_next > tree.threshold
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(mode="magic")
+        with pytest.raises(ValueError):
+            BirchConfig(n_clusters=2, threshold_mode="magic")
+
+    @pytest.mark.parametrize("mode", ["full", "volume", "dmin"])
+    def test_pipeline_completes_under_each_mode(self, mode, rng):
+        points = np.concatenate(
+            [rng.normal(c, 0.4, size=(150, 2)) for c in ((0, 0), (10, 0), (0, 10))]
+        )
+        config = BirchConfig(
+            n_clusters=3,
+            memory_bytes=4 * 1024,
+            threshold_mode=mode,
+            total_points_hint=len(points),
+        )
+        result = Birch(config).fit(points)
+        assert result.n_clusters == 3
+        assert result.rebuilds > 0  # the tight budget forced the policy to act
+
+    def test_config_pass_through(self, rng):
+        estimator = Birch(BirchConfig(n_clusters=2, threshold_mode="dmin"))
+        estimator.partial_fit(rng.normal(size=(20, 2)))
+        assert estimator._policy is not None
+        assert estimator._policy.mode == "dmin"

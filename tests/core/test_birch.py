@@ -1,0 +1,280 @@
+"""Tests for the four-phase Birch estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.features import CF
+
+
+@pytest.fixture
+def three_blobs(rng):
+    centers = np.array([[0.0, 0.0], [12.0, 0.0], [0.0, 12.0]])
+    points = np.concatenate([rng.normal(c, 0.5, size=(100, 2)) for c in centers])
+    return points, centers
+
+
+class TestFit:
+    def test_recovers_blob_centroids(self, three_blobs):
+        points, centers = three_blobs
+        result = Birch(BirchConfig(n_clusters=3)).fit(points)
+        assert result.n_clusters == 3
+        for c in centers:
+            nearest = np.linalg.norm(result.centroids - c, axis=1).min()
+            assert nearest < 0.5
+
+    def test_labels_cover_all_points(self, three_blobs):
+        points, _ = three_blobs
+        result = Birch(BirchConfig(n_clusters=3)).fit(points)
+        assert result.labels is not None
+        assert result.labels.shape == (300,)
+        assert (result.labels >= 0).all()
+
+    def test_cluster_point_conservation(self, three_blobs):
+        points, _ = three_blobs
+        result = Birch(BirchConfig(n_clusters=3)).fit(points)
+        assert sum(cf.n for cf in result.clusters) == 300
+
+    def test_phase4_off_gives_no_labels(self, three_blobs):
+        points, _ = three_blobs
+        config = BirchConfig(n_clusters=3, phase4_passes=0)
+        result = Birch(config).fit(points)
+        assert result.labels is None
+        assert result.refinement is None
+
+    def test_timings_populated(self, three_blobs):
+        points, _ = three_blobs
+        result = Birch(BirchConfig(n_clusters=3)).fit(points)
+        assert result.timings.phase1 > 0
+        assert result.timings.phase3 > 0
+        assert result.timings.total >= result.timings.phases_1_3
+
+    def test_kmeans_phase3_variant(self, three_blobs):
+        points, centers = three_blobs
+        config = BirchConfig(n_clusters=3, phase3_algorithm="kmeans")
+        result = Birch(config).fit(points)
+        for c in centers:
+            nearest = np.linalg.norm(result.centroids - c, axis=1).min()
+            assert nearest < 0.5
+
+    def test_refit_resets_state(self, three_blobs, rng):
+        points, _ = three_blobs
+        estimator = Birch(BirchConfig(n_clusters=3))
+        estimator.fit(points)
+        other = rng.normal(5.0, 0.3, size=(50, 2))
+        result = Birch(BirchConfig(n_clusters=1)).fit(other)
+        assert sum(cf.n for cf in result.clusters) == 50
+
+    def test_invalid_input_rejected(self):
+        estimator = Birch(BirchConfig(n_clusters=2))
+        with pytest.raises(ValueError):
+            estimator.fit(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            estimator.fit(np.zeros(5))
+
+
+class TestMemoryPressure:
+    def test_rebuilds_triggered_by_tight_memory(self, rng):
+        points = rng.normal(size=(3000, 2)) * 50
+        config = BirchConfig(
+            n_clusters=5, memory_bytes=8 * 1024, total_points_hint=3000
+        )
+        estimator = Birch(config)
+        result = estimator.fit(points)
+        assert result.rebuilds > 0
+        assert result.final_threshold > 0.0
+
+    def test_tree_respects_budget_after_fit(self, rng):
+        points = rng.normal(size=(3000, 2)) * 50
+        config = BirchConfig(n_clusters=5, memory_bytes=8 * 1024)
+        estimator = Birch(config)
+        estimator.fit(points)
+        budget = estimator._budget
+        assert budget is not None
+        assert budget.pages_in_use <= budget.capacity_pages + 1
+
+    def test_conservation_under_pressure_without_outliers(self, rng):
+        points = rng.normal(size=(2000, 2)) * 30
+        config = BirchConfig(
+            n_clusters=4, memory_bytes=8 * 1024, outlier_handling=False
+        )
+        estimator = Birch(config)
+        estimator.partial_fit(points)
+        assert estimator.tree.summary_cf().n == 2000
+
+    def test_conservation_with_outliers(self, rng):
+        points = rng.normal(size=(2000, 2)) * 30
+        config = BirchConfig(n_clusters=4, memory_bytes=8 * 1024)
+        estimator = Birch(config)
+        estimator.partial_fit(points)
+        on_disk = (
+            estimator._outlier_handler.pending_points
+            if estimator._outlier_handler
+            else 0
+        )
+        assert estimator.tree.summary_cf().n + on_disk == 2000
+
+
+class TestPartialFit:
+    def test_incremental_batches_accumulate(self, three_blobs):
+        points, _ = three_blobs
+        estimator = Birch(BirchConfig(n_clusters=3))
+        estimator.partial_fit(points[:100])
+        estimator.partial_fit(points[100:200])
+        estimator.partial_fit(points[200:])
+        assert estimator.points_seen == 300
+        result = estimator.finalize()
+        assert result.n_clusters == 3
+        assert result.labels is None  # finalize cannot run Phase 4
+
+    def test_finalize_without_data_rejected(self):
+        with pytest.raises(RuntimeError):
+            Birch(BirchConfig(n_clusters=2)).finalize()
+
+    def test_dimension_mismatch_between_batches(self, rng):
+        estimator = Birch(BirchConfig(n_clusters=2))
+        estimator.partial_fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            estimator.partial_fit(rng.normal(size=(10, 3)))
+
+    def test_tree_property_before_data_rejected(self):
+        with pytest.raises(RuntimeError):
+            _ = Birch(BirchConfig(n_clusters=2)).tree
+
+
+class TestPredict:
+    def test_predict_matches_fit_labels(self, three_blobs):
+        points, _ = three_blobs
+        estimator = Birch(BirchConfig(n_clusters=3))
+        result = estimator.fit(points)
+        predicted = estimator.predict(points)
+        kept = result.labels >= 0
+        assert np.array_equal(predicted[kept], result.labels[kept])
+
+    def test_predict_before_fit_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            Birch(BirchConfig(n_clusters=2)).predict(rng.normal(size=(5, 2)))
+
+    def test_predict_new_points(self, three_blobs):
+        points, centers = three_blobs
+        estimator = Birch(BirchConfig(n_clusters=3))
+        estimator.fit(points)
+        probes = centers + 0.1
+        labels = estimator.predict(probes)
+        assert len(set(labels.tolist())) == 3
+
+
+class TestDelaySplit:
+    def test_delay_split_runs_and_conserves(self, rng):
+        points = rng.normal(size=(2000, 2)) * 30
+        config = BirchConfig(
+            n_clusters=4,
+            memory_bytes=8 * 1024,
+            delay_split=True,
+            total_points_hint=2000,
+        )
+        estimator = Birch(config)
+        result = estimator.fit(points)
+        # Phase 1 conservation: tree + spilled outliers account for all
+        # points.  (Phase 4 then reassigns every raw point, outliers
+        # included, so the final clusters sum to N regardless.)
+        tree_points = int(result.tree_stats["points"])
+        outlier_points = sum(cf.n for cf in result.outliers)
+        assert tree_points + outlier_points == 2000
+        assert sum(cf.n for cf in result.clusters) == 2000
+
+
+class TestPhase2:
+    def test_condense_respects_input_limit(self, rng):
+        points = rng.normal(size=(3000, 2)) * 100
+        config = BirchConfig(
+            n_clusters=5,
+            phase3_input_limit=200,
+            memory_bytes=256 * 1024,
+        )
+        estimator = Birch(config)
+        result = estimator.fit(points)
+        assert result.tree_stats["leaf_entry_count"] <= 200
+
+    def test_phase2_disabled_keeps_entries(self, rng):
+        points = rng.normal(size=(500, 2)) * 100
+        config = BirchConfig(
+            n_clusters=5,
+            phase2_enabled=False,
+            phase3_input_limit=10,
+            memory_bytes=256 * 1024,
+        )
+        result = Birch(config).fit(points)
+        # Without condensing, far more entries than the limit survive.
+        assert result.tree_stats["leaf_entry_count"] > 10
+
+
+class TestRebuildHistory:
+    def test_history_records_each_rebuild(self, rng):
+        points = rng.normal(size=(3000, 2)) * 50
+        config = BirchConfig(
+            n_clusters=5, memory_bytes=8 * 1024, total_points_hint=3000
+        )
+        estimator = Birch(config)
+        estimator.partial_fit(points)
+        history = estimator.rebuild_history
+        assert len(history) == estimator.rebuilds
+        # Thresholds grow strictly across rebuilds.
+        thresholds = [t for _, t in history]
+        assert all(a < b for a, b in zip(thresholds, thresholds[1:]))
+        # Points-seen values are non-decreasing.
+        seen = [n for n, _ in history]
+        assert all(a <= b for a, b in zip(seen, seen[1:]))
+
+    def test_history_cleared_on_refit(self, rng):
+        points = rng.normal(size=(2000, 2)) * 50
+        config = BirchConfig(
+            n_clusters=3, memory_bytes=8 * 1024, total_points_hint=2000
+        )
+        estimator = Birch(config)
+        estimator.fit(points)
+        first = len(estimator.rebuild_history)
+        estimator.fit(points)
+        assert len(estimator.rebuild_history) <= first + 4  # reset, not doubled
+
+
+class TestImprove:
+    def test_improve_reduces_or_holds_cost(self, three_blobs, rng):
+        points, _ = three_blobs
+        estimator = Birch(BirchConfig(n_clusters=3, phase4_passes=0))
+        estimator.fit(points)
+        before = estimator.result
+
+        def cost(result):
+            labels = estimator.predict(points)
+            return float(
+                ((points - result.centroids[labels]) ** 2).sum()
+            )
+
+        cost_before = cost(before)
+        after = estimator.improve(points, passes=3)
+        cost_after = cost(after)
+        assert cost_after <= cost_before + 1e-9
+        assert after.labels is not None
+
+    def test_improve_accumulates_scans(self, three_blobs):
+        points, _ = three_blobs
+        estimator = Birch(BirchConfig(n_clusters=3))
+        estimator.fit(points)
+        scans_before = estimator.result.io["data_scans"]
+        estimator.improve(points, passes=2)
+        assert estimator.result.io["data_scans"] > scans_before
+
+    def test_improve_before_fit_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            Birch(BirchConfig(n_clusters=2)).improve(rng.normal(size=(5, 2)))
+
+    def test_improve_after_finalize(self, three_blobs):
+        points, _ = three_blobs
+        estimator = Birch(BirchConfig(n_clusters=3, phase4_passes=0))
+        estimator.partial_fit(points)
+        estimator.finalize()
+        result = estimator.improve(points, passes=1)
+        assert result.labels is not None
+        assert result.labels.shape == (points.shape[0],)

@@ -1,0 +1,55 @@
+"""Tests for BirchConfig validation and defaults."""
+
+import pytest
+
+from repro.core.config import BirchConfig
+from repro.core.distances import Metric
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = BirchConfig(n_clusters=100)
+        assert config.memory_bytes == 80 * 1024
+        assert config.page_size == 1024
+        assert config.metric is Metric.D2_AVG_INTERCLUSTER
+        assert config.initial_threshold == 0.0
+        assert config.outlier_handling
+        assert config.phase3_input_limit == 1000
+        assert config.phase4_passes == 1
+
+    def test_disk_defaults_to_20_percent(self):
+        config = BirchConfig(n_clusters=10)
+        assert config.effective_disk_bytes == config.memory_bytes // 5
+
+    def test_explicit_disk_respected(self):
+        config = BirchConfig(n_clusters=10, disk_bytes=4096)
+        assert config.effective_disk_bytes == 4096
+
+    def test_metric_accepts_string(self):
+        config = BirchConfig(n_clusters=5, metric="d4")
+        assert config.metric is Metric.D4_VARIANCE_INCREASE
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_clusters": 0},
+            {"n_clusters": 5, "memory_bytes": 0},
+            {"n_clusters": 5, "page_size": 0},
+            {"n_clusters": 5, "disk_bytes": -1},
+            {"n_clusters": 5, "initial_threshold": -0.1},
+            {"n_clusters": 5, "phase3_algorithm": "dbscan"},
+            {"n_clusters": 5, "phase3_input_limit": 4},
+            {"n_clusters": 5, "phase4_passes": -1},
+            {"n_clusters": 5, "phase4_outlier_factor": 0.0},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BirchConfig(**kwargs)
+
+    def test_phase3_limit_must_cover_k(self):
+        BirchConfig(n_clusters=5, phase3_input_limit=5)  # boundary is legal
+        with pytest.raises(ValueError):
+            BirchConfig(n_clusters=6, phase3_input_limit=5)

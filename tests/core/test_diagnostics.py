@@ -1,0 +1,90 @@
+"""Tests for the CF-tree diagnostics module."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import diagnose, render_outline
+from repro.core.tree import CFTree
+from repro.pagestore.page import PageLayout
+
+
+@pytest.fixture
+def big_tree(rng) -> CFTree:
+    layout = PageLayout(page_size=256, dimensions=2)
+    tree = CFTree(layout, threshold=0.5)
+    for p in rng.normal(size=(600, 2)) * 20:
+        tree.insert_point(p)
+    return tree
+
+
+@pytest.fixture
+def tiny_tree() -> CFTree:
+    layout = PageLayout(page_size=256, dimensions=2)
+    tree = CFTree(layout, threshold=1.0)
+    tree.insert_point(np.array([0.0, 0.0]))
+    return tree
+
+
+class TestDiagnose:
+    def test_levels_consistent_with_tree_stats(self, big_tree):
+        diag = diagnose(big_tree)
+        stats = big_tree.tree_stats()
+        assert diag.height == stats.height
+        assert diag.total_nodes == stats.node_count
+        assert diag.nodes_per_level[-1] == stats.leaf_count
+        assert diag.leaf_entry_count == stats.leaf_entry_count
+
+    def test_root_level_is_single_node(self, big_tree):
+        diag = diagnose(big_tree)
+        assert diag.nodes_per_level[0] == 1
+
+    def test_fanout_within_capacity(self, big_tree):
+        diag = diagnose(big_tree)
+        assert 2 <= diag.mean_fanout <= big_tree.layout.branching_factor
+
+    def test_occupancy_in_unit_range(self, big_tree):
+        diag = diagnose(big_tree)
+        assert 0.0 < diag.leaf_occupancy <= 1.0
+
+    def test_entry_points_sum_to_inserted(self, big_tree):
+        diag = diagnose(big_tree)
+        assert int(diag.entry_points.sum()) == 600
+
+    def test_headroom_bounds_entry_sizes(self, big_tree):
+        diag = diagnose(big_tree)
+        if diag.threshold_headroom is not None:
+            # headroom = 1 - max/T, so max = (1 - headroom) * T <= T + slack
+            assert diag.threshold_headroom <= 1.0
+
+    def test_tiny_tree(self, tiny_tree):
+        diag = diagnose(tiny_tree)
+        assert diag.height == 1
+        assert diag.total_nodes == 1
+        assert diag.leaf_entry_count == 1
+        assert diag.threshold_headroom is None  # no multi-point entries
+
+    def test_summary_lines_render(self, big_tree):
+        lines = diagnose(big_tree).summary_lines()
+        assert any("height" in line for line in lines)
+        assert any("occupancy" in line for line in lines)
+        assert any("threshold" in line for line in lines)
+
+
+class TestOutline:
+    def test_outline_mentions_root(self, big_tree):
+        outline = render_outline(big_tree)
+        first = outline.split("\n")[0]
+        assert "n=600" in first
+
+    def test_outline_elides_depth(self, big_tree):
+        outline = render_outline(big_tree, max_depth=1)
+        assert "..." in outline or big_tree.height == 1
+
+    def test_outline_elides_wide_nodes(self, big_tree):
+        outline = render_outline(big_tree, max_children=1, max_depth=3)
+        if big_tree.root.size > 1:
+            assert "more" in outline
+
+    def test_leaf_only_tree(self, tiny_tree):
+        outline = render_outline(tiny_tree)
+        assert outline.startswith("leaf[")

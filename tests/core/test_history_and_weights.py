@@ -1,0 +1,92 @@
+"""Tests for the Phase 3 merge history and weighted partial_fit."""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.features import CF
+from repro.core.global_clustering import agglomerative_cf
+
+
+class TestMergeHistory:
+    def test_history_length(self, rng):
+        entries = [CF.from_point(rng.normal(size=2)) for _ in range(12)]
+        result = agglomerative_cf(entries, n_clusters=3)
+        # m entries merged down to k clusters takes m - k merges.
+        assert len(result.history) == 9
+
+    def test_history_indices_valid(self, rng):
+        entries = [CF.from_point(rng.normal(size=2)) for _ in range(10)]
+        result = agglomerative_cf(entries, n_clusters=2)
+        for step in result.history:
+            assert 0 <= step.left < 10
+            assert 0 <= step.right < 10
+            assert step.left != step.right
+            assert step.distance >= 0
+            assert step.merged_points >= 2
+
+    def test_final_merge_covers_everything_at_k1(self, rng):
+        entries = [CF.from_point(rng.normal(size=2)) for _ in range(8)]
+        result = agglomerative_cf(entries, n_clusters=1)
+        assert result.history[-1].merged_points == 8
+
+    def test_first_merge_is_globally_closest_pair(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 0.0], [9.0, 0.0]])
+        entries = [CF.from_point(p) for p in pts]
+        result = agglomerative_cf(entries, n_clusters=1)
+        first = result.history[0]
+        assert {first.left, first.right} == {0, 1}
+
+    def test_no_history_when_k_equals_m(self, rng):
+        entries = [CF.from_point(rng.normal(size=2)) for _ in range(4)]
+        result = agglomerative_cf(entries, n_clusters=4)
+        assert result.history == []
+
+    def test_merged_points_monotone_overall_total(self, rng):
+        """Each step's merged cluster never exceeds the total points."""
+        entries = [CF.from_points(rng.normal(size=(3, 2))) for _ in range(10)]
+        result = agglomerative_cf(entries, n_clusters=2)
+        total = sum(cf.n for cf in entries)
+        assert all(step.merged_points <= total for step in result.history)
+
+
+class TestWeightedPartialFit:
+    def test_weight_w_equals_w_copies(self, rng):
+        points = rng.normal(size=(30, 2))
+        weights = rng.integers(1, 5, size=30)
+
+        weighted = Birch(BirchConfig(n_clusters=2, phase4_passes=0))
+        weighted.partial_fit(points, weights=weights)
+
+        expanded = np.repeat(points, weights, axis=0)
+        copies = Birch(BirchConfig(n_clusters=2, phase4_passes=0))
+        copies.partial_fit(expanded)
+
+        a = weighted.tree.summary_cf()
+        b = copies.tree.summary_cf()
+        assert a.n == b.n
+        assert np.allclose(a.ls, b.ls, rtol=1e-9)
+        assert a.ss == pytest.approx(b.ss, rel=1e-9)
+
+    def test_points_seen_counts_weights(self, rng):
+        points = rng.normal(size=(10, 2))
+        estimator = Birch(BirchConfig(n_clusters=2, phase4_passes=0))
+        estimator.partial_fit(points, weights=np.full(10, 3))
+        assert estimator.points_seen == 30
+
+    def test_weighted_centroid_pull(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        estimator = Birch(BirchConfig(n_clusters=1, phase4_passes=0))
+        estimator.partial_fit(points, weights=np.array([9, 1]))
+        result = estimator.finalize()
+        # Weighted mean: (9*0 + 1*10) / 10 = 1.0
+        assert result.centroids[0][0] == pytest.approx(1.0)
+
+    def test_bad_weights_rejected(self, rng):
+        points = rng.normal(size=(5, 2))
+        estimator = Birch(BirchConfig(n_clusters=2))
+        with pytest.raises(ValueError):
+            estimator.partial_fit(points, weights=np.ones(4))
+        with pytest.raises(ValueError):
+            estimator.partial_fit(points, weights=np.zeros(5))

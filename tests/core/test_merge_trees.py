@@ -1,0 +1,107 @@
+"""Tests for CF-tree merging (the data-parallel Phase 1 pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import CF
+from repro.core.merge import merge_trees
+from repro.core.tree import CFTree, ThresholdKind
+from repro.pagestore.memory import MemoryBudget
+from repro.pagestore.page import PageLayout
+
+
+def build(points, threshold=0.5, budget=None, **kwargs) -> CFTree:
+    layout = PageLayout(page_size=256, dimensions=2)
+    tree = CFTree(layout, threshold=threshold, budget=budget, **kwargs)
+    tree.insert_points(points)
+    return tree
+
+
+class TestMerge:
+    def test_merged_summary_is_union(self, rng):
+        a_pts = rng.normal(0, 1, size=(150, 2))
+        b_pts = rng.normal(10, 1, size=(150, 2))
+        merged = merge_trees([build(a_pts), build(b_pts)])
+        direct = CF.from_points(np.concatenate([a_pts, b_pts]))
+        summary = merged.summary_cf()
+        assert summary.n == 300
+        assert np.allclose(summary.ls, direct.ls, rtol=1e-9)
+        assert summary.ss == pytest.approx(direct.ss, rel=1e-9)
+
+    def test_merged_tree_is_valid(self, rng):
+        shards = [
+            build(rng.normal(c, 1, size=(100, 2))) for c in (0.0, 5.0, 10.0)
+        ]
+        merged = merge_trees(shards)
+        merged.check_invariants()
+
+    def test_threshold_levels_up(self, rng):
+        coarse = build(rng.normal(0, 1, size=(100, 2)), threshold=2.0)
+        fine = build(rng.normal(5, 1, size=(100, 2)), threshold=0.2)
+        merged = merge_trees([fine, coarse])
+        assert merged.threshold >= 2.0
+        merged.check_invariants()
+
+    def test_single_tree_is_identity(self, rng):
+        tree = build(rng.normal(size=(50, 2)))
+        merged = merge_trees([tree])
+        assert merged is tree
+
+    def test_sharded_equals_sequential_clustering(self, rng):
+        """Sharded build + merge finds the same clusters as one pass."""
+        from repro.core.global_clustering import agglomerative_cf
+
+        centers = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)]
+        points = np.concatenate(
+            [rng.normal(c, 0.5, size=(100, 2)) for c in centers]
+        )
+        perm = rng.permutation(300)
+        points = points[perm]
+
+        shards = [build(points[i::3], threshold=0.5) for i in range(3)]
+        merged = merge_trees(shards)
+        clustering = agglomerative_cf(merged.leaf_entries(), n_clusters=3)
+        for c in centers:
+            nearest = np.linalg.norm(
+                clustering.centroids - np.array(c), axis=1
+            ).min()
+            assert nearest < 0.5
+
+    def test_memory_budget_triggers_rebuild_during_merge(self, rng):
+        layout = PageLayout(page_size=256, dimensions=2)
+        # Room for the small accumulator, but not for the donor's
+        # entries at the fine threshold: the merge must rebuild coarser.
+        budget = MemoryBudget(8 * 256, layout)
+        acc = CFTree(layout, threshold=0.2, budget=budget)
+        acc.insert_points(rng.normal(0, 2, size=(60, 2)))
+        donor = build(rng.normal(10, 4, size=(500, 2)), threshold=0.2)
+        merged = merge_trees([acc, donor])
+        assert merged.summary_cf().n == 560
+        assert merged.threshold > 0.2  # a rebuild coarsened the tree
+        assert merged.budget is not None
+        assert (
+            merged.budget.pages_in_use
+            <= merged.budget.capacity_pages + 33
+        )
+
+
+class TestValidation:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_trees([])
+
+    def test_dimension_mismatch_rejected(self, rng):
+        a = build(rng.normal(size=(10, 2)))
+        layout3 = PageLayout(page_size=256, dimensions=3)
+        b = CFTree(layout3, threshold=0.5)
+        b.insert_point(np.zeros(3))
+        with pytest.raises(ValueError, match="dimension"):
+            merge_trees([a, b])
+
+    def test_threshold_kind_mismatch_rejected(self, rng):
+        a = build(rng.normal(size=(10, 2)))
+        b = build(
+            rng.normal(size=(10, 2)), threshold_kind=ThresholdKind.RADIUS
+        )
+        with pytest.raises(ValueError, match="threshold-kind"):
+            merge_trees([a, b])

@@ -1,0 +1,109 @@
+"""Numerical-stability tests across the CF algebra and tree.
+
+Every radius/diameter/D2-D4 value is computed by cancellation against
+SS; these tests pin the behaviour at the regimes where that matters:
+large coordinate offsets, massive duplicate accumulation, and very
+small scales.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distances import Metric, distance
+from repro.core.features import CF
+from repro.core.tree import CFTree
+from repro.pagestore.page import PageLayout
+
+
+class TestLargeOffsets:
+    @pytest.mark.parametrize("offset", [1e4, 1e6, 1e8])
+    def test_radius_reasonable_at_offset(self, offset, rng):
+        pts = rng.normal(offset, 1.0, size=(1000, 2))
+        cf = CF.from_points(pts)
+        # True radius ~ sqrt(2); cancellation error grows with offset^2,
+        # so tolerance loosens with the offset.
+        error_scale = math.sqrt(64 * np.finfo(float).eps) * offset
+        assert cf.radius == pytest.approx(
+            math.sqrt(2.0), abs=max(error_scale, 0.05)
+        )
+        assert cf.radius >= 0.0
+
+    @pytest.mark.parametrize("offset", [1e4, 1e6])
+    def test_d2_between_offset_clusters(self, offset, rng):
+        a = rng.normal(offset, 1.0, size=(100, 2))
+        b = rng.normal(offset + 10.0, 1.0, size=(100, 2))
+        got = distance(CF.from_points(a), CF.from_points(b), Metric.D2_AVG_INTERCLUSTER)
+        # Expected: sqrt(||delta||^2 + 2*d*sigma^2)-ish; just check sane.
+        assert 5.0 < got < 30.0
+
+    def test_tree_at_offset_conserves(self, rng):
+        pts = rng.normal(1e7, 1.0, size=(300, 2))
+        layout = PageLayout(page_size=256, dimensions=2)
+        tree = CFTree(layout, threshold=1.0)
+        tree.insert_points(pts)
+        assert tree.points == 300
+        tree.check_invariants()
+
+
+class TestDuplicateAccumulation:
+    def test_duplicates_keep_merging_at_zero_threshold(self):
+        """10,000 copies of one point collapse into one leaf entry."""
+        layout = PageLayout(page_size=256, dimensions=2)
+        tree = CFTree(layout, threshold=0.0)
+        point = np.array([3.14159, -2.71828])
+        for _ in range(10_000):
+            tree.insert_point(point)
+        entries = tree.leaf_entries()
+        assert len(entries) == 1
+        assert entries[0].n == 10_000
+
+    def test_weighted_mega_cluster_statistics(self):
+        cf = CF(10**9, np.array([10.0**9, 0.0]), 1e9)
+        assert np.allclose(cf.centroid, [1.0, 0.0])
+        assert cf.radius >= 0.0
+
+
+class TestSmallScales:
+    def test_micro_scale_clusters(self, rng):
+        pts = np.concatenate(
+            [
+                rng.normal(0.0, 1e-9, size=(50, 2)),
+                rng.normal(1e-6, 1e-9, size=(50, 2)),
+            ]
+        )
+        from repro.core.birch import Birch
+        from repro.core.config import BirchConfig
+
+        result = Birch(BirchConfig(n_clusters=2, phase4_passes=0)).fit(pts)
+        assert result.n_clusters == 2
+        centroids = sorted(float(c[0]) for c in result.centroids)
+        assert centroids[0] == pytest.approx(0.0, abs=1e-7)
+        assert centroids[1] == pytest.approx(1e-6, abs=1e-7)
+
+    def test_subnormal_safe_diameter(self):
+        cf = CF.from_points(np.array([[0.0, 0.0], [5e-324, 0.0]]))
+        assert cf.diameter >= 0.0
+        assert math.isfinite(cf.diameter)
+
+
+class TestMixedMagnitudes:
+    def test_wide_dynamic_range_dataset(self, rng):
+        """Clusters at scale 1 and scale 1e6 in one dataset."""
+        pts = np.concatenate(
+            [
+                rng.normal(0.0, 0.5, size=(100, 2)),
+                rng.normal(1e6, 0.5, size=(100, 2)),
+            ]
+        )
+        from repro.core.birch import Birch
+        from repro.core.config import BirchConfig
+
+        result = Birch(
+            BirchConfig(n_clusters=2, phase4_passes=0, total_points_hint=200)
+        ).fit(pts)
+        assert result.n_clusters == 2
+        xs = sorted(float(c[0]) for c in result.centroids)
+        assert xs[0] == pytest.approx(0.0, abs=1.0)
+        assert xs[1] == pytest.approx(1e6, rel=1e-5)

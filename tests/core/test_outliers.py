@@ -1,0 +1,118 @@
+"""Tests for the outlier spill/re-absorb machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import CF
+from repro.core.outliers import OutlierHandler
+from repro.core.tree import CFTree
+from repro.pagestore.disk import DiskStore
+from repro.pagestore.page import PageLayout
+
+
+def handler_with_capacity(n_records: int, fraction: float = 0.25) -> OutlierHandler:
+    record = 32
+    disk: DiskStore[CF] = DiskStore(
+        capacity_bytes=n_records * record, record_bytes=record
+    )
+    return OutlierHandler(disk, fraction=fraction)
+
+
+def tree_with_blob(rng, threshold: float = 1.0) -> CFTree:
+    layout = PageLayout(page_size=256, dimensions=2)
+    tree = CFTree(layout, threshold=threshold)
+    for p in rng.normal(0, 0.5, size=(100, 2)):
+        tree.insert_point(p)
+    return tree
+
+
+class TestClassification:
+    def test_small_entry_is_potential_outlier(self):
+        handler = handler_with_capacity(10)
+        small = CF.from_point(np.zeros(2))
+        assert handler.is_potential_outlier(small, mean_entry_points=20.0)
+
+    def test_large_entry_is_not(self):
+        handler = handler_with_capacity(10)
+        big = CF.from_points(np.zeros((30, 2)))
+        assert not handler.is_potential_outlier(big, mean_entry_points=20.0)
+
+    def test_rule_inactive_before_subclusters_form(self):
+        handler = handler_with_capacity(10)
+        single = CF.from_point(np.zeros(2))
+        assert not handler.is_potential_outlier(single, mean_entry_points=1.0)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            handler_with_capacity(10, fraction=0.0)
+        with pytest.raises(ValueError):
+            handler_with_capacity(10, fraction=1.0)
+
+    def test_boundary_is_exclusive(self):
+        handler = handler_with_capacity(10, fraction=0.5)
+        exactly_half = CF.from_points(np.zeros((10, 2)))
+        assert not handler.is_potential_outlier(exactly_half, mean_entry_points=20.0)
+
+
+class TestSpill:
+    def test_spill_until_full(self):
+        handler = handler_with_capacity(3)
+        cf = CF.from_point(np.zeros(2))
+        assert handler.spill(cf)
+        assert handler.spill(cf)
+        assert handler.spill(cf)
+        assert not handler.spill(cf)  # disk full
+        assert handler.stats.spilled == 3
+        assert handler.stats.rejected_spills == 1
+        assert handler.pending == 3
+
+    def test_pending_points_counts_raw_points(self):
+        handler = handler_with_capacity(5)
+        handler.spill(CF.from_points(np.zeros((4, 2))))
+        handler.spill(CF.from_point(np.zeros(2)))
+        assert handler.pending_points == 5
+
+
+class TestReabsorption:
+    def test_absorbable_outliers_return_to_tree(self, rng):
+        tree = tree_with_blob(rng, threshold=1.0)
+        handler = handler_with_capacity(10)
+        # A point right in the blob: absorbable once threshold allows.
+        handler.spill(CF.from_point(np.array([0.05, 0.05])))
+        # A genuinely distant point: not absorbable.
+        handler.spill(CF.from_point(np.array([500.0, 500.0])))
+        before = tree.points
+        absorbed, kept = handler.reabsorb(tree)
+        assert absorbed == 1
+        assert kept == 1
+        assert tree.points == before + 1
+        assert handler.pending == 1
+
+    def test_final_outliers_returns_residue(self, rng):
+        tree = tree_with_blob(rng, threshold=1.0)
+        handler = handler_with_capacity(10)
+        handler.spill(CF.from_point(np.array([500.0, 500.0])))
+        handler.spill(CF.from_point(np.array([0.0, 0.0])))
+        residue = handler.final_outliers(tree)
+        assert len(residue) == 1
+        assert np.allclose(residue[0].centroid, [500.0, 500.0])
+        assert handler.pending == 0
+
+    def test_reabsorb_cycle_counted(self, rng):
+        tree = tree_with_blob(rng)
+        handler = handler_with_capacity(4)
+        handler.reabsorb(tree)
+        handler.reabsorb(tree)
+        assert handler.stats.reabsorption_cycles == 2
+
+    def test_reabsorbed_points_conserved(self, rng):
+        """Tree points + disk points is invariant under reabsorb."""
+        tree = tree_with_blob(rng, threshold=1.0)
+        handler = handler_with_capacity(20)
+        for _ in range(5):
+            handler.spill(CF.from_point(rng.normal(0, 0.3, size=2)))
+        for _ in range(3):
+            handler.spill(CF.from_point(rng.uniform(100, 200, size=2)))
+        total_before = tree.points + handler.pending_points
+        handler.reabsorb(tree)
+        assert tree.points + handler.pending_points == total_before

@@ -1,0 +1,133 @@
+"""Tests for Phase 4 refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.refinement import refine
+from repro.pagestore.iostats import IOStats
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.concatenate([rng.normal(c, 0.5, size=(60, 2)) for c in centers])
+    return points, centers
+
+
+class TestAssignment:
+    def test_perfect_seeds_label_correctly(self, blobs):
+        points, centers = blobs
+        result = refine(points, centers, passes=1)
+        expected = np.repeat(np.arange(3), 60)
+        assert np.array_equal(result.labels, expected)
+
+    def test_zero_passes_is_pure_labelling(self, blobs):
+        points, centers = blobs
+        result = refine(points, centers, passes=0)
+        assert result.passes_run == 0
+        assert np.allclose(result.centroids, centers)
+        assert result.labels.shape == (180,)
+
+    def test_offset_seeds_recover_centroids(self, blobs, rng):
+        points, centers = blobs
+        noisy_seeds = centers + rng.normal(0, 1.0, centers.shape)
+        result = refine(points, noisy_seeds, passes=5)
+        # Each refined centroid lands near a true center.
+        for c in centers:
+            dist = np.linalg.norm(result.centroids - c, axis=1).min()
+            assert dist < 0.3
+
+    def test_convergence_flag(self, blobs):
+        points, centers = blobs
+        result = refine(points, centers, passes=10)
+        assert result.converged
+        assert result.passes_run < 10
+
+    def test_cluster_cfs_match_labels(self, blobs):
+        points, centers = blobs
+        result = refine(points, centers, passes=1)
+        for c, cf in enumerate(result.clusters):
+            mask = result.labels == c
+            assert cf.n == int(mask.sum())
+            if cf.n:
+                assert np.allclose(cf.centroid, points[mask].mean(axis=0))
+
+
+class TestRefinementImprovesCost:
+    def test_passes_do_not_increase_inertia(self, blobs, rng):
+        points, centers = blobs
+        seeds = centers + rng.normal(0, 2.0, centers.shape)
+
+        def inertia(centroids, labels):
+            keep = labels >= 0
+            return float(
+                ((points[keep] - centroids[labels[keep]]) ** 2).sum()
+            )
+
+        one = refine(points, seeds, passes=1)
+        many = refine(points, seeds, passes=8)
+        assert inertia(many.centroids, many.labels) <= inertia(
+            one.centroids, one.labels
+        ) + 1e-9
+
+
+class TestOutlierDiscard:
+    def test_far_points_discarded(self, rng):
+        cluster = rng.normal(0, 0.5, size=(100, 2))
+        stray = np.array([[30.0, 30.0]])
+        points = np.concatenate([cluster, stray])
+        seeds = np.array([[0.0, 0.0]])
+        result = refine(
+            points, seeds, passes=1, discard_outliers=True, outlier_factor=2.0
+        )
+        assert result.discarded >= 1
+        assert result.labels[-1] == -1
+
+    def test_discarded_points_excluded_from_clusters(self, rng):
+        cluster = rng.normal(0, 0.5, size=(100, 2))
+        stray = np.array([[30.0, 30.0]])
+        points = np.concatenate([cluster, stray])
+        result = refine(
+            points,
+            np.array([[0.0, 0.0]]),
+            passes=1,
+            discard_outliers=True,
+            outlier_factor=2.0,
+        )
+        assert result.clusters[0].n == 101 - result.discarded
+
+    def test_no_discard_by_default(self, blobs):
+        points, centers = blobs
+        result = refine(points, centers, passes=1)
+        assert result.discarded == 0
+        assert (result.labels >= 0).all()
+
+
+class TestAccounting:
+    def test_each_pass_records_a_scan(self, blobs):
+        points, centers = blobs
+        stats = IOStats()
+        result = refine(points, centers, passes=3, stats=stats)
+        # Initial labelling scan plus one per executed pass.
+        assert stats.data_scans == 1 + result.passes_run
+
+
+class TestValidation:
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            refine(rng.normal(size=(10, 2)), rng.normal(size=(2, 3)))
+
+    def test_non_2d_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            refine(rng.normal(size=10), rng.normal(size=(2, 2)))
+
+    def test_negative_passes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            refine(rng.normal(size=(10, 2)), rng.normal(size=(2, 2)), passes=-1)
+
+    def test_empty_cluster_keeps_seed(self, rng):
+        points = rng.normal(0, 0.1, size=(20, 2))
+        seeds = np.array([[0.0, 0.0], [100.0, 100.0]])
+        result = refine(points, seeds, passes=2)
+        # The far seed attracts nothing and must stay put.
+        assert np.allclose(result.centroids[1], [100.0, 100.0])

@@ -1,0 +1,154 @@
+"""Round-trip tests for CF / tree / result serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.features import CF
+from repro.core.serialization import (
+    load_cfs,
+    load_result_arrays,
+    load_tree,
+    save_cfs,
+    save_result,
+    save_tree,
+)
+from repro.core.tree import CFTree, ThresholdKind
+from repro.pagestore.page import PageLayout
+
+
+@pytest.fixture
+def cf_list(rng):
+    return [CF.from_points(rng.normal(size=(k + 1, 3))) for k in range(10)]
+
+
+class TestCFRoundTrip:
+    def test_roundtrip_preserves_everything(self, cf_list, tmp_path):
+        path = tmp_path / "cfs.npz"
+        save_cfs(path, cf_list)
+        loaded = load_cfs(path)
+        assert len(loaded) == len(cf_list)
+        for original, restored in zip(cf_list, loaded):
+            assert restored.allclose(original, rtol=0, atol=0)
+
+    def test_empty_list_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_cfs(tmp_path / "x.npz", [])
+
+    def test_archive_is_compressed_npz(self, cf_list, tmp_path):
+        path = tmp_path / "cfs.npz"
+        save_cfs(path, cf_list)
+        with np.load(path) as data:
+            assert set(data.files) >= {"ns", "ls", "ss", "version"}
+
+
+class TestTreeRoundTrip:
+    def _build_tree(self, rng) -> CFTree:
+        layout = PageLayout(page_size=256, dimensions=2)
+        tree = CFTree(layout, threshold=0.5)
+        for p in rng.normal(size=(300, 2)) * 10:
+            tree.insert_point(p)
+        return tree
+
+    def test_summary_preserved(self, rng, tmp_path):
+        tree = self._build_tree(rng)
+        path = tmp_path / "tree.npz"
+        save_tree(path, tree)
+        restored = load_tree(path)
+        a, b = tree.summary_cf(), restored.summary_cf()
+        assert a.n == b.n
+        assert np.allclose(a.ls, b.ls, rtol=1e-9)
+        assert a.ss == pytest.approx(b.ss, rel=1e-9)
+
+    def test_parameters_preserved(self, rng, tmp_path):
+        layout = PageLayout(page_size=512, dimensions=2)
+        tree = CFTree(
+            layout,
+            threshold=1.25,
+            threshold_kind=ThresholdKind.RADIUS,
+        )
+        for p in rng.normal(size=(50, 2)):
+            tree.insert_point(p)
+        path = tmp_path / "tree.npz"
+        save_tree(path, tree)
+        restored = load_tree(path)
+        assert restored.threshold == 1.25
+        assert restored.threshold_kind is ThresholdKind.RADIUS
+        assert restored.layout.page_size == 512
+
+    def test_restored_tree_is_structurally_valid(self, rng, tmp_path):
+        tree = self._build_tree(rng)
+        path = tmp_path / "tree.npz"
+        save_tree(path, tree)
+        restored = load_tree(path)
+        restored.check_invariants()
+
+    def test_restored_tree_accepts_inserts(self, rng, tmp_path):
+        tree = self._build_tree(rng)
+        path = tmp_path / "tree.npz"
+        save_tree(path, tree)
+        restored = load_tree(path)
+        before = restored.points
+        restored.insert_point(np.array([0.0, 0.0]))
+        assert restored.points == before + 1
+
+
+class TestResultRoundTrip:
+    def test_roundtrip(self, rng, tmp_path):
+        points = np.concatenate(
+            [rng.normal(c, 0.5, size=(80, 2)) for c in ((0, 0), (10, 0))]
+        )
+        result = Birch(BirchConfig(n_clusters=2)).fit(points)
+        path = tmp_path / "result.npz"
+        save_result(path, result)
+        clusters, centroids, labels, header = load_result_arrays(path)
+        assert len(clusters) == 2
+        assert np.allclose(centroids, result.centroids)
+        assert labels is not None
+        assert np.array_equal(labels, result.labels)
+        assert header["rebuilds"] == result.rebuilds
+
+    def test_roundtrip_without_labels(self, rng, tmp_path):
+        points = rng.normal(size=(100, 2))
+        result = Birch(BirchConfig(n_clusters=3, phase4_passes=0)).fit(points)
+        path = tmp_path / "result.npz"
+        save_result(path, result)
+        _, _, labels, _ = load_result_arrays(path)
+        assert labels is None
+
+
+class TestVersioning:
+    def test_future_version_rejected(self, cf_list, tmp_path):
+        path = tmp_path / "cfs.npz"
+        arrays = {
+            "ns": np.array([1]),
+            "ls": np.zeros((1, 2)),
+            "ss": np.zeros(1),
+        }
+        np.savez_compressed(path, version=99, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_cfs(path)
+
+
+class TestPropertyRoundTrip:
+    @given(
+        ns=st.lists(st.integers(1, 1000), min_size=1, max_size=20),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_cf_list_roundtrips(self, ns, seed, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        cfs = [
+            CF(n, rng.normal(size=3) * n, float(abs(rng.normal()) * n))
+            for n in ns
+        ]
+        path = tmp_path_factory.mktemp("ser") / "cfs.npz"
+        save_cfs(path, cfs)
+        loaded = load_cfs(path)
+        for original, restored in zip(cfs, loaded):
+            assert restored.n == original.n
+            assert np.array_equal(restored.ls, original.ls)
+            assert restored.ss == original.ss

@@ -1,0 +1,89 @@
+"""Tests for Phase 3's diameter-bound stopping criterion.
+
+The paper's Phase 3 lets the user "specify either the desired number of
+clusters or the desired diameter threshold for clusters".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.features import CF
+from repro.core.global_clustering import agglomerative_cf
+
+
+def grid_entries(rng, side=3, spacing=10.0, per_cell=4, spread=0.3):
+    entries = []
+    for row in range(side):
+        for col in range(side):
+            center = np.array([col * spacing, row * spacing])
+            for _ in range(per_cell):
+                pts = rng.normal(center, spread, size=(3, 2))
+                entries.append(CF.from_points(pts))
+    return entries
+
+
+class TestStopDiameter:
+    def test_diameter_bound_respected(self, rng):
+        entries = grid_entries(rng)
+        result = agglomerative_cf(entries, n_clusters=1, stop_diameter=3.0)
+        for cf in result.clusters:
+            assert cf.diameter <= 3.0 + 1e-9
+
+    def test_bound_recovers_grid_cells(self, rng):
+        """A bound between cell size and cell spacing yields 9 clusters."""
+        entries = grid_entries(rng, side=3, spacing=10.0)
+        result = agglomerative_cf(entries, n_clusters=1, stop_diameter=4.0)
+        assert result.n_clusters == 9
+
+    def test_no_bound_merges_to_k(self, rng):
+        entries = grid_entries(rng)
+        result = agglomerative_cf(entries, n_clusters=1)
+        assert result.n_clusters == 1
+
+    def test_tight_bound_yields_many_clusters(self, rng):
+        entries = grid_entries(rng)
+        result = agglomerative_cf(entries, n_clusters=1, stop_diameter=0.0)
+        # Nothing can merge (every merge has positive diameter).
+        assert result.n_clusters == len(entries)
+
+    def test_k_still_floors_cluster_count(self, rng):
+        """A loose diameter bound never merges below n_clusters."""
+        entries = grid_entries(rng)
+        result = agglomerative_cf(entries, n_clusters=5, stop_diameter=1e9)
+        assert result.n_clusters == 5
+
+    def test_conservation_with_bound(self, rng):
+        entries = grid_entries(rng)
+        result = agglomerative_cf(entries, n_clusters=1, stop_diameter=4.0)
+        result.check_conservation(entries)
+
+    def test_negative_bound_rejected(self, rng):
+        entries = grid_entries(rng)
+        with pytest.raises(ValueError):
+            agglomerative_cf(entries, n_clusters=1, stop_diameter=-1.0)
+
+
+class TestPipelineIntegration:
+    def test_birch_with_stop_diameter(self, rng):
+        points = np.concatenate(
+            [
+                rng.normal(c, 0.4, size=(100, 2))
+                for c in ((0, 0), (15, 0), (0, 15), (15, 15))
+            ]
+        )
+        config = BirchConfig(
+            n_clusters=1,  # diameter bound drives the count instead
+            phase3_stop_diameter=5.0,
+            phase4_passes=0,
+            total_points_hint=len(points),
+        )
+        result = Birch(config).fit(points)
+        assert result.n_clusters == 4
+        for cf in result.clusters:
+            assert cf.diameter <= 5.0 + 1e-9
+
+    def test_config_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            BirchConfig(n_clusters=2, phase3_stop_diameter=-0.5)

@@ -1,0 +1,131 @@
+"""Tests for the dynamic threshold heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import ThresholdPolicy
+from repro.core.tree import CFTree
+from repro.pagestore.page import PageLayout
+
+
+def build_tree(points: np.ndarray, threshold: float = 0.0) -> CFTree:
+    layout = PageLayout(page_size=256, dimensions=2)
+    tree = CFTree(layout, threshold=threshold)
+    for p in points:
+        tree.insert_point(p)
+    return tree
+
+
+class TestStrictGrowth:
+    def test_next_threshold_strictly_larger(self, rng):
+        tree = build_tree(rng.normal(size=(100, 2)), threshold=0.1)
+        policy = ThresholdPolicy()
+        t_next = policy.next_threshold(tree, 100)
+        assert t_next > tree.threshold
+
+    def test_growth_from_zero_threshold(self, rng):
+        tree = build_tree(rng.normal(size=(50, 2)), threshold=0.0)
+        policy = ThresholdPolicy()
+        t_next = policy.next_threshold(tree, 50)
+        assert t_next > 0.0
+
+    def test_expansion_floor_applies(self, rng):
+        tree = build_tree(rng.normal(size=(60, 2)), threshold=1.0)
+        policy = ThresholdPolicy(expansion_factor=2.0)
+        t_next = policy.next_threshold(tree, 60)
+        assert t_next >= 2.0  # at least current * expansion
+
+    def test_repeated_growth_is_monotone(self, rng):
+        pts = rng.normal(size=(80, 2)) * 5
+        policy = ThresholdPolicy()
+        threshold = 0.0
+        previous = 0.0
+        for i in range(4):
+            tree = build_tree(pts, threshold=threshold)
+            threshold = policy.next_threshold(tree, 80 * (i + 1))
+            assert threshold > previous
+            previous = threshold
+
+
+class TestBoundedness:
+    def test_threshold_never_exceeds_dataset_spread(self, rng):
+        pts = rng.normal(size=(100, 2))
+        tree = build_tree(pts, threshold=0.5)
+        policy = ThresholdPolicy()
+        t_next = policy.next_threshold(tree, 100)
+        from repro.core.features import CF
+
+        spread = CF.from_points(pts).diameter
+        # Cap is spread/4, plus the expansion floor can push slightly
+        # beyond; it must stay well below the full spread.
+        assert t_next < spread
+
+    def test_pathological_history_does_not_explode(self, rng):
+        """Near-coincident observations must not extrapolate absurdly."""
+        pts = np.concatenate(
+            [rng.normal(0, 0.01, (50, 2)), rng.normal(10, 2.0, (50, 2))]
+        )
+        policy = ThresholdPolicy()
+        threshold = 0.0
+        for n_seen in (50, 51, 52, 100):
+            tree = build_tree(pts[:n_seen], threshold=threshold)
+            threshold = policy.next_threshold(tree, n_seen)
+        from repro.core.features import CF
+
+        assert threshold < CF.from_points(pts).diameter * 2
+
+
+class TestHints:
+    def test_total_points_hint_caps_target(self, rng):
+        pts = rng.normal(size=(100, 2)) * 3
+        tree_a = build_tree(pts, threshold=0.5)
+        tree_b = build_tree(pts, threshold=0.5)
+        unhinted = ThresholdPolicy().next_threshold(tree_a, 100)
+        hinted = ThresholdPolicy(total_points_hint=101).next_threshold(tree_b, 100)
+        assert hinted <= unhinted + 1e-12
+
+    def test_invalid_expansion_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(expansion_factor=1.0)
+
+    def test_nonpositive_points_rejected(self, rng):
+        tree = build_tree(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            ThresholdPolicy().next_threshold(tree, 0)
+
+
+class TestObservation:
+    def test_observe_accumulates_history(self, rng):
+        tree = build_tree(rng.normal(size=(40, 2)), threshold=0.5)
+        policy = ThresholdPolicy()
+        assert policy.history_length == 0
+        policy.observe(tree, 40)
+        assert policy.history_length == 1
+        policy.next_threshold(tree, 40)  # observes internally too
+        assert policy.history_length == 2
+
+    def test_reset_clears_history(self, rng):
+        tree = build_tree(rng.normal(size=(40, 2)))
+        policy = ThresholdPolicy()
+        policy.observe(tree, 40)
+        policy.reset()
+        assert policy.history_length == 0
+
+
+class TestDminEstimate:
+    def test_dmin_allows_closest_pair_to_merge(self, rng):
+        """After growing to the proposal, the two closest entries in the
+        most crowded leaf must be mergeable (the heuristic's purpose)."""
+        pts = rng.normal(size=(60, 2)) * 4
+        tree = build_tree(pts, threshold=0.2)
+        policy = ThresholdPolicy()
+        proposal = policy.next_threshold(tree, 60)
+
+        crowded = max(tree.leaves(), key=lambda leaf: leaf.size)
+        if crowded.size >= 2:
+            dists = crowded.pairwise_entry_distances(tree.metric)
+            np.fill_diagonal(dists, np.inf)
+            i, j = np.unravel_index(np.argmin(dists), dists.shape)
+            merged = crowded.entry_cf(int(i)).merge(crowded.entry_cf(int(j)))
+            # Proposal may be floored above dmin, never below it.
+            assert proposal >= merged.diameter - 1e-9

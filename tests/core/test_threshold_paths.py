@@ -1,0 +1,109 @@
+"""Targeted tests for less-travelled threshold and Phase 3 paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import CF
+from repro.core.global_clustering import CFKMeans
+from repro.core.threshold import ThresholdPolicy
+from repro.core.tree import CFTree
+from repro.pagestore.page import PageLayout
+
+
+def tree_with_subclusters(rng, threshold: float, n_points: int = 200) -> CFTree:
+    """A tree whose entries have absorbed multiple points (radius > 0)."""
+    layout = PageLayout(page_size=256, dimensions=2)
+    tree = CFTree(layout, threshold=threshold)
+    centers = rng.uniform(0, 30, size=(20, 2))
+    for _ in range(n_points // 20):
+        for c in centers:
+            tree.insert_point(c + rng.normal(0, threshold / 4, size=2))
+    return tree
+
+
+class TestRegressionEstimate:
+    def test_regression_active_with_warm_history(self, rng):
+        """Two observations with positive entry radii enable the
+        least-squares extrapolation path."""
+        policy = ThresholdPolicy(mode="regression")
+        tree_a = tree_with_subclusters(rng, threshold=0.4, n_points=100)
+        policy.observe(tree_a, 100)
+        tree_b = tree_with_subclusters(rng, threshold=0.8, n_points=200)
+        policy.observe(tree_b, 200)
+        estimate = policy._regression_estimate(200)
+        assert estimate is not None
+        assert np.isfinite(estimate)
+        assert estimate > 0
+
+    def test_regression_none_without_usable_radii(self, rng):
+        """Singleton-only trees (avg radius 0) give no regression."""
+        layout = PageLayout(page_size=256, dimensions=2)
+        policy = ThresholdPolicy(mode="regression")
+        for n_seen in (50, 100):
+            tree = CFTree(layout, threshold=0.0)
+            for p in rng.uniform(0, 100, size=(n_seen, 2)):
+                tree.insert_point(p)
+            policy.observe(tree, n_seen)
+        assert policy._regression_estimate(100) is None
+
+    def test_regression_mode_still_progresses(self, rng):
+        """Even with no usable regression, the floor guarantees growth."""
+        policy = ThresholdPolicy(mode="regression")
+        tree = tree_with_subclusters(rng, threshold=0.5)
+        t_next = policy.next_threshold(tree, 200)
+        assert t_next > 0.5
+
+    def test_regression_slope_clamped(self, rng):
+        """An absurd apparent slope cannot explode the estimate."""
+        policy = ThresholdPolicy(mode="regression")
+        # Hand-craft pathological history: radius jumps 100x while
+        # points barely grow.
+        tree_small = tree_with_subclusters(rng, threshold=0.01, n_points=100)
+        policy.observe(tree_small, 100)
+        tree_big = tree_with_subclusters(rng, threshold=5.0, n_points=110)
+        policy.observe(tree_big, 110)
+        estimate = policy._regression_estimate(110)
+        if estimate is not None:
+            # Slope clamp at 1: doubling N at most doubles the radius.
+            radii = [
+                rec.avg_entry_radius
+                for rec in policy._history
+                if rec.avg_entry_radius > 0
+            ]
+            assert estimate <= max(radii) * 2.1
+
+
+class TestVolumeEstimate:
+    def test_volume_estimate_scales_by_root_d(self, rng):
+        policy = ThresholdPolicy(total_points_hint=10**9)
+        tree = tree_with_subclusters(rng, threshold=1.0)
+        estimate = policy._volume_estimate(tree, 500)
+        # d = 2: doubling N scales T by 2^(1/2).
+        assert estimate == pytest.approx(1.0 * 2 ** 0.5, rel=1e-9)
+
+    def test_volume_estimate_none_at_zero_threshold(self, rng):
+        policy = ThresholdPolicy()
+        layout = PageLayout(page_size=256, dimensions=2)
+        tree = CFTree(layout, threshold=0.0)
+        tree.insert_point(np.zeros(2))
+        assert policy._volume_estimate(tree, 1) is None
+
+    def test_hint_caps_target(self, rng):
+        tree = tree_with_subclusters(rng, threshold=1.0)
+        capped = ThresholdPolicy(total_points_hint=501)._volume_estimate(tree, 500)
+        uncapped = ThresholdPolicy()._volume_estimate(tree, 500)
+        assert capped < uncapped
+
+
+class TestCFKMeansReseeding:
+    def test_empty_cluster_reseeded(self, rng):
+        """More clusters than distinct locations forces the reseed path
+        without crashing, and output clusters are all non-empty."""
+        entries = [
+            CF.from_points(np.tile([0.0, 0.0], (5, 1))),
+            CF.from_points(np.tile([0.0, 0.0], (3, 1))),
+            CF.from_points(np.tile([10.0, 0.0], (4, 1))),
+        ]
+        result = CFKMeans(n_clusters=3, seed=0).fit(entries)
+        assert all(cf.n > 0 for cf in result.clusters)
+        assert sum(cf.n for cf in result.clusters) == 12

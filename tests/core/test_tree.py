@@ -1,0 +1,284 @@
+"""Tests for CF-tree insertion, splitting, threshold and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.distances import Metric
+from repro.core.features import CF
+from repro.core.tree import CFTree, ThresholdKind
+from repro.pagestore.iostats import IOStats
+from repro.pagestore.memory import MemoryBudget
+from repro.pagestore.page import PageLayout
+
+
+def make_tree(threshold: float = 0.5, page_size: int = 128, **kwargs) -> CFTree:
+    layout = PageLayout(page_size=page_size, dimensions=2)
+    return CFTree(layout, threshold=threshold, **kwargs)
+
+
+class TestBasicInsertion:
+    def test_single_point(self):
+        tree = make_tree()
+        tree.insert_point(np.array([1.0, 2.0]))
+        assert tree.points == 1
+        entries = tree.leaf_entries()
+        assert len(entries) == 1
+        assert np.allclose(entries[0].centroid, [1.0, 2.0])
+
+    def test_close_points_absorb_into_one_entry(self):
+        tree = make_tree(threshold=1.0)
+        for _ in range(10):
+            tree.insert_point(np.array([5.0, 5.0]))
+        assert tree.points == 10
+        assert len(tree.leaf_entries()) == 1
+        assert tree.leaf_entries()[0].n == 10
+
+    def test_far_points_become_separate_entries(self):
+        tree = make_tree(threshold=0.1)
+        tree.insert_point(np.array([0.0, 0.0]))
+        tree.insert_point(np.array([100.0, 100.0]))
+        assert len(tree.leaf_entries()) == 2
+
+    def test_zero_threshold_only_merges_duplicates(self):
+        tree = make_tree(threshold=0.0)
+        tree.insert_point(np.array([1.0, 1.0]))
+        tree.insert_point(np.array([1.0, 1.0]))
+        tree.insert_point(np.array([1.0, 1.0 + 1e-3]))
+        entries = tree.leaf_entries()
+        assert len(entries) == 2
+        assert sorted(cf.n for cf in entries) == [1, 2]
+
+    def test_insert_cf_of_subcluster(self):
+        tree = make_tree(threshold=2.0)
+        tree.insert_cf(CF.from_points(np.zeros((5, 2))))
+        assert tree.points == 5
+
+    def test_empty_cf_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.insert_cf(CF.empty(2))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            make_tree(threshold=-1.0)
+
+
+class TestSplitting:
+    def test_split_when_leaf_overflows(self, rng):
+        tree = make_tree(threshold=0.0, page_size=128)
+        layout_capacity = tree.layout.leaf_capacity
+        pts = rng.normal(size=(layout_capacity * 3, 2)) * 100
+        for p in pts:
+            tree.insert_point(p)
+        stats = tree.tree_stats()
+        assert stats.leaf_count > 1
+        assert stats.leaf_entry_count == pts.shape[0]
+        tree.check_invariants()
+
+    def test_root_split_grows_height(self, rng):
+        tree = make_tree(threshold=0.0, page_size=128)
+        for p in rng.normal(size=(200, 2)) * 100:
+            tree.insert_point(p)
+        assert tree.height >= 2
+        tree.check_invariants()
+
+    def test_split_recorded_in_stats(self, rng):
+        stats = IOStats()
+        layout = PageLayout(page_size=128, dimensions=2)
+        tree = CFTree(layout, threshold=0.0, stats=stats)
+        for p in rng.normal(size=(100, 2)) * 100:
+            tree.insert_point(p)
+        assert stats.splits > 0
+
+    def test_balanced_depth_after_many_inserts(self, rng):
+        tree = make_tree(threshold=0.0, page_size=128)
+        for p in rng.normal(size=(500, 2)) * 50:
+            tree.insert_point(p)
+        tree.check_invariants()  # includes uniform-depth check
+
+
+class TestLeafChain:
+    def test_chain_covers_all_entries(self, rng):
+        tree = make_tree(threshold=0.0, page_size=128)
+        pts = rng.normal(size=(300, 2)) * 100
+        for p in pts:
+            tree.insert_point(p)
+        total = sum(cf.n for cf in tree.leaf_entries())
+        assert total == 300
+
+    def test_chain_bidirectional(self, rng):
+        tree = make_tree(threshold=0.0, page_size=128)
+        for p in rng.normal(size=(200, 2)) * 100:
+            tree.insert_point(p)
+        leaves = list(tree.leaves())
+        # Walk backwards from the last leaf.
+        back = []
+        node = leaves[-1]
+        while node is not None:
+            back.append(node)
+            node = node.prev_leaf
+        assert [id(x) for x in reversed(back)] == [id(x) for x in leaves]
+
+
+class TestThresholdKinds:
+    def test_diameter_threshold_enforced(self, rng):
+        tree = make_tree(threshold=0.8, threshold_kind=ThresholdKind.DIAMETER)
+        for p in rng.normal(size=(400, 2)) * 10:
+            tree.insert_point(p)
+        for cf in tree.leaf_entries():
+            if cf.n >= 2:
+                assert cf.diameter <= 0.8 + 1e-9
+
+    def test_radius_threshold_enforced(self, rng):
+        tree = make_tree(threshold=0.5, threshold_kind=ThresholdKind.RADIUS)
+        for p in rng.normal(size=(400, 2)) * 10:
+            tree.insert_point(p)
+        for cf in tree.leaf_entries():
+            if cf.n >= 2:
+                assert cf.radius <= 0.5 + 1e-9
+        tree.check_invariants()
+
+
+class TestSummary:
+    def test_summary_cf_matches_inserted_points(self, rng):
+        tree = make_tree(threshold=0.5)
+        pts = rng.normal(size=(150, 2)) * 20
+        for p in pts:
+            tree.insert_point(p)
+        summary = tree.summary_cf()
+        direct = CF.from_points(pts)
+        assert summary.n == direct.n
+        assert np.allclose(summary.ls, direct.ls, rtol=1e-9)
+        assert summary.ss == pytest.approx(direct.ss, rel=1e-9)
+
+    def test_empty_tree_summary(self):
+        tree = make_tree()
+        assert tree.summary_cf().n == 0
+
+
+class TestTryAbsorb:
+    def test_absorbs_duplicate_under_threshold(self):
+        tree = make_tree(threshold=1.0)
+        tree.insert_point(np.array([0.0, 0.0]))
+        absorbed = tree.try_absorb_cf(CF.from_point(np.array([0.1, 0.1])))
+        assert absorbed
+        assert tree.points == 2
+        assert len(tree.leaf_entries()) == 1
+
+    def test_rejects_far_point(self):
+        tree = make_tree(threshold=0.5)
+        tree.insert_point(np.array([0.0, 0.0]))
+        absorbed = tree.try_absorb_cf(CF.from_point(np.array([50.0, 50.0])))
+        assert not absorbed
+        assert tree.points == 1
+
+    def test_rejects_on_empty_tree(self):
+        tree = make_tree(threshold=0.5)
+        assert not tree.try_absorb_cf(CF.from_point(np.array([0.0, 0.0])))
+
+    def test_updates_ancestors(self, rng):
+        tree = make_tree(threshold=1.0, page_size=128)
+        pts = rng.normal(size=(300, 2)) * 50
+        for p in pts:
+            tree.insert_point(p)
+        # Absorb something close to an existing point.
+        target = pts[0] + 0.01
+        if tree.try_absorb_cf(CF.from_point(target)):
+            tree.check_invariants()
+
+
+class TestMemoryAccounting:
+    def test_node_count_matches_budget_pages(self, rng):
+        layout = PageLayout(page_size=128, dimensions=2)
+        budget = MemoryBudget(1024 * 1024, layout)
+        tree = CFTree(layout, threshold=0.0, budget=budget)
+        for p in rng.normal(size=(300, 2)) * 100:
+            tree.insert_point(p)
+        assert budget.pages_in_use == tree.node_count
+
+    def test_over_budget_signal(self, rng):
+        layout = PageLayout(page_size=128, dimensions=2)
+        budget = MemoryBudget(4 * 128, layout)  # four pages only
+        tree = CFTree(layout, threshold=0.0, budget=budget)
+        for p in rng.normal(size=(100, 2)) * 100:
+            tree.insert_point(p)
+            if budget.over_budget:
+                break
+        assert budget.over_budget
+
+
+class TestMetrics:
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_all_metrics_build_valid_trees(self, metric, rng):
+        tree = make_tree(threshold=0.5, metric=metric)
+        for p in rng.normal(size=(200, 2)) * 10:
+            tree.insert_point(p)
+        tree.check_invariants()
+        assert tree.points == 200
+
+
+finite = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestPropertyBased:
+    @given(
+        pts=arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 120), st.just(2)),
+            elements=finite,
+        ),
+        threshold=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_for_any_input(self, pts, threshold):
+        tree = make_tree(threshold=threshold, page_size=128)
+        for p in pts:
+            tree.insert_point(p)
+        tree.check_invariants()
+        assert tree.points == pts.shape[0]
+        summary = tree.summary_cf()
+        direct = CF.from_points(pts)
+        assert summary.n == direct.n
+        assert np.allclose(summary.ls, direct.ls, rtol=1e-6, atol=1e-6)
+
+    @given(
+        pts=arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 80), st.just(2)),
+            elements=finite,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_entry_count_never_exceeds_points(self, pts):
+        tree = make_tree(threshold=1.0, page_size=128)
+        for p in pts:
+            tree.insert_point(p)
+        assert len(tree.leaf_entries()) <= pts.shape[0]
+
+
+class TestNearestEntry:
+    def test_finds_containing_subcluster(self, rng):
+        tree = make_tree(threshold=1.0, page_size=256)
+        blob_a = rng.normal(0.0, 0.3, size=(50, 2))
+        blob_b = rng.normal(20.0, 0.3, size=(50, 2))
+        for p in np.concatenate([blob_a, blob_b]):
+            tree.insert_point(p)
+        cf, dist = tree.nearest_entry(np.array([20.1, 19.9]))
+        assert np.linalg.norm(cf.centroid - [20.0, 20.0]) < 1.0
+        assert dist >= 0.0
+
+    def test_empty_tree_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.nearest_entry(np.zeros(2))
+
+    def test_returns_copy_not_view(self, rng):
+        tree = make_tree(threshold=1.0)
+        tree.insert_point(np.array([1.0, 1.0]))
+        cf, _ = tree.nearest_entry(np.array([1.0, 1.0]))
+        cf.add_point(np.array([100.0, 100.0]))
+        # The tree's entry is unchanged.
+        assert tree.leaf_entries()[0].n == 1

@@ -1,0 +1,164 @@
+"""Tests for the synthetic dataset generator of Section 6.2."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generator import (
+    DatasetGenerator,
+    GeneratorParams,
+    InputOrder,
+    Pattern,
+    NOISE_LABEL,
+)
+
+
+def make(pattern=Pattern.GRID, **overrides):
+    kwargs = dict(
+        pattern=pattern,
+        n_clusters=9,
+        n_low=50,
+        n_high=50,
+        r_low=1.0,
+        r_high=1.0,
+        seed=42,
+    )
+    kwargs.update(overrides)
+    return DatasetGenerator().generate(GeneratorParams(**kwargs))
+
+
+class TestShapes:
+    def test_point_and_label_counts(self):
+        ds = make()
+        assert ds.points.shape == (450, 2)
+        assert ds.labels.shape == (450,)
+        assert len(ds.clusters) == 9
+
+    def test_grid_centers_on_grid(self):
+        ds = make(pattern=Pattern.GRID, grid_spacing=4.0)
+        centers = np.stack([c.center for c in ds.clusters])
+        spacing = 4.0 * 1.0  # kg * (r_l + r_h)/2
+        # All centers are integer multiples of the spacing.
+        assert np.allclose(centers % spacing, 0.0, atol=1e-9)
+        # A 3x3 grid of 9 clusters.
+        assert len({tuple(c) for c in centers}) == 9
+
+    def test_sine_centers_follow_sine(self):
+        ds = make(pattern=Pattern.SINE, n_clusters=16, sine_cycles=2)
+        centers = np.stack([c.center for c in ds.clusters])
+        xs = centers[:, 0]
+        assert np.allclose(np.diff(xs), 2 * np.pi, atol=1e-9)
+        amplitude = 16 / 2.0
+        assert np.abs(centers[:, 1]).max() <= amplitude + 1e-9
+
+    def test_random_centers_in_range(self):
+        ds = make(pattern=Pattern.RANDOM, n_clusters=30)
+        centers = np.stack([c.center for c in ds.clusters])
+        assert centers.min() >= 0.0
+        assert centers.max() <= 30.0
+
+
+class TestClusterStatistics:
+    def test_actual_radius_close_to_parameter(self):
+        ds = make(n_low=2000, n_high=2000, n_clusters=4)
+        for cluster in ds.clusters:
+            # sigma = r/sqrt(2) makes RMS radius ~ r.
+            assert cluster.actual_radius == pytest.approx(1.0, rel=0.1)
+
+    def test_actual_centroid_close_to_center(self):
+        ds = make(n_low=2000, n_high=2000, n_clusters=4)
+        for cluster in ds.clusters:
+            assert np.linalg.norm(cluster.actual_centroid - cluster.center) < 0.15
+
+    def test_variable_sizes_in_range(self):
+        ds = make(n_low=10, n_high=100, n_clusters=50)
+        sizes = [c.n_points for c in ds.clusters]
+        assert all(10 <= s <= 100 for s in sizes)
+        assert len(set(sizes)) > 1
+
+    def test_zero_size_clusters_allowed(self):
+        ds = make(n_low=0, n_high=3, n_clusters=40)
+        assert ds.points.shape[0] == sum(c.n_points for c in ds.clusters)
+
+    def test_weighted_average_radius(self):
+        ds = make(n_low=500, n_high=500, n_clusters=4)
+        assert ds.weighted_average_radius() == pytest.approx(1.0, rel=0.15)
+
+
+class TestNoise:
+    def test_noise_fraction_respected(self):
+        ds = make(noise_fraction=0.1)
+        assert ds.n_noise == pytest.approx(0.1 * ds.n_points, rel=0.05)
+        assert (ds.labels == NOISE_LABEL).sum() == ds.n_noise
+
+    def test_noise_within_bounding_box(self):
+        ds = make(noise_fraction=0.1)
+        lo, hi = ds.bounding_box()
+        noise = ds.points[ds.labels == NOISE_LABEL]
+        assert (noise >= lo - 1e-9).all()
+        assert (noise <= hi + 1e-9).all()
+
+    def test_noise_at_end_option(self):
+        ds = make(noise_fraction=0.1, noise_at_end=True)
+        n_noise = ds.n_noise
+        assert (ds.labels[-n_noise:] == NOISE_LABEL).all()
+
+    def test_noise_interleaved_by_default(self):
+        ds = make(noise_fraction=0.2)
+        n_noise = ds.n_noise
+        # With random slots it is (overwhelmingly) not all at the end.
+        assert not (ds.labels[-n_noise:] == NOISE_LABEL).all()
+
+    def test_no_noise_by_default(self):
+        assert make().n_noise == 0
+
+
+class TestOrdering:
+    def test_ordered_emits_clusters_contiguously(self):
+        ds = make(order=InputOrder.ORDERED)
+        changes = (np.diff(ds.labels) != 0).sum()
+        assert changes == 8  # 9 contiguous runs
+
+    def test_randomized_shuffles(self):
+        ordered = make(order=InputOrder.ORDERED)
+        shuffled = make(order=InputOrder.RANDOMIZED)
+        # Same multiset of points, different order.
+        assert not np.array_equal(ordered.points, shuffled.points)
+        assert np.allclose(
+            np.sort(ordered.points.view("f8,f8"), axis=0).view(np.float64),
+            np.sort(shuffled.points.view("f8,f8"), axis=0).view(np.float64),
+        )
+
+    def test_reproducible_given_seed(self):
+        a = make(seed=7)
+        b = make(seed=7)
+        assert np.array_equal(a.points, b.points)
+        c = make(seed=8)
+        assert not np.array_equal(a.points, c.points)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_clusters": 0},
+            {"n_low": -1},
+            {"n_low": 10, "n_high": 5},
+            {"r_low": -1.0},
+            {"r_low": 2.0, "r_high": 1.0},
+            {"noise_fraction": 1.0},
+            {"grid_spacing": 0.0},
+            {"sine_cycles": 0},
+        ],
+    )
+    def test_bad_params_rejected(self, overrides):
+        kwargs = dict(
+            pattern=Pattern.GRID,
+            n_clusters=4,
+            n_low=10,
+            n_high=10,
+            r_low=1.0,
+            r_high=1.0,
+        )
+        kwargs.update(overrides)
+        with pytest.raises(ValueError):
+            GeneratorParams(**kwargs)

@@ -1,0 +1,105 @@
+"""Tests for the d-dimensional Gaussian mixture generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.mixtures import GaussianMixture
+
+
+class TestGeneration:
+    def test_shapes(self):
+        ds = GaussianMixture(
+            n_components=5, dimensions=8, points_per_component=50, seed=1
+        ).generate()
+        assert ds.points.shape == (250, 8)
+        assert ds.labels.shape == (250,)
+        assert ds.centers.shape == (5, 8)
+        assert ds.dimensions == 8
+        assert ds.n_points == 250
+
+    def test_labels_balanced(self):
+        ds = GaussianMixture(
+            n_components=4, dimensions=3, points_per_component=30, seed=2
+        ).generate()
+        counts = np.bincount(ds.labels)
+        assert (counts == 30).all()
+
+    def test_rms_radius_matches_parameter(self):
+        ds = GaussianMixture(
+            n_components=3,
+            dimensions=10,
+            points_per_component=3000,
+            radius=2.0,
+            seed=3,
+        ).generate()
+        for c in range(3):
+            member = ds.points[ds.labels == c]
+            center = member.mean(axis=0)
+            rms = float(np.sqrt(((member - center) ** 2).sum(axis=1).mean()))
+            assert rms == pytest.approx(2.0, rel=0.1)
+
+    def test_separation_honoured(self):
+        ds = GaussianMixture(
+            n_components=6, dimensions=4, radius=1.0, separation=8.0, seed=4
+        ).generate()
+        diffs = ds.centers[:, None, :] - ds.centers[None, :, :]
+        dist = np.sqrt((diffs**2).sum(axis=2))
+        np.fill_diagonal(dist, np.inf)
+        assert dist.min() >= 8.0 - 1e-6
+
+    def test_reproducible(self):
+        a = GaussianMixture(3, 5, seed=9).generate()
+        b = GaussianMixture(3, 5, seed=9).generate()
+        assert np.array_equal(a.points, b.points)
+
+    def test_points_shuffled(self):
+        ds = GaussianMixture(3, 2, points_per_component=100, seed=5).generate()
+        # Labels are not in contiguous blocks after the output shuffle.
+        assert (np.diff(ds.labels) != 0).sum() > 10
+
+
+class TestBirchOnHighDimensions:
+    def test_birch_recovers_high_dim_mixture(self):
+        """BIRCH works unchanged in d = 16 (CF algebra is d-agnostic)."""
+        from repro.core.birch import Birch
+        from repro.core.config import BirchConfig
+
+        ds = GaussianMixture(
+            n_components=5,
+            dimensions=16,
+            points_per_component=100,
+            separation=10.0,
+            seed=6,
+        ).generate()
+        result = Birch(
+            BirchConfig(n_clusters=5, total_points_hint=ds.n_points)
+        ).fit(ds.points)
+        for center in ds.centers:
+            nearest = np.linalg.norm(result.centroids - center, axis=1).min()
+            assert nearest < ds.radius
+
+    def test_page_capacity_shrinks_with_dimension(self):
+        """Same page, higher d -> smaller B: the layout responds to d."""
+        from repro.core.birch import Birch
+        from repro.core.config import BirchConfig
+
+        ds = GaussianMixture(3, 32, points_per_component=40, seed=7).generate()
+        estimator = Birch(BirchConfig(n_clusters=3, phase4_passes=0))
+        estimator.partial_fit(ds.points)
+        assert estimator.tree.layout.branching_factor < 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_components": 0, "dimensions": 2},
+            {"n_components": 2, "dimensions": 0},
+            {"n_components": 2, "dimensions": 2, "points_per_component": 0},
+            {"n_components": 2, "dimensions": 2, "radius": 0.0},
+            {"n_components": 2, "dimensions": 2, "separation": 0.0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GaussianMixture(**kwargs)

@@ -1,0 +1,91 @@
+"""Tests for the input-order transformations."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generator import DatasetGenerator, GeneratorParams, Pattern
+from repro.datagen.orders import ORDER_MODES, reorder
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    params = GeneratorParams(
+        pattern=Pattern.GRID,
+        n_clusters=9,
+        n_low=20,
+        n_high=20,
+        r_low=1.0,
+        r_high=1.0,
+        seed=13,
+    )
+    return DatasetGenerator().generate(params, name="grid9")
+
+
+def point_multiset(points: np.ndarray) -> np.ndarray:
+    return np.sort(points.view("f8,f8"), axis=0)
+
+
+class TestReorder:
+    @pytest.mark.parametrize("mode", ORDER_MODES)
+    def test_points_preserved(self, dataset, mode):
+        variant = reorder(dataset, mode)
+        assert variant.n_points == dataset.n_points
+        assert np.array_equal(
+            point_multiset(variant.points), point_multiset(dataset.points)
+        )
+
+    @pytest.mark.parametrize("mode", ORDER_MODES)
+    def test_labels_travel_with_points(self, dataset, mode):
+        variant = reorder(dataset, mode)
+        # For every reordered point, its label matches the original
+        # label of the identical point.
+        original = {
+            tuple(p): int(l) for p, l in zip(dataset.points, dataset.labels)
+        }
+        for p, l in zip(variant.points[:50], variant.labels[:50]):
+            assert original[tuple(p)] == int(l)
+
+    def test_ordered_is_identity(self, dataset):
+        variant = reorder(dataset, "ordered")
+        assert np.array_equal(variant.points, dataset.points)
+
+    def test_reversed(self, dataset):
+        variant = reorder(dataset, "reversed")
+        assert np.array_equal(variant.points, dataset.points[::-1])
+
+    def test_sorted_x_is_monotone(self, dataset):
+        variant = reorder(dataset, "sorted_x")
+        assert (np.diff(variant.points[:, 0]) >= 0).all()
+
+    def test_interleaved_round_robin(self, dataset):
+        variant = reorder(dataset, "interleaved")
+        # The first 9 points come from 9 different clusters.
+        assert len(set(variant.labels[:9].tolist())) == 9
+
+    def test_randomized_seeds_differ(self, dataset):
+        a = reorder(dataset, "randomized", seed=0)
+        b = reorder(dataset, "randomized", seed=1)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_name_annotated(self, dataset):
+        assert reorder(dataset, "reversed").name == "grid9:reversed"
+
+    def test_unknown_mode_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            reorder(dataset, "zigzag")
+
+    def test_interleaved_with_noise_labels(self):
+        params = GeneratorParams(
+            pattern=Pattern.GRID,
+            n_clusters=4,
+            n_low=10,
+            n_high=10,
+            r_low=1.0,
+            r_high=1.0,
+            noise_fraction=0.1,
+            seed=5,
+        )
+        noisy = DatasetGenerator().generate(params)
+        variant = reorder(noisy, "interleaved")
+        assert variant.n_points == noisy.n_points
+        assert (variant.labels == -1).sum() == noisy.n_noise

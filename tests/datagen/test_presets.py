@@ -1,0 +1,80 @@
+"""Tests for the DS1-DS3 presets and scalability families."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen.generator import InputOrder, Pattern
+from repro.datagen.presets import (
+    ds1,
+    ds1o,
+    ds2,
+    ds2o,
+    ds3,
+    ds3o,
+    scaled_k_family,
+    scaled_n_family,
+)
+
+
+class TestBaseDatasets:
+    def test_ds1_full_scale_shape(self):
+        ds = ds1(scale=0.01)
+        assert ds.name == "DS1"
+        assert len(ds.clusters) == 100
+        assert ds.params.pattern is Pattern.GRID
+        assert ds.params.r_low == pytest.approx(math.sqrt(2.0))
+        assert ds.n_points == 100 * 10  # 1000 * 0.01 per cluster
+
+    def test_ds2_is_sine(self):
+        ds = ds2(scale=0.01)
+        assert ds.name == "DS2"
+        assert ds.params.pattern is Pattern.SINE
+
+    def test_ds3_is_random_with_ranges(self):
+        ds = ds3(scale=0.01)
+        assert ds.name == "DS3"
+        assert ds.params.pattern is Pattern.RANDOM
+        assert ds.params.n_low == 0
+        assert ds.params.r_high == 4.0
+
+    def test_full_scale_sizes(self):
+        # At scale 1.0 the paper's N = 100,000 (DS3 in expectation).
+        ds = ds1(scale=1.0)
+        assert ds.n_points == 100_000
+
+    def test_ordered_variants_share_points_with_o_variants(self):
+        a = ds1(scale=0.01)
+        b = ds1o(scale=0.01)
+        assert b.name == "DS1O"
+        assert not np.array_equal(a.points, b.points)
+        assert np.allclose(a.points.sum(axis=0), b.points.sum(axis=0))
+
+    def test_o_variants_randomized(self):
+        for maker in (ds1o, ds2o, ds3o):
+            assert maker(scale=0.01).params.order is InputOrder.RANDOMIZED
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ds1(scale=0.0)
+        with pytest.raises(ValueError):
+            ds1(scale=1.5)
+
+
+class TestFamilies:
+    def test_scaled_n_family_grows_linearly(self):
+        family = scaled_n_family(Pattern.GRID, [10, 20, 40], n_clusters=10)
+        sizes = [ds.n_points for ds in family]
+        assert sizes == [100, 200, 400]
+
+    def test_scaled_k_family_grows_with_k(self):
+        family = scaled_k_family(Pattern.SINE, [4, 8, 16], per_cluster=25)
+        sizes = [ds.n_points for ds in family]
+        assert sizes == [100, 200, 400]
+        assert [len(ds.clusters) for ds in family] == [4, 8, 16]
+
+    def test_family_names_are_descriptive(self):
+        family = scaled_n_family(Pattern.RANDOM, [10], n_clusters=5)
+        assert "random" in family[0].name
+        assert "n10" in family[0].name

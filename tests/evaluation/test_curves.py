@@ -1,0 +1,68 @@
+"""Tests for the power-law curve fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.curves import fit_power_law
+
+
+class TestFit:
+    def test_exact_linear(self):
+        xs = np.array([100.0, 200.0, 400.0, 800.0])
+        fit = fit_power_law(xs, 3.0 * xs)
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.is_near_linear
+
+    def test_exact_quadratic(self):
+        xs = np.array([10.0, 20.0, 40.0])
+        fit = fit_power_law(xs, 0.5 * xs**2)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert not fit.is_near_linear
+
+    def test_predict(self):
+        xs = np.array([1.0, 2.0, 4.0])
+        fit = fit_power_law(xs, 2.0 * xs)
+        assert fit.predict(8.0) == pytest.approx(16.0, rel=1e-9)
+
+    def test_noisy_fit_r_squared_below_one(self, rng):
+        xs = np.linspace(10, 1000, 20)
+        ys = 2.0 * xs * np.exp(rng.normal(0, 0.1, 20))
+        fit = fit_power_law(xs, ys)
+        assert 0.8 < fit.r_squared < 1.0
+        assert fit.exponent == pytest.approx(1.0, abs=0.2)
+
+    @given(
+        exponent=st.floats(min_value=0.2, max_value=3.0),
+        coefficient=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_known_law(self, exponent, coefficient):
+        xs = np.array([10.0, 50.0, 250.0, 1250.0])
+        ys = coefficient * xs**exponent
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, rel=1e-6)
+        assert fit.coefficient == pytest.approx(coefficient, rel=1e-6)
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([-1.0, 2.0], [1.0, 1.0])
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([5.0, 5.0], [1.0, 2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, 2.0])

@@ -1,0 +1,103 @@
+"""Tests for the external label-agreement measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.labels import (
+    adjusted_rand_index,
+    contingency_table,
+    purity,
+    rand_index,
+)
+
+label_vectors = st.lists(st.integers(0, 4), min_size=2, max_size=60)
+
+
+class TestContingency:
+    def test_basic_counts(self):
+        found = np.array([0, 0, 1, 1, 1])
+        truth = np.array([0, 1, 1, 1, 1])
+        table = contingency_table(found, truth)
+        assert table.tolist() == [[1, 1], [0, 3]]
+
+    def test_negative_labels_excluded(self):
+        found = np.array([0, -1, 1])
+        truth = np.array([0, 0, -1])
+        table = contingency_table(found, truth)
+        assert table.sum() == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+
+class TestPurity:
+    def test_perfect_labelling(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert purity(labels, labels) == 1.0
+
+    def test_permuted_labelling_still_pure(self):
+        truth = np.array([0, 0, 1, 1])
+        found = np.array([1, 1, 0, 0])
+        assert purity(found, truth) == 1.0
+
+    def test_half_mixed(self):
+        truth = np.array([0, 0, 1, 1])
+        found = np.array([0, 0, 0, 0])
+        assert purity(found, truth) == 0.5
+
+    def test_empty_after_exclusion(self):
+        assert purity(np.array([-1, -1]), np.array([0, 1])) == 0.0
+
+
+class TestRandIndices:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert rand_index(labels, labels) == pytest.approx(1.0)
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_relabelled_partitions_identical(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        found = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(found, truth) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Classic example: RI for these partitions is 0.6 (9/15... check
+        # against the pair-counting definition directly).
+        truth = np.array([0, 0, 0, 1, 1, 1])
+        found = np.array([0, 0, 1, 1, 2, 2])
+        n = len(truth)
+        agree = 0
+        pairs = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                pairs += 1
+                same_t = truth[i] == truth[j]
+                same_f = found[i] == found[j]
+                agree += same_t == same_f
+        assert rand_index(found, truth) == pytest.approx(agree / pairs)
+
+    def test_ari_near_zero_for_random_labels(self, rng):
+        truth = rng.integers(0, 5, size=2000)
+        found = rng.integers(0, 5, size=2000)
+        assert abs(adjusted_rand_index(found, truth)) < 0.05
+
+    @given(labels=label_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_rand_bounds(self, labels):
+        arr = np.array(labels)
+        other = np.roll(arr, 1)
+        ri = rand_index(arr, other)
+        assert 0.0 <= ri <= 1.0
+
+    @given(labels=label_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_ari_of_self_is_one(self, labels):
+        arr = np.array(labels)
+        assert adjusted_rand_index(arr, arr) == pytest.approx(1.0)
+
+    def test_single_point(self):
+        assert rand_index(np.array([0]), np.array([0])) == 1.0
+        assert adjusted_rand_index(np.array([0]), np.array([1])) == 1.0

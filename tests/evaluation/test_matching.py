@@ -1,0 +1,80 @@
+"""Tests for found-vs-actual cluster matching."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.matching import match_clusters
+
+
+class TestAssignment:
+    def test_identity_match(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        match = match_clusters(centroids, centroids)
+        assert np.array_equal(np.sort(match.assignment), [0, 1, 2])
+        assert match.mean_centroid_distance == pytest.approx(0.0)
+        assert match.max_centroid_distance == pytest.approx(0.0)
+
+    def test_permuted_match(self):
+        actual = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        found = actual[[2, 0, 1]]
+        match = match_clusters(found, actual)
+        assert match.assignment.tolist() == [2, 0, 1]
+        assert match.mean_centroid_distance == pytest.approx(0.0)
+
+    def test_displacement_measured(self):
+        actual = np.array([[0.0, 0.0], [10.0, 0.0]])
+        found = actual + np.array([[0.3, 0.4], [0.0, 0.0]])
+        match = match_clusters(found, actual)
+        assert match.max_centroid_distance == pytest.approx(0.5)
+        assert match.mean_centroid_distance == pytest.approx(0.25)
+
+    def test_unequal_counts_leave_unmatched(self):
+        actual = np.array([[0.0, 0.0], [10.0, 0.0]])
+        found = np.array([[0.0, 0.0], [10.0, 0.0], [50.0, 50.0]])
+        match = match_clusters(found, actual)
+        assert (match.assignment == -1).sum() == 1
+        assert match.centroid_distances.shape == (2,)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            match_clusters(np.empty((0, 2)), np.ones((1, 2)))
+
+
+class TestStatistics:
+    def test_radius_ratios(self):
+        actual = np.array([[0.0, 0.0], [10.0, 0.0]])
+        match = match_clusters(
+            actual,
+            actual,
+            found_radii=np.array([2.0, 3.0]),
+            actual_radii=np.array([1.0, 2.0]),
+        )
+        assert sorted(match.radius_ratios.tolist()) == [1.5, 2.0]
+        assert match.mean_radius_ratio == pytest.approx(1.75)
+
+    def test_zero_actual_radius_skipped(self):
+        actual = np.array([[0.0, 0.0], [10.0, 0.0]])
+        match = match_clusters(
+            actual,
+            actual,
+            found_radii=np.array([2.0, 3.0]),
+            actual_radii=np.array([0.0, 2.0]),
+        )
+        assert match.radius_ratios.shape == (1,)
+
+    def test_count_deviation(self):
+        actual = np.array([[0.0, 0.0], [10.0, 0.0]])
+        match = match_clusters(
+            actual,
+            actual,
+            found_counts=np.array([90, 110]),
+            actual_counts=np.array([100, 100]),
+        )
+        assert match.mean_count_deviation == pytest.approx(0.1)
+
+    def test_stats_empty_without_inputs(self):
+        actual = np.array([[0.0, 0.0]])
+        match = match_clusters(actual, actual)
+        assert match.radius_ratios.size == 0
+        assert match.count_deviation.size == 0
+        assert match.mean_radius_ratio == 0.0

@@ -1,0 +1,64 @@
+"""Tests for the ASCII visualisations."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.plotting import ascii_clusters, ascii_scatter
+
+
+class TestScatter:
+    def test_dimensions(self, rng):
+        out = ascii_scatter(rng.normal(size=(100, 2)), width=40, height=10)
+        lines = out.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_dense_regions_marked(self, rng):
+        points = np.concatenate(
+            [rng.normal(0, 0.1, size=(200, 2)), rng.normal(10, 0.1, size=(200, 2))]
+        )
+        out = ascii_scatter(points, width=40, height=10)
+        assert sum(1 for ch in out if ch not in " \n") >= 2
+
+    def test_empty_input(self):
+        out = ascii_scatter(np.empty((0, 2)), width=10, height=3)
+        assert out == "\n".join(" " * 10 for _ in range(3))
+
+    def test_single_point(self):
+        out = ascii_scatter(np.array([[1.0, 1.0]]), width=10, height=3)
+        assert sum(1 for ch in out if ch not in " \n") == 1
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ascii_scatter(rng.normal(size=(5, 3)))
+
+
+class TestClusters:
+    def test_centroid_markers_present(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        radii = np.array([1.0, 2.0])
+        out = ascii_clusters(centroids, radii, width=40, height=20)
+        assert out.count("o") == 2
+
+    def test_larger_radius_paints_more_cells(self):
+        small = ascii_clusters(
+            np.array([[0.0, 0.0], [100.0, 0.0]]),
+            np.array([1.0, 1.0]),
+            width=60,
+            height=20,
+        )
+        large = ascii_clusters(
+            np.array([[0.0, 0.0], [100.0, 0.0]]),
+            np.array([20.0, 20.0]),
+            width=60,
+            height=20,
+        )
+        assert large.count("·") > small.count("·")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_clusters(np.zeros((2, 2)), np.zeros(3))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_clusters(np.zeros((2, 3)), np.zeros(2))

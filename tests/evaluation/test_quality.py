@@ -1,0 +1,99 @@
+"""Tests for the quality measurements."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import CF
+from repro.evaluation.quality import (
+    cluster_cfs_from_labels,
+    total_cost,
+    weighted_average_diameter,
+    weighted_average_radius,
+)
+
+
+class TestWeightedAverages:
+    def test_weighting_by_point_count(self, rng):
+        tight = CF.from_points(rng.normal(0, 0.1, size=(1000, 2)))
+        loose = CF.from_points(rng.normal(0, 5.0, size=(10, 2)))
+        d = weighted_average_diameter([tight, loose])
+        # The huge tight cluster dominates the average.
+        assert d < loose.diameter / 2
+        assert d > tight.diameter / 2
+
+    def test_single_cluster(self, rng):
+        cf = CF.from_points(rng.normal(size=(50, 2)))
+        assert weighted_average_diameter([cf]) == pytest.approx(cf.diameter)
+        assert weighted_average_radius([cf]) == pytest.approx(cf.radius)
+
+    def test_empty_clusters_skipped(self, rng):
+        cf = CF.from_points(rng.normal(size=(50, 2)))
+        with_empty = weighted_average_diameter([cf, CF.empty(2)])
+        assert with_empty == pytest.approx(cf.diameter)
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_average_diameter([CF.empty(2)])
+        with pytest.raises(ValueError):
+            weighted_average_radius([])
+
+    def test_singletons_contribute_zero_diameter(self):
+        single = CF.from_point(np.zeros(2))
+        assert weighted_average_diameter([single]) == 0.0
+
+    def test_radius_smaller_than_diameter(self, rng):
+        cfs = [CF.from_points(rng.normal(size=(30, 2))) for _ in range(3)]
+        assert weighted_average_radius(cfs) < weighted_average_diameter(cfs)
+
+
+class TestClusterCFsFromLabels:
+    def test_partition_reconstruction(self, blob_points, blob_labels):
+        cfs = cluster_cfs_from_labels(blob_points, blob_labels, 3)
+        assert [cf.n for cf in cfs] == [50, 50, 50]
+        for c in range(3):
+            expected = blob_points[blob_labels == c].mean(axis=0)
+            assert np.allclose(cfs[c].centroid, expected)
+
+    def test_discarded_labels_excluded(self, blob_points, blob_labels):
+        labels = blob_labels.copy()
+        labels[:10] = -1
+        cfs = cluster_cfs_from_labels(blob_points, labels, 3)
+        assert cfs[0].n == 40
+
+    def test_inferred_k(self, blob_points, blob_labels):
+        cfs = cluster_cfs_from_labels(blob_points, blob_labels)
+        assert len(cfs) == 3
+
+    def test_empty_cluster_produces_empty_cf(self, blob_points, blob_labels):
+        cfs = cluster_cfs_from_labels(blob_points, blob_labels, 5)
+        assert cfs[3].n == 0
+        assert cfs[4].n == 0
+
+    def test_length_mismatch_rejected(self, blob_points):
+        with pytest.raises(ValueError):
+            cluster_cfs_from_labels(blob_points, np.zeros(3, dtype=int))
+
+
+class TestTotalCost:
+    def test_zero_for_points_on_centroids(self):
+        centroids = np.array([[0.0, 0.0], [5.0, 5.0]])
+        points = centroids[np.array([0, 1, 0])]
+        labels = np.array([0, 1, 0])
+        assert total_cost(points, centroids, labels) == pytest.approx(0.0)
+
+    def test_manual_computation(self):
+        centroids = np.array([[0.0, 0.0]])
+        points = np.array([[3.0, 4.0], [0.0, 1.0]])
+        labels = np.array([0, 0])
+        assert total_cost(points, centroids, labels) == pytest.approx(6.0)
+
+    def test_discarded_points_skipped(self):
+        centroids = np.array([[0.0, 0.0]])
+        points = np.array([[3.0, 4.0], [100.0, 0.0]])
+        labels = np.array([0, -1])
+        assert total_cost(points, centroids, labels) == pytest.approx(5.0)
+
+    def test_all_discarded(self):
+        centroids = np.array([[0.0, 0.0]])
+        points = np.array([[1.0, 1.0]])
+        assert total_cost(points, centroids, np.array([-1])) == 0.0

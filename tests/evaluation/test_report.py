@@ -1,0 +1,41 @@
+"""Tests for the table formatter."""
+
+import pytest
+
+from repro.evaluation.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(
+            ["dataset", "time", "D"],
+            [["DS1", 47.1, 1.87], ["DS2", 47.5, 1.99]],
+        )
+        lines = out.split("\n")
+        assert "dataset" in lines[0]
+        assert "-" in lines[1]
+        assert "DS1" in lines[2]
+        assert "47.10" in lines[2]
+
+    def test_title(self):
+        out = format_table(["a"], [["x"]], title="Table 4")
+        assert out.split("\n")[0] == "Table 4"
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.split("\n")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_float_format(self):
+        out = format_table(["x"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in out
+
+    def test_integers_not_float_formatted(self):
+        out = format_table(["n"], [[100]])
+        assert "100" in out
+        assert "100.00" not in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,24 @@
+"""Tests for the Timer helper."""
+
+import time
+
+from repro.evaluation.timing import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 1.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0

@@ -1,0 +1,119 @@
+"""Tests for the two-pass image filtering workflow (Section 6.8)."""
+
+import numpy as np
+import pytest
+
+from repro.image.filtering import TwoPassFilter
+from repro.image.scene import SceneCategory, SceneGenerator
+
+
+@pytest.fixture(scope="module")
+def report():
+    scene = SceneGenerator(height=48, width=96, seed=5).generate()
+    return scene, TwoPassFilter(memory_bytes=64 * 1024, seed=0).run(scene)
+
+
+class TestPassOne:
+    def test_five_clusters(self, report):
+        _, rep = report
+        assert rep.pass1.n_clusters == 5
+
+    def test_background_identified(self, report):
+        _, rep = report
+        assert rep.background_clusters
+        assert rep.background_mask.any()
+
+    def test_background_recall_high(self, report):
+        """Nearly all true sky/cloud pixels are filtered out."""
+        _, rep = report
+        assert rep.background_recall is not None
+        assert rep.background_recall > 0.9
+
+    def test_pass1_purity_reasonable(self, report):
+        _, rep = report
+        assert rep.purity_pass1 is not None
+        assert rep.purity_pass1 > 0.7
+
+
+class TestPassTwo:
+    def test_foreground_only(self, report):
+        _, rep = report
+        assert (rep.pass2_labels[rep.background_mask] == -1).all()
+        assert (rep.pass2_labels[~rep.background_mask] >= 0).all()
+
+    def test_pass2_separates_sunlit_from_shadow(self, report):
+        """Sunlit leaves and shadow/branches land in different clusters."""
+        scene, rep = report
+        truth = scene.categories.ravel()
+        fg = rep.pass2_labels >= 0
+        sunlit = fg & (truth == SceneCategory.SUNLIT_LEAVES)
+        branches = fg & (truth == SceneCategory.BRANCHES)
+        if sunlit.sum() > 50 and branches.sum() > 50:
+            sunlit_major = np.bincount(rep.pass2_labels[sunlit]).argmax()
+            branch_major = np.bincount(rep.pass2_labels[branches]).argmax()
+            assert sunlit_major != branch_major
+
+    def test_pass2_purity_improves_foreground(self, report):
+        _, rep = report
+        assert rep.purity_pass2 is not None
+        assert rep.purity_pass2 > 0.6
+
+
+class TestReportContents:
+    def test_category_breakdown_covers_clusters(self, report):
+        _, rep = report
+        assert set(rep.category_breakdown.keys()) == set(
+            np.unique(rep.pass1_labels).tolist()
+        )
+
+    def test_labels_cover_all_pixels(self, report):
+        scene, rep = report
+        assert rep.pass1_labels.shape == (scene.n_pixels,)
+        assert rep.pass2_labels.shape == (scene.n_pixels,)
+
+
+class TestValidation:
+    def test_bad_cluster_counts_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPassFilter(pass1_clusters=1)
+        with pytest.raises(ValueError):
+            TwoPassFilter(pass2_clusters=1)
+
+
+class TestCustomBackgroundRule:
+    def test_rule_override_is_honoured(self):
+        import numpy as np
+
+        from repro.image.scene import SceneGenerator
+
+        scene = SceneGenerator(height=48, width=96, seed=5).generate()
+
+        # Filter nothing: an empty background set.
+        keep_all = TwoPassFilter(
+            memory_bytes=64 * 1024,
+            background_rule=lambda centroids: [
+                int(np.argmax(centroids[:, 1]))  # only the brightest-VIS
+            ],
+        )
+        report = keep_all.run(scene)
+        assert len(report.background_clusters) == 1
+
+    def test_rule_receives_unweighted_centroids(self):
+        import numpy as np
+
+        from repro.image.scene import SceneGenerator
+
+        scene = SceneGenerator(height=48, width=96, seed=5).generate()
+        seen = {}
+
+        def rule(centroids):
+            seen["max"] = float(centroids.max())
+            return [int(np.argmax(centroids[:, 1]))]
+
+        TwoPassFilter(
+            memory_bytes=64 * 1024,
+            band_weights=(10.0, 10.0),
+            background_rule=rule,
+        ).run(scene)
+        # Despite the 10x band weighting, the rule sees 0-255 values.
+        assert seen["max"] <= 256.0

@@ -1,0 +1,56 @@
+"""Tests for the image rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.image.render import render_categories, render_cluster_map
+from repro.image.scene import SceneGenerator
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return SceneGenerator(height=48, width=96, seed=2).generate()
+
+
+class TestCategoryRender:
+    def test_dimensions(self, scene):
+        out = render_categories(scene, width=60, height=20)
+        lines = out.split("\n")
+        assert len(lines) == 20
+        assert all(len(line) == 60 for line in lines)
+
+    def test_glyph_fractions_track_scene(self, scene):
+        """Sky dominates the frame, so '.' dominates the rendering."""
+        out = render_categories(scene, width=96, height=30)
+        counts = {ch: out.count(ch) for ch in ".~@%|"}
+        assert counts["."] > counts["@"]
+        assert counts["@"] > 0
+        assert counts["|"] > 0
+
+    def test_sky_on_top(self, scene):
+        out = render_categories(scene, width=60, height=20)
+        top_line = out.split("\n")[0]
+        assert set(top_line) <= {".", "~"}
+
+
+class TestClusterMapRender:
+    def test_holes_render_as_spaces(self, scene):
+        labels = np.zeros(scene.n_pixels, dtype=np.int64)
+        labels[: scene.n_pixels // 2] = -1
+        out = render_cluster_map(labels, scene.shape, width=40, height=10)
+        assert " " in out
+        assert "0" in out
+
+    def test_multiple_clusters_distinct_glyphs(self, scene):
+        labels = np.arange(scene.n_pixels) % 3
+        out = render_cluster_map(labels, scene.shape, width=40, height=10)
+        assert {"0", "1", "2"} <= set(out)
+
+    def test_size_mismatch_rejected(self, scene):
+        with pytest.raises(ValueError):
+            render_cluster_map(np.zeros(10), scene.shape)
+
+    def test_glyphs_cycle_beyond_sixteen(self, scene):
+        labels = np.full(scene.n_pixels, 17, dtype=np.int64)
+        out = render_cluster_map(labels, scene.shape, width=10, height=4)
+        assert "1" in out  # 17 % 16

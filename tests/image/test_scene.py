@@ -1,0 +1,97 @@
+"""Tests for the synthetic NIR/VIS scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.image.scene import (
+    CATEGORY_MEANS,
+    Scene,
+    SceneCategory,
+    SceneGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def scene() -> Scene:
+    return SceneGenerator(height=64, width=128, seed=3).generate()
+
+
+class TestStructure:
+    def test_shape(self, scene):
+        assert scene.shape == (64, 128)
+        assert scene.nir.shape == scene.vis.shape == scene.categories.shape
+        assert scene.n_pixels == 64 * 128
+
+    def test_all_categories_present(self, scene):
+        present = set(np.unique(scene.categories).tolist())
+        assert {int(c) for c in SceneCategory} <= present
+
+    def test_reproducible(self):
+        a = SceneGenerator(height=32, width=64, seed=9).generate()
+        b = SceneGenerator(height=32, width=64, seed=9).generate()
+        assert np.array_equal(a.nir, b.nir)
+        assert np.array_equal(a.categories, b.categories)
+
+    def test_different_seeds_differ(self):
+        a = SceneGenerator(height=32, width=64, seed=1).generate()
+        b = SceneGenerator(height=32, width=64, seed=2).generate()
+        assert not np.array_equal(a.nir, b.nir)
+
+    def test_brightness_in_range(self, scene):
+        for band in (scene.nir, scene.vis):
+            assert band.min() >= 0.0
+            assert band.max() <= 255.0
+
+
+class TestSpectralSignatures:
+    def test_category_means_match_spec(self, scene):
+        """Mean pixel values per category track the configured means."""
+        for cat in SceneCategory:
+            mask = scene.categories == cat
+            if mask.sum() < 20:
+                continue
+            mean_nir, mean_vis = CATEGORY_MEANS[cat]
+            assert scene.nir[mask].mean() == pytest.approx(mean_nir, abs=6.0)
+            assert scene.vis[mask].mean() == pytest.approx(mean_vis, abs=6.0)
+
+    def test_sky_is_vis_dominant(self, scene):
+        sky = scene.categories == SceneCategory.SKY
+        assert scene.vis[sky].mean() > scene.nir[sky].mean()
+
+    def test_sunlit_leaves_are_nir_dominant(self, scene):
+        leaves = scene.categories == SceneCategory.SUNLIT_LEAVES
+        assert scene.nir[leaves].mean() > scene.vis[leaves].mean()
+
+    def test_branches_darkest(self, scene):
+        branches = scene.categories == SceneCategory.BRANCHES
+        others = scene.categories != SceneCategory.BRANCHES
+        combined = scene.nir + scene.vis
+        assert combined[branches].mean() < combined[others].mean()
+
+
+class TestPixelTuples:
+    def test_tuple_shape(self, scene):
+        tuples = scene.pixel_tuples()
+        assert tuples.shape == (scene.n_pixels, 2)
+        assert np.allclose(tuples[:, 0], scene.nir.ravel())
+
+    def test_weighting(self, scene):
+        tuples = scene.pixel_tuples(weights=(2.0, 0.5))
+        assert np.allclose(tuples[:, 0], scene.nir.ravel() * 2.0)
+        assert np.allclose(tuples[:, 1], scene.vis.ravel() * 0.5)
+
+    def test_category_fractions_sum_to_one(self, scene):
+        fractions = scene.category_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SceneGenerator(height=8, width=8)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SceneGenerator(n_trees=0)
+        with pytest.raises(ValueError):
+            SceneGenerator(n_clouds=-1)

@@ -1,0 +1,148 @@
+"""Cross-feature integration: persistence x merging x diagnostics x bounds.
+
+Each test exercises a *combination* of features a real deployment would
+chain together, catching interface mismatches unit tests cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.diagnostics import diagnose
+from repro.core.global_clustering import agglomerative_cf
+from repro.core.merge import merge_trees
+from repro.core.serialization import load_tree, save_tree
+from repro.core.tree import CFTree
+from repro.pagestore.page import PageLayout
+
+
+@pytest.fixture
+def shard_points(rng):
+    centers = [(0.0, 0.0), (25.0, 0.0), (0.0, 25.0), (25.0, 25.0)]
+    points = np.concatenate(
+        [rng.normal(c, 0.5, size=(120, 2)) for c in centers]
+    )
+    rng.shuffle(points)
+    return points, centers
+
+
+class TestPersistThenMerge:
+    def test_save_load_merge_cluster(self, shard_points, tmp_path, rng):
+        """Build shards, persist them, reload, merge, cluster — the
+        full distributed-pipeline shape."""
+        points, centers = shard_points
+
+        paths = []
+        for i in range(3):
+            layout = PageLayout(page_size=512, dimensions=2)
+            tree = CFTree(layout, threshold=0.5)
+            tree.insert_points(points[i::3])
+            path = tmp_path / f"shard{i}.npz"
+            save_tree(path, tree)
+            paths.append(path)
+
+        shards = [load_tree(p) for p in paths]
+        merged = merge_trees(shards)
+        assert merged.summary_cf().n == points.shape[0]
+        merged.check_invariants()
+
+        clustering = agglomerative_cf(merged.leaf_entries(), n_clusters=4)
+        for c in centers:
+            nearest = np.linalg.norm(
+                clustering.centroids - np.array(c), axis=1
+            ).min()
+            assert nearest < 0.6
+
+
+class TestDiagnoseAfterEverything:
+    def test_diagnose_after_pressure_and_outliers(self, rng):
+        points = np.concatenate(
+            [
+                rng.normal(0, 0.5, size=(800, 2)),
+                rng.uniform(-50, 50, size=(60, 2)),
+            ]
+        )
+        config = BirchConfig(
+            n_clusters=3,
+            memory_bytes=4 * 1024,
+            total_points_hint=len(points),
+            phase4_passes=0,
+        )
+        estimator = Birch(config)
+        estimator.fit(points)
+        diag = diagnose(estimator.tree)
+        assert diag.total_nodes == estimator.tree.node_count
+        assert diag.threshold == estimator.tree.threshold
+        # Pressure forced absorption: median entry size exceeds 1.
+        assert diag.median_entry_points >= 1.0
+
+    def test_diagnose_roundtrips_through_serialization(self, rng, tmp_path):
+        layout = PageLayout(page_size=512, dimensions=2)
+        tree = CFTree(layout, threshold=0.8)
+        tree.insert_points(rng.normal(size=(400, 2)) * 10)
+        before = diagnose(tree)
+        path = tmp_path / "tree.npz"
+        save_tree(path, tree)
+        after = diagnose(load_tree(path))
+        # Points are preserved exactly; re-insertion may merge entries
+        # that the original insertion order had kept apart, so the
+        # entry count can only shrink.
+        assert int(before.entry_points.sum()) == int(after.entry_points.sum())
+        assert after.leaf_entry_count <= before.leaf_entry_count
+
+
+class TestDiameterBoundWithWeights:
+    def test_weighted_stream_with_diameter_phase3(self, rng):
+        """Weighted partial_fit + diameter-driven Phase 3 + finalize."""
+        coords = np.array(
+            [[0.0, 0.0], [0.3, 0.1], [15.0, 0.0], [15.2, 0.2], [0.0, 15.0]]
+        )
+        weights = np.array([50, 30, 40, 40, 70])
+        config = BirchConfig(
+            n_clusters=1,
+            phase3_stop_diameter=3.0,
+            phase4_passes=0,
+        )
+        estimator = Birch(config)
+        estimator.partial_fit(coords, weights=weights)
+        result = estimator.finalize()
+        assert result.n_clusters == 3
+        assert sum(cf.n for cf in result.clusters) == int(weights.sum())
+        for cf in result.clusters:
+            assert cf.diameter <= 3.0 + 1e-9
+
+
+class TestAblationCombos:
+    def test_no_refinement_no_outliers_dmin_mode(self, rng):
+        """The most stripped-down configuration still works end to end."""
+        points = np.concatenate(
+            [rng.normal(c, 0.4, size=(150, 2)) for c in ((0, 0), (12, 0))]
+        )
+        config = BirchConfig(
+            n_clusters=2,
+            memory_bytes=4 * 1024,
+            merging_refinement=False,
+            outlier_handling=False,
+            threshold_mode="dmin",
+            phase4_passes=0,
+            total_points_hint=len(points),
+        )
+        result = Birch(config).fit(points)
+        assert result.n_clusters == 2
+        assert sum(cf.n for cf in result.clusters) == 300
+
+    def test_radius_kind_with_medoids_phase3(self, rng):
+        from repro.core.tree import ThresholdKind
+
+        points = np.concatenate(
+            [rng.normal(c, 0.4, size=(100, 2)) for c in ((0, 0), (14, 0))]
+        )
+        config = BirchConfig(
+            n_clusters=2,
+            threshold_kind=ThresholdKind.RADIUS,
+            phase3_algorithm="medoids",
+            total_points_hint=len(points),
+        )
+        result = Birch(config).fit(points)
+        assert result.n_clusters == 2

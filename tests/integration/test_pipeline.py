@@ -1,0 +1,162 @@
+"""End-to-end integration tests of the full BIRCH pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.datagen.generator import (
+    DatasetGenerator,
+    GeneratorParams,
+    InputOrder,
+    Pattern,
+)
+from repro.datagen.presets import ds1, ds2
+from repro.evaluation.matching import match_clusters
+from repro.evaluation.quality import (
+    cluster_cfs_from_labels,
+    weighted_average_diameter,
+)
+from repro.workloads.base import base_birch_config
+
+
+class TestQualityAgainstGroundTruth:
+    def test_ds1_quality_near_ideal(self):
+        """Table 4 shape: BIRCH's D on DS1 is close to the actual D."""
+        dataset = ds1(scale=0.05)  # N = 5000
+        config = base_birch_config(
+            n_clusters=100, total_points_hint=dataset.n_points
+        )
+        result = Birch(config).fit(dataset.points)
+        ideal = weighted_average_diameter(
+            cluster_cfs_from_labels(dataset.points, dataset.labels, 100)
+        )
+        got = weighted_average_diameter([cf for cf in result.clusters if cf.n > 0])
+        assert got < ideal * 1.35
+
+    def test_ds1_centroids_match_actual(self):
+        """Figure 6/7 shape: BIRCH centroids sit on the actual centres."""
+        dataset = ds1(scale=0.05)
+        config = base_birch_config(
+            n_clusters=100, total_points_hint=dataset.n_points
+        )
+        result = Birch(config).fit(dataset.points)
+        match = match_clusters(result.centroids, dataset.actual_centroids())
+        # Grid spacing is ~5.7; matched centroids must be far closer.
+        assert match.mean_centroid_distance < 1.0
+
+    def test_ds2_sine_pattern(self):
+        dataset = ds2(scale=0.05)
+        config = base_birch_config(
+            n_clusters=100, total_points_hint=dataset.n_points
+        )
+        result = Birch(config).fit(dataset.points)
+        ideal = weighted_average_diameter(
+            cluster_cfs_from_labels(dataset.points, dataset.labels, 100)
+        )
+        got = weighted_average_diameter([cf for cf in result.clusters if cf.n > 0])
+        assert got < ideal * 1.35
+
+
+class TestMemoryBoundedness:
+    def test_memory_constant_while_n_grows(self):
+        """The tree's page usage is bounded by M regardless of N."""
+        peaks = []
+        for n_per in (50, 100, 200):
+            params = GeneratorParams(
+                pattern=Pattern.GRID,
+                n_clusters=25,
+                n_low=n_per,
+                n_high=n_per,
+                r_low=1.0,
+                r_high=1.0,
+                seed=3,
+            )
+            dataset = DatasetGenerator().generate(params)
+            config = BirchConfig(
+                n_clusters=25,
+                memory_bytes=16 * 1024,
+                total_points_hint=dataset.n_points,
+            )
+            estimator = Birch(config)
+            estimator.fit(dataset.points)
+            assert estimator._budget is not None
+            peaks.append(estimator._budget.peak_pages)
+        capacity = 16 * 1024 // 1024
+        height_allowance = 8
+        for peak in peaks:
+            assert peak <= capacity + height_allowance + 32
+
+    def test_single_scan_of_data(self):
+        """Phase 1 reads the data exactly once (the headline 1/O claim)."""
+        dataset = ds1(scale=0.02)
+        config = base_birch_config(
+            n_clusters=100,
+            total_points_hint=dataset.n_points,
+            phase4_passes=0,
+        )
+        estimator = Birch(config)
+        result = estimator.fit(dataset.points)
+        assert result.io["data_scans"] == 1
+
+    def test_phase4_adds_scans(self):
+        dataset = ds1(scale=0.02)
+        config = base_birch_config(
+            n_clusters=100, total_points_hint=dataset.n_points, phase4_passes=2
+        )
+        result = Birch(config).fit(dataset.points)
+        assert result.io["data_scans"] >= 2
+
+
+class TestNoiseRobustness:
+    def test_noise_spills_to_outliers(self):
+        """With uniform noise, the outlier option catches stray points."""
+        params = GeneratorParams(
+            pattern=Pattern.GRID,
+            n_clusters=9,
+            n_low=150,
+            n_high=150,
+            r_low=0.5,
+            r_high=0.5,
+            grid_spacing=20.0,
+            noise_fraction=0.1,
+            seed=17,
+        )
+        dataset = DatasetGenerator().generate(params)
+        config = BirchConfig(
+            n_clusters=9,
+            memory_bytes=6 * 1024,
+            total_points_hint=dataset.n_points,
+            phase4_passes=0,
+        )
+        estimator = Birch(config)
+        result = estimator.fit(dataset.points)
+        if result.rebuilds > 0:
+            # Some of the sparse noise was flagged as outliers.
+            assert len(result.outliers) > 0
+
+    def test_quality_with_noise_still_reasonable(self):
+        params = GeneratorParams(
+            pattern=Pattern.GRID,
+            n_clusters=9,
+            n_low=200,
+            n_high=200,
+            r_low=0.5,
+            r_high=0.5,
+            grid_spacing=20.0,
+            noise_fraction=0.05,
+            seed=18,
+        )
+        dataset = DatasetGenerator().generate(params)
+        config = BirchConfig(
+            n_clusters=9,
+            memory_bytes=16 * 1024,
+            total_points_hint=dataset.n_points,
+            phase4_passes=1,
+            phase4_discard_outliers=True,
+        )
+        result = Birch(config).fit(dataset.points)
+        match = match_clusters(
+            result.centroids, dataset.actual_centroids()
+        )
+        assert match.mean_centroid_distance < 2.0

@@ -1,0 +1,63 @@
+"""Streaming / incremental usage of the estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+
+
+@pytest.fixture
+def stream_batches(rng):
+    centers = np.array([[0.0, 0.0], [15.0, 0.0], [0.0, 15.0], [15.0, 15.0]])
+    points = np.concatenate([rng.normal(c, 0.5, size=(200, 2)) for c in centers])
+    rng.shuffle(points)
+    return [points[i : i + 100] for i in range(0, 800, 100)]
+
+
+class TestStreaming:
+    def test_batchwise_equals_single_shot_phase1(self, stream_batches):
+        """Feeding batches or everything at once builds the same summary."""
+        config = BirchConfig(n_clusters=4, phase4_passes=0)
+        streamed = Birch(config)
+        for batch in stream_batches:
+            streamed.partial_fit(batch)
+
+        single = Birch(BirchConfig(n_clusters=4, phase4_passes=0))
+        single.partial_fit(np.concatenate(stream_batches))
+
+        a = streamed.tree.summary_cf()
+        b = single.tree.summary_cf()
+        assert a.n == b.n
+        assert np.allclose(a.ls, b.ls, rtol=1e-9)
+        assert a.ss == pytest.approx(b.ss, rel=1e-9)
+
+    def test_finalize_after_stream_recovers_clusters(self, stream_batches):
+        config = BirchConfig(n_clusters=4, phase4_passes=0)
+        estimator = Birch(config)
+        for batch in stream_batches:
+            estimator.partial_fit(batch)
+        result = estimator.finalize()
+        assert result.n_clusters == 4
+        centers = np.array([[0.0, 0.0], [15.0, 0.0], [0.0, 15.0], [15.0, 15.0]])
+        for c in centers:
+            assert np.linalg.norm(result.centroids - c, axis=1).min() < 1.0
+
+    def test_memory_stays_bounded_across_batches(self, stream_batches):
+        config = BirchConfig(
+            n_clusters=4, memory_bytes=8 * 1024, phase4_passes=0
+        )
+        estimator = Birch(config)
+        for batch in stream_batches:
+            estimator.partial_fit(batch)
+            budget = estimator._budget
+            assert budget is not None
+            assert budget.pages_in_use <= budget.capacity_pages + 33
+
+    def test_predict_after_finalize(self, stream_batches):
+        estimator = Birch(BirchConfig(n_clusters=4, phase4_passes=0))
+        for batch in stream_batches:
+            estimator.partial_fit(batch)
+        estimator.finalize()
+        labels = estimator.predict(np.array([[0.0, 0.0], [15.0, 15.0]]))
+        assert labels[0] != labels[1]

@@ -1,0 +1,181 @@
+"""Stress and failure-injection tests for the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.features import CF
+from repro.core.tree import CFTree, ThresholdKind
+from repro.pagestore.page import PageLayout
+
+
+class TestDegenerateData:
+    def test_all_identical_points(self):
+        points = np.tile([3.0, -2.0], (500, 1))
+        result = Birch(BirchConfig(n_clusters=1)).fit(points)
+        live = [cf for cf in result.clusters if cf.n > 0]
+        assert len(live) == 1
+        assert live[0].n == 500
+        assert live[0].radius == pytest.approx(0.0, abs=1e-9)
+
+    def test_duplicate_heavy_data(self, rng):
+        """Duplicates collapse into few entries even at T = 0.
+
+        Greedy descent can split a duplicate group across two leaves
+        when an intermediate summary misleads it, so allow a small
+        margin over the 50 distinct locations.
+        """
+        unique = rng.normal(size=(50, 2))
+        idx = rng.integers(0, 50, size=2000)
+        points = unique[idx]
+        estimator = Birch(BirchConfig(n_clusters=10, phase4_passes=0))
+        estimator.partial_fit(points)
+        assert estimator.tree.tree_stats().leaf_entry_count <= 100
+        assert estimator.tree.points == 2000
+
+    def test_one_dimensional_data(self, rng):
+        points = np.concatenate(
+            [rng.normal(c, 0.2, size=(100, 1)) for c in (0.0, 5.0, 10.0)]
+        )
+        result = Birch(BirchConfig(n_clusters=3)).fit(points)
+        centroids = sorted(float(c[0]) for c in result.centroids)
+        assert centroids == pytest.approx([0.0, 5.0, 10.0], abs=0.3)
+
+    def test_two_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = Birch(BirchConfig(n_clusters=2)).fit(points)
+        assert result.n_clusters == 2
+
+    def test_single_point(self):
+        result = Birch(BirchConfig(n_clusters=1)).fit(np.array([[1.0, 2.0]]))
+        assert result.n_clusters == 1
+        assert result.clusters[0].n == 1
+
+    def test_extreme_coordinates(self, rng):
+        """Large offsets stress the SS cancellation guards."""
+        points = rng.normal(1e8, 0.5, size=(300, 2))
+        estimator = Birch(BirchConfig(n_clusters=1, phase4_passes=0))
+        estimator.partial_fit(points)
+        estimator.tree.check_invariants()
+        for cf in estimator.tree.leaf_entries():
+            assert cf.radius >= 0.0
+            assert np.isfinite(cf.diameter)
+
+    def test_k_larger_than_distinct_points(self):
+        points = np.tile([[0.0, 0.0], [5.0, 5.0]], (10, 1))
+        result = Birch(BirchConfig(n_clusters=10)).fit(points)
+        # Only two distinct locations exist; no crash, <= 10 clusters.
+        assert result.n_clusters <= 10
+
+
+class TestResourceExtremes:
+    def test_minimal_memory_still_completes(self, rng):
+        """Two pages of memory: constant rebuilding, correct output."""
+        points = np.concatenate(
+            [rng.normal(c, 0.3, size=(200, 2)) for c in ((0, 0), (20, 0))]
+        )
+        config = BirchConfig(
+            n_clusters=2,
+            memory_bytes=2 * 1024,
+            total_points_hint=len(points),
+        )
+        result = Birch(config).fit(points)
+        assert result.n_clusters == 2
+        assert result.rebuilds >= 1
+
+    def test_zero_disk_disables_spills_gracefully(self, rng):
+        points = rng.normal(size=(1000, 2)) * 30
+        config = BirchConfig(
+            n_clusters=4,
+            memory_bytes=4 * 1024,
+            disk_bytes=0,  # outlier disk full from the start
+            total_points_hint=1000,
+        )
+        estimator = Birch(config)
+        result = estimator.fit(points)
+        # Nothing can spill, so everything stays in the tree.
+        assert int(result.tree_stats["points"]) == 1000
+        assert len(result.outliers) == 0
+
+    def test_tiny_disk_triggers_reabsorption_cycles(self, rng):
+        points = np.concatenate(
+            [
+                rng.normal(0, 0.5, size=(900, 2)),
+                rng.uniform(-60, 60, size=(100, 2)),
+            ]
+        )
+        config = BirchConfig(
+            n_clusters=4,
+            memory_bytes=4 * 1024,
+            disk_bytes=8 * 32,  # eight outlier records
+            total_points_hint=1000,
+        )
+        estimator = Birch(config)
+        estimator.partial_fit(points)
+        handler = estimator._outlier_handler
+        assert handler is not None
+        assert handler.pending <= 8
+        on_disk = handler.pending_points
+        assert estimator.tree.points + on_disk == 1000
+
+    def test_huge_page_single_node_tree(self, rng):
+        points = rng.normal(size=(200, 2)) * 10
+        config = BirchConfig(
+            n_clusters=3, page_size=64 * 1024, phase4_passes=0
+        )
+        estimator = Birch(config)
+        estimator.partial_fit(points)
+        stats = estimator.tree.tree_stats()
+        assert stats.height == 1  # everything fits one huge leaf
+        estimator.tree.check_invariants()
+
+
+class TestRadiusThresholdPipeline:
+    def test_full_pipeline_with_radius_threshold(self, rng):
+        points = np.concatenate(
+            [rng.normal(c, 0.4, size=(150, 2)) for c in ((0, 0), (12, 0))]
+        )
+        config = BirchConfig(
+            n_clusters=2,
+            threshold_kind=ThresholdKind.RADIUS,
+            memory_bytes=4 * 1024,
+            total_points_hint=len(points),
+        )
+        result = Birch(config).fit(points)
+        assert result.n_clusters == 2
+        for c in ((0, 0), (12, 0)):
+            nearest = np.linalg.norm(
+                result.centroids - np.array(c), axis=1
+            ).min()
+            assert nearest < 0.5
+
+
+class TestLongRunningStream:
+    def test_many_small_batches(self, rng):
+        """1,000 batches of 10 points: no leaks, exact conservation."""
+        estimator = Birch(
+            BirchConfig(n_clusters=5, memory_bytes=8 * 1024, phase4_passes=0)
+        )
+        total = 0
+        for i in range(1000):
+            batch = rng.normal(
+                (i % 5) * 10.0, 0.5, size=(10, 2)
+            )
+            estimator.partial_fit(batch)
+            total += 10
+        handler = estimator._outlier_handler
+        on_disk = handler.pending_points if handler else 0
+        assert estimator.tree.points + on_disk == total
+        estimator.tree.check_invariants()
+
+    def test_interleaved_absorb_and_rebuild(self, rng):
+        """try_absorb_cf (used by re-absorption) interleaved with inserts
+        keeps parents consistent across rebuilds."""
+        layout = PageLayout(page_size=256, dimensions=2)
+        tree = CFTree(layout, threshold=0.5)
+        for i in range(500):
+            tree.insert_point(rng.normal(size=2) * 5)
+            if i % 50 == 49:
+                tree.try_absorb_cf(CF.from_point(rng.normal(size=2) * 5))
+        tree.check_invariants()

@@ -1,0 +1,97 @@
+"""Tests for the simulated outlier disk."""
+
+import pytest
+
+from repro.pagestore.disk import DiskFullError, DiskStore
+from repro.pagestore.iostats import IOStats
+
+
+@pytest.fixture
+def disk() -> DiskStore[str]:
+    return DiskStore(capacity_bytes=320, record_bytes=32, page_size=64)
+
+
+class TestCapacity:
+    def test_fits_ten_records(self, disk: DiskStore[str]):
+        for i in range(10):
+            disk.write(f"r{i}")
+        assert len(disk) == 10
+        assert disk.is_full
+        assert disk.bytes_free == 0
+
+    def test_write_beyond_capacity_raises(self, disk: DiskStore[str]):
+        for i in range(10):
+            disk.write(f"r{i}")
+        with pytest.raises(DiskFullError):
+            disk.write("overflow")
+
+    def test_write_all_is_atomic(self, disk: DiskStore[str]):
+        disk.write_all(["a"] * 8)
+        with pytest.raises(DiskFullError):
+            disk.write_all(["b"] * 3)
+        assert len(disk) == 8  # nothing from the failed batch landed
+
+    def test_can_fit(self, disk: DiskStore[str]):
+        assert disk.can_fit(10)
+        assert not disk.can_fit(11)
+
+    def test_zero_capacity_accepts_nothing(self):
+        empty: DiskStore[str] = DiskStore(capacity_bytes=0, record_bytes=32)
+        assert empty.is_full
+        with pytest.raises(DiskFullError):
+            empty.write("x")
+
+
+class TestDrain:
+    def test_drain_returns_in_order_and_empties(self, disk: DiskStore[str]):
+        records = [f"r{i}" for i in range(5)]
+        disk.write_all(records)
+        assert disk.drain() == records
+        assert len(disk) == 0
+        assert disk.drain() == []
+
+    def test_peek_does_not_consume(self, disk: DiskStore[str]):
+        disk.write("a")
+        assert list(disk.peek()) == ["a"]
+        assert len(disk) == 1
+
+    def test_clear_discards_silently(self, disk: DiskStore[str]):
+        disk.write_all(["a", "b"])
+        reads_before = disk.stats.page_reads
+        disk.clear()
+        assert len(disk) == 0
+        assert disk.stats.page_reads == reads_before
+
+
+class TestIOAccounting:
+    def test_writes_charge_pages(self):
+        stats = IOStats()
+        disk: DiskStore[str] = DiskStore(
+            capacity_bytes=640, record_bytes=32, page_size=64, stats=stats
+        )
+        disk.write("a")  # 32 bytes -> 1 page
+        assert stats.page_writes == 1
+        assert stats.bytes_written == 32
+        disk.write_all(["b"] * 4)  # 128 bytes -> 2 pages
+        assert stats.page_writes == 3
+        assert stats.bytes_written == 160
+
+    def test_drain_charges_reads(self):
+        stats = IOStats()
+        disk: DiskStore[str] = DiskStore(
+            capacity_bytes=640, record_bytes=32, page_size=64, stats=stats
+        )
+        disk.write_all(["a"] * 6)
+        disk.drain()
+        assert stats.page_reads == 3  # 192 bytes over 64-byte pages
+        assert stats.bytes_read == 192
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiskStore(capacity_bytes=-1, record_bytes=32)
+        with pytest.raises(ValueError):
+            DiskStore(capacity_bytes=10, record_bytes=0)
+        with pytest.raises(ValueError):
+            DiskStore(capacity_bytes=10, record_bytes=8, page_size=0)

@@ -1,0 +1,57 @@
+"""Tests for the I/O accounting ledger."""
+
+from repro.pagestore.iostats import IOStats
+
+
+class TestCounters:
+    def test_initial_state_is_zero(self):
+        stats = IOStats()
+        assert all(v == 0 for v in stats.summary().values())
+
+    def test_record_read_write(self):
+        stats = IOStats()
+        stats.record_read(2048, pages=2)
+        stats.record_write(1024, pages=1)
+        assert stats.page_reads == 2
+        assert stats.page_writes == 1
+        assert stats.bytes_read == 2048
+        assert stats.bytes_written == 1024
+
+    def test_record_scan_counts_points(self):
+        stats = IOStats()
+        stats.record_scan(100)
+        stats.record_scan(50)
+        assert stats.data_scans == 2
+        assert stats.points_scanned == 150
+
+    def test_structural_events(self):
+        stats = IOStats()
+        stats.record_rebuild()
+        stats.record_split()
+        stats.record_split()
+        stats.record_merge()
+        assert stats.tree_rebuilds == 1
+        assert stats.splits == 2
+        assert stats.merges == 1
+
+    def test_reset_zeroes_everything(self):
+        stats = IOStats()
+        stats.record_read(10)
+        stats.record_scan(5)
+        stats.record_rebuild()
+        stats.reset()
+        assert all(v == 0 for v in stats.summary().values())
+        assert stats.points_scanned == 0
+
+    def test_summary_keys_are_stable(self):
+        expected = {
+            "page_reads",
+            "page_writes",
+            "bytes_read",
+            "bytes_written",
+            "data_scans",
+            "tree_rebuilds",
+            "splits",
+            "merges",
+        }
+        assert set(IOStats().summary().keys()) == expected

@@ -1,0 +1,77 @@
+"""Tests for the byte-accounted memory budget."""
+
+import pytest
+
+from repro.pagestore.memory import MemoryBudget, MemoryExhaustedError
+from repro.pagestore.page import PageLayout
+
+
+@pytest.fixture
+def budget(layout_2d: PageLayout) -> MemoryBudget:
+    return MemoryBudget(limit_bytes=8 * 1024, layout=layout_2d)
+
+
+class TestAccounting:
+    def test_capacity_from_limit(self, budget: MemoryBudget):
+        assert budget.capacity_pages == 8
+        assert budget.page_size == 1024
+
+    def test_allocate_and_release(self, budget: MemoryBudget):
+        budget.allocate(3)
+        assert budget.pages_in_use == 3
+        assert budget.bytes_in_use == 3 * 1024
+        budget.release(2)
+        assert budget.pages_in_use == 1
+
+    def test_peak_tracking(self, budget: MemoryBudget):
+        budget.allocate(5)
+        budget.release(4)
+        budget.allocate(2)
+        assert budget.peak_pages == 5
+
+    def test_over_budget_flag(self, budget: MemoryBudget):
+        budget.allocate(8)
+        assert not budget.over_budget
+        budget.allocate(1)
+        assert budget.over_budget
+
+    def test_would_exceed(self, budget: MemoryBudget):
+        budget.allocate(7)
+        assert not budget.would_exceed(1)
+        assert budget.would_exceed(2)
+
+    def test_reset(self, budget: MemoryBudget):
+        budget.allocate(4)
+        budget.reset()
+        assert budget.pages_in_use == 0
+        assert budget.peak_pages == 0
+
+
+class TestLimits:
+    def test_hard_cap_raises_beyond_slack(self, budget: MemoryBudget):
+        # Budget 8 pages + insertion slack; far beyond must raise.
+        with pytest.raises(MemoryExhaustedError):
+            budget.allocate(8 + 64)
+
+    def test_transient_pages_extend_cap(self, layout_2d: PageLayout):
+        tight = MemoryBudget(2 * 1024, layout_2d, transient_pages=0)
+        roomy = MemoryBudget(2 * 1024, layout_2d, transient_pages=100)
+        with pytest.raises(MemoryExhaustedError):
+            tight.allocate(80)
+        roomy.allocate(80)  # within transient allowance
+        assert roomy.pages_in_use == 80
+
+    def test_release_more_than_held_rejected(self, budget: MemoryBudget):
+        budget.allocate(2)
+        with pytest.raises(ValueError):
+            budget.release(3)
+
+    def test_negative_amounts_rejected(self, budget: MemoryBudget):
+        with pytest.raises(ValueError):
+            budget.allocate(-1)
+        with pytest.raises(ValueError):
+            budget.release(-1)
+
+    def test_nonpositive_limit_rejected(self, layout_2d: PageLayout):
+        with pytest.raises(ValueError):
+            MemoryBudget(0, layout_2d)

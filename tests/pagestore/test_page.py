@@ -1,0 +1,77 @@
+"""Tests for the page layout arithmetic."""
+
+import pytest
+
+from repro.pagestore.page import PageLayout
+
+
+class TestCapacities:
+    def test_paper_default_2d(self):
+        layout = PageLayout(page_size=1024, dimensions=2)
+        # One CF entry: 8 * (1 + 2 + 1) = 32 bytes.
+        assert layout.cf_entry_bytes == 32
+        assert layout.nonleaf_entry_bytes == 40
+        assert layout.leaf_entry_bytes == 32
+        # (1024 - 16) // 40 = 25 children; (1024 - 32) // 32 = 31 entries.
+        assert layout.branching_factor == 25
+        assert layout.leaf_capacity == 31
+
+    def test_capacity_scales_with_page_size(self):
+        small = PageLayout(page_size=512, dimensions=2)
+        large = PageLayout(page_size=4096, dimensions=2)
+        assert large.branching_factor > 2 * small.branching_factor
+        assert large.leaf_capacity > 2 * small.leaf_capacity
+
+    def test_capacity_shrinks_with_dimension(self):
+        low = PageLayout(page_size=1024, dimensions=2)
+        high = PageLayout(page_size=1024, dimensions=32)
+        assert high.branching_factor < low.branching_factor
+        assert high.leaf_capacity < low.leaf_capacity
+
+    def test_high_dimensional_layout_still_valid(self):
+        layout = PageLayout(page_size=4096, dimensions=64)
+        assert layout.branching_factor >= 2
+        assert layout.leaf_capacity >= 2
+
+
+class TestValidation:
+    def test_rejects_nonpositive_page_size(self):
+        with pytest.raises(ValueError):
+            PageLayout(page_size=0, dimensions=2)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            PageLayout(page_size=1024, dimensions=0)
+
+    def test_rejects_page_too_small_for_two_entries(self):
+        with pytest.raises(ValueError, match="cannot hold two entries"):
+            PageLayout(page_size=64, dimensions=8)
+
+    def test_min_page_size_is_admissible(self):
+        for d in (1, 2, 8, 64):
+            layout = PageLayout(page_size=PageLayout.min_page_size(d), dimensions=d)
+            assert layout.branching_factor >= 2
+            assert layout.leaf_capacity >= 2
+
+    def test_below_min_page_size_is_rejected(self):
+        for d in (1, 2, 8):
+            too_small = PageLayout.min_page_size(d) - 24
+            with pytest.raises(ValueError):
+                PageLayout(page_size=too_small, dimensions=d)
+
+
+class TestMaxPages:
+    def test_max_pages(self):
+        layout = PageLayout(page_size=1024, dimensions=2)
+        assert layout.max_pages(80 * 1024) == 80
+        assert layout.max_pages(1023) == 0
+        assert layout.max_pages(0) == 0
+
+    def test_max_pages_negative_rejected(self):
+        layout = PageLayout(page_size=1024, dimensions=2)
+        with pytest.raises(ValueError):
+            layout.max_pages(-1)
+
+    def test_outlier_record_is_one_cf(self):
+        layout = PageLayout(page_size=1024, dimensions=2)
+        assert layout.outlier_record_bytes() == layout.cf_entry_bytes

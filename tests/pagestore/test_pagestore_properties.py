@@ -1,0 +1,84 @@
+"""Property-based tests for the pagestore substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pagestore.disk import DiskFullError, DiskStore
+from repro.pagestore.memory import MemoryBudget
+from repro.pagestore.page import PageLayout
+
+
+class TestLayoutProperties:
+    @given(
+        page_size=st.integers(256, 16384),
+        dimensions=st.integers(1, 24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacities_consistent(self, page_size, dimensions):
+        if page_size < PageLayout.min_page_size(dimensions):
+            with pytest.raises(ValueError):
+                PageLayout(page_size=page_size, dimensions=dimensions)
+            return
+        layout = PageLayout(page_size=page_size, dimensions=dimensions)
+        # Entries fit within the page.
+        assert layout.branching_factor * layout.nonleaf_entry_bytes <= page_size
+        assert layout.leaf_capacity * layout.leaf_entry_bytes <= page_size
+        # At least a valid B+-tree-like node.
+        assert layout.branching_factor >= 2
+        assert layout.leaf_capacity >= 2
+
+    @given(dimensions=st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_min_page_size_tight(self, dimensions):
+        minimum = PageLayout.min_page_size(dimensions)
+        PageLayout(page_size=minimum, dimensions=dimensions)  # must not raise
+
+
+class TestBudgetProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 5)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_in_use_never_negative_and_peak_monotone(self, ops):
+        layout = PageLayout(page_size=1024, dimensions=2)
+        budget = MemoryBudget(1024 * 1024, layout)
+        peak_seen = 0
+        for is_alloc, pages in ops:
+            if is_alloc:
+                budget.allocate(pages)
+            else:
+                pages = min(pages, budget.pages_in_use)
+                if pages:
+                    budget.release(pages)
+            assert budget.pages_in_use >= 0
+            assert budget.peak_pages >= peak_seen
+            peak_seen = budget.peak_pages
+            assert budget.peak_pages >= budget.pages_in_use
+
+
+class TestDiskProperties:
+    @given(
+        writes=st.lists(st.integers(0, 100), min_size=0, max_size=50),
+        capacity_records=st.integers(1, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_is_exact(self, writes, capacity_records):
+        disk: DiskStore[int] = DiskStore(
+            capacity_bytes=capacity_records * 32, record_bytes=32
+        )
+        stored = 0
+        for value in writes:
+            try:
+                disk.write(value)
+                stored += 1
+            except DiskFullError:
+                assert stored == capacity_records
+                break
+        assert len(disk) == stored
+        assert disk.bytes_used == stored * 32
+        # Drain returns exactly what was stored, in order.
+        assert disk.drain() == list(writes[:stored])

@@ -1,0 +1,173 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def csv_points(tmp_path, rng):
+    points = np.concatenate(
+        [rng.normal(c, 0.4, size=(60, 2)) for c in ((0, 0), (10, 0), (0, 10))]
+    )
+    path = tmp_path / "points.csv"
+    np.savetxt(path, points, delimiter=",")
+    return path
+
+
+@pytest.fixture
+def csv_with_truth(tmp_path, rng):
+    points = np.concatenate(
+        [rng.normal(c, 0.4, size=(60, 2)) for c in ((0, 0), (10, 0))]
+    )
+    labels = np.repeat([0, 1], 60)
+    path = tmp_path / "labelled.csv"
+    np.savetxt(path, np.column_stack([points, labels]), delimiter=",")
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_requires_k(self, csv_points):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", str(csv_points)])
+
+    def test_generate_rejects_unknown_preset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "ds9", str(tmp_path / "x.csv")])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("preset", ["ds1", "ds2", "ds3"])
+    def test_presets(self, preset, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        code = main(["generate", preset, str(out), "--scale", "0.01"])
+        assert code == 0
+        data = np.loadtxt(out, delimiter=",")
+        assert data.shape[1] == 3  # x, y, label
+        assert "wrote" in capsys.readouterr().out
+
+    def test_mixture(self, tmp_path, capsys):
+        out = tmp_path / "mix.csv"
+        code = main(
+            [
+                "generate",
+                "mixture",
+                str(out),
+                "--dimensions",
+                "5",
+                "--components",
+                "3",
+                "--points",
+                "20",
+            ]
+        )
+        assert code == 0
+        data = np.loadtxt(out, delimiter=",")
+        assert data.shape == (60, 6)  # 5 dims + label
+
+    def test_shuffle_flag(self, tmp_path):
+        ordered = tmp_path / "o.csv"
+        shuffled = tmp_path / "s.csv"
+        main(["generate", "ds1", str(ordered), "--scale", "0.01"])
+        main(["generate", "ds1", str(shuffled), "--scale", "0.01", "--shuffle"])
+        a = np.loadtxt(ordered, delimiter=",")
+        b = np.loadtxt(shuffled, delimiter=",")
+        assert not np.array_equal(a, b)
+
+
+class TestCluster:
+    def test_basic_run(self, csv_points, capsys):
+        code = main(["cluster", str(csv_points), "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 clusters" in out
+        assert "weighted average diameter" in out
+
+    def test_truth_scoring(self, csv_with_truth, capsys):
+        code = main(["cluster", str(csv_with_truth), "-k", "2", "--truth-column"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "purity=" in out
+        assert "ARI=" in out
+
+    def test_save_labels(self, csv_points, tmp_path, capsys):
+        labels_path = tmp_path / "labels.txt"
+        code = main(
+            ["cluster", str(csv_points), "-k", "3", "--save-labels", str(labels_path)]
+        )
+        assert code == 0
+        labels = np.loadtxt(labels_path)
+        assert labels.shape == (180,)
+        assert set(np.unique(labels)) <= {0.0, 1.0, 2.0}
+
+    def test_save_result_archive(self, csv_points, tmp_path):
+        result_path = tmp_path / "result.npz"
+        code = main(
+            ["cluster", str(csv_points), "-k", "3", "--save-result", str(result_path)]
+        )
+        assert code == 0
+        from repro.core.serialization import load_result_arrays
+
+        clusters, centroids, labels, header = load_result_arrays(result_path)
+        assert len(clusters) == 3
+        assert centroids.shape == (3, 2)
+
+    def test_metric_option(self, csv_points, capsys):
+        code = main(["cluster", str(csv_points), "-k", "3", "--metric", "d4"])
+        assert code == 0
+
+    def test_truth_column_on_single_column_rejected(self, tmp_path):
+        path = tmp_path / "one.csv"
+        np.savetxt(path, np.arange(10.0), delimiter=",")
+        with pytest.raises(SystemExit):
+            main(["cluster", str(path), "-k", "2", "--truth-column"])
+
+
+class TestCompare:
+    def test_compare_runs(self, csv_points, capsys):
+        code = main(
+            [
+                "compare",
+                str(csv_points),
+                "-k",
+                "3",
+                "--maxneighbor",
+                "30",
+                "--numlocal",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BIRCH" in out
+        assert "CLARANS" in out
+        assert "speedup" in out
+
+
+class TestExperiment:
+    def test_order_experiment(self, capsys):
+        code = main(["experiment", "order", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Order-sensitivity" in out
+        assert "spread" in out
+
+    def test_compression_experiment(self, capsys):
+        code = main(["experiment", "compression", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compression" in out.lower()
+
+    def test_table4_experiment(self, capsys):
+        code = main(["experiment", "table4", "--scale", "0.005"])
+        assert code == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table9"])

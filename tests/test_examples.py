@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples run here (the image and comparison examples take
+minutes by design); each is executed as ``__main__`` via runpy so the
+scripts stay genuinely runnable files, not importable-only modules.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "clustered 1200 points into 3 clusters" in out
+        assert "true centers" in out
+
+    def test_diameter_driven(self, capsys):
+        out = run_example("diameter_driven_clustering.py", capsys)
+        assert "produced 7 clusters" in out
+        assert "CF-tree diagnostics" in out
+
+    def test_higher_dimensions(self, capsys):
+        out = run_example("higher_dimensions.py", capsys)
+        assert "d=16" in out
+        assert "compression" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "streaming_partial_fit.py",
+            "image_filtering.py",
+            "compare_clarans.py",
+            "higher_dimensions.py",
+            "diameter_driven_clustering.py",
+        ],
+    )
+    def test_every_example_compiles(self, name):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")

@@ -1,0 +1,63 @@
+"""Tests for the base-workload experiment runner."""
+
+import pytest
+
+from repro.core.distances import Metric
+from repro.datagen.presets import ds1
+from repro.workloads.base import (
+    base_birch_config,
+    birch_point_labels,
+    run_birch,
+    run_clarans,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_ds1():
+    return ds1(scale=0.01)  # 10 points per cluster, N = 1000
+
+
+class TestConfig:
+    def test_table2_defaults(self):
+        config = base_birch_config()
+        assert config.memory_bytes == 80 * 1024
+        assert config.page_size == 1024
+        assert config.metric is Metric.D2_AVG_INTERCLUSTER
+        assert config.initial_threshold == 0.0
+        assert config.outlier_handling
+
+    def test_overrides(self):
+        config = base_birch_config(n_clusters=10, phase4_passes=0)
+        assert config.n_clusters == 10
+        assert config.phase4_passes == 0
+
+
+class TestRunBirch:
+    def test_record_fields(self, tiny_ds1):
+        record = run_birch(tiny_ds1)
+        assert record.dataset == "DS1"
+        assert record.algorithm == "birch"
+        assert record.n_points == 1000
+        assert record.time_seconds > 0
+        assert record.time_phases_1_3 <= record.time_seconds
+        assert record.quality_d > 0
+        assert record.n_clusters <= 100
+
+    def test_extra_metrics_present(self, tiny_ds1):
+        record = run_birch(tiny_ds1)
+        for key in ("rebuilds", "final_threshold", "leaf_entries", "data_scans"):
+            assert key in record.extra
+
+    def test_point_labels_helper(self, tiny_ds1):
+        result, labels = birch_point_labels(tiny_ds1)
+        assert labels.shape == (1000,)
+        assert result.n_clusters <= 100
+
+
+class TestRunClarans:
+    def test_record_fields(self, tiny_ds1):
+        record = run_clarans(tiny_ds1, n_clusters=20, maxneighbor=50)
+        assert record.algorithm == "clarans"
+        assert record.quality_d > 0
+        assert "cost" in record.extra
+        assert record.n_clusters <= 20

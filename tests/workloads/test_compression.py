@@ -1,0 +1,87 @@
+"""Tests for the CF-summary compression study."""
+
+import pytest
+
+from repro.datagen.generator import DatasetGenerator, GeneratorParams, Pattern
+from repro.workloads.compression import compression_sweep
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    params = GeneratorParams(
+        pattern=Pattern.GRID,
+        n_clusters=9,
+        n_low=60,
+        n_high=60,
+        r_low=1.0,
+        r_high=1.0,
+        grid_spacing=8.0,
+        seed=41,
+    )
+    return DatasetGenerator().generate(params, name="grid9")
+
+
+class TestCompressionSweep:
+    def test_one_point_per_threshold(self, dataset):
+        points = compression_sweep(dataset, [0.0, 1.0, 2.0])
+        assert [p.threshold for p in points] == [0.0, 1.0, 2.0]
+
+    def test_entries_monotone_in_threshold(self, dataset):
+        points = compression_sweep(dataset, [0.0, 0.5, 1.0, 2.0])
+        entries = [p.entries for p in points]
+        assert all(a >= b for a, b in zip(entries, entries[1:]))
+
+    def test_distortion_monotone(self, dataset):
+        points = compression_sweep(dataset, [0.0, 1.0, 2.0])
+        distortions = [p.distortion for p in points]
+        assert all(a <= b + 1e-9 for a, b in zip(distortions, distortions[1:]))
+
+    def test_zero_threshold_zero_distortion(self, dataset):
+        (point,) = compression_sweep(dataset, [0.0])
+        # Distinct points stay singletons: representing each point by
+        # its own centroid is lossless (up to sqrt-of-cancellation
+        # float residue in the radius formula).
+        assert point.distortion == pytest.approx(0.0, abs=1e-6)
+
+    def test_ratio_accounts_bytes(self, dataset):
+        (point,) = compression_sweep(dataset, [2.0])
+        raw = dataset.n_points * 2 * 8
+        summary = point.entries * 4 * 8  # (d + 2) floats
+        assert point.ratio == pytest.approx(raw / summary, rel=1e-9)
+
+    def test_downstream_quality_stays_reasonable(self, dataset):
+        points = compression_sweep(dataset, [0.0, 2.0])
+        assert points[1].downstream_quality < points[0].downstream_quality * 1.6
+
+    def test_empty_thresholds_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            compression_sweep(dataset, [])
+
+
+class TestBatchInsert:
+    def test_insert_points_equals_loop(self, rng):
+        import numpy as np
+
+        from repro.core.tree import CFTree
+        from repro.pagestore.page import PageLayout
+
+        pts = rng.normal(size=(200, 2)) * 10
+        layout = PageLayout(page_size=256, dimensions=2)
+        batch = CFTree(layout, threshold=0.5)
+        batch.insert_points(pts)
+        loop = CFTree(layout, threshold=0.5)
+        for p in pts:
+            loop.insert_point(p)
+        a, b = batch.summary_cf(), loop.summary_cf()
+        assert a.n == b.n
+        assert np.allclose(a.ls, b.ls)
+        assert len(batch.leaf_entries()) == len(loop.leaf_entries())
+
+    def test_insert_points_validates_shape(self, rng):
+        from repro.core.tree import CFTree
+        from repro.pagestore.page import PageLayout
+
+        layout = PageLayout(page_size=256, dimensions=2)
+        tree = CFTree(layout)
+        with pytest.raises(ValueError):
+            tree.insert_points(rng.normal(size=(5, 3)))

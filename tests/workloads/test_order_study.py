@@ -1,0 +1,44 @@
+"""Tests for the order-sensitivity study workload."""
+
+import pytest
+
+from repro.datagen.generator import DatasetGenerator, GeneratorParams, Pattern
+from repro.workloads.order_study import run_order_study
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    params = GeneratorParams(
+        pattern=Pattern.GRID,
+        n_clusters=9,
+        n_low=30,
+        n_high=30,
+        r_low=1.0,
+        r_high=1.0,
+        grid_spacing=8.0,
+        seed=23,
+    )
+    return DatasetGenerator().generate(params, name="grid9")
+
+
+class TestOrderStudy:
+    def test_one_record_per_run(self, dataset):
+        study = run_order_study(
+            dataset,
+            modes=("ordered", "randomized", "reversed"),
+            shuffle_seeds=(0, 1),
+        )
+        # ordered + reversed once each, randomized twice.
+        assert len(study.records) == 4
+        modes = [r.extra["order_mode"] for r in study.records]
+        assert modes.count("randomized") == 2
+
+    def test_spread_small_on_separable_data(self, dataset):
+        study = run_order_study(dataset, shuffle_seeds=(0,))
+        assert study.spread < 0.4
+        assert study.mean_quality > 0
+
+    def test_qualities_aligned_with_records(self, dataset):
+        study = run_order_study(dataset, modes=("ordered",), shuffle_seeds=(0,))
+        assert study.qualities.shape == (1,)
+        assert study.qualities[0] == pytest.approx(study.records[0].quality_d)

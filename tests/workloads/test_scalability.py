@@ -1,0 +1,40 @@
+"""Tests for the scalability sweeps."""
+
+import pytest
+
+from repro.datagen.generator import Pattern
+from repro.workloads.scalability import scalability_in_k, scalability_in_n
+
+
+class TestScalabilityInN:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return scalability_in_n(
+            Pattern.GRID, [20, 40, 80], n_clusters=16, memory_bytes=32 * 1024
+        )
+
+    def test_one_record_per_size(self, records):
+        assert len(records) == 3
+        assert [r.n_points for r in records] == [320, 640, 1280]
+
+    def test_time_grows_subquadratically(self, records):
+        """The headline claim: near-linear scaling in N."""
+        t_small = records[0].time_seconds
+        t_large = records[-1].time_seconds
+        n_ratio = records[-1].n_points / records[0].n_points  # 4x
+        # Allow generous constant-factor noise at tiny sizes, but a
+        # quadratic algorithm would blow far past this bound.
+        assert t_large / t_small < n_ratio * 3
+
+    def test_quality_reported(self, records):
+        assert all(r.quality_d > 0 for r in records)
+
+
+class TestScalabilityInK:
+    def test_k_sweep_shapes(self):
+        records = scalability_in_k(
+            Pattern.RANDOM, [4, 8], per_cluster=40, memory_bytes=32 * 1024
+        )
+        assert len(records) == 2
+        assert records[0].n_points == 160
+        assert records[1].n_points == 320

@@ -1,0 +1,69 @@
+"""Tests for the Section 6.5 sensitivity sweeps."""
+
+import pytest
+
+from repro.datagen.generator import GeneratorParams, DatasetGenerator, Pattern
+from repro.workloads.sensitivity import (
+    sweep_initial_threshold,
+    sweep_memory,
+    sweep_outlier_options,
+    sweep_page_size,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    params = GeneratorParams(
+        pattern=Pattern.GRID,
+        n_clusters=16,
+        n_low=40,
+        n_high=40,
+        r_low=1.0,
+        r_high=1.0,
+        seed=21,
+    )
+    return DatasetGenerator().generate(params, name="grid16")
+
+
+class TestThresholdSweep:
+    def test_rows_annotated(self, dataset):
+        records = sweep_initial_threshold(dataset, [0.0, 0.5, 2.0])
+        assert len(records) == 3
+        assert [r.extra["initial_threshold"] for r in records] == [0.0, 0.5, 2.0]
+
+    def test_large_t0_gives_fewer_entries(self, dataset):
+        records = sweep_initial_threshold(dataset, [0.0, 4.0])
+        assert records[1].extra["leaf_entries"] < records[0].extra["leaf_entries"]
+
+
+class TestPageSizeSweep:
+    def test_rows_annotated(self, dataset):
+        records = sweep_page_size(dataset, [256, 1024, 4096])
+        assert [r.extra["page_size"] for r in records] == [256.0, 1024.0, 4096.0]
+
+    def test_quality_survives_page_extremes(self, dataset):
+        records = sweep_page_size(dataset, [256, 4096])
+        # Phase 4 compensates: quality stays in the same ballpark.
+        ds = [r.quality_d for r in records]
+        assert max(ds) / min(ds) < 2.5
+
+
+class TestMemorySweep:
+    def test_smaller_memory_forces_more_rebuilds(self, dataset):
+        records = sweep_memory(dataset, [4 * 1024, 512 * 1024])
+        assert records[0].extra["rebuilds"] >= records[1].extra["rebuilds"]
+
+    def test_rows_annotated(self, dataset):
+        records = sweep_memory(dataset, [8 * 1024])
+        assert records[0].extra["memory_bytes"] == 8 * 1024.0
+
+
+class TestOutlierOptionsSweep:
+    def test_three_option_rows(self, dataset):
+        records = sweep_outlier_options(dataset, memory_bytes=8 * 1024)
+        assert [r.extra["options"] for r in records] == [
+            "off",
+            "outlier-handling",
+            "outlier+delay-split",
+        ]
+        assert all(r.quality_d > 0 for r in records)
