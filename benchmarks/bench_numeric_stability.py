@@ -1,0 +1,142 @@
+"""Extension — numerical stability of the two CF backends vs data offset.
+
+The classic ``(N, LS, SS)`` triple computes every radius/diameter/D2-D4
+value by cancellation against SS, so its relative error grows roughly as
+``eps * offset^2 / sigma^2`` and hits 100% once the data sits ~1e8 from
+the origin.  The stable ``(n, mean, SSD)`` backend (BETULA
+representation) carries centered moments, so the same statistics keep
+full relative precision at every offset.
+
+This bench sweeps the offset over 1e0..1e8 and reports, for both
+backends, the relative error of the cluster radius and of the D2
+inter-cluster distance against the origin-centered ground truth
+(translation invariance makes the origin run exact), plus the ARI of an
+end-to-end Birch fit on a shifted mixture.  Checks:
+
+* the stable backend stays within 1e-6 relative error everywhere
+  (the ISSUE acceptance bound);
+* the classic backend degrades monotonically-ish and is useless
+  (>10% error) by offset 1e8 — the motivating failure;
+* end-to-end clustering with the stable default survives the shift.
+"""
+
+import numpy as np
+from conftest import print_banner, repro_scale
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.distances import Metric, distance
+from repro.core.features import CF, StableCF
+from repro.datagen.mixtures import GaussianMixture
+from repro.evaluation.labels import adjusted_rand_index
+from repro.evaluation.report import format_table
+
+OFFSETS = (1e0, 1e2, 1e4, 1e6, 1e8)
+
+
+def _relative_error(got: float, want: float) -> float:
+    return abs(got - want) / abs(want)
+
+
+def _run(scale: float):
+    rng = np.random.default_rng(42)
+    n = max(int(2000 * scale * 10), 200)
+    a = rng.normal(0.0, 1.0, size=(n, 2))
+    b = rng.normal(6.0, 1.5, size=(n, 2))
+
+    # Origin-centered ground truth (exact by translation invariance).
+    true_radius = StableCF.from_points(a).radius
+    true_d2 = distance(
+        StableCF.from_points(a),
+        StableCF.from_points(b),
+        Metric.D2_AVG_INTERCLUSTER,
+    )
+
+    per_component = max(int(500 * scale * 10), 50)
+    rows = []
+    for offset in OFFSETS:
+        classic_r = CF.from_points(a + offset).radius
+        stable_r = StableCF.from_points(a + offset).radius
+        classic_d2 = distance(
+            CF.from_points(a + offset),
+            CF.from_points(b + offset),
+            Metric.D2_AVG_INTERCLUSTER,
+        )
+        stable_d2 = distance(
+            StableCF.from_points(a + offset),
+            StableCF.from_points(b + offset),
+            Metric.D2_AVG_INTERCLUSTER,
+        )
+
+        mixture = GaussianMixture(
+            n_components=5,
+            dimensions=2,
+            points_per_component=per_component,
+            separation=10.0,
+            seed=7,
+        ).generate()
+        shifted = mixture.points + offset
+        result = Birch(
+            BirchConfig(n_clusters=5, total_points_hint=mixture.n_points)
+        ).fit(shifted)
+        ari = adjusted_rand_index(result.labels, mixture.labels)
+
+        rows.append(
+            {
+                "offset": offset,
+                "classic_r_err": _relative_error(classic_r, true_radius),
+                "stable_r_err": _relative_error(stable_r, true_radius),
+                "classic_d2_err": _relative_error(classic_d2, true_d2),
+                "stable_d2_err": _relative_error(stable_d2, true_d2),
+                "stable_ari": ari,
+            }
+        )
+    return rows
+
+
+def test_numeric_stability(benchmark):
+    scale = repro_scale()
+    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+
+    print_banner(f"CF backend relative error vs data offset (scale={scale})")
+    print(
+        format_table(
+            [
+                "offset",
+                "classic R err",
+                "stable R err",
+                "classic D2 err",
+                "stable D2 err",
+                "ARI (stable)",
+            ],
+            [
+                [
+                    f"{r['offset']:.0e}",
+                    f"{r['classic_r_err']:.2e}",
+                    f"{r['stable_r_err']:.2e}",
+                    f"{r['classic_d2_err']:.2e}",
+                    f"{r['stable_d2_err']:.2e}",
+                    f"{r['stable_ari']:.3f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+    # Stable backend: within the acceptance bound at every offset.
+    for r in rows:
+        assert r["stable_r_err"] < 1e-6, (
+            f"stable radius error {r['stable_r_err']:.1e} at "
+            f"offset {r['offset']:.0e}"
+        )
+        assert r["stable_d2_err"] < 1e-6
+
+    # Classic backend: catastrophic by 1e8 — the motivating failure.
+    assert rows[-1]["classic_r_err"] > 0.1
+
+    # End-to-end with the stable default survives every offset.
+    for r in rows:
+        assert r["stable_ari"] > 0.95, (
+            f"ARI collapsed to {r['stable_ari']:.2f} at "
+            f"offset {r['offset']:.0e}"
+        )

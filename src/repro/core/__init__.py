@@ -5,7 +5,7 @@ from repro.core.diagnostics import TreeDiagnostics, diagnose, render_outline
 from repro.core.config import BirchConfig
 from repro.core.distances import Metric
 from repro.core.merge import merge_trees
-from repro.core.features import CF
+from repro.core.features import CF, StableCF, coerce_backend
 from repro.core.tree import CFTree
 
 __all__ = [
@@ -13,6 +13,8 @@ __all__ = [
     "BirchConfig",
     "BirchResult",
     "CF",
+    "StableCF",
+    "coerce_backend",
     "CFTree",
     "Metric",
     "merge_trees",

@@ -24,7 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import BirchConfig
-from repro.core.features import CF
+from repro.core.features import CF, AnyCF, StableCF
 from repro.core.global_clustering import (
     CFKMeans,
     CFMedoids,
@@ -223,12 +223,17 @@ class Birch:
             if (weight_arr <= 0).any():
                 raise ValueError("weights must be positive integers")
             weight_arr = weight_arr.astype(np.int64)
+        if self.config.cf_backend == "stable":
+            # w coincident points have mean = the point and SSD = 0.
+            for row, w in zip(points, weight_arr):
+                self._insert_one(StableCF(int(w), row.copy(), 0.0))
+            return self
         norms = np.einsum("ij,ij->i", points, points)
         for row, norm, w in zip(points, norms, weight_arr):
             self._insert_one(CF(int(w), w * row, float(w * norm)))
         return self
 
-    def _insert_one(self, cf: CF) -> None:
+    def _insert_one(self, cf: AnyCF) -> None:
         assert self._tree is not None and self._budget is not None
         if self._delay_mode and self._outlier_handler is not None:
             # Delay-split option: while memory is exhausted, absorb what
@@ -283,6 +288,7 @@ class Birch:
             budget=self._budget,
             stats=self.stats,
             merging_refinement=self.config.merging_refinement,
+            cf_backend=self.config.cf_backend,
         )
         if self.config.outlier_handling:
             disk: DiskStore[CF] = DiskStore(
@@ -343,6 +349,7 @@ class Birch:
                 discard_outliers=self.config.phase4_discard_outliers,
                 outlier_factor=self.config.phase4_outlier_factor,
                 stats=self.stats,
+                cf_backend=self.config.cf_backend,
             )
             labels = refinement.labels
             centroids = refinement.centroids
@@ -443,6 +450,7 @@ class Birch:
             discard_outliers=self.config.phase4_discard_outliers,
             outlier_factor=self.config.phase4_outlier_factor,
             stats=self.stats,
+            cf_backend=self.config.cf_backend,
         )
         elapsed = time.perf_counter() - start
         old = self._result

@@ -84,6 +84,13 @@ class BirchConfig:
     threshold_mode:
         Which next-threshold estimates to use ("full", "volume",
         "regression", "dmin"); exposed for ablation.
+    cf_backend:
+        Cluster-feature representation: ``"stable"`` (default) carries
+        ``(n, mean, SSD)`` with cancellation-free update/distance
+        formulas (the BETULA representation — robust to data far from
+        the origin); ``"classic"`` carries the paper's literal
+        ``(N, LS, SS)`` triple, preserving the seed implementation
+        bit-for-bit for A/B comparison.
     """
 
     n_clusters: int
@@ -108,6 +115,7 @@ class BirchConfig:
     random_seed: int = 0
     merging_refinement: bool = True
     threshold_mode: str = "full"
+    cf_backend: str = "stable"
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -148,6 +156,11 @@ class BirchConfig:
             raise ValueError(
                 "threshold_mode must be 'full', 'volume', 'regression' or "
                 f"'dmin', got {self.threshold_mode!r}"
+            )
+        if self.cf_backend not in ("classic", "stable"):
+            raise ValueError(
+                f"cf_backend must be 'classic' or 'stable', got "
+                f"{self.cf_backend!r}"
             )
         self.metric = Metric.from_name(self.metric)
 

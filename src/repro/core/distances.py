@@ -20,6 +20,23 @@ Both scalar (CF-vs-CF) and vectorised (CF-vs-array-of-CFs) forms are
 provided; the vectorised forms are what the CF-tree's descent loop uses.
 All squared quantities are clamped at zero before the square root to
 guard against floating-point cancellation.
+
+The closed forms above compute squared statistics as differences of
+large raw moments, which loses all precision far from the origin.  The
+``stable_*`` counterparts evaluate the same five distances from the
+``(n, mean, SSD)`` representation of :class:`~repro.core.features.StableCF`
+without any cancellation.  With ``delta = mean_1 - mean_2``:
+
+* **D0** = ``||delta||``, **D1** = ``sum_t |delta(t)|``;
+* **D2^2** = ``SSD_1/n_1 + SSD_2/n_2 + ||delta||^2``;
+* **D3^2** = ``2 * SSD_merged / (n_1 + n_2 - 1)`` where
+  ``SSD_merged = SSD_1 + SSD_2 + (n_1 n_2 / (n_1+n_2)) ||delta||^2``;
+* **D4** = ``sqrt(n_1 n_2 / (n_1 + n_2)) * ||delta||``.
+
+Each identity follows by substituting ``LS = n * mean`` and
+``SS = SSD + n ||mean||^2`` into equations (4)-(6) and simplifying; the
+cancelling ``||mean||^2`` terms drop out symbolically instead of
+numerically.
 """
 
 from __future__ import annotations
@@ -29,9 +46,18 @@ import math
 
 import numpy as np
 
-from repro.core.features import CF
+from repro.core.features import CF, AnyCF, StableCF
 
-__all__ = ["Metric", "distance", "distances_to_set"]
+__all__ = [
+    "Metric",
+    "distance",
+    "distances_to_set",
+    "merged_diameter",
+    "merged_radius",
+    "stable_distances_to_set",
+    "stable_merged_diameter",
+    "stable_merged_radius",
+]
 
 
 class Metric(enum.Enum):
@@ -56,9 +82,17 @@ class Metric(enum.Enum):
 
 
 def distance(a: CF, b: CF, metric: Metric = Metric.D2_AVG_INTERCLUSTER) -> float:
-    """Distance between two non-empty CFs under ``metric``."""
+    """Distance between two non-empty CFs under ``metric``.
+
+    Accepts either backend: two :class:`StableCF` arguments are routed
+    through the cancellation-free formulas; a mixed pair is lifted to
+    the stable representation first (the classic participant has already
+    paid its cancellation, so nothing is lost by converting).
+    """
     if a.n == 0 or b.n == 0:
         raise ValueError("distances are undefined for empty CFs")
+    if isinstance(a, StableCF) or isinstance(b, StableCF):
+        return _stable_distance(a.to_stable(), b.to_stable(), metric)
     if metric is Metric.D0_EUCLIDEAN:
         diff = a.ls / a.n - b.ls / b.n
         return math.sqrt(max(float(diff @ diff), 0.0))
@@ -85,6 +119,65 @@ def _variance_increase(a: CF, b: CF) -> float:
     )
 
 
+def _stable_distance(a: StableCF, b: StableCF, metric: Metric) -> float:
+    """D0-D4 between two non-empty StableCFs, cancellation-free."""
+    delta = a.mean - b.mean
+    if metric is Metric.D1_MANHATTAN:
+        return float(np.abs(delta).sum())
+    delta2 = float(delta @ delta)
+    if metric is Metric.D0_EUCLIDEAN:
+        return math.sqrt(delta2)
+    if metric is Metric.D2_AVG_INTERCLUSTER:
+        return math.sqrt(a.ssd / a.n + b.ssd / b.n + delta2)
+    if metric is Metric.D3_AVG_INTRACLUSTER:
+        n = a.n + b.n
+        if n < 2:
+            return 0.0
+        ssd_merged = a.ssd + b.ssd + (a.n * b.n / n) * delta2
+        return math.sqrt(2.0 * ssd_merged / (n - 1))
+    if metric is Metric.D4_VARIANCE_INCREASE:
+        return math.sqrt((a.n * b.n / (a.n + b.n)) * delta2)
+    raise ValueError(f"unhandled metric {metric!r}")
+
+
+def _validate_set(
+    probe: AnyCF,
+    ns: np.ndarray,
+    vecs: np.ndarray,
+    sqs: np.ndarray,
+    vec_name: str,
+    sq_name: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coerce and shape-check the struct-of-arrays CF set.
+
+    A malformed node view used to surface as an opaque ``einsum`` error
+    deep inside a metric kernel; fail here with the actual mismatch
+    instead.
+    """
+    ns = np.asarray(ns, dtype=np.float64)
+    vecs = np.asarray(vecs, dtype=np.float64)
+    sqs = np.asarray(sqs, dtype=np.float64)
+    if ns.ndim != 1:
+        raise ValueError(f"ns must be 1-d, got shape {ns.shape}")
+    if vecs.ndim != 2:
+        raise ValueError(f"{vec_name} must be 2-d (k, d), got shape {vecs.shape}")
+    if vecs.shape[0] != ns.shape[0]:
+        raise ValueError(
+            f"{vec_name} holds {vecs.shape[0]} rows but ns has "
+            f"{ns.shape[0]} entries"
+        )
+    if sqs.shape != ns.shape:
+        raise ValueError(
+            f"{sq_name} shape {sqs.shape} does not match ns shape {ns.shape}"
+        )
+    if ns.size and vecs.shape[1] != probe.dimensions:
+        raise ValueError(
+            f"{vec_name} rows have {vecs.shape[1]} dimensions, probe has "
+            f"{probe.dimensions}"
+        )
+    return ns, vecs, sqs
+
+
 def distances_to_set(
     probe: CF,
     ns: np.ndarray,
@@ -109,9 +202,7 @@ def distances_to_set(
     numpy.ndarray
         Shape ``(k,)`` array of distances.
     """
-    ns = np.asarray(ns, dtype=np.float64)
-    ls = np.asarray(ls, dtype=np.float64)
-    ss = np.asarray(ss, dtype=np.float64)
+    ns, ls, ss = _validate_set(probe, ns, ls, ss, "ls", "ss")
     if ns.size == 0:
         return np.empty(0, dtype=np.float64)
     if probe.n == 0 or (ns <= 0).any():
@@ -167,9 +258,7 @@ def merged_radius(
     ``R^2 = SS/N - ||LS/N||^2`` of each hypothetical merge; the
     alternative threshold condition mentioned in Section 4.1.
     """
-    ns = np.asarray(ns, dtype=np.float64)
-    ls = np.asarray(ls, dtype=np.float64)
-    ss = np.asarray(ss, dtype=np.float64)
+    ns, ls, ss = _validate_set(probe, ns, ls, ss, "ls", "ss")
     if ns.size == 0:
         return np.empty(0, dtype=np.float64)
     n_merged = ns + probe.n
@@ -178,3 +267,71 @@ def merged_radius(
     norm = np.einsum("ij,ij->i", ls_merged, ls_merged)
     r2 = ss_merged / n_merged - norm / (n_merged * n_merged)
     return np.sqrt(np.maximum(r2, 0.0))
+
+
+# -- stable (n, mean, SSD) kernels -------------------------------------------
+
+
+def stable_distances_to_set(
+    probe: StableCF,
+    ns: np.ndarray,
+    means: np.ndarray,
+    ssds: np.ndarray,
+    metric: Metric = Metric.D2_AVG_INTERCLUSTER,
+) -> np.ndarray:
+    """Distances from ``probe`` to ``k`` StableCFs given as parallel arrays.
+
+    The stable counterpart of :func:`distances_to_set`: ``ns``,
+    ``means`` and ``ssds`` have shapes ``(k,)``, ``(k, d)`` and ``(k,)``
+    (the struct-of-arrays view of a stable-backend tree node).
+    """
+    ns, means, ssds = _validate_set(probe, ns, means, ssds, "means", "ssds")
+    if ns.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if probe.n == 0 or (ns <= 0).any():
+        raise ValueError("distances are undefined for empty CFs")
+
+    diff = means - probe.mean
+    if metric is Metric.D1_MANHATTAN:
+        return np.abs(diff).sum(axis=1)
+    delta2 = np.einsum("ij,ij->i", diff, diff)
+    if metric is Metric.D0_EUCLIDEAN:
+        return np.sqrt(delta2)
+    if metric is Metric.D2_AVG_INTERCLUSTER:
+        return np.sqrt(ssds / ns + probe.ssd / probe.n + delta2)
+    if metric is Metric.D3_AVG_INTRACLUSTER:
+        n_merged = ns + probe.n
+        ssd_merged = ssds + probe.ssd + (ns * probe.n / n_merged) * delta2
+        denom = n_merged - 1.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d2 = np.where(denom > 0, 2.0 * ssd_merged / denom, 0.0)
+        return np.sqrt(np.maximum(d2, 0.0))
+    if metric is Metric.D4_VARIANCE_INCREASE:
+        return np.sqrt((ns * probe.n / (ns + probe.n)) * delta2)
+    raise ValueError(f"unhandled metric {metric!r}")
+
+
+def stable_merged_diameter(
+    probe: StableCF, ns: np.ndarray, means: np.ndarray, ssds: np.ndarray
+) -> np.ndarray:
+    """Diameter of ``probe`` merged with each StableCF in the set."""
+    return stable_distances_to_set(
+        probe, ns, means, ssds, Metric.D3_AVG_INTRACLUSTER
+    )
+
+
+def stable_merged_radius(
+    probe: StableCF, ns: np.ndarray, means: np.ndarray, ssds: np.ndarray
+) -> np.ndarray:
+    """Radius of ``probe`` merged with each StableCF in the set.
+
+    ``R^2 = SSD_merged / n_merged`` of each hypothetical merge.
+    """
+    ns, means, ssds = _validate_set(probe, ns, means, ssds, "means", "ssds")
+    if ns.size == 0:
+        return np.empty(0, dtype=np.float64)
+    diff = means - probe.mean
+    delta2 = np.einsum("ij,ij->i", diff, diff)
+    n_merged = ns + probe.n
+    ssd_merged = ssds + probe.ssd + (ns * probe.n / n_merged) * delta2
+    return np.sqrt(np.maximum(ssd_merged, 0.0) / n_merged)

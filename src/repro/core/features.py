@@ -18,16 +18,27 @@ tree.  Hot loops operate on the struct-of-arrays views exposed by the
 tree nodes (see :mod:`repro.core.node`), but every formula lives here
 and in :mod:`repro.core.distances` in exact correspondence with the
 paper's equations (1)-(6).
+
+The literal ``(N, LS, SS)`` triple is numerically fragile: every
+radius/diameter/D2-D4 value is a small difference of the large
+quantities ``SS`` and ``||LS||^2/N``, so once data sits far from the
+origin the statistics lose all significant digits (catastrophic
+cancellation).  :class:`StableCF` is the numerically stable alternative
+— the BETULA cluster feature ``(n, mean, SSD)`` of Lang & Schubert
+(2020), updated with Welford/Chan-style incremental formulas — and is
+selectable throughout the pipeline via ``BirchConfig.cf_backend``.
+Both classes expose the same algebra/statistics interface, and
+:func:`coerce_backend` converts between them.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Union
 
 import numpy as np
 
-__all__ = ["CF"]
+__all__ = ["CF", "StableCF", "AnyCF", "CF_BACKENDS", "coerce_backend"]
 
 
 class CF:
@@ -68,17 +79,13 @@ class CF:
     @classmethod
     def from_point(cls, point: np.ndarray) -> "CF":
         """CF of a single point: ``(1, X, ||X||^2)``."""
-        point = np.asarray(point, dtype=np.float64)
+        point = _validate_point(point)
         return cls(1, point.copy(), float(point @ point))
 
     @classmethod
     def from_points(cls, points: np.ndarray | Iterable[Iterable[float]]) -> "CF":
         """CF of a batch of points given as an ``(n, d)`` array."""
-        points = np.asarray(points, dtype=np.float64)
-        if points.ndim == 1:
-            points = points.reshape(1, -1)
-        if points.ndim != 2:
-            raise ValueError(f"points must be 2-d, got shape {points.shape}")
+        points = _validate_points(points)
         n = points.shape[0]
         ls = points.sum(axis=0)
         ss = float(np.einsum("ij,ij->", points, points))
@@ -118,7 +125,7 @@ class CF:
 
     def add_point(self, point: np.ndarray) -> None:
         """Absorb a single point in place."""
-        point = np.asarray(point, dtype=np.float64)
+        point = _validate_point(point, self.dimensions)
         self.n += 1
         self.ls += point
         self.ss += float(point @ point)
@@ -175,6 +182,23 @@ class CF:
         ssd = self.ss - float(self.ls @ self.ls) / self.n
         return max(ssd, 0.0)
 
+    # -- conversion -----------------------------------------------------------
+
+    def to_stable(self) -> "StableCF":
+        """This cluster as a :class:`StableCF` ``(n, mean, SSD)``.
+
+        The mean and SSD are derived from ``(N, LS, SS)``, so any
+        cancellation already baked into ``SS`` carries over; converting
+        does not recover precision, it only switches representation.
+        """
+        if self.n == 0:
+            return StableCF.empty(self.dimensions)
+        return StableCF(self.n, self.centroid, self.sum_squared_deviation)
+
+    def to_classic(self) -> "CF":
+        """Identity, for symmetry with :meth:`StableCF.to_classic`."""
+        return self.copy()
+
     # -- comparison -----------------------------------------------------------
 
     def allclose(self, other: "CF", rtol: float = 1e-9, atol: float = 1e-9) -> bool:
@@ -194,3 +218,303 @@ class CF:
     def __repr__(self) -> str:
         ls_repr = np.array2string(self.ls, precision=3)
         return f"CF(n={self.n}, ls={ls_repr}, ss={self.ss:.3f})"
+
+
+class StableCF:
+    """A numerically stable Clustering Feature: ``(n, mean, SSD)``.
+
+    The BETULA representation (Lang & Schubert, SISAP 2020): instead of
+    the paper's raw moments ``(N, LS, SS)``, carry the count, the mean
+    vector and the *sum of squared deviations from the mean*
+    ``SSD = sum_i ||X_i - mean||^2``.  Every statistic BIRCH needs is a
+    cancellation-free function of these:
+
+    * centroid = ``mean``;
+    * ``R^2 = SSD / n`` (paper eq. (2));
+    * ``D^2 = 2 SSD / (n - 1)`` (paper eq. (3));
+    * merging two clusters (Chan et al. pairwise update) with
+      ``delta = mean_2 - mean_1``::
+
+          n    = n_1 + n_2
+          mean = mean_1 + (n_2 / n) * delta
+          SSD  = SSD_1 + SSD_2 + (n_1 n_2 / n) * ||delta||^2
+
+    The update additions involve only same-scale non-negative terms, so
+    radii and distances keep full relative precision no matter how far
+    the data sits from the origin — exactly where the classic triple
+    collapses (see ``tests/core/test_numerics.py``).
+
+    The interface mirrors :class:`CF` (constructors, algebra, derived
+    statistics), so the two are interchangeable behind the
+    ``cf_backend`` switch; ``ls``/``ss`` are available as *computed*
+    properties for export paths that need the classic triple.
+    """
+
+    __slots__ = ("n", "mean", "ssd")
+
+    def __init__(self, n: int, mean: np.ndarray, ssd: float) -> None:
+        if n < 0:
+            raise ValueError(f"N must be >= 0, got {n}")
+        self.n = int(n)
+        self.mean = np.asarray(mean, dtype=np.float64)
+        if self.mean.ndim != 1:
+            raise ValueError(
+                f"mean must be a 1-d vector, got shape {self.mean.shape}"
+            )
+        # Clamp round-off residue; a genuinely negative SSD is a bug.
+        ssd = float(ssd)
+        if ssd < 0.0:
+            if not math.isfinite(ssd) or ssd < -1e-6 * max(abs(ssd), 1.0):
+                raise ValueError(f"SSD must be >= 0, got {ssd}")
+            ssd = 0.0
+        self.ssd = ssd
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls, dimensions: int) -> "StableCF":
+        """The identity element of CF addition."""
+        return cls(0, np.zeros(dimensions, dtype=np.float64), 0.0)
+
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "StableCF":
+        """CF of a single point: ``(1, X, 0)``."""
+        point = _validate_point(point)
+        return cls(1, point.copy(), 0.0)
+
+    @classmethod
+    def from_points(
+        cls, points: np.ndarray | Iterable[Iterable[float]]
+    ) -> "StableCF":
+        """CF of a batch of points given as an ``(n, d)`` array.
+
+        Two-pass: mean first, then deviations — the textbook stable
+        formula.
+        """
+        points = _validate_points(points)
+        mean = points.mean(axis=0)
+        centered = points - mean
+        ssd = float(np.einsum("ij,ij->", centered, centered))
+        return cls(points.shape[0], mean, ssd)
+
+    # -- algebra ------------------------------------------------------------
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality ``d`` of the summarised points."""
+        return self.mean.shape[0]
+
+    def copy(self) -> "StableCF":
+        """An independent copy."""
+        return StableCF(self.n, self.mean.copy(), self.ssd)
+
+    def merge(self, other: "StableCF") -> "StableCF":
+        """``self + other`` as a new StableCF (pairwise Chan update)."""
+        self._check_compatible(other)
+        if self.n == 0:
+            return other.copy()
+        if other.n == 0:
+            return self.copy()
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        mean = self.mean + (other.n / n) * delta
+        ssd = self.ssd + other.ssd + (self.n * other.n / n) * float(delta @ delta)
+        return StableCF(n, mean, ssd)
+
+    def merge_inplace(self, other: "StableCF") -> None:
+        """Absorb ``other`` into this CF."""
+        self._check_compatible(other)
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self.mean = other.mean.copy()
+            self.ssd = other.ssd
+            return
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        self.mean = self.mean + (other.n / n) * delta
+        self.ssd += other.ssd + (self.n * other.n / n) * float(delta @ delta)
+        self.n = n
+
+    def subtract(self, other: "StableCF") -> "StableCF":
+        """``self - other``; valid when ``other`` summarises a subset.
+
+        Inverts the pairwise merge.  Removing most of a cluster is an
+        inherently ill-conditioned operation in any representation; the
+        residue is clamped at zero like everywhere else.
+        """
+        self._check_compatible(other)
+        if other.n > self.n:
+            raise ValueError(
+                f"cannot subtract CF with N={other.n} from CF with N={self.n}"
+            )
+        n_rest = self.n - other.n
+        if n_rest == 0:
+            return StableCF.empty(self.dimensions)
+        if other.n == 0:
+            return self.copy()
+        mean_rest = (self.n * self.mean - other.n * other.mean) / n_rest
+        delta = other.mean - mean_rest
+        ssd_rest = (
+            self.ssd - other.ssd - (n_rest * other.n / self.n) * float(delta @ delta)
+        )
+        return StableCF(n_rest, mean_rest, max(ssd_rest, 0.0))
+
+    def add_point(self, point: np.ndarray) -> None:
+        """Absorb a single point in place (Welford's update)."""
+        point = _validate_point(point, self.dimensions)
+        if self.n == 0:
+            self.n = 1
+            self.mean = point.copy()
+            self.ssd = 0.0
+            return
+        self.n += 1
+        delta = point - self.mean
+        self.mean = self.mean + delta / self.n
+        self.ssd += float(delta @ (point - self.mean))
+
+    def __add__(self, other: "StableCF") -> "StableCF":
+        return self.merge(other)
+
+    def __iadd__(self, other: "StableCF") -> "StableCF":
+        self.merge_inplace(other)
+        return self
+
+    # -- derived statistics ---------------------------------------------------
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Centroid (a copy; equation (1) — here stored directly)."""
+        if self.n == 0:
+            raise ValueError("centroid of an empty CF is undefined")
+        return self.mean.copy()
+
+    @property
+    def radius(self) -> float:
+        """Radius ``R = sqrt(SSD / n)`` (eq. (2)), cancellation-free."""
+        if self.n == 0:
+            raise ValueError("radius of an empty CF is undefined")
+        return math.sqrt(max(self.ssd, 0.0) / self.n)
+
+    @property
+    def diameter(self) -> float:
+        """Diameter ``D = sqrt(2 SSD / (n - 1))`` (eq. (3))."""
+        if self.n == 0:
+            raise ValueError("diameter of an empty CF is undefined")
+        if self.n == 1:
+            return 0.0
+        return math.sqrt(2.0 * max(self.ssd, 0.0) / (self.n - 1))
+
+    @property
+    def sum_squared_deviation(self) -> float:
+        """``SSD`` itself — the quantity this representation carries."""
+        return max(self.ssd, 0.0)
+
+    # -- classic exports ------------------------------------------------------
+
+    @property
+    def ls(self) -> np.ndarray:
+        """Classic linear sum ``LS = n * mean`` (computed, lossy export)."""
+        return self.n * self.mean
+
+    @property
+    def ss(self) -> float:
+        """Classic square sum ``SS = SSD + n ||mean||^2`` (computed).
+
+        Feeding this back into the classic cancellation formulas
+        reintroduces the instability this class exists to avoid; use it
+        only for interchange/serialisation.
+        """
+        return self.ssd + self.n * float(self.mean @ self.mean)
+
+    def to_classic(self) -> "CF":
+        """This cluster as a classic :class:`CF` ``(N, LS, SS)``."""
+        return CF(self.n, self.ls, self.ss)
+
+    def to_stable(self) -> "StableCF":
+        """Identity, for symmetry with :meth:`CF.to_stable`."""
+        return self.copy()
+
+    # -- comparison -----------------------------------------------------------
+
+    def allclose(
+        self, other: "StableCF", rtol: float = 1e-9, atol: float = 1e-9
+    ) -> bool:
+        """Approximate equality, tolerant of float accumulation order."""
+        return (
+            self.n == other.n
+            and np.allclose(self.mean, other.mean, rtol=rtol, atol=atol)
+            and math.isclose(self.ssd, other.ssd, rel_tol=rtol, abs_tol=atol)
+        )
+
+    def _check_compatible(self, other: "StableCF") -> None:
+        if not isinstance(other, StableCF):
+            raise TypeError(
+                f"expected StableCF, got {type(other).__name__}; convert "
+                "with .to_stable() before mixing backends"
+            )
+        if self.dimensions != other.dimensions:
+            raise ValueError(
+                f"dimension mismatch: {self.dimensions} vs {other.dimensions}"
+            )
+
+    def __repr__(self) -> str:
+        mean_repr = np.array2string(self.mean, precision=3)
+        return f"StableCF(n={self.n}, mean={mean_repr}, ssd={self.ssd:.3f})"
+
+
+AnyCF = Union[CF, StableCF]
+
+#: Backend name -> CF class; the ``cf_backend`` switch resolves here.
+CF_BACKENDS: dict[str, type] = {"classic": CF, "stable": StableCF}
+
+
+def coerce_backend(cf: AnyCF, backend: str) -> AnyCF:
+    """Return ``cf`` in the representation named by ``backend``.
+
+    No-op (the same object) when the representation already matches;
+    otherwise a lossless-in-count, precision-preserving-as-possible
+    conversion (see :meth:`CF.to_stable` on what "possible" means).
+    """
+    cls = CF_BACKENDS.get(backend)
+    if cls is None:
+        raise ValueError(
+            f"unknown cf_backend {backend!r}; expected one of "
+            f"{sorted(CF_BACKENDS)}"
+        )
+    if isinstance(cf, cls):
+        return cf
+    return cf.to_stable() if backend == "stable" else cf.to_classic()
+
+
+def _validate_point(point: np.ndarray, dimensions: int | None = None) -> np.ndarray:
+    """Coerce ``point`` to a float64 d-vector, with a clear error."""
+    point = np.asarray(point, dtype=np.float64)
+    if point.ndim != 1 or point.shape[0] == 0:
+        raise ValueError(
+            f"point must be a non-empty 1-d vector, got shape {point.shape}"
+        )
+    if dimensions is not None and point.shape[0] != dimensions:
+        raise ValueError(
+            f"point has {point.shape[0]} dimensions, CF has {dimensions}"
+        )
+    return point
+
+
+def _validate_points(
+    points: np.ndarray | Iterable[Iterable[float]],
+) -> np.ndarray:
+    """Coerce ``points`` to a non-empty ``(n, d)`` float64 array."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim == 1:
+        if points.shape[0] == 0:
+            raise ValueError("cannot build a CF from zero points")
+        points = points.reshape(1, -1)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-d, got shape {points.shape}")
+    if points.shape[0] == 0:
+        raise ValueError("cannot build a CF from zero points")
+    if points.shape[1] == 0:
+        raise ValueError("points must have at least one dimension")
+    return points

@@ -25,8 +25,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.distances import Metric, distances_to_set
-from repro.core.features import CF
+from repro.core.distances import Metric, distances_to_set, stable_distances_to_set
+from repro.core.features import CF, AnyCF, StableCF
 
 __all__ = ["CFKMeans", "CFMedoids", "GlobalClustering", "MergeStep", "agglomerative_cf"]
 
@@ -68,7 +68,7 @@ class GlobalClustering:
     """
 
     labels: np.ndarray
-    clusters: list[CF]
+    clusters: list[AnyCF]
     history: list[MergeStep] = field(default_factory=list)
 
     @property
@@ -81,7 +81,7 @@ class GlobalClustering:
         """Cluster centroids, shape ``(k, d)``."""
         return np.stack([cf.centroid for cf in self.clusters])
 
-    def check_conservation(self, entries: list[CF]) -> None:
+    def check_conservation(self, entries: list[AnyCF]) -> None:
         """Assert cluster CFs sum to the input entries (test helper)."""
         total_in = sum((cf.n for cf in entries), 0)
         total_out = sum((cf.n for cf in self.clusters), 0)
@@ -92,7 +92,7 @@ class GlobalClustering:
 
 
 def agglomerative_cf(
-    entries: list[CF],
+    entries: list[AnyCF],
     n_clusters: int = 1,
     metric: Metric = Metric.D2_AVG_INTERCLUSTER,
     stop_diameter: Optional[float] = None,
@@ -133,9 +133,17 @@ def agglomerative_cf(
         labels = np.arange(m)
         return GlobalClustering(labels=labels, clusters=[cf.copy() for cf in entries])
 
+    # The SoA state mirrors the entry backend: classic rows are
+    # (N, LS, SS); stable rows are (n, mean, SSD) and all merge/distance
+    # arithmetic below goes through the cancellation-free kernels.
+    stable = isinstance(entries[0], StableCF)
     ns = np.array([cf.n for cf in entries], dtype=np.float64)
-    ls = np.stack([cf.ls for cf in entries]).astype(np.float64)
-    ss = np.array([cf.ss for cf in entries], dtype=np.float64)
+    if stable:
+        vec = np.stack([cf.mean for cf in entries]).astype(np.float64)
+        sq = np.array([cf.ssd for cf in entries], dtype=np.float64)
+    else:
+        vec = np.stack([cf.ls for cf in entries]).astype(np.float64)
+        sq = np.array([cf.ss for cf in entries], dtype=np.float64)
     active = np.ones(m, dtype=bool)
     # Union-find-ish parent map: every original entry tracks its cluster.
     labels = np.arange(m)
@@ -148,8 +156,12 @@ def agglomerative_cf(
     forbidden: dict[int, set[int]] = {}
 
     def row_distances(i: int) -> np.ndarray:
-        probe = CF(int(ns[i]), ls[i], float(ss[i]))
-        dist = distances_to_set(probe, ns, ls, ss, metric)
+        if stable:
+            probe = StableCF(int(ns[i]), vec[i], float(sq[i]))
+            dist = stable_distances_to_set(probe, ns, vec, sq, metric)
+        else:
+            probe = CF(int(ns[i]), vec[i], float(sq[i]))
+            dist = distances_to_set(probe, ns, vec, sq, metric)
         dist[~active] = np.inf
         dist[i] = np.inf
         blocked = forbidden.get(i)
@@ -176,7 +188,10 @@ def agglomerative_cf(
                 peers.discard(i)
 
     def merged_diameter_of(i: int, j: int) -> float:
-        merged = CF(int(ns[i] + ns[j]), ls[i] + ls[j], float(ss[i] + ss[j]))
+        if stable:
+            a = StableCF(int(ns[i]), vec[i], float(sq[i]))
+            return a.merge(StableCF(int(ns[j]), vec[j], float(sq[j]))).diameter
+        merged = CF(int(ns[i] + ns[j]), vec[i] + vec[j], float(sq[i] + sq[j]))
         return merged.diameter
 
     history: list[MergeStep] = []
@@ -209,9 +224,17 @@ def agglomerative_cf(
                 merged_points=int(ns[i] + ns[j]),
             )
         )
-        ns[i] += ns[j]
-        ls[i] += ls[j]
-        ss[i] += ss[j]
+        if stable:
+            # Chan pairwise update on the (n, mean, SSD) row.
+            n_new = ns[i] + ns[j]
+            delta = vec[j] - vec[i]
+            vec[i] += (ns[j] / n_new) * delta
+            sq[i] += sq[j] + (ns[i] * ns[j] / n_new) * float(delta @ delta)
+            ns[i] = n_new
+        else:
+            ns[i] += ns[j]
+            vec[i] += vec[j]
+            sq[i] += sq[j]
         active[j] = False
         nn_dist[j] = np.inf
         labels[labels == j] = i
@@ -225,24 +248,26 @@ def agglomerative_cf(
         for k in np.nonzero(stale)[0]:
             refresh_nn(int(k))
 
-    return _package(entries, labels, active, ns, ls, ss, history)
+    return _package(labels, active, ns, vec, sq, history, stable)
 
 
 def _package(
-    entries: list[CF],
     labels: np.ndarray,
     active: np.ndarray,
     ns: np.ndarray,
-    ls: np.ndarray,
-    ss: np.ndarray,
+    vec: np.ndarray,
+    sq: np.ndarray,
     history: list[MergeStep],
+    stable: bool,
 ) -> GlobalClustering:
     """Compact merged-cluster state into a GlobalClustering."""
     cluster_ids = np.nonzero(active)[0]
     id_to_compact = {int(cid): pos for pos, cid in enumerate(cluster_ids)}
     compact_labels = np.array([id_to_compact[int(c)] for c in labels], dtype=np.int64)
+    cf_class = StableCF if stable else CF
     clusters = [
-        CF(int(ns[cid]), ls[cid].copy(), float(ss[cid])) for cid in cluster_ids
+        cf_class(int(ns[cid]), vec[cid].copy(), float(sq[cid]))
+        for cid in cluster_ids
     ]
     return GlobalClustering(labels=compact_labels, clusters=clusters, history=history)
 
@@ -282,7 +307,7 @@ class CFKMeans:
         self.tol = tol
         self.seed = seed
 
-    def fit(self, entries: list[CF]) -> GlobalClustering:
+    def fit(self, entries: list[AnyCF]) -> GlobalClustering:
         """Cluster the entries; returns labels and exact cluster CFs."""
         m = len(entries)
         if m == 0:
@@ -317,7 +342,7 @@ class CFKMeans:
 
         dist2 = ((centroids_in[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
         labels = np.argmin(dist2, axis=1)
-        clusters: list[CF] = []
+        clusters: list[AnyCF] = []
         final_labels = np.full(m, -1, dtype=np.int64)
         next_id = 0
         for c in range(k):
@@ -377,7 +402,7 @@ class CFMedoids:
         self.n_clusters = n_clusters
         self.max_iter = max_iter
 
-    def fit(self, entries: list[CF]) -> GlobalClustering:
+    def fit(self, entries: list[AnyCF]) -> GlobalClustering:
         """Cluster the entries; returns labels and exact cluster CFs."""
         from repro.baselines.kmedoids import KMedoids
 
@@ -391,7 +416,7 @@ class CFMedoids:
             centroids, weights=weights
         )
 
-        clusters: list[CF] = []
+        clusters: list[AnyCF] = []
         final_labels = np.full(m, -1, dtype=np.int64)
         next_id = 0
         for c in range(k):

@@ -63,6 +63,11 @@ def merge_trees(
             raise ValueError("metric mismatch between trees")
         if other.threshold_kind is not first.threshold_kind:
             raise ValueError("threshold-kind mismatch between trees")
+        if other.cf_backend != first.cf_backend:
+            raise ValueError(
+                f"cf-backend mismatch between trees: {other.cf_backend!r} vs "
+                f"{first.cf_backend!r}"
+            )
 
     if policy is None:
         policy = ThresholdPolicy()

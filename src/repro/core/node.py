@@ -6,13 +6,21 @@ holds up to ``L`` entries ``[CF_i]``, each a *subcluster* whose diameter
 (or radius) must satisfy the threshold ``T``, plus ``prev``/``next``
 pointers chaining all leaves together for efficient scans.
 
-Entries are stored struct-of-arrays — parallel ``N``/``LS``/``SS``
-arrays pre-allocated to the node's page capacity — so the insertion
-descent can evaluate D0-D4 against a whole node with one vectorised
-call (:func:`repro.core.distances.distances_to_set`).
+Entries are stored struct-of-arrays — parallel arrays pre-allocated to
+the node's page capacity — so the insertion descent can evaluate D0-D4
+against a whole node with one vectorised call.  The array semantics
+follow the node's ``cf_backend``:
 
-Node capacities come from a :class:`repro.pagestore.PageLayout`; every
-node corresponds to exactly one simulated page.
+* ``"classic"`` — ``N``/``LS``/``SS`` (paper Definition 4.1), served by
+  :func:`repro.core.distances.distances_to_set`;
+* ``"stable"`` — ``N``/``mean``/``SSD`` (the BETULA representation, see
+  :class:`repro.core.features.StableCF`), served by
+  :func:`repro.core.distances.stable_distances_to_set`.
+
+Either way a CF costs the same ``1 + d + 1`` floats, so the page model
+charges identically.  Node capacities come from a
+:class:`repro.pagestore.PageLayout`; every node corresponds to exactly
+one simulated page.
 """
 
 from __future__ import annotations
@@ -21,8 +29,8 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.core.distances import Metric, distances_to_set
-from repro.core.features import CF
+from repro.core.distances import Metric, distances_to_set, stable_distances_to_set
+from repro.core.features import CF, AnyCF, CF_BACKENDS, StableCF, coerce_backend
 from repro.pagestore.page import PageLayout
 
 __all__ = ["CFNode"]
@@ -38,28 +46,40 @@ class CFNode:
     is_leaf:
         Leaf nodes store subcluster entries and chain pointers; nonleaf
         nodes store child pointers parallel to their entries.
+    cf_backend:
+        ``"classic"`` stores ``(N, LS, SS)`` rows; ``"stable"`` stores
+        ``(n, mean, SSD)`` rows and uses the cancellation-free kernels.
     """
 
     __slots__ = (
         "layout",
         "is_leaf",
+        "cf_backend",
         "size",
         "_ns",
-        "_ls",
-        "_ss",
+        "_vec",
+        "_sq",
         "children",
         "prev_leaf",
         "next_leaf",
     )
 
-    def __init__(self, layout: PageLayout, is_leaf: bool) -> None:
+    def __init__(
+        self, layout: PageLayout, is_leaf: bool, cf_backend: str = "classic"
+    ) -> None:
+        if cf_backend not in CF_BACKENDS:
+            raise ValueError(
+                f"unknown cf_backend {cf_backend!r}; expected one of "
+                f"{sorted(CF_BACKENDS)}"
+            )
         self.layout = layout
         self.is_leaf = is_leaf
+        self.cf_backend = cf_backend
         capacity = layout.leaf_capacity if is_leaf else layout.branching_factor
         self.size = 0
         self._ns = np.zeros(capacity, dtype=np.float64)
-        self._ls = np.zeros((capacity, layout.dimensions), dtype=np.float64)
-        self._ss = np.zeros(capacity, dtype=np.float64)
+        self._vec = np.zeros((capacity, layout.dimensions), dtype=np.float64)
+        self._sq = np.zeros(capacity, dtype=np.float64)
         self.children: Optional[list[CFNode]] = None if is_leaf else []
         self.prev_leaf: Optional[CFNode] = None
         self.next_leaf: Optional[CFNode] = None
@@ -83,37 +103,73 @@ class CFNode:
 
     @property
     def ls(self) -> np.ndarray:
-        """View of the live linear sums, shape ``(size, d)``."""
-        return self._ls[: self.size]
+        """View of the live linear sums, shape ``(size, d)`` (classic only)."""
+        self._require_backend("classic", "ls")
+        return self._vec[: self.size]
 
     @property
     def ss(self) -> np.ndarray:
-        """View of the live square sums, shape ``(size,)``."""
-        return self._ss[: self.size]
+        """View of the live square sums, shape ``(size,)`` (classic only)."""
+        self._require_backend("classic", "ss")
+        return self._sq[: self.size]
 
-    def entry_cf(self, index: int) -> CF:
-        """Entry ``index`` as an independent :class:`CF` object."""
+    @property
+    def means(self) -> np.ndarray:
+        """View of the live entry means, shape ``(size, d)`` (stable only)."""
+        self._require_backend("stable", "means")
+        return self._vec[: self.size]
+
+    @property
+    def ssds(self) -> np.ndarray:
+        """View of the live entry SSDs, shape ``(size,)`` (stable only)."""
+        self._require_backend("stable", "ssds")
+        return self._sq[: self.size]
+
+    def _require_backend(self, backend: str, view: str) -> None:
+        if self.cf_backend != backend:
+            raise AttributeError(
+                f"node uses the {self.cf_backend!r} backend; the {view!r} "
+                f"view exists only on {backend!r} nodes"
+            )
+
+    def entry_cf(self, index: int) -> AnyCF:
+        """Entry ``index`` as an independent CF object (backend class)."""
         self._check_index(index)
-        return CF(int(self._ns[index]), self._ls[index].copy(), float(self._ss[index]))
+        if self.cf_backend == "stable":
+            return StableCF(
+                int(self._ns[index]), self._vec[index].copy(), float(self._sq[index])
+            )
+        return CF(int(self._ns[index]), self._vec[index].copy(), float(self._sq[index]))
 
-    def iter_entry_cfs(self) -> Iterator[CF]:
+    def iter_entry_cfs(self) -> Iterator[AnyCF]:
         """All live entries as CF objects (copies)."""
         for i in range(self.size):
             yield self.entry_cf(i)
 
-    def summary_cf(self) -> CF:
+    def summary_cf(self) -> AnyCF:
         """CF of everything stored under this node (sum of entries)."""
+        if self.cf_backend == "stable":
+            if self.size == 0:
+                return StableCF.empty(self.layout.dimensions)
+            ns = self.ns
+            n_total = float(ns.sum())
+            mean = (ns[:, None] * self.means).sum(axis=0) / n_total
+            # SSD decomposes as within-entry + between-entry parts; both
+            # are sums of non-negative same-scale terms (no cancellation).
+            diff = self.means - mean
+            between = float(ns @ np.einsum("ij,ij->i", diff, diff))
+            return StableCF(int(round(n_total)), mean, float(self.ssds.sum()) + between)
         return CF(
             int(self.ns.sum()),
-            self.ls.sum(axis=0)
+            self._vec[: self.size].sum(axis=0)
             if self.size
             else np.zeros(self.layout.dimensions, dtype=np.float64),
-            float(self.ss.sum()),
+            float(self._sq[: self.size].sum()),
         )
 
     # -- entry mutation ---------------------------------------------------------
 
-    def append_entry(self, cf: CF, child: Optional["CFNode"] = None) -> int:
+    def append_entry(self, cf: AnyCF, child: Optional["CFNode"] = None) -> int:
         """Add an entry; returns its index.
 
         Raises
@@ -127,29 +183,45 @@ class CFNode:
         if self.is_leaf != (child is None):
             kind = "leaf" if self.is_leaf else "nonleaf"
             raise ValueError(f"{kind} node entry child mismatch")
+        cf = coerce_backend(cf, self.cf_backend)
         index = self.size
-        self._ns[index] = cf.n
-        self._ls[index] = cf.ls
-        self._ss[index] = cf.ss
+        self._store(index, cf)
         if child is not None:
             assert self.children is not None
             self.children.append(child)
         self.size += 1
         return index
 
-    def set_entry(self, index: int, cf: CF) -> None:
+    def set_entry(self, index: int, cf: AnyCF) -> None:
         """Overwrite the summary of entry ``index``."""
         self._check_index(index)
-        self._ns[index] = cf.n
-        self._ls[index] = cf.ls
-        self._ss[index] = cf.ss
+        self._store(index, coerce_backend(cf, self.cf_backend))
 
-    def add_to_entry(self, index: int, cf: CF) -> None:
+    def _store(self, index: int, cf: AnyCF) -> None:
+        self._ns[index] = cf.n
+        if self.cf_backend == "stable":
+            self._vec[index] = cf.mean
+            self._sq[index] = cf.ssd
+        else:
+            self._vec[index] = cf.ls
+            self._sq[index] = cf.ss
+
+    def add_to_entry(self, index: int, cf: AnyCF) -> None:
         """Absorb ``cf`` into entry ``index`` (CF additivity)."""
         self._check_index(index)
-        self._ns[index] += cf.n
-        self._ls[index] += cf.ls
-        self._ss[index] += cf.ss
+        cf = coerce_backend(cf, self.cf_backend)
+        if self.cf_backend == "stable":
+            # Pairwise Chan update on the stored (n, mean, SSD) row.
+            n_old = self._ns[index]
+            n_new = n_old + cf.n
+            delta = cf.mean - self._vec[index]
+            self._vec[index] += (cf.n / n_new) * delta
+            self._sq[index] += cf.ssd + (n_old * cf.n / n_new) * float(delta @ delta)
+            self._ns[index] = n_new
+        else:
+            self._ns[index] += cf.n
+            self._vec[index] += cf.ls
+            self._sq[index] += cf.ss
 
     def remove_entry(self, index: int) -> None:
         """Delete entry ``index``, compacting the arrays."""
@@ -157,13 +229,13 @@ class CFNode:
         last = self.size - 1
         if index != last:
             self._ns[index] = self._ns[last]
-            self._ls[index] = self._ls[last]
-            self._ss[index] = self._ss[last]
+            self._vec[index] = self._vec[last]
+            self._sq[index] = self._sq[last]
             if self.children is not None:
                 self.children[index] = self.children[last]
         self._ns[last] = 0.0
-        self._ls[last] = 0.0
-        self._ss[last] = 0.0
+        self._vec[last] = 0.0
+        self._sq[last] = 0.0
         if self.children is not None:
             self.children.pop()
         self.size -= 1
@@ -171,15 +243,15 @@ class CFNode:
     def clear(self) -> None:
         """Remove every entry."""
         self._ns[: self.size] = 0.0
-        self._ls[: self.size] = 0.0
-        self._ss[: self.size] = 0.0
+        self._vec[: self.size] = 0.0
+        self._sq[: self.size] = 0.0
         if self.children is not None:
             self.children.clear()
         self.size = 0
 
     # -- searching ----------------------------------------------------------------
 
-    def closest_entry(self, probe: CF, metric: Metric) -> tuple[int, float]:
+    def closest_entry(self, probe: AnyCF, metric: Metric) -> tuple[int, float]:
         """Index and distance of the entry closest to ``probe``.
 
         Raises
@@ -189,13 +261,20 @@ class CFNode:
         """
         if self.size == 0:
             raise ValueError("closest_entry on an empty node")
-        dists = distances_to_set(probe, self.ns, self.ls, self.ss, metric)
+        dists = self.entry_distances(probe, metric)
         index = int(np.argmin(dists))
         return index, float(dists[index])
 
-    def entry_distances(self, probe: CF, metric: Metric) -> np.ndarray:
+    def entry_distances(self, probe: AnyCF, metric: Metric) -> np.ndarray:
         """Distances from ``probe`` to every live entry."""
-        return distances_to_set(probe, self.ns, self.ls, self.ss, metric)
+        probe = coerce_backend(probe, self.cf_backend)
+        if self.cf_backend == "stable":
+            return stable_distances_to_set(
+                probe, self.ns, self._vec[: self.size], self._sq[: self.size], metric
+            )
+        return distances_to_set(
+            probe, self.ns, self._vec[: self.size], self._sq[: self.size], metric
+        )
 
     def pairwise_entry_distances(self, metric: Metric) -> np.ndarray:
         """Full ``(size, size)`` matrix of entry-vs-entry distances.
@@ -207,7 +286,7 @@ class CFNode:
         out = np.zeros((k, k), dtype=np.float64)
         for i in range(k):
             probe = self.entry_cf(i)
-            out[i] = distances_to_set(probe, self.ns, self.ls, self.ss, metric)
+            out[i] = self.entry_distances(probe, metric)
             out[i, i] = 0.0
         return out
 
@@ -235,4 +314,7 @@ class CFNode:
 
     def __repr__(self) -> str:
         kind = "leaf" if self.is_leaf else "nonleaf"
-        return f"CFNode({kind}, {self.size}/{self.capacity} entries)"
+        return (
+            f"CFNode({kind}, {self.size}/{self.capacity} entries, "
+            f"{self.cf_backend})"
+        )

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.features import CF
+from repro.core.features import AnyCF
 from repro.core.node import CFNode
 from repro.core.tree import CFTree
 
@@ -37,8 +37,8 @@ __all__ = ["rebuild_tree"]
 def rebuild_tree(
     old: CFTree,
     new_threshold: float,
-    outlier_sink: Optional[Callable[[CF], bool]] = None,
-    outlier_predicate: Optional[Callable[[CF, float], bool]] = None,
+    outlier_sink: Optional[Callable[[AnyCF], bool]] = None,
+    outlier_predicate: Optional[Callable[[AnyCF, float], bool]] = None,
 ) -> CFTree:
     """Rebuild ``old`` into a new tree with ``new_threshold``.
 
@@ -89,6 +89,7 @@ def rebuild_tree(
         budget=budget,
         stats=old.stats,
         merging_refinement=old.merging_refinement,
+        cf_backend=old.cf_backend,
     )
 
     # Collect the chain up front (cheap: one pointer per leaf page); the

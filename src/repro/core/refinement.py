@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.features import CF
+from repro.core.features import CF, AnyCF, CF_BACKENDS
 from repro.pagestore.iostats import IOStats
 
 __all__ = ["RefinementResult", "refine"]
@@ -67,6 +67,7 @@ def refine(
     discard_outliers: bool = False,
     outlier_factor: float = 2.0,
     stats: Optional[IOStats] = None,
+    cf_backend: str = "classic",
 ) -> RefinementResult:
     """Run Phase 4 refinement.
 
@@ -87,7 +88,16 @@ def refine(
         exceeds ``outlier_factor * radius`` of that seed's cluster.
     stats:
         Optional I/O ledger; each pass records one data scan.
+    cf_backend:
+        Representation of the returned cluster CFs (``"classic"`` or
+        ``"stable"``); with ``"stable"`` the cluster radii used by the
+        outlier rule are computed cancellation-free.
     """
+    if cf_backend not in CF_BACKENDS:
+        raise ValueError(
+            f"unknown cf_backend {cf_backend!r}; expected one of "
+            f"{sorted(CF_BACKENDS)}"
+        )
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2:
         raise ValueError(f"points must be (n, d), got shape {points.shape}")
@@ -120,13 +130,13 @@ def refine(
             break
         labels = new_labels
 
-    clusters = _cluster_cfs(points, labels, centroids.shape[0])
+    clusters = _cluster_cfs(points, labels, centroids.shape[0], cf_backend)
     discarded = 0
     if discard_outliers:
         labels, discarded = _discard(
             points, labels, clusters, centroids, outlier_factor
         )
-        clusters = _cluster_cfs(points, labels, centroids.shape[0])
+        clusters = _cluster_cfs(points, labels, centroids.shape[0], cf_backend)
 
     return RefinementResult(
         centroids=centroids,
@@ -162,16 +172,19 @@ def _recompute(
     return centroids
 
 
-def _cluster_cfs(points: np.ndarray, labels: np.ndarray, k: int) -> list[CF]:
+def _cluster_cfs(
+    points: np.ndarray, labels: np.ndarray, k: int, cf_backend: str = "classic"
+) -> list[AnyCF]:
     """Exact CF of each cluster (labels of -1 are excluded)."""
+    cf_class = CF_BACKENDS[cf_backend]
     clusters = []
     d = points.shape[1]
     for c in range(k):
         mask = labels == c
         if mask.any():
-            clusters.append(CF.from_points(points[mask]))
+            clusters.append(cf_class.from_points(points[mask]))
         else:
-            clusters.append(CF.empty(d))
+            clusters.append(cf_class.empty(d))
     return clusters
 
 

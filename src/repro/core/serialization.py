@@ -18,6 +18,17 @@ round-trip serialisation:
 
 Formats are plain ``numpy.savez_compressed`` archives with a small JSON
 header — no pickle, so archives are safe to exchange.
+
+Two on-disk layouts exist, one per CF backend:
+
+* version 1 — classic ``(N, LS, SS)`` triples under keys
+  ``ns``/``ls``/``ss`` (unchanged from earlier releases, so old
+  archives keep loading and classic saves stay byte-compatible);
+* version 2 — stable ``(n, mean, SSD)`` triples under keys
+  ``ns``/``means``/``ssds``.  Stable summaries are saved in their own
+  representation rather than converted, because converting to
+  ``(LS, SS)`` would reintroduce exactly the catastrophic cancellation
+  the stable backend exists to avoid.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ import numpy as np
 
 from repro.core.birch import BirchResult
 from repro.core.distances import Metric
-from repro.core.features import CF
+from repro.core.features import AnyCF, CF, StableCF
 from repro.core.tree import CFTree, ThresholdKind
 from repro.pagestore.page import PageLayout
 
@@ -44,35 +55,61 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+_STABLE_FORMAT_VERSION = 2
+_KNOWN_VERSIONS = (_FORMAT_VERSION, _STABLE_FORMAT_VERSION)
 
 
-def _cfs_to_arrays(cfs: list[CF]) -> dict[str, np.ndarray]:
+def _cfs_to_arrays(cfs: list[AnyCF]) -> tuple[dict[str, np.ndarray], int]:
+    """Pack CFs into named arrays; returns (arrays, format version)."""
     if not cfs:
         raise ValueError("cannot serialise an empty CF list")
-    return {
+    stable = isinstance(cfs[0], StableCF)
+    mixed = any(isinstance(cf, StableCF) != stable for cf in cfs)
+    if mixed:
+        raise TypeError("cannot serialise a mix of classic and stable CFs")
+    if stable:
+        arrays = {
+            "ns": np.array([cf.n for cf in cfs], dtype=np.int64),
+            "means": np.stack([cf.mean for cf in cfs]).astype(np.float64),
+            "ssds": np.array([cf.ssd for cf in cfs], dtype=np.float64),
+        }
+        return arrays, _STABLE_FORMAT_VERSION
+    arrays = {
         "ns": np.array([cf.n for cf in cfs], dtype=np.int64),
         "ls": np.stack([cf.ls for cf in cfs]).astype(np.float64),
         "ss": np.array([cf.ss for cf in cfs], dtype=np.float64),
     }
+    return arrays, _FORMAT_VERSION
 
 
-def _arrays_to_cfs(ns: np.ndarray, ls: np.ndarray, ss: np.ndarray) -> list[CF]:
+def _arrays_to_cfs(data) -> list[AnyCF]:
+    """Unpack a loaded archive's CF arrays (either layout)."""
+    if "means" in data:
+        return [
+            StableCF(int(n), mean_row.copy(), float(s))
+            for n, mean_row, s in zip(data["ns"], data["means"], data["ssds"])
+        ]
     return [
-        CF(int(n), ls_row.copy(), float(s)) for n, ls_row, s in zip(ns, ls, ss)
+        CF(int(n), ls_row.copy(), float(s))
+        for n, ls_row, s in zip(data["ns"], data["ls"], data["ss"])
     ]
 
 
-def save_cfs(path: str | Path, cfs: list[CF]) -> None:
-    """Write CF entries to a compressed ``.npz`` archive."""
-    arrays = _cfs_to_arrays(cfs)
-    np.savez_compressed(Path(path), version=_FORMAT_VERSION, **arrays)
+def save_cfs(path: str | Path, cfs: list[AnyCF]) -> None:
+    """Write CF entries to a compressed ``.npz`` archive.
+
+    Classic CFs produce a version-1 archive (``ns``/``ls``/``ss``),
+    stable CFs a version-2 archive (``ns``/``means``/``ssds``).
+    """
+    arrays, version = _cfs_to_arrays(cfs)
+    np.savez_compressed(Path(path), version=version, **arrays)
 
 
-def load_cfs(path: str | Path) -> list[CF]:
-    """Read CF entries written by :func:`save_cfs`."""
+def load_cfs(path: str | Path) -> list[AnyCF]:
+    """Read CF entries written by :func:`save_cfs` (either version)."""
     with np.load(Path(path)) as data:
         _check_version(int(data["version"]))
-        return _arrays_to_cfs(data["ns"], data["ls"], data["ss"])
+        return _arrays_to_cfs(data)
 
 
 def save_tree(path: str | Path, tree: CFTree) -> None:
@@ -83,7 +120,7 @@ def save_tree(path: str | Path, tree: CFTree) -> None:
     them under the same threshold/metric.
     """
     entries = tree.leaf_entries()
-    arrays = _cfs_to_arrays(entries)
+    arrays, version = _cfs_to_arrays(entries)
     header = {
         "page_size": tree.layout.page_size,
         "dimensions": tree.layout.dimensions,
@@ -91,9 +128,11 @@ def save_tree(path: str | Path, tree: CFTree) -> None:
         "metric": tree.metric.value,
         "threshold_kind": tree.threshold_kind.value,
     }
+    if version != _FORMAT_VERSION:
+        header["cf_backend"] = tree.cf_backend
     np.savez_compressed(
         Path(path),
-        version=_FORMAT_VERSION,
+        version=version,
         header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
         **arrays,
     )
@@ -104,7 +143,7 @@ def load_tree(path: str | Path) -> CFTree:
     with np.load(Path(path)) as data:
         _check_version(int(data["version"]))
         header = json.loads(bytes(data["header"]).decode())
-        entries = _arrays_to_cfs(data["ns"], data["ls"], data["ss"])
+        entries = _arrays_to_cfs(data)
     layout = PageLayout(
         page_size=int(header["page_size"]), dimensions=int(header["dimensions"])
     )
@@ -113,6 +152,7 @@ def load_tree(path: str | Path) -> CFTree:
         threshold=float(header["threshold"]),
         metric=Metric.from_name(header["metric"]),
         threshold_kind=ThresholdKind(header["threshold_kind"]),
+        cf_backend=header.get("cf_backend", "classic"),
     )
     for cf in entries:
         tree.insert_cf(cf)
@@ -122,7 +162,7 @@ def load_tree(path: str | Path) -> CFTree:
 def save_result(path: str | Path, result: BirchResult) -> None:
     """Persist a fitted result: clusters, centroids, labels, metadata."""
     clusters = [cf for cf in result.clusters]
-    arrays = _cfs_to_arrays(clusters)
+    arrays, version = _cfs_to_arrays(clusters)
     header = {
         "final_threshold": result.final_threshold,
         "rebuilds": result.rebuilds,
@@ -137,7 +177,7 @@ def save_result(path: str | Path, result: BirchResult) -> None:
         extra["labels"] = np.asarray(result.labels, dtype=np.int64)
     np.savez_compressed(
         Path(path),
-        version=_FORMAT_VERSION,
+        version=version,
         header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
         **arrays,
         **extra,
@@ -146,7 +186,7 @@ def save_result(path: str | Path, result: BirchResult) -> None:
 
 def load_result_arrays(
     path: str | Path,
-) -> tuple[list[CF], np.ndarray, Optional[np.ndarray], dict]:
+) -> tuple[list[AnyCF], np.ndarray, Optional[np.ndarray], dict]:
     """Read a :func:`save_result` archive.
 
     Returns ``(clusters, centroids, labels_or_None, header)`` — the
@@ -157,15 +197,15 @@ def load_result_arrays(
     with np.load(Path(path)) as data:
         _check_version(int(data["version"]))
         header = json.loads(bytes(data["header"]).decode())
-        clusters = _arrays_to_cfs(data["ns"], data["ls"], data["ss"])
+        clusters = _arrays_to_cfs(data)
         centroids = data["centroids"].copy()
         labels = data["labels"].copy() if "labels" in data else None
     return clusters, centroids, labels, header
 
 
 def _check_version(version: int) -> None:
-    if version != _FORMAT_VERSION:
+    if version not in _KNOWN_VERSIONS:
         raise ValueError(
             f"unsupported archive version {version}; this build reads "
-            f"version {_FORMAT_VERSION}"
+            f"versions {sorted(_KNOWN_VERSIONS)}"
         )

@@ -31,8 +31,15 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.core.distances import Metric, distance, merged_diameter, merged_radius
-from repro.core.features import CF
+from repro.core.distances import (
+    Metric,
+    distance,
+    merged_diameter,
+    merged_radius,
+    stable_merged_diameter,
+    stable_merged_radius,
+)
+from repro.core.features import CF, AnyCF, CF_BACKENDS, StableCF, coerce_backend
 from repro.core.node import CFNode
 from repro.pagestore.iostats import IOStats
 from repro.pagestore.memory import MemoryBudget
@@ -101,6 +108,12 @@ class CFTree:
         Enables the post-split closest-pair merge of Section 4.3.  On
         by default; the ablation benchmarks switch it off to measure
         its contribution to space utilisation and order robustness.
+    cf_backend:
+        ``"classic"`` (default) keeps the paper's literal ``(N, LS, SS)``
+        arithmetic bit-for-bit; ``"stable"`` stores ``(n, mean, SSD)``
+        entries and evaluates every threshold test and distance with the
+        cancellation-free kernels (see
+        :class:`~repro.core.features.StableCF`).
     """
 
     def __init__(
@@ -112,14 +125,22 @@ class CFTree:
         budget: Optional[MemoryBudget] = None,
         stats: Optional[IOStats] = None,
         merging_refinement: bool = True,
+        cf_backend: str = "classic",
     ) -> None:
         if threshold < 0:
             raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if cf_backend not in CF_BACKENDS:
+            raise ValueError(
+                f"unknown cf_backend {cf_backend!r}; expected one of "
+                f"{sorted(CF_BACKENDS)}"
+            )
         self.layout = layout
         self.threshold = float(threshold)
         self.metric = Metric.from_name(metric)
         self.threshold_kind = threshold_kind
         self.merging_refinement = merging_refinement
+        self.cf_backend = cf_backend
+        self._cf_class = CF_BACKENDS[cf_backend]
         self.budget = budget
         self.stats = stats
         self._node_count = 0
@@ -133,7 +154,7 @@ class CFTree:
         if self.budget is not None:
             self.budget.allocate(1)
         self._node_count += 1
-        return CFNode(self.layout, is_leaf)
+        return CFNode(self.layout, is_leaf, cf_backend=self.cf_backend)
 
     def _free_node(self, node: CFNode) -> None:
         if node.is_leaf:
@@ -178,14 +199,15 @@ class CFTree:
 
     def insert_point(self, point: np.ndarray) -> None:
         """Insert one raw data point."""
-        self.insert_cf(CF.from_point(point))
+        self.insert_cf(self._cf_class.from_point(point))
 
     def insert_points(self, points: np.ndarray) -> None:
         """Insert a batch of points (rows of an ``(n, d)`` array).
 
         Semantically identical to calling :meth:`insert_point` per row;
-        the batch form precomputes the per-point square norms in one
-        vectorised pass, which is the hot path of Phase 1.
+        the classic batch form precomputes the per-point square norms in
+        one vectorised pass, which is the hot path of Phase 1 (a stable
+        singleton CF is ``(1, X, 0)`` and needs no precomputation).
         """
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != self.layout.dimensions:
@@ -193,20 +215,28 @@ class CFTree:
                 f"points must be (n, {self.layout.dimensions}), "
                 f"got shape {points.shape}"
             )
+        if self.cf_backend == "stable":
+            for row in points:
+                self.insert_cf(StableCF(1, row.copy(), 0.0))
+            return
         norms = np.einsum("ij,ij->i", points, points)
         for row, norm in zip(points, norms):
             self.insert_cf(CF(1, row.copy(), float(norm)))
 
-    def insert_cf(self, cf: CF) -> None:
-        """Insert a subcluster CF (a point, an old leaf entry, an outlier)."""
+    def insert_cf(self, cf: AnyCF) -> None:
+        """Insert a subcluster CF (a point, an old leaf entry, an outlier).
+
+        A CF of the other backend is converted on the way in.
+        """
         if cf.n <= 0:
             raise ValueError("cannot insert an empty CF")
+        cf = coerce_backend(cf, self.cf_backend)
         result = self._insert(self.root, cf)
         self._points += cf.n
         if result.new_node is not None:
             self._grow_root(result.new_node)
 
-    def try_absorb_cf(self, cf: CF) -> bool:
+    def try_absorb_cf(self, cf: AnyCF) -> bool:
         """Absorb ``cf`` only if it fits an existing leaf entry.
 
         Implements the re-absorption test for potential outliers
@@ -216,6 +246,7 @@ class CFTree:
         """
         if cf.n <= 0:
             raise ValueError("cannot absorb an empty CF")
+        cf = coerce_backend(cf, self.cf_backend)
         leaf, path = self._descend_to_leaf(cf)
         if leaf.size == 0:
             return False
@@ -228,7 +259,7 @@ class CFTree:
         self._points += cf.n
         return True
 
-    def nearest_entry(self, point: np.ndarray) -> tuple[CF, float]:
+    def nearest_entry(self, point: np.ndarray) -> tuple[AnyCF, float]:
         """The leaf entry greedily closest to ``point``, with distance.
 
         Descends the tree like an insertion would and returns the
@@ -246,7 +277,7 @@ class CFTree:
         """
         if self.root.size == 0:
             raise ValueError("nearest_entry on an empty tree")
-        probe = CF.from_point(np.asarray(point, dtype=np.float64))
+        probe = self._cf_class.from_point(np.asarray(point, dtype=np.float64))
         leaf, _ = self._descend_to_leaf(probe)
         index, dist = leaf.closest_entry(probe, self.metric)
         return leaf.entry_cf(index), dist
@@ -262,17 +293,17 @@ class CFTree:
             yield node
             node = node.next_leaf
 
-    def leaf_entries(self) -> list[CF]:
+    def leaf_entries(self) -> list[AnyCF]:
         """Every leaf entry (subcluster) as CF objects, in chain order."""
-        entries: list[CF] = []
+        entries: list[AnyCF] = []
         for leaf in self.leaves():
             entries.extend(leaf.iter_entry_cfs())
         return entries
 
-    def summary_cf(self) -> CF:
+    def summary_cf(self) -> AnyCF:
         """CF of the whole dataset held in the tree."""
         if self.root.size == 0:
-            return CF.empty(self.layout.dimensions)
+            return self._cf_class.empty(self.layout.dimensions)
         return self.root.summary_cf()
 
     def tree_stats(self) -> TreeStats:
@@ -303,7 +334,7 @@ class CFTree:
 
     # -- insertion machinery ---------------------------------------------------------
 
-    def _descend_to_leaf(self, cf: CF) -> tuple[CFNode, list[tuple[CFNode, int]]]:
+    def _descend_to_leaf(self, cf: AnyCF) -> tuple[CFNode, list[tuple[CFNode, int]]]:
         """Walk to the closest leaf; returns (leaf, [(node, child_idx), ...])."""
         path: list[tuple[CFNode, int]] = []
         node = self.root
@@ -314,31 +345,46 @@ class CFTree:
             node = node.children[index]
         return node, path
 
-    def _fits_threshold(self, leaf: CFNode, index: int, cf: CF) -> bool:
+    def _fits_threshold(self, leaf: CFNode, index: int, cf: AnyCF) -> bool:
         """Would merging ``cf`` into ``leaf`` entry ``index`` satisfy T?
 
-        The squared statistic is a cancellation against SS, so it
-        carries an absolute float error of order ``eps * SS / (N-1)``;
+        Classic backend: the squared statistic is a cancellation against
+        SS, so it carries an absolute float error of order ``eps * SS``;
         the comparison allows exactly that slack, which is what lets
         exact duplicates keep merging at T = 0 (their true merged
         diameter is zero but the computed one is a rounding residue).
+        Stable backend: the statistic keeps full relative precision, so
+        the slack shrinks to a relative term plus the tiny absolute
+        error inherited from rounding the means themselves
+        (``~(eps * ||mean||)^2`` per point).
         """
         ns = leaf.ns[index : index + 1]
-        ls = leaf.ls[index : index + 1]
-        ss = leaf.ss[index : index + 1]
-        if self.threshold_kind is ThresholdKind.DIAMETER:
-            value = merged_diameter(cf, ns, ls, ss)[0]
-        else:
-            value = merged_radius(cf, ns, ls, ss)[0]
-        merged_ss = float(ss[0]) + cf.ss
         eps = float(np.finfo(np.float64).eps)
-        # Error accumulates linearly over the N additions that built SS,
-        # so the squared-statistic uncertainty is O(eps * SS), not
-        # O(eps * SS / N).
-        slack_sq = 64.0 * eps * max(merged_ss, 1.0)
+        if self.cf_backend == "stable":
+            means = leaf.means[index : index + 1]
+            ssds = leaf.ssds[index : index + 1]
+            if self.threshold_kind is ThresholdKind.DIAMETER:
+                value = stable_merged_diameter(cf, ns, means, ssds)[0]
+            else:
+                value = stable_merged_radius(cf, ns, means, ssds)[0]
+            n_merged = float(ns[0]) + cf.n
+            mean_sq = float(means[0] @ means[0])
+            slack_sq = 64.0 * eps * (value * value + eps * n_merged * mean_sq)
+        else:
+            ls = leaf.ls[index : index + 1]
+            ss = leaf.ss[index : index + 1]
+            if self.threshold_kind is ThresholdKind.DIAMETER:
+                value = merged_diameter(cf, ns, ls, ss)[0]
+            else:
+                value = merged_radius(cf, ns, ls, ss)[0]
+            merged_ss = float(ss[0]) + cf.ss
+            # Error accumulates linearly over the N additions that built
+            # SS, so the squared-statistic uncertainty is O(eps * SS),
+            # not O(eps * SS / N).
+            slack_sq = 64.0 * eps * max(merged_ss, 1.0)
         return bool(value * value <= self.threshold**2 + slack_sq)
 
-    def _insert(self, node: CFNode, cf: CF) -> _SplitResult:
+    def _insert(self, node: CFNode, cf: AnyCF) -> _SplitResult:
         if node.is_leaf:
             return self._insert_into_leaf(node, cf)
 
@@ -361,7 +407,7 @@ class CFTree:
         sibling = self._split_node(node, new_child.summary_cf(), new_child)
         return _SplitResult(new_node=sibling)
 
-    def _insert_into_leaf(self, leaf: CFNode, cf: CF) -> _SplitResult:
+    def _insert_into_leaf(self, leaf: CFNode, cf: AnyCF) -> _SplitResult:
         if leaf.size > 0:
             index, _ = leaf.closest_entry(cf, self.metric)
             if self._fits_threshold(leaf, index, cf):
@@ -374,7 +420,7 @@ class CFTree:
         return _SplitResult(new_node=sibling)
 
     def _split_node(
-        self, node: CFNode, extra_cf: CF, extra_child: Optional[CFNode]
+        self, node: CFNode, extra_cf: AnyCF, extra_child: Optional[CFNode]
     ) -> CFNode:
         """Split ``node`` to make room for one more entry.
 
@@ -382,7 +428,7 @@ class CFTree:
         redistributed to the closer seed (Section 4.3).  Returns the new
         sibling node.
         """
-        entries: list[tuple[CF, Optional[CFNode]]] = []
+        entries: list[tuple[AnyCF, Optional[CFNode]]] = []
         for i in range(node.size):
             child = node.children[i] if node.children is not None else None
             entries.append((node.entry_cf(i), child))
@@ -406,7 +452,7 @@ class CFTree:
         return sibling
 
     @staticmethod
-    def _farthest_pair(cfs: list[CF]) -> tuple[int, int]:
+    def _farthest_pair(cfs: list[AnyCF]) -> tuple[int, int]:
         """Indices of the two entries farthest apart (D0 on centroids).
 
         The paper does not fix the seeding metric; centroid Euclidean
@@ -423,7 +469,7 @@ class CFTree:
 
     @staticmethod
     def _assign_to_seeds(
-        cfs: list[CF], seed_a: int, seed_b: int, capacity: int
+        cfs: list[AnyCF], seed_a: int, seed_b: int, capacity: int
     ) -> list[int]:
         """Assign each entry to the closer seed, respecting capacity.
 
@@ -515,7 +561,7 @@ class CFTree:
         """
         assert node.children is not None
         left, right = node.children[i], node.children[j]
-        entries: list[tuple[CF, Optional[CFNode]]] = []
+        entries: list[tuple[AnyCF, Optional[CFNode]]] = []
         for source in (left, right):
             for k in range(source.size):
                 child = source.children[k] if source.children is not None else None
@@ -546,7 +592,7 @@ class CFTree:
         leaf_depths: set[int] = set()
         leaves_via_tree: list[CFNode] = []
 
-        def visit(node: CFNode, depth: int) -> CF:
+        def visit(node: CFNode, depth: int) -> AnyCF:
             node.check_consistency()
             if node.is_leaf:
                 leaf_depths.add(depth)
@@ -585,11 +631,19 @@ class CFTree:
                 if self.threshold_kind is ThresholdKind.DIAMETER
                 else cf.radius
             )
-            # The squared statistic is computed by cancellation against
-            # SS whose rounding error accumulated over N additions, so
-            # its absolute float error scales with eps * SS (e.g. points
-            # at coordinate 1e8 make D^2 uncertain to ~1e0).
-            slack_sq = 64.0 * eps * max(cf.ss, 1.0)
+            if self.cf_backend == "stable":
+                # The stable statistic is exact up to relative rounding
+                # plus the mean-representation residue (mirrors the
+                # slack of _fits_threshold).
+                mean_sq = float(cf.mean @ cf.mean)
+                slack_sq = 64.0 * eps * (value * value + eps * cf.n * mean_sq)
+            else:
+                # The squared statistic is computed by cancellation
+                # against SS whose rounding error accumulated over N
+                # additions, so its absolute float error scales with
+                # eps * SS (e.g. points at coordinate 1e8 make D^2
+                # uncertain to ~1e0).
+                slack_sq = 64.0 * eps * max(cf.ss, 1.0)
             limit = math.sqrt(self.threshold**2 + slack_sq)
             if value > limit * (1 + 1e-9) + 1e-12:
                 raise AssertionError(
@@ -600,5 +654,6 @@ class CFTree:
     def __repr__(self) -> str:
         return (
             f"CFTree(T={self.threshold:.4g}, metric={self.metric.value}, "
-            f"nodes={self._node_count}, points={self._points})"
+            f"backend={self.cf_backend}, nodes={self._node_count}, "
+            f"points={self._points})"
         )
