@@ -1,0 +1,123 @@
+"""Crash-safety tax: what periodic checkpointing adds to Phase 1.
+
+BIRCH's selling point is a single scan over a very large database; the
+checkpoint/resume machinery (``checkpoint_every_points``) buys the
+ability to survive a crash during that scan.  This benchmark measures
+what the insurance costs: Phase 1 wall-clock with checkpointing off
+versus several checkpoint cadences, plus the size and write time of one
+snapshot.  The interesting number is the *amortised* overhead per point
+— a cadence that checkpoints every 10% of the stream should cost a few
+percent, not double the run.
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+from conftest import print_banner, repro_scale
+
+from repro.core.birch import Birch
+from repro.evaluation.report import format_table
+from repro.workloads.base import base_birch_config
+
+
+def _stream(scale: float) -> np.ndarray:
+    n = max(int(100_000 * scale), 500)
+    rng = np.random.default_rng(31)
+    centers = rng.uniform(0.0, 50.0, size=(25, 2))
+    per = max(n // 25, 1)
+    return np.concatenate(
+        [rng.normal(c, 0.6, size=(per, 2)) for c in centers]
+    )
+
+
+def _run(scale: float):
+    points = _stream(scale)
+    n = points.shape[0]
+    cadences = [None, n // 2, n // 10, n // 50]
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "phase1.ckpt")
+        for every in cadences:
+            config = base_birch_config(
+                n_clusters=25,
+                memory_bytes=32 * 1024,
+                total_points_hint=n,
+                phase4_passes=0,
+                checkpoint_every_points=every,
+                checkpoint_path=ckpt if every is not None else None,
+            )
+            estimator = Birch(config)
+            start = time.perf_counter()
+            estimator.partial_fit(points)
+            elapsed = time.perf_counter() - start
+            size = os.path.getsize(ckpt) if every is not None else 0
+            rows.append(
+                {
+                    "every": every or 0,
+                    "snapshots": (n // every if every else 0),
+                    "time": elapsed,
+                    "per_point_us": elapsed / n * 1e6,
+                    "ckpt_kb": size / 1024,
+                }
+            )
+
+        # One isolated snapshot: write time and resume time.
+        estimator = Birch(
+            base_birch_config(
+                n_clusters=25,
+                memory_bytes=32 * 1024,
+                total_points_hint=n,
+                phase4_passes=0,
+            )
+        )
+        estimator.partial_fit(points)
+        start = time.perf_counter()
+        estimator.checkpoint(ckpt)
+        write_s = time.perf_counter() - start
+        start = time.perf_counter()
+        Birch.resume(ckpt)
+        resume_s = time.perf_counter() - start
+    return {
+        "n": n,
+        "rows": rows,
+        "write_s": write_s,
+        "resume_s": resume_s,
+    }
+
+
+def test_checkpoint_overhead(benchmark):
+    scale = repro_scale()
+    out = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+
+    print_banner(
+        f"Checkpoint overhead — N={out['n']} Phase 1 stream (scale={scale})"
+    )
+    print(
+        format_table(
+            ["every N pts", "snapshots", "t (s)", "us/point", "ckpt KB"],
+            [
+                [
+                    r["every"],
+                    r["snapshots"],
+                    r["time"],
+                    r["per_point_us"],
+                    r["ckpt_kb"],
+                ]
+                for r in out["rows"]
+            ],
+            float_format="{:.2f}",
+        )
+    )
+    print(
+        f"single snapshot: write {out['write_s'] * 1e3:.1f} ms, "
+        f"resume {out['resume_s'] * 1e3:.1f} ms"
+    )
+
+    baseline = out["rows"][0]["time"]
+    sparse = out["rows"][1]["time"]  # 2 snapshots over the whole stream
+    # The insurance must stay affordable: two snapshots per stream may
+    # not triple Phase 1 (generous bound to keep CI quiet; the printed
+    # table carries the real numbers).
+    assert sparse < baseline * 3.0

@@ -24,17 +24,27 @@ from repro.core.config import BirchConfig
 from repro.core.distances import Metric
 from repro.core.features import CF
 from repro.core.tree import CFTree, ThresholdKind
+from repro.errors import (
+    ArchiveError,
+    ChecksumMismatchError,
+    NotFittedError,
+    ReproError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArchiveError",
     "Birch",
     "BirchConfig",
     "BirchResult",
     "CF",
     "CFTree",
+    "ChecksumMismatchError",
     "Metric",
+    "NotFittedError",
     "PhaseTimings",
+    "ReproError",
     "ThresholdKind",
     "__version__",
 ]

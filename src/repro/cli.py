@@ -7,7 +7,10 @@ Three commands cover the adopt-this-library workflow:
 * ``cluster``  — run the four-phase BIRCH pipeline on a CSV of points,
   print the cluster summary, and optionally save labels/result;
 * ``compare``  — run BIRCH and CLARANS side by side on a CSV and print
-  the Section 6.7-style comparison table.
+  the Section 6.7-style comparison table;
+* ``resume``   — pick up a stream from a crash-safety checkpoint
+  (``cluster --checkpoint``), optionally feed it more points, and
+  finish Phases 2-3.
 
 CSV convention: one point per row, numeric columns only; a trailing
 ``label`` column is written by ``generate`` and ignored by ``cluster``
@@ -84,6 +87,33 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--save-result", type=Path, default=None, help="write result .npz"
     )
+    cluster.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="crash-safety checkpoint file, updated during Phase 1",
+    )
+    cluster.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="points between automatic checkpoints (with --checkpoint)",
+    )
+
+    resume = sub.add_parser(
+        "resume", help="continue a stream from a crash-safety checkpoint"
+    )
+    resume.add_argument("checkpoint", type=Path, help="file written by --checkpoint")
+    resume.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        help="CSV of points not yet seen at the checkpoint (optional)",
+    )
+    resume.add_argument(
+        "--save-result", type=Path, default=None, help="write result .npz"
+    )
 
     compare = sub.add_parser("compare", help="BIRCH vs CLARANS on a CSV")
     compare.add_argument("input", type=Path)
@@ -149,6 +179,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         metric=args.metric,
         phase4_passes=args.passes,
         total_points_hint=points.shape[0],
+        checkpoint_path=(
+            str(args.checkpoint) if args.checkpoint is not None else None
+        ),
+        checkpoint_every_points=(
+            args.checkpoint_every if args.checkpoint is not None else None
+        ),
     )
     estimator = Birch(config)
     with Timer() as timer:
@@ -186,6 +222,36 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
         np.savetxt(args.save_labels, labels, fmt="%d")
         print(f"labels written to {args.save_labels}")
+    if args.save_result is not None:
+        save_result(args.save_result, result)
+        print(f"result archive written to {args.save_result}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    estimator = Birch.resume(args.checkpoint)
+    print(
+        f"resumed from {args.checkpoint}: {estimator.points_seen} points "
+        f"seen, {estimator.rebuilds} rebuilds, "
+        f"T={estimator.tree.threshold:.4g}"
+    )
+    if args.input is not None:
+        points, _ = _load_points(args.input, truth_column=False)
+        estimator.partial_fit(points)
+        print(f"fed {points.shape[0]} more points from {args.input}")
+    with Timer() as timer:
+        result = estimator.finalize()
+    live = [cf for cf in result.clusters if cf.n > 0]
+    print(
+        f"finished in {timer.elapsed:.2f}s: {len(live)} clusters, "
+        f"weighted average diameter D = "
+        f"{weighted_average_diameter(live):.4f}"
+    )
+    if result.outlier_disk_degraded:
+        print(
+            "warning: outlier disk degraded during the run "
+            f"({result.dropped_outlier_points} points dropped)"
+        )
     if args.save_result is not None:
         save_result(args.save_result, result)
         print(f"result archive written to {args.save_result}")
@@ -315,6 +381,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "experiment":

@@ -1,6 +1,7 @@
 """Core BIRCH implementation: CF algebra, CF-tree, and the phase drivers."""
 
 from repro.core.birch import Birch, BirchResult
+from repro.core.checkpoint import load_checkpoint, write_checkpoint
 from repro.core.diagnostics import TreeDiagnostics, diagnose, render_outline
 from repro.core.config import BirchConfig
 from repro.core.distances import Metric
@@ -21,4 +22,6 @@ __all__ = [
     "TreeDiagnostics",
     "diagnose",
     "render_outline",
+    "load_checkpoint",
+    "write_checkpoint",
 ]

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -36,7 +37,9 @@ from repro.core.rebuild import rebuild_tree
 from repro.core.refinement import RefinementResult, refine
 from repro.core.threshold import ThresholdPolicy
 from repro.core.tree import CFTree
+from repro.errors import NotFittedError, PhaseError
 from repro.pagestore.disk import DiskStore
+from repro.pagestore.faults import FaultInjector, FaultyDiskStore
 from repro.pagestore.iostats import IOStats
 from repro.pagestore.memory import MemoryBudget
 from repro.pagestore.page import PageLayout
@@ -44,6 +47,9 @@ from repro.pagestore.page import PageLayout
 __all__ = ["Birch", "BirchResult", "PhaseTimings"]
 
 _MAX_CONDENSE_ROUNDS = 64
+
+_NO_DATA_MESSAGE = "no data inserted yet; call fit or partial_fit first"
+_NOT_FITTED_MESSAGE = "not fitted yet; call fit or finalize first"
 
 
 @dataclass
@@ -92,6 +98,12 @@ class BirchResult:
         took to get there.
     refinement:
         The raw Phase 4 result (``None`` when Phase 4 is off).
+    dropped_outlier_entries, dropped_outlier_points:
+        Data discarded because the outlier disk faulted permanently
+        under the ``"drop"`` degradation policy (0 on healthy runs).
+    outlier_disk_degraded:
+        True when a permanent fault took the outlier disk out of
+        service during Phase 1 (regardless of policy).
     """
 
     centroids: np.ndarray
@@ -106,6 +118,9 @@ class BirchResult:
     final_threshold: float
     rebuilds: int
     refinement: Optional[RefinementResult] = field(default=None, repr=False)
+    dropped_outlier_entries: int = 0
+    dropped_outlier_points: int = 0
+    outlier_disk_degraded: bool = False
 
     @property
     def n_clusters(self) -> int:
@@ -136,9 +151,17 @@ class Birch:
     2
     """
 
-    def __init__(self, config: BirchConfig) -> None:
+    def __init__(
+        self,
+        config: BirchConfig,
+        *,
+        outlier_injector: Optional[FaultInjector] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.config = config
         self.stats = IOStats()
+        self._outlier_injector = outlier_injector
+        self._sleep = sleep
         self._dimensions: Optional[int] = None
         self._tree: Optional[CFTree] = None
         self._budget: Optional[MemoryBudget] = None
@@ -148,6 +171,7 @@ class Birch:
         self._delay_mode = False
         self._result: Optional[BirchResult] = None
         self._rebuild_history: list[tuple[int, float]] = []
+        self._next_checkpoint_at = config.checkpoint_every_points or 0
 
     # -- introspection -------------------------------------------------------
 
@@ -155,7 +179,7 @@ class Birch:
     def tree(self) -> CFTree:
         """The live CF-tree (raises before any data has been seen)."""
         if self._tree is None:
-            raise RuntimeError("no data inserted yet; call fit or partial_fit")
+            raise NotFittedError(_NO_DATA_MESSAGE)
         return self._tree
 
     @property
@@ -167,7 +191,7 @@ class Birch:
     def result(self) -> BirchResult:
         """The last ``fit``/``finalize`` result."""
         if self._result is None:
-            raise RuntimeError("not fitted yet; call fit or finalize")
+            raise NotFittedError(_NOT_FITTED_MESSAGE)
         return self._result
 
     @property
@@ -240,9 +264,11 @@ class Birch:
             # fits and spill the rest instead of rebuilding per point.
             if self._tree.try_absorb_cf(cf):
                 self._points_seen += cf.n
+                self._maybe_checkpoint()
                 return
             if self._outlier_handler.spill(cf):
                 self._points_seen += cf.n
+                self._maybe_checkpoint()
                 return
             # Disk is full too: fall through to a proper rebuild.
             self._rebuild()
@@ -254,6 +280,16 @@ class Birch:
                 self._delay_mode = True
             else:
                 self._rebuild()
+        self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        """Periodic crash-safety checkpoint (``checkpoint_every_points``)."""
+        every = self.config.checkpoint_every_points
+        if every is None or self._points_seen < self._next_checkpoint_at:
+            return
+        assert self.config.checkpoint_path is not None
+        self.checkpoint(self.config.checkpoint_path)
+        self._next_checkpoint_at = (self._points_seen // every + 1) * every
 
     def _rebuild(self) -> None:
         assert self._tree is not None and self._policy is not None
@@ -291,14 +327,29 @@ class Birch:
             cf_backend=self.config.cf_backend,
         )
         if self.config.outlier_handling:
-            disk: DiskStore[CF] = DiskStore(
-                capacity_bytes=self.config.effective_disk_bytes,
-                record_bytes=layout.outlier_record_bytes(),
-                page_size=self.config.page_size,
-                stats=self.stats,
-            )
+            disk: DiskStore[CF]
+            if self._outlier_injector is not None:
+                disk = FaultyDiskStore(
+                    capacity_bytes=self.config.effective_disk_bytes,
+                    record_bytes=layout.outlier_record_bytes(),
+                    page_size=self.config.page_size,
+                    stats=self.stats,
+                    injector=self._outlier_injector,
+                )
+            else:
+                disk = DiskStore(
+                    capacity_bytes=self.config.effective_disk_bytes,
+                    record_bytes=layout.outlier_record_bytes(),
+                    page_size=self.config.page_size,
+                    stats=self.stats,
+                )
             self._outlier_handler = OutlierHandler(
-                disk, fraction=self.config.outlier_fraction
+                disk,
+                fraction=self.config.outlier_fraction,
+                fault_policy=self.config.outlier_fault_policy,
+                retry_attempts=self.config.io_retry_attempts,
+                retry_base_delay=self.config.io_retry_base_delay,
+                sleep=self._sleep,
             )
 
     def _validate(self, points: np.ndarray) -> np.ndarray:
@@ -313,6 +364,67 @@ class Birch:
                 f"batch has d={points.shape[1]}"
             )
         return points
+
+    # -- crash safety --------------------------------------------------------------
+
+    def checkpoint(
+        self,
+        path: str | Path,
+        *,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        """Atomically snapshot the full Phase 1 state to ``path``.
+
+        The checkpoint captures the exact CF-tree (structure and leaf
+        chain included), current threshold, rebuild history, threshold
+        policy state, outlier disk contents, I/O ledger and the config
+        itself, sealed with a sha256 checksum and written via
+        write-to-temp + fsync + rename.  A stream killed after this
+        call resumes bit-for-bit with :meth:`resume`.
+
+        Raises
+        ------
+        NotFittedError
+            Before any data has been inserted (there is nothing to
+            snapshot yet).
+        """
+        if self._tree is None:
+            raise NotFittedError(_NO_DATA_MESSAGE)
+        from repro.core.checkpoint import write_checkpoint
+
+        write_checkpoint(path, self, injector=injector, sleep=self._sleep)
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        *,
+        outlier_injector: Optional[FaultInjector] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "Birch":
+        """Restore an estimator from a :meth:`checkpoint` file.
+
+        The returned estimator continues the interrupted stream exactly:
+        feeding it the points that followed the checkpoint and calling
+        :meth:`finalize` (or more ``partial_fit`` + ``fit`` phases)
+        yields results identical to a run that was never interrupted.
+
+        Parameters
+        ----------
+        path:
+            Checkpoint file.
+        outlier_injector:
+            Optional fault injector installed on the restored outlier
+            disk (for fault-tolerance tests: the resumed process may
+            face the same faulty device).
+        sleep:
+            Backoff sleep injection point for tests.
+        """
+        from repro.core.checkpoint import load_checkpoint
+
+        return load_checkpoint(
+            path, outlier_injector=outlier_injector, sleep=sleep
+        )
 
     # -- the full pipeline ---------------------------------------------------------
 
@@ -378,6 +490,7 @@ class Birch:
             final_threshold=self._tree.threshold,
             rebuilds=self.stats.tree_rebuilds,
             refinement=refinement,
+            **self._fault_accounting(),
         )
         return self._result
 
@@ -389,7 +502,7 @@ class Birch:
         data, so it is skipped here.
         """
         if self._tree is None:
-            raise RuntimeError("no data inserted yet; call partial_fit first")
+            raise NotFittedError(_NO_DATA_MESSAGE)
         timings = PhaseTimings()
 
         start = time.perf_counter()
@@ -421,6 +534,7 @@ class Birch:
             },
             final_threshold=self._tree.threshold,
             rebuilds=self.stats.tree_rebuilds,
+            **self._fault_accounting(),
         )
         return self._result
 
@@ -436,11 +550,11 @@ class Birch:
 
         Raises
         ------
-        RuntimeError
+        NotFittedError
             If called before ``fit``/``finalize``.
         """
         if self._result is None:
-            raise RuntimeError("not fitted yet; call fit or finalize first")
+            raise NotFittedError(_NOT_FITTED_MESSAGE)
         points = np.asarray(points, dtype=np.float64)
         start = time.perf_counter()
         refinement = refine(
@@ -473,13 +587,16 @@ class Birch:
             final_threshold=old.final_threshold,
             rebuilds=old.rebuilds,
             refinement=refinement,
+            dropped_outlier_entries=old.dropped_outlier_entries,
+            dropped_outlier_points=old.dropped_outlier_points,
+            outlier_disk_degraded=old.outlier_disk_degraded,
         )
         return self._result
 
     def predict(self, points: np.ndarray) -> np.ndarray:
         """Assign each point to the nearest fitted centroid."""
         if self._result is None:
-            raise RuntimeError("not fitted yet; call fit or finalize")
+            raise NotFittedError(_NOT_FITTED_MESSAGE)
         points = np.asarray(points, dtype=np.float64)
         centroids = self._result.centroids
         labels = np.empty(points.shape[0], dtype=np.int64)
@@ -491,6 +608,17 @@ class Birch:
         return labels
 
     # -- phase helpers ------------------------------------------------------------
+
+    def _fault_accounting(self) -> dict[str, object]:
+        """Outlier-disk degradation fields for :class:`BirchResult`."""
+        handler = self._outlier_handler
+        if handler is None:
+            return {}
+        return {
+            "dropped_outlier_entries": handler.stats.dropped_entries,
+            "dropped_outlier_points": handler.stats.dropped_points,
+            "outlier_disk_degraded": handler.degraded,
+        }
 
     def _finish_phase1(self) -> list[CF]:
         """End-of-scan outlier resolution; returns the true outliers."""
@@ -510,7 +638,7 @@ class Birch:
         while self._tree.tree_stats().leaf_entry_count > limit:
             rounds += 1
             if rounds > _MAX_CONDENSE_ROUNDS:
-                raise RuntimeError(
+                raise PhaseError(
                     f"Phase 2 failed to condense below {limit} entries after "
                     f"{_MAX_CONDENSE_ROUNDS} rebuilds"
                 )
@@ -524,7 +652,7 @@ class Birch:
         assert self._tree is not None
         entries = self._tree.leaf_entries()
         if not entries:
-            raise RuntimeError("tree holds no subclusters; was any data inserted?")
+            raise NotFittedError(_NO_DATA_MESSAGE)
         if self.config.phase3_algorithm == "kmeans":
             return CFKMeans(
                 n_clusters=self.config.n_clusters, seed=self.config.random_seed
@@ -550,3 +678,4 @@ class Birch:
         self._delay_mode = False
         self._result = None
         self._rebuild_history = []
+        self._next_checkpoint_at = self.config.checkpoint_every_points or 0

@@ -91,6 +91,30 @@ class BirchConfig:
         the origin); ``"classic"`` carries the paper's literal
         ``(N, LS, SS)`` triple, preserving the seed implementation
         bit-for-bit for A/B comparison.
+    checkpoint_every_points:
+        Automatic crash-safety checkpoints: snapshot the full Phase 1
+        state to ``checkpoint_path`` every time this many more points
+        have been inserted (``None`` disables; requires
+        ``checkpoint_path``).  A killed stream resumes bit-for-bit via
+        :meth:`repro.core.birch.Birch.resume`.
+    checkpoint_path:
+        Destination file for automatic checkpoints; each snapshot
+        atomically replaces the previous one (write-to-temp + fsync +
+        rename), so a crash mid-checkpoint leaves the last good one.
+    outlier_fault_policy:
+        What to do when the outlier disk faults permanently (or a
+        transient fault survives every retry): ``"raise"`` propagates
+        the error; ``"reabsorb"`` forces affected entries back into the
+        CF-tree (trading memory pressure for completeness — the
+        degraded analogue of Section 5.1.4's out-of-disk re-absorption);
+        ``"drop"`` discards them with per-entry/per-point accounting
+        reported in :class:`~repro.core.birch.BirchResult`.
+    io_retry_attempts:
+        Total tries (including the first) for I/O hit by *transient*
+        faults — outlier-disk traffic and checkpoint writes — before
+        escalating to the fault policy.
+    io_retry_base_delay:
+        Backoff before the first retry, in seconds; doubles per retry.
     """
 
     n_clusters: int
@@ -116,6 +140,11 @@ class BirchConfig:
     merging_refinement: bool = True
     threshold_mode: str = "full"
     cf_backend: str = "stable"
+    checkpoint_every_points: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+    outlier_fault_policy: str = "raise"
+    io_retry_attempts: int = 4
+    io_retry_base_delay: float = 0.01
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -161,6 +190,30 @@ class BirchConfig:
             raise ValueError(
                 f"cf_backend must be 'classic' or 'stable', got "
                 f"{self.cf_backend!r}"
+            )
+        if self.checkpoint_every_points is not None:
+            if self.checkpoint_every_points < 1:
+                raise ValueError(
+                    f"checkpoint_every_points must be >= 1, got "
+                    f"{self.checkpoint_every_points}"
+                )
+            if self.checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_every_points requires checkpoint_path"
+                )
+        if self.outlier_fault_policy not in ("raise", "reabsorb", "drop"):
+            raise ValueError(
+                "outlier_fault_policy must be 'raise', 'reabsorb' or "
+                f"'drop', got {self.outlier_fault_policy!r}"
+            )
+        if self.io_retry_attempts < 1:
+            raise ValueError(
+                f"io_retry_attempts must be >= 1, got {self.io_retry_attempts}"
+            )
+        if self.io_retry_base_delay < 0:
+            raise ValueError(
+                f"io_retry_base_delay must be >= 0, "
+                f"got {self.io_retry_base_delay}"
             )
         self.metric = Metric.from_name(self.metric)
 

@@ -34,8 +34,10 @@ Two on-disk layouts exist, one per CF backend:
 from __future__ import annotations
 
 import json
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -43,6 +45,7 @@ from repro.core.birch import BirchResult
 from repro.core.distances import Metric
 from repro.core.features import AnyCF, CF, StableCF
 from repro.core.tree import CFTree, ThresholdKind
+from repro.errors import ArchiveError
 from repro.pagestore.page import PageLayout
 
 __all__ = [
@@ -57,6 +60,40 @@ __all__ = [
 _FORMAT_VERSION = 1
 _STABLE_FORMAT_VERSION = 2
 _KNOWN_VERSIONS = (_FORMAT_VERSION, _STABLE_FORMAT_VERSION)
+
+
+@contextmanager
+def _open_archive(path: Path) -> Iterator[np.lib.npyio.NpzFile]:
+    """``np.load`` with loud failures.
+
+    Every way an archive can disappoint — missing file, truncated zip,
+    foreign file format, absent keys, undecodable header — surfaces as
+    an :class:`~repro.errors.ArchiveError` naming the path and reason,
+    instead of whatever ``KeyError``/``BadZipFile`` numpy happens to
+    leak for that particular corruption.
+    """
+    try:
+        data = np.load(path)
+    except FileNotFoundError as exc:
+        raise ArchiveError(f"cannot read archive {path}: file not found") from exc
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ArchiveError(
+            f"cannot read archive {path}: not a valid .npz archive ({exc})"
+        ) from exc
+    with data:
+        try:
+            yield data
+        except ArchiveError:
+            raise
+        except KeyError as exc:
+            raise ArchiveError(
+                f"archive {path} has no {exc} array; it is not a repro "
+                f"archive of this kind, or was truncated"
+            ) from exc
+        except (ValueError, OSError, zipfile.BadZipFile, UnicodeDecodeError) as exc:
+            raise ArchiveError(
+                f"archive {path} is truncated or corrupt: {exc}"
+            ) from exc
 
 
 def _cfs_to_arrays(cfs: list[AnyCF]) -> tuple[dict[str, np.ndarray], int]:
@@ -106,8 +143,12 @@ def save_cfs(path: str | Path, cfs: list[AnyCF]) -> None:
 
 
 def load_cfs(path: str | Path) -> list[AnyCF]:
-    """Read CF entries written by :func:`save_cfs` (either version)."""
-    with np.load(Path(path)) as data:
+    """Read CF entries written by :func:`save_cfs` (either version).
+
+    Raises :class:`~repro.errors.ArchiveError` (a ``ValueError``) when
+    the file is missing, truncated, corrupt or not a CF archive.
+    """
+    with _open_archive(Path(path)) as data:
         _check_version(int(data["version"]))
         return _arrays_to_cfs(data)
 
@@ -139,8 +180,12 @@ def save_tree(path: str | Path, tree: CFTree) -> None:
 
 
 def load_tree(path: str | Path) -> CFTree:
-    """Rebuild a CF-tree from a :func:`save_tree` archive."""
-    with np.load(Path(path)) as data:
+    """Rebuild a CF-tree from a :func:`save_tree` archive.
+
+    Raises :class:`~repro.errors.ArchiveError` (a ``ValueError``) when
+    the file is missing, truncated, corrupt or not a tree archive.
+    """
+    with _open_archive(Path(path)) as data:
         _check_version(int(data["version"]))
         header = json.loads(bytes(data["header"]).decode())
         entries = _arrays_to_cfs(data)
@@ -193,8 +238,11 @@ def load_result_arrays(
     pieces a downstream consumer (labelling, reporting) actually needs;
     the full BirchResult also carries live objects that are not
     meaningful to rehydrate.
+
+    Raises :class:`~repro.errors.ArchiveError` (a ``ValueError``) when
+    the file is missing, truncated, corrupt or not a result archive.
     """
-    with np.load(Path(path)) as data:
+    with _open_archive(Path(path)) as data:
         _check_version(int(data["version"]))
         header = json.loads(bytes(data["header"]).decode())
         clusters = _arrays_to_cfs(data)
@@ -205,7 +253,7 @@ def load_result_arrays(
 
 def _check_version(version: int) -> None:
     if version not in _KNOWN_VERSIONS:
-        raise ValueError(
+        raise ArchiveError(
             f"unsupported archive version {version}; this build reads "
             f"versions {sorted(_KNOWN_VERSIONS)}"
         )

@@ -226,6 +226,27 @@ class ThresholdPolicy:
             return float(np.median(positive))
         return 1e-6
 
+    # -- checkpoint support ---------------------------------------------------
+
+    def state_dict(self) -> list[list[float]]:
+        """The rebuild history as plain floats, for checkpointing.
+
+        The regression estimate depends on every recorded observation,
+        so resuming a stream with the history intact is required for
+        the resumed run's thresholds to match the uninterrupted run's.
+        """
+        return [
+            [float(rec.points_seen), float(rec.threshold), float(rec.avg_entry_radius)]
+            for rec in self._history
+        ]
+
+    def load_state(self, history: list[list[float]]) -> None:
+        """Restore a history saved by :meth:`state_dict`."""
+        self._history = [
+            _RebuildRecord(int(points), float(threshold), float(radius))
+            for points, threshold, radius in history
+        ]
+
     def reset(self) -> None:
         """Forget all rebuild history."""
         self._history.clear()

@@ -580,6 +580,161 @@ class CFTree:
         if self.stats is not None:
             self.stats.record_merge()
 
+    # -- structural snapshot (checkpoint/resume) ---------------------------------------
+
+    def export_structure(self) -> dict[str, np.ndarray]:
+        """Flatten the exact tree structure into named arrays.
+
+        Unlike :func:`repro.core.serialization.save_tree` — which keeps
+        only the leaf entries and re-inserts them on load — this captures
+        the tree *bit-for-bit*: node topology in preorder, every entry's
+        raw ``(n, vector, scalar)`` floats, and the leaf-chain order
+        (which split/merge history determines and re-insertion would
+        not reproduce).  Restoring via :meth:`from_structure` therefore
+        continues an interrupted Phase 1 exactly where it left off.
+
+        Returns arrays: ``node_is_leaf`` (uint8, preorder),
+        ``node_sizes`` (int64, preorder), ``entry_ns``/``entry_vec``/
+        ``entry_sq`` (entries concatenated in preorder) and
+        ``leaf_chain`` (preorder indices of leaves in chain order).
+        """
+        nodes: list[CFNode] = []
+        index: dict[int, int] = {}
+
+        def visit(node: CFNode) -> None:
+            index[id(node)] = len(nodes)
+            nodes.append(node)
+            if node.children is not None:
+                for child in node.children:
+                    visit(child)
+
+        visit(self.root)
+        sizes = np.array([n.size for n in nodes], dtype=np.int64)
+        d = self.layout.dimensions
+        entry_ns = np.concatenate([n._ns[: n.size] for n in nodes])
+        entry_vec = np.concatenate([n._vec[: n.size] for n in nodes])
+        entry_sq = np.concatenate([n._sq[: n.size] for n in nodes])
+        chain = np.array(
+            [index[id(leaf)] for leaf in self.leaves()], dtype=np.int64
+        )
+        return {
+            "node_is_leaf": np.array(
+                [n.is_leaf for n in nodes], dtype=np.uint8
+            ),
+            "node_sizes": sizes,
+            "entry_ns": entry_ns.astype(np.float64),
+            "entry_vec": entry_vec.reshape(-1, d).astype(np.float64),
+            "entry_sq": entry_sq.astype(np.float64),
+            "leaf_chain": chain,
+        }
+
+    @classmethod
+    def from_structure(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        layout: PageLayout,
+        threshold: float,
+        metric: Metric,
+        threshold_kind: ThresholdKind,
+        points: int,
+        budget: Optional[MemoryBudget] = None,
+        stats: Optional[IOStats] = None,
+        merging_refinement: bool = True,
+        cf_backend: str = "classic",
+    ) -> "CFTree":
+        """Rebuild the exact tree captured by :meth:`export_structure`.
+
+        Raises
+        ------
+        ValueError
+            If the arrays are internally inconsistent (truncated or
+            produced under a different page layout).
+        """
+        is_leaf = np.asarray(arrays["node_is_leaf"], dtype=bool)
+        sizes = np.asarray(arrays["node_sizes"], dtype=np.int64)
+        entry_ns = np.asarray(arrays["entry_ns"], dtype=np.float64)
+        entry_vec = np.asarray(arrays["entry_vec"], dtype=np.float64)
+        entry_sq = np.asarray(arrays["entry_sq"], dtype=np.float64)
+        chain = np.asarray(arrays["leaf_chain"], dtype=np.int64)
+
+        n_nodes = is_leaf.shape[0]
+        total_entries = int(sizes.sum())
+        if sizes.shape[0] != n_nodes or n_nodes == 0:
+            raise ValueError("structure arrays disagree on node count")
+        if not is_leaf[0] and n_nodes == 1:
+            raise ValueError("root is nonleaf but no other nodes exist")
+        if (
+            entry_ns.shape[0] != total_entries
+            or entry_sq.shape[0] != total_entries
+            or entry_vec.shape != (total_entries, layout.dimensions)
+        ):
+            raise ValueError(
+                f"entry arrays hold {entry_ns.shape[0]} rows but node sizes "
+                f"sum to {total_entries}"
+            )
+        if sorted(int(i) for i in chain) != [
+            int(i) for i in np.flatnonzero(is_leaf)
+        ]:
+            raise ValueError("leaf chain does not enumerate the leaf nodes")
+
+        tree = cls(
+            layout=layout,
+            threshold=threshold,
+            metric=metric,
+            threshold_kind=threshold_kind,
+            budget=budget,
+            stats=stats,
+            merging_refinement=merging_refinement,
+            cf_backend=cf_backend,
+        )
+        tree._free_node(tree.root)  # discard the fresh empty root
+        nodes = [tree._new_node(bool(flag)) for flag in is_leaf]
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        for i, node in enumerate(nodes):
+            size = int(sizes[i])
+            if size > node.capacity:
+                raise ValueError(
+                    f"node {i} holds {size} entries but the layout allows "
+                    f"{node.capacity}"
+                )
+            lo = int(offsets[i])
+            node._ns[:size] = entry_ns[lo : lo + size]
+            node._vec[:size] = entry_vec[lo : lo + size]
+            node._sq[:size] = entry_sq[lo : lo + size]
+            node.size = size
+
+        cursor = 1
+
+        def attach(index: int) -> None:
+            nonlocal cursor
+            node = nodes[index]
+            if node.is_leaf:
+                return
+            assert node.children is not None
+            for _ in range(node.size):
+                if cursor >= n_nodes:
+                    raise ValueError("structure arrays truncated mid-topology")
+                child = cursor
+                cursor += 1
+                node.children.append(nodes[child])
+                attach(child)
+
+        attach(0)
+        if cursor != n_nodes:
+            raise ValueError(
+                f"topology uses {cursor} of {n_nodes} stored nodes"
+            )
+
+        chain_nodes = [nodes[int(i)] for i in chain]
+        for left, right in zip(chain_nodes, chain_nodes[1:]):
+            left.next_leaf = right
+            right.prev_leaf = left
+        tree.root = nodes[0]
+        tree._leaf_head = chain_nodes[0]
+        tree._points = int(points)
+        return tree
+
     # -- invariants -------------------------------------------------------------------
 
     def check_invariants(self) -> None:

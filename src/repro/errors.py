@@ -1,0 +1,104 @@
+"""Typed exception hierarchy for the BIRCH reproduction.
+
+Everything the library raises deliberately derives from
+:class:`ReproError`, so callers can catch one base class at a process
+boundary (a streaming ingest loop, the CLI) and decide between retry,
+degrade and crash without string-matching messages.  The leaves keep
+their historical built-in bases (``RuntimeError``/``ValueError``/
+``OSError``) so existing ``except RuntimeError`` call sites and tests
+keep working.
+
+The hierarchy::
+
+    ReproError
+    ├── NotFittedError          (also RuntimeError)
+    ├── PhaseError              (also RuntimeError)
+    ├── ArchiveError            (also ValueError)
+    │   └── ChecksumMismatchError
+    ├── IOFaultError            (also OSError)
+    │   ├── TransientIOError
+    │   └── PermanentIOError
+    ├── DiskFullError           (also RuntimeError)
+    └── MemoryExhaustedError    (also RuntimeError)
+
+``TransientIOError`` models faults worth retrying (EINTR-style blips,
+momentary unavailability); ``PermanentIOError`` models a device that is
+gone for good.  The self-healing I/O layer retries the former with
+bounded backoff and applies a degradation policy to the latter (see
+:mod:`repro.pagestore.faults` and :class:`repro.core.outliers.OutlierHandler`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ArchiveError",
+    "ChecksumMismatchError",
+    "DiskFullError",
+    "IOFaultError",
+    "MemoryExhaustedError",
+    "NotFittedError",
+    "PermanentIOError",
+    "PhaseError",
+    "ReproError",
+    "TransientIOError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error the library raises deliberately."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An operation needed fitted state but no data has been seen.
+
+    Raised uniformly by every :class:`~repro.core.birch.Birch` entry
+    point that requires a prior ``fit``/``partial_fit``/``finalize``.
+    """
+
+
+class PhaseError(ReproError, RuntimeError):
+    """A pipeline phase could not complete (e.g. Phase 2 cannot condense)."""
+
+
+class ArchiveError(ReproError, ValueError):
+    """An on-disk archive (``.npz`` or checkpoint) cannot be read.
+
+    Carries the offending path and the underlying reason in its message;
+    truncated files, foreign formats and unsupported versions all land
+    here rather than leaking ``KeyError``/``zipfile.BadZipFile`` from
+    NumPy internals.
+    """
+
+
+class ChecksumMismatchError(ArchiveError):
+    """Archive content does not match its recorded checksum.
+
+    A flipped bit anywhere in a checkpoint's protected region raises
+    this instead of silently deserialising corrupt state.
+    """
+
+
+class IOFaultError(ReproError, OSError):
+    """Base class for (injected or real) storage faults."""
+
+
+class TransientIOError(IOFaultError):
+    """A fault that may succeed if retried (the self-healing target)."""
+
+
+class PermanentIOError(IOFaultError):
+    """A fault that will not go away; triggers degradation policies."""
+
+
+class DiskFullError(ReproError, RuntimeError):
+    """A write would exceed the outlier disk capacity ``R``.
+
+    Callers treat this as the paper's "out of disk space" trigger and
+    run a re-absorption cycle (Section 5.1.4); it is *not* a fault in
+    the :class:`IOFaultError` sense because it is part of the normal
+    BIRCH control flow.
+    """
+
+
+class MemoryExhaustedError(ReproError, RuntimeError):
+    """A hard page allocation exceeded the memory budget plus allowance."""

@@ -20,18 +20,25 @@ Public classes
     accounting, used by the outlier-handling option.
 ``IOStats``
     Counters for page reads/writes and full data scans.
+``FaultInjector`` / ``FaultyDiskStore``
+    Deterministic, seeded I/O fault injection for crash-safety tests,
+    plus the ``retry_io`` self-healing retry loop.
 """
 
 from repro.pagestore.iostats import IOStats
 from repro.pagestore.memory import MemoryBudget, MemoryExhaustedError
 from repro.pagestore.page import PageLayout
 from repro.pagestore.disk import DiskFullError, DiskStore
+from repro.pagestore.faults import FaultInjector, FaultyDiskStore, retry_io
 
 __all__ = [
     "DiskFullError",
     "DiskStore",
+    "FaultInjector",
+    "FaultyDiskStore",
     "IOStats",
     "MemoryBudget",
     "MemoryExhaustedError",
     "PageLayout",
+    "retry_io",
 ]

@@ -17,13 +17,12 @@ from __future__ import annotations
 
 from typing import Generic, Iterator, TypeVar
 
+from repro.errors import DiskFullError
 from repro.pagestore.iostats import IOStats
 
 T = TypeVar("T")
 
-
-class DiskFullError(RuntimeError):
-    """Raised when a write would exceed the disk capacity ``R``."""
+__all__ = ["DiskFullError", "DiskStore"]
 
 
 class DiskStore(Generic[T]):
@@ -127,12 +126,37 @@ class DiskStore(Generic[T]):
         return records
 
     def peek(self) -> Iterator[T]:
-        """Iterate records without I/O charges (bookkeeping only)."""
-        return iter(self._records)
+        """Iterate records without I/O charges (bookkeeping only).
+
+        The iterator runs over a snapshot of the record list, so a
+        re-absorption cycle that drains and rewrites the store while a
+        caller is mid-iteration cannot silently skip records.
+        """
+        return iter(tuple(self._records))
 
     def clear(self) -> None:
         """Discard all records without charging reads."""
         self._records = []
+
+    def adopt(self, records: list[T]) -> None:
+        """Replace the contents wholesale without I/O charges.
+
+        Used by checkpoint restore, which re-creates the exact on-disk
+        state of a previous process; the I/O that originally paid for
+        these records is restored separately via the IOStats ledger.
+
+        Raises
+        ------
+        DiskFullError
+            If the records do not fit the configured capacity (a
+            checkpoint from an incompatible configuration).
+        """
+        if len(records) * self.record_bytes > self.capacity_bytes:
+            raise DiskFullError(
+                f"cannot adopt {len(records)} records into a "
+                f"{self.capacity_bytes}-byte disk"
+            )
+        self._records = list(records)
 
     def _pages(self, n_records: int) -> int:
         nbytes = n_records * self.record_bytes

@@ -1,0 +1,258 @@
+"""Deterministic I/O fault injection and the self-healing retry loop.
+
+A production BIRCH ingest runs for hours against real storage; to test
+crash-safety without real crashes, this module injects faults into the
+two I/O surfaces the pipeline touches — the simulated outlier disk and
+the real-file checkpoint writer — on *deterministic, seeded schedules*
+so every failure a test observes can be replayed bit-for-bit.
+
+Three schedule primitives compose into a :class:`FaultInjector`:
+
+* **fail-every-k** — the k-th, 2k-th, ... matching operation faults;
+* **fail-probability** — each matching operation faults with probability
+  ``p`` drawn from a private ``random.Random(seed)`` stream;
+* **fail-once-at-byte-offset** — the first write whose byte range covers
+  the given file offset faults (then the trigger disarms), modelling a
+  mid-file torn write.
+
+Faults come in two kinds: ``"transient"`` raises
+:class:`~repro.errors.TransientIOError` (the retry loop's target) and
+``"permanent"`` raises :class:`~repro.errors.PermanentIOError` (the
+degradation policies' target).
+
+:func:`retry_io` is the self-healing half: bounded retry with
+exponential backoff for transient faults, used by the outlier handler
+and the checkpoint writer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterable, Optional, TypeVar
+
+from repro.errors import PermanentIOError, TransientIOError
+from repro.pagestore.disk import DiskStore
+from repro.pagestore.iostats import IOStats
+
+__all__ = ["FaultInjector", "FaultyDiskStore", "retry_io"]
+
+R = TypeVar("R")
+
+_KINDS = ("transient", "permanent")
+
+
+class FaultInjector:
+    """Seeded, deterministic source of injected I/O faults.
+
+    Parameters
+    ----------
+    kind:
+        ``"transient"`` (raises :class:`TransientIOError`) or
+        ``"permanent"`` (raises :class:`PermanentIOError`).
+    ops:
+        Operation names the injector listens to (``"write"``, ``"read"``);
+        non-matching operations pass through untouched and do not advance
+        any schedule.
+    fail_every:
+        Fault every k-th matching operation (the k-th, 2k-th, ...).
+        Because a retried operation advances the count, a transient
+        every-k schedule heals under retry by construction.
+    fail_probability:
+        Fault each matching operation with this probability, drawn from a
+        private ``random.Random(seed)`` stream — two injectors with the
+        same seed produce the same fault pattern.
+    fail_at_byte:
+        Fault the first operation whose ``(offset, nbytes)`` window covers
+        this absolute byte offset, then disarm.
+    seed:
+        Seed for the probability stream.
+    max_faults:
+        Stop injecting after this many faults (``None`` = unbounded).
+
+    Examples
+    --------
+    >>> inj = FaultInjector(fail_every=2)
+    >>> inj.check("write")          # op 1: ok
+    >>> try:
+    ...     inj.check("write")      # op 2: faults
+    ... except Exception as exc:
+    ...     type(exc).__name__
+    'TransientIOError'
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str = "transient",
+        ops: Iterable[str] = ("write",),
+        fail_every: Optional[int] = None,
+        fail_probability: float = 0.0,
+        fail_at_byte: Optional[int] = None,
+        seed: int = 0,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        if fail_every is not None and fail_every < 1:
+            raise ValueError(f"fail_every must be >= 1, got {fail_every}")
+        if not 0.0 <= fail_probability <= 1.0:
+            raise ValueError(
+                f"fail_probability must be in [0, 1], got {fail_probability}"
+            )
+        if fail_at_byte is not None and fail_at_byte < 0:
+            raise ValueError(f"fail_at_byte must be >= 0, got {fail_at_byte}")
+        if max_faults is not None and max_faults < 0:
+            raise ValueError(f"max_faults must be >= 0, got {max_faults}")
+        self.kind = kind
+        self.ops = frozenset(ops)
+        self.fail_every = fail_every
+        self.fail_probability = fail_probability
+        self.fail_at_byte = fail_at_byte
+        self.seed = seed
+        self.max_faults = max_faults
+        self._rng = random.Random(seed)
+        self._op_count = 0
+        self._byte_trigger_armed = fail_at_byte is not None
+        self.faults_injected = 0
+
+    @property
+    def op_count(self) -> int:
+        """Matching operations observed so far (including faulted ones)."""
+        return self._op_count
+
+    def check(
+        self, op: str, *, nbytes: int = 0, offset: Optional[int] = None
+    ) -> None:
+        """Consult the schedules before performing ``op``.
+
+        Raises the configured fault exception if any armed schedule
+        fires; otherwise returns ``None`` and the caller proceeds.
+        """
+        if op not in self.ops:
+            return
+        self._op_count += 1
+        if self.max_faults is not None and self.faults_injected >= self.max_faults:
+            return
+        reason = None
+        if self.fail_every is not None and self._op_count % self.fail_every == 0:
+            reason = f"every-{self.fail_every} schedule"
+        if reason is None and self.fail_probability > 0.0:
+            if self._rng.random() < self.fail_probability:
+                reason = f"probability {self.fail_probability} (seed {self.seed})"
+        if (
+            reason is None
+            and self._byte_trigger_armed
+            and offset is not None
+            and offset <= self.fail_at_byte < offset + nbytes
+        ):
+            self._byte_trigger_armed = False
+            reason = f"byte-offset {self.fail_at_byte} trigger"
+        if reason is None:
+            return
+        self.faults_injected += 1
+        exc = TransientIOError if self.kind == "transient" else PermanentIOError
+        raise exc(
+            f"injected {self.kind} fault on {op} operation "
+            f"#{self._op_count}: {reason}"
+        )
+
+    def reset(self) -> None:
+        """Rewind every schedule to its initial state (same seed)."""
+        self._rng = random.Random(self.seed)
+        self._op_count = 0
+        self._byte_trigger_armed = self.fail_at_byte is not None
+        self.faults_injected = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(kind={self.kind!r}, ops={sorted(self.ops)}, "
+            f"every={self.fail_every}, p={self.fail_probability}, "
+            f"at_byte={self.fail_at_byte}, injected={self.faults_injected})"
+        )
+
+
+class FaultyDiskStore(DiskStore[R]):
+    """A :class:`DiskStore` whose reads/writes consult a fault injector.
+
+    Drop-in replacement for the outlier disk: every ``write``/
+    ``write_all`` checks the injector with op ``"write"`` and every
+    ``drain`` with op ``"read"`` *before* touching the underlying store,
+    so a faulted operation leaves the store contents unchanged (the
+    failure model is fail-stop, not corrupting).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        record_bytes: int,
+        page_size: int = 1024,
+        stats: IOStats | None = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        super().__init__(capacity_bytes, record_bytes, page_size, stats)
+        self.injector = injector
+
+    def write(self, record: R) -> None:
+        if self.injector is not None:
+            self.injector.check("write", nbytes=self.record_bytes)
+        super().write(record)
+
+    def write_all(self, records: list[R]) -> None:
+        if self.injector is not None:
+            self.injector.check(
+                "write", nbytes=self.record_bytes * len(records)
+            )
+        super().write_all(records)
+
+    def drain(self) -> list[R]:
+        if self.injector is not None:
+            self.injector.check("read", nbytes=self.bytes_used)
+        return super().drain()
+
+
+def retry_io(
+    operation: Callable[[], R],
+    *,
+    attempts: int = 4,
+    base_delay: float = 0.01,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, TransientIOError], None]] = None,
+) -> R:
+    """Run ``operation``, retrying transient faults with backoff.
+
+    The self-healing loop: a :class:`TransientIOError` is retried up to
+    ``attempts - 1`` times, sleeping ``base_delay * 2**i`` before retry
+    ``i``; any other exception (including :class:`PermanentIOError`)
+    propagates immediately.  The final transient failure propagates so
+    callers can escalate to a degradation policy.
+
+    Parameters
+    ----------
+    operation:
+        Zero-argument callable performing the I/O.
+    attempts:
+        Total tries, including the first (must be >= 1).
+    base_delay:
+        Seconds before the first retry; doubles each retry.
+    sleep:
+        Injection point for tests (pass ``lambda _: None`` to skip
+        real sleeping).
+    on_retry:
+        Optional observer called with ``(retry_index, error)`` before
+        each backoff sleep.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if base_delay < 0:
+        raise ValueError(f"base_delay must be >= 0, got {base_delay}")
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except TransientIOError as exc:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(base_delay * (2**attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -86,6 +86,22 @@ class IOStats:
         self.merges = 0
         self._scan_points = 0
 
+    def state_dict(self) -> dict[str, int]:
+        """Every counter (including scan points), for checkpointing."""
+        return {**self.summary(), "scan_points": self._scan_points}
+
+    def load_state(self, state: dict[str, int]) -> None:
+        """Restore counters saved by :meth:`state_dict`."""
+        self.page_reads = int(state["page_reads"])
+        self.page_writes = int(state["page_writes"])
+        self.bytes_read = int(state["bytes_read"])
+        self.bytes_written = int(state["bytes_written"])
+        self.data_scans = int(state["data_scans"])
+        self.tree_rebuilds = int(state["tree_rebuilds"])
+        self.splits = int(state["splits"])
+        self.merges = int(state["merges"])
+        self._scan_points = int(state.get("scan_points", 0))
+
     def summary(self) -> dict[str, int]:
         """Counters as a plain dict, for reports and assertions."""
         return {

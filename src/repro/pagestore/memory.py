@@ -15,11 +15,10 @@ offers a matching transient allowance.
 
 from __future__ import annotations
 
+from repro.errors import MemoryExhaustedError
 from repro.pagestore.page import PageLayout
 
-
-class MemoryExhaustedError(RuntimeError):
-    """Raised when a hard allocation exceeds the budget plus allowance."""
+__all__ = ["MemoryBudget", "MemoryExhaustedError"]
 
 
 #: Pages an in-flight insertion may overshoot the budget by — one split

@@ -9,6 +9,21 @@ from repro.core.features import CF
 from repro.pagestore.page import PageLayout
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault-injection test matrix (CI sweeps several)",
+    )
+
+
+@pytest.fixture
+def fault_seed(request: pytest.FixtureRequest) -> int:
+    """Seed for fault-injection schedules; CI runs a matrix of values."""
+    return request.config.getoption("--fault-seed")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests that sample data."""

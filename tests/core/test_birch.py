@@ -6,6 +6,7 @@ import pytest
 from repro.core.birch import Birch
 from repro.core.config import BirchConfig
 from repro.core.features import CF
+from repro.errors import NotFittedError
 
 
 @pytest.fixture
@@ -278,3 +279,43 @@ class TestImprove:
         result = estimator.improve(points, passes=1)
         assert result.labels is not None
         assert result.labels.shape == (points.shape[0],)
+
+
+class TestNotFittedErrors:
+    """Every premature-use site raises NotFittedError (a RuntimeError)."""
+
+    def _fresh(self) -> Birch:
+        return Birch(BirchConfig(n_clusters=2))
+
+    def test_all_sites_raise_not_fitted(self, rng):
+        est = self._fresh()
+        with pytest.raises(NotFittedError):
+            _ = est.tree
+        with pytest.raises(NotFittedError):
+            _ = est.result
+        with pytest.raises(NotFittedError):
+            est.finalize()
+        with pytest.raises(NotFittedError):
+            est.predict(rng.normal(size=(5, 2)))
+        with pytest.raises(NotFittedError):
+            est.improve(rng.normal(size=(5, 2)))
+        with pytest.raises(NotFittedError):
+            est.checkpoint("/tmp/unused.ckpt")
+
+    def test_messages_are_consistent(self, rng):
+        est = self._fresh()
+        with pytest.raises(NotFittedError, match="no data inserted yet"):
+            _ = est.tree
+        with pytest.raises(NotFittedError, match="no data inserted yet"):
+            est.finalize()
+        with pytest.raises(NotFittedError, match="not fitted yet"):
+            _ = est.result
+        with pytest.raises(NotFittedError, match="not fitted yet"):
+            est.predict(rng.normal(size=(5, 2)))
+        with pytest.raises(NotFittedError, match="not fitted yet"):
+            est.improve(rng.normal(size=(5, 2)))
+
+    def test_not_fitted_is_a_runtime_error(self):
+        # Backwards compatibility: callers catching RuntimeError keep working.
+        with pytest.raises(RuntimeError):
+            _ = self._fresh().tree

@@ -17,6 +17,7 @@ from repro.core.serialization import (
     save_tree,
 )
 from repro.core.tree import CFTree, ThresholdKind
+from repro.errors import ArchiveError
 from repro.pagestore.page import PageLayout
 
 
@@ -152,3 +153,42 @@ class TestPropertyRoundTrip:
             assert restored.n == original.n
             assert np.array_equal(restored.ls, original.ls)
             assert restored.ss == original.ss
+
+
+class TestArchiveErrors:
+    """Corrupt, truncated or foreign archives fail loudly with the path."""
+
+    @pytest.fixture(params=[load_cfs, load_tree, load_result_arrays])
+    def loader(self, request):
+        return request.param
+
+    def test_missing_file(self, loader, tmp_path):
+        target = tmp_path / "never-written.npz"
+        with pytest.raises(ArchiveError, match="never-written"):
+            loader(target)
+
+    def test_not_an_npz(self, loader, tmp_path):
+        target = tmp_path / "garbage.npz"
+        target.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ArchiveError, match="garbage"):
+            loader(target)
+
+    def test_truncated_archive(self, loader, cf_list, tmp_path):
+        target = tmp_path / "cut.npz"
+        save_cfs(target, cf_list)
+        raw = target.read_bytes()
+        target.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ArchiveError, match="cut"):
+            loader(target)
+
+    def test_foreign_npz_missing_keys(self, loader, tmp_path):
+        target = tmp_path / "foreign.npz"
+        np.savez(target, version=1, unrelated=np.arange(3))
+        with pytest.raises(ArchiveError, match="foreign"):
+            loader(target)
+
+    def test_archive_error_is_a_value_error(self, tmp_path):
+        target = tmp_path / "bad.npz"
+        target.write_bytes(b"nope")
+        with pytest.raises(ValueError):
+            load_cfs(target)

@@ -1,0 +1,176 @@
+"""End-to-end fault injection: crashes, retries and degradation policies.
+
+Marked ``faults``; CI replays these under a matrix of ``--fault-seed``
+values, so any seed-dependent behaviour must hold for *every* seed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch, BirchResult
+from repro.core.config import BirchConfig
+from repro.errors import PermanentIOError
+from repro.pagestore.faults import FaultInjector
+
+pytestmark = pytest.mark.faults
+
+_N = 1500
+
+
+def _points() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    centers = rng.uniform(0.0, 30.0, size=(5, 2))
+    return np.concatenate(
+        [rng.normal(c, 0.5, size=(_N // 5, 2)) for c in centers]
+    )
+
+
+def _config(**overrides) -> BirchConfig:
+    defaults = dict(
+        n_clusters=5,
+        memory_bytes=10 * 1024,
+        total_points_hint=_N,
+        phase4_passes=0,
+    )
+    defaults.update(overrides)
+    return BirchConfig(**defaults)
+
+
+def _no_sleep(_delay: float) -> None:
+    pass
+
+
+def _assert_identical(a: BirchResult, b: BirchResult) -> None:
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+    np.testing.assert_array_equal(a.entry_labels, b.entry_labels)
+    assert a.final_threshold == b.final_threshold
+    assert a.rebuilds == b.rebuilds
+    assert a.tree_stats == b.tree_stats
+
+
+def _baseline() -> BirchResult:
+    est = Birch(_config())
+    est.partial_fit(_points())
+    return est.finalize()
+
+
+class TestCrashAndResume:
+    def test_crash_restart_loop_reproduces_fault_free_result(
+        self, tmp_path: Path, fault_seed: int
+    ) -> None:
+        """A permanently faulting disk kills the stream; the operator
+        resumes from the last periodic checkpoint (or restarts when the
+        crash predates the first one) and ends with the exact fault-free
+        result."""
+        points = _points()
+        expected = _baseline()
+
+        ckpt = tmp_path / "stream.ckpt"
+        config = _config(
+            checkpoint_every_points=250, checkpoint_path=str(ckpt)
+        )
+        injector = FaultInjector(
+            kind="permanent",
+            fail_probability=0.3,
+            seed=fault_seed,
+            max_faults=1,
+        )
+        est = Birch(config, outlier_injector=injector, sleep=_no_sleep)
+        crashes = 0
+        pos = 0
+        chunk = 50
+        while pos < len(points):
+            try:
+                est.partial_fit(points[pos : pos + chunk])
+                pos += chunk
+            except PermanentIOError:
+                crashes += 1
+                assert crashes < 5, "recovery loop is not converging"
+                if ckpt.exists():
+                    est = Birch.resume(ckpt)  # replaced the bad disk
+                else:
+                    est = Birch(config)  # crashed before any snapshot
+                pos = est.points_seen
+        actual = est.finalize()
+        _assert_identical(expected, actual)
+
+    def test_transient_faults_heal_to_identical_result(self) -> None:
+        """An every-3rd-write transient schedule is healed entirely by
+        the retry loop: same result as a run on healthy storage, with
+        the retries visible in the handler's counters."""
+        expected = _baseline()
+        injector = FaultInjector(kind="transient", fail_every=3)
+        est = Birch(_config(), outlier_injector=injector, sleep=_no_sleep)
+        est.partial_fit(_points())
+        actual = est.finalize()
+        _assert_identical(expected, actual)
+        assert injector.faults_injected > 0
+        assert est._outlier_handler is not None
+        assert (
+            est._outlier_handler.stats.transient_retries
+            == injector.faults_injected
+        )
+
+    def test_seeded_fault_schedule_is_reproducible(
+        self, fault_seed: int
+    ) -> None:
+        def run() -> tuple[BirchResult, int]:
+            injector = FaultInjector(
+                kind="transient",
+                fail_probability=0.2,
+                seed=fault_seed,
+                max_faults=2,
+            )
+            est = Birch(
+                _config(), outlier_injector=injector, sleep=_no_sleep
+            )
+            est.partial_fit(_points())
+            return est.finalize(), injector.faults_injected
+
+        first, first_faults = run()
+        second, second_faults = run()
+        _assert_identical(first, second)
+        assert first_faults == second_faults
+
+
+class TestDegradationPolicies:
+    def _run(self, policy: str) -> tuple[BirchResult, Birch]:
+        injector = FaultInjector(kind="permanent", fail_every=4)
+        est = Birch(
+            _config(outlier_fault_policy=policy),
+            outlier_injector=injector,
+            sleep=_no_sleep,
+        )
+        est.partial_fit(_points())
+        return est.finalize(), est
+
+    def test_drop_policy_accounts_for_every_lost_point(self) -> None:
+        result, _ = self._run("drop")
+        assert result.outlier_disk_degraded
+        assert result.dropped_outlier_entries > 0
+        assert result.dropped_outlier_points > 0
+        clustered = sum(cf.n for cf in result.clusters)
+        outlying = sum(cf.n for cf in result.outliers)
+        assert clustered + outlying + result.dropped_outlier_points == _N
+
+    def test_reabsorb_policy_loses_nothing(self) -> None:
+        result, est = self._run("reabsorb")
+        assert result.outlier_disk_degraded
+        assert result.dropped_outlier_points == 0
+        clustered = sum(cf.n for cf in result.clusters)
+        outlying = sum(cf.n for cf in result.outliers)
+        assert clustered + outlying == _N
+
+    def test_raise_policy_propagates(self) -> None:
+        injector = FaultInjector(kind="permanent", fail_every=4)
+        est = Birch(
+            _config(outlier_fault_policy="raise"),
+            outlier_injector=injector,
+            sleep=_no_sleep,
+        )
+        with pytest.raises(PermanentIOError):
+            est.partial_fit(_points())

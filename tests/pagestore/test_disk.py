@@ -95,3 +95,43 @@ class TestValidation:
             DiskStore(capacity_bytes=10, record_bytes=0)
         with pytest.raises(ValueError):
             DiskStore(capacity_bytes=10, record_bytes=8, page_size=0)
+
+
+class TestPeekSnapshot:
+    def test_peek_is_a_snapshot_iterator(self, disk: DiskStore[str]):
+        disk.write_all(["a", "b"])
+        view = disk.peek()
+        disk.write("c")  # mutation after the snapshot was taken
+        assert list(view) == ["a", "b"]
+        assert list(disk.peek()) == ["a", "b", "c"]
+
+    def test_peek_survives_drain(self, disk: DiskStore[str]):
+        disk.write_all(["a", "b"])
+        view = disk.peek()
+        disk.drain()
+        assert list(view) == ["a", "b"]
+
+    def test_peek_charges_no_io(self, disk: DiskStore[str]):
+        disk.write("a")
+        reads_before = disk.stats.page_reads
+        list(disk.peek())
+        assert disk.stats.page_reads == reads_before
+
+
+class TestAdopt:
+    def test_adopt_replaces_contents_without_io(self):
+        stats = IOStats()
+        disk: DiskStore[str] = DiskStore(
+            capacity_bytes=640, record_bytes=32, page_size=64, stats=stats
+        )
+        disk.write("old")
+        writes_before = stats.page_writes
+        disk.adopt(["a", "b", "c"])
+        assert list(disk.peek()) == ["a", "b", "c"]
+        assert stats.page_writes == writes_before
+
+    def test_adopt_beyond_capacity_rejected(self):
+        disk: DiskStore[str] = DiskStore(capacity_bytes=64, record_bytes=32)
+        with pytest.raises(DiskFullError):
+            disk.adopt(["a", "b", "c"])
+        assert len(disk) == 0

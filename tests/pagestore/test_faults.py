@@ -1,0 +1,206 @@
+"""Fault injector schedules, the faulty disk wrapper and retry_io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    IOFaultError,
+    PermanentIOError,
+    ReproError,
+    TransientIOError,
+)
+from repro.pagestore.faults import FaultInjector, FaultyDiskStore, retry_io
+
+
+class TestFaultInjectorSchedules:
+    def test_fail_every_k_fires_on_multiples(self) -> None:
+        inj = FaultInjector(fail_every=3)
+        fired = []
+        for i in range(1, 10):
+            try:
+                inj.check("write")
+                fired.append(False)
+            except TransientIOError:
+                fired.append(True)
+        assert fired == [False, False, True] * 3
+
+    def test_probability_stream_is_seed_deterministic(self) -> None:
+        def pattern(seed: int) -> list[bool]:
+            inj = FaultInjector(fail_probability=0.3, seed=seed)
+            out = []
+            for _ in range(50):
+                try:
+                    inj.check("write")
+                    out.append(False)
+                except TransientIOError:
+                    out.append(True)
+            return out
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+        assert any(pattern(7))
+
+    def test_byte_offset_trigger_fires_once(self) -> None:
+        inj = FaultInjector(fail_at_byte=100)
+        inj.check("write", nbytes=64, offset=0)  # [0, 64): no
+        with pytest.raises(TransientIOError):
+            inj.check("write", nbytes=64, offset=64)  # [64, 128): covers 100
+        # disarmed: the same window passes now
+        inj.check("write", nbytes=64, offset=64)
+
+    def test_permanent_kind_raises_permanent_error(self) -> None:
+        inj = FaultInjector(kind="permanent", fail_every=1)
+        with pytest.raises(PermanentIOError):
+            inj.check("write")
+
+    def test_exceptions_are_oserrors_and_repro_errors(self) -> None:
+        inj = FaultInjector(fail_every=1)
+        with pytest.raises(OSError):
+            inj.check("write")
+        inj.reset()
+        with pytest.raises(ReproError):
+            inj.check("write")
+        inj.reset()
+        with pytest.raises(IOFaultError):
+            inj.check("write")
+
+    def test_non_matching_ops_do_not_advance_schedule(self) -> None:
+        inj = FaultInjector(fail_every=2, ops=("write",))
+        inj.check("read")
+        inj.check("read")
+        assert inj.op_count == 0
+        inj.check("write")
+        with pytest.raises(TransientIOError):
+            inj.check("write")
+
+    def test_max_faults_caps_injection(self) -> None:
+        inj = FaultInjector(fail_every=1, max_faults=2)
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                inj.check("write")
+        inj.check("write")  # cap reached: passes
+        assert inj.faults_injected == 2
+
+    def test_reset_replays_the_same_schedule(self) -> None:
+        inj = FaultInjector(fail_probability=0.5, seed=3)
+
+        def run() -> list[bool]:
+            out = []
+            for _ in range(20):
+                try:
+                    inj.check("write")
+                    out.append(False)
+                except TransientIOError:
+                    out.append(True)
+            return out
+
+        first = run()
+        inj.reset()
+        assert run() == first
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError, match="kind"):
+            FaultInjector(kind="flaky")
+        with pytest.raises(ValueError, match="fail_every"):
+            FaultInjector(fail_every=0)
+        with pytest.raises(ValueError, match="fail_probability"):
+            FaultInjector(fail_probability=1.5)
+        with pytest.raises(ValueError, match="fail_at_byte"):
+            FaultInjector(fail_at_byte=-1)
+
+
+class TestFaultyDiskStore:
+    def _store(self, injector: FaultInjector) -> FaultyDiskStore:
+        return FaultyDiskStore(
+            capacity_bytes=4096, record_bytes=40, injector=injector
+        )
+
+    def test_faulted_write_leaves_store_unchanged(self) -> None:
+        store = self._store(FaultInjector(fail_every=2))
+        store.write("a")
+        with pytest.raises(TransientIOError):
+            store.write("b")
+        assert list(store.peek()) == ["a"]
+
+    def test_faulted_drain_leaves_records_in_place(self) -> None:
+        store = self._store(FaultInjector(fail_every=1, ops=("read",)))
+        store.write("a")
+        store.write("b")
+        with pytest.raises(TransientIOError):
+            store.drain()
+        assert list(store.peek()) == ["a", "b"]
+
+    def test_no_injector_behaves_like_plain_store(self) -> None:
+        store = FaultyDiskStore(capacity_bytes=4096, record_bytes=40)
+        store.write("a")
+        assert store.drain() == ["a"]
+
+
+class TestRetryIO:
+    def test_transient_faults_heal_within_budget(self) -> None:
+        inj = FaultInjector(fail_every=2)
+        log: list[float] = []
+
+        def op() -> str:
+            inj.check("write")
+            return "ok"
+
+        # ops 1 (ok) — then op 2 faults, retry hits op 3 (ok).
+        assert retry_io(op, attempts=2, base_delay=0.5, sleep=log.append) == "ok"
+        assert retry_io(op, attempts=2, base_delay=0.5, sleep=log.append) == "ok"
+        assert log == [0.5]
+
+    def test_backoff_doubles(self) -> None:
+        calls = {"n": 0}
+        log: list[float] = []
+
+        def op() -> None:
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise TransientIOError("flaky")
+
+        retry_io(op, attempts=4, base_delay=0.1, sleep=log.append)
+        assert log == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_exhausted_retries_propagate_last_transient(self) -> None:
+        def op() -> None:
+            raise TransientIOError("always")
+
+        with pytest.raises(TransientIOError):
+            retry_io(op, attempts=3, base_delay=0.0, sleep=lambda _: None)
+
+    def test_permanent_fault_is_not_retried(self) -> None:
+        calls = {"n": 0}
+
+        def op() -> None:
+            calls["n"] += 1
+            raise PermanentIOError("dead")
+
+        with pytest.raises(PermanentIOError):
+            retry_io(op, attempts=5, base_delay=0.0, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_observer_sees_each_retry(self) -> None:
+        calls = {"n": 0}
+        seen: list[int] = []
+
+        def op() -> None:
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientIOError("flaky")
+
+        retry_io(
+            op,
+            attempts=3,
+            base_delay=0.0,
+            sleep=lambda _: None,
+            on_retry=lambda i, exc: seen.append(i),
+        )
+        assert seen == [0, 1]
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError, match="attempts"):
+            retry_io(lambda: None, attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            retry_io(lambda: None, base_delay=-1.0)

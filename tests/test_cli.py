@@ -171,3 +171,57 @@ class TestExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table9"])
+
+
+class TestResume:
+    def test_checkpoint_then_resume(self, csv_points, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        code = main(
+            [
+                "cluster",
+                str(csv_points),
+                "-k",
+                "3",
+                "--checkpoint",
+                str(ckpt),
+                "--checkpoint-every",
+                "50",
+            ]
+        )
+        assert code == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+
+        out_npz = tmp_path / "resumed.npz"
+        code = main(["resume", str(ckpt), "--save-result", str(out_npz)])
+        assert code == 0
+        assert out_npz.exists()
+        output = capsys.readouterr().out
+        assert "resumed from" in output
+        assert "clusters" in output
+
+    def test_resume_with_more_points(self, csv_points, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        main(
+            [
+                "cluster",
+                str(csv_points),
+                "-k",
+                "3",
+                "--checkpoint",
+                str(ckpt),
+                "--checkpoint-every",
+                "50",
+            ]
+        )
+        capsys.readouterr()
+        code = main(["resume", str(ckpt), "--input", str(csv_points)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "more points" in output
+
+    def test_resume_missing_checkpoint_fails_loudly(self, tmp_path):
+        from repro.errors import ArchiveError
+
+        with pytest.raises(ArchiveError):
+            main(["resume", str(tmp_path / "no-such.ckpt")])
