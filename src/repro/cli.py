@@ -15,6 +15,13 @@ Three commands cover the adopt-this-library workflow:
 CSV convention: one point per row, numeric columns only; a trailing
 ``label`` column is written by ``generate`` and ignored by ``cluster``
 unless ``--truth-column`` is given.
+
+Exit codes: 0 success, 2 argparse usage errors, and for operational
+failures a stable mapping scripts can branch on — 3 invalid input point
+(``InvalidPointError``), 4 unreadable checkpoint/archive
+(``ArchiveError``), 5 checkpoint integrity failure
+(``ChecksumMismatchError``).  Each prints a one-line message to stderr
+instead of a traceback.
 """
 
 from __future__ import annotations
@@ -29,6 +36,11 @@ from repro.baselines.clarans import CLARANS
 from repro.core.birch import Birch
 from repro.core.config import BirchConfig
 from repro.core.serialization import save_result
+from repro.errors import (
+    ArchiveError,
+    ChecksumMismatchError,
+    InvalidPointError,
+)
 from repro.datagen.generator import InputOrder
 from repro.datagen.mixtures import GaussianMixture
 from repro.datagen.presets import ds1, ds2, ds3
@@ -43,6 +55,17 @@ from repro.evaluation.timing import Timer
 __all__ = ["build_parser", "main"]
 
 _PRESETS = {"ds1": ds1, "ds2": ds2, "ds3": ds3}
+
+#: Stable operational exit codes (most specific class first).
+EXIT_INVALID_POINT = 3
+EXIT_ARCHIVE = 4
+EXIT_CHECKSUM = 5
+
+_ERROR_EXIT_CODES: list[tuple[type[Exception], int]] = [
+    (ChecksumMismatchError, EXIT_CHECKSUM),
+    (ArchiveError, EXIT_ARCHIVE),
+    (InvalidPointError, EXIT_INVALID_POINT),
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +123,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="points between automatic checkpoints (with --checkpoint)",
     )
+    cluster.add_argument(
+        "--bad-points",
+        choices=["raise", "skip", "quarantine"],
+        default="raise",
+        help="policy for rows that fail validation (NaN/Inf/bad shape)",
+    )
+    cluster.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run under the phase supervisor and print its RunReport",
+    )
+    cluster.add_argument(
+        "--phase-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-phase wall-clock deadline (with --supervised)",
+    )
 
     resume = sub.add_parser(
         "resume", help="continue a stream from a crash-safety checkpoint"
@@ -135,6 +176,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _nearest_centroid_labels(
+    points: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """Assign each point to its closest centroid (chunked)."""
+    labels = np.empty(points.shape[0], dtype=np.int64)
+    chunk = 8192
+    for start in range(0, points.shape[0], chunk):
+        block = points[start : start + chunk]
+        dist2 = ((block[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels[start : start + chunk] = np.argmin(dist2, axis=1)
+    return labels
 
 
 def _load_points(
@@ -185,14 +239,43 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         checkpoint_every_points=(
             args.checkpoint_every if args.checkpoint is not None else None
         ),
+        bad_point_policy=args.bad_points,
     )
-    estimator = Birch(config)
-    with Timer() as timer:
-        result = estimator.fit(points)
+    if args.supervised:
+        from repro.guardrails import PhaseBudgets, run_supervised
+
+        budgets = PhaseBudgets(
+            phase1_seconds=args.phase_seconds,
+            phase2_seconds=args.phase_seconds,
+            phase3_seconds=args.phase_seconds,
+            phase4_seconds=args.phase_seconds,
+        )
+        with Timer() as timer:
+            run = run_supervised(points, config, budgets)
+        print(run.report.summary())
+        if run.result is None:
+            print("error: supervised run failed; no result", file=sys.stderr)
+            return 1
+        result = run.result
+    else:
+        estimator = Birch(config)
+        with Timer() as timer:
+            result = estimator.fit(points)
+    if result.quarantined_points or result.invalid_dropped_points:
+        print(
+            f"warning: {result.quarantined_points} point(s) quarantined, "
+            f"{result.invalid_dropped_points} dropped by validation "
+            f"(by reason: {result.invalid_by_reason})"
+        )
+    if result.memory_degraded:
+        print(
+            "warning: memory watchdog tripped; run finished in degraded "
+            f"mode {result.watchdog.mode!r}"
+        )
 
     live = [cf for cf in result.clusters if cf.n > 0]
     print(
-        f"clustered {points.shape[0]} points into {len(live)} clusters "
+        f"clustered {result.points_fed} points into {len(live)} clusters "
         f"in {timer.elapsed:.2f}s "
         f"({result.rebuilds} rebuilds, final T={result.final_threshold:.4g})"
     )
@@ -209,7 +292,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
     print(f"weighted average diameter D = {weighted_average_diameter(live):.4f}")
 
-    if truth is not None and result.labels is not None:
+    if (
+        truth is not None
+        and result.labels is not None
+        and result.labels.shape[0] == truth.shape[0]
+    ):
         print(
             f"vs ground truth: purity={purity(result.labels, truth):.3f} "
             f"ARI={adjusted_rand_index(result.labels, truth):.3f}"
@@ -218,7 +305,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         labels = (
             result.labels
             if result.labels is not None
-            else estimator.predict(points)
+            else _nearest_centroid_labels(points, result.centroids)
         )
         np.savetxt(args.save_labels, labels, fmt="%d")
         print(f"labels written to {args.save_labels}")
@@ -251,6 +338,11 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         print(
             "warning: outlier disk degraded during the run "
             f"({result.dropped_outlier_points} points dropped)"
+        )
+    if result.memory_degraded:
+        print(
+            "warning: memory watchdog tripped; run finished in degraded "
+            f"mode {result.watchdog.mode!r}"
         )
     if args.save_result is not None:
         save_result(args.save_result, result)
@@ -375,19 +467,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Operational errors print one line to stderr and map to stable exit
+    codes (see the module docstring) instead of leaking tracebacks.
+    """
     args = build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "cluster":
-        return _cmd_cluster(args)
-    if args.command == "resume":
-        return _cmd_resume(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+    commands = {
+        "generate": _cmd_generate,
+        "cluster": _cmd_cluster,
+        "resume": _cmd_resume,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        command = commands[args.command]
+    except KeyError:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    try:
+        return command(args)
+    except (InvalidPointError, ArchiveError) as exc:
+        for cls, code in _ERROR_EXIT_CODES:
+            if isinstance(exc, cls):
+                print(f"error: {exc}", file=sys.stderr)
+                return code
+        raise  # pragma: no cover - the table covers both branches
 
 
 if __name__ == "__main__":  # pragma: no cover

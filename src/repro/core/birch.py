@@ -38,6 +38,9 @@ from repro.core.refinement import RefinementResult, refine
 from repro.core.threshold import ThresholdPolicy
 from repro.core.tree import CFTree
 from repro.errors import NotFittedError, PhaseError
+from repro.guardrails.quarantine import QuarantineStore
+from repro.guardrails.validation import PointValidator, ScreenResult
+from repro.guardrails.watchdog import MemoryWatchdog, WatchdogReport
 from repro.pagestore.disk import DiskStore
 from repro.pagestore.faults import FaultInjector, FaultyDiskStore
 from repro.pagestore.iostats import IOStats
@@ -104,6 +107,22 @@ class BirchResult:
     outlier_disk_degraded:
         True when a permanent fault took the outlier disk out of
         service during Phase 1 (regardless of policy).
+    points_fed:
+        Raw points presented at the ingest boundary (weighted), before
+        validation.  With ``bad_point_policy`` of ``"skip"`` or
+        ``"quarantine"``, ``labels`` covers only the *accepted* rows.
+    quarantined_points, quarantined_by_reason:
+        Points held in the quarantine store, total and per reason
+        (``nan``/``inf``/``dimension``/``non_numeric``).
+    invalid_dropped_points:
+        Validation rejections *not* held in quarantine: skip-policy
+        drops plus quarantine overflow.
+    invalid_by_reason:
+        Every validation rejection per reason (quarantined or dropped).
+    watchdog:
+        Memory-watchdog counters (``None`` before any data was seen).
+    memory_degraded:
+        True when the watchdog tripped into its degraded mode.
     """
 
     centroids: np.ndarray
@@ -121,11 +140,47 @@ class BirchResult:
     dropped_outlier_entries: int = 0
     dropped_outlier_points: int = 0
     outlier_disk_degraded: bool = False
+    points_fed: int = 0
+    quarantined_points: int = 0
+    quarantined_by_reason: dict[str, int] = field(default_factory=dict)
+    invalid_dropped_points: int = 0
+    invalid_by_reason: dict[str, int] = field(default_factory=dict)
+    watchdog: Optional[WatchdogReport] = field(default=None, repr=False)
+    memory_degraded: bool = False
 
     @property
     def n_clusters(self) -> int:
         """Number of clusters produced."""
         return len(self.clusters)
+
+    def accounting(self) -> dict[str, int]:
+        """Where every ingested point ended up (the conservation ledger).
+
+        The identity ``clustered + outliers + quarantined + dropped ==
+        fed`` holds exactly on every run — across CF backends, fault
+        injection and checkpoint/resume — and is asserted by the
+        guardrails test-suite.
+        """
+        return {
+            "fed": self.points_fed,
+            "clustered": int(self.tree_stats.get("points", 0)),
+            "outliers": int(sum(cf.n for cf in self.outliers)),
+            "quarantined": self.quarantined_points,
+            "dropped": self.invalid_dropped_points
+            + self.dropped_outlier_points,
+        }
+
+    @property
+    def conservation_ok(self) -> bool:
+        """True when the :meth:`accounting` ledger balances exactly."""
+        ledger = self.accounting()
+        return (
+            ledger["clustered"]
+            + ledger["outliers"]
+            + ledger["quarantined"]
+            + ledger["dropped"]
+            == ledger["fed"]
+        )
 
 
 class Birch:
@@ -156,11 +211,13 @@ class Birch:
         config: BirchConfig,
         *,
         outlier_injector: Optional[FaultInjector] = None,
+        quarantine_injector: Optional[FaultInjector] = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.config = config
         self.stats = IOStats()
         self._outlier_injector = outlier_injector
+        self._quarantine_injector = quarantine_injector
         self._sleep = sleep
         self._dimensions: Optional[int] = None
         self._tree: Optional[CFTree] = None
@@ -172,6 +229,11 @@ class Birch:
         self._result: Optional[BirchResult] = None
         self._rebuild_history: list[tuple[int, float]] = []
         self._next_checkpoint_at = config.checkpoint_every_points or 0
+        self._validator = PointValidator()
+        self._quarantine: Optional[QuarantineStore] = None
+        self._watchdog: Optional[MemoryWatchdog] = None
+        self._rows_fed = 0
+        self._points_fed = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -230,23 +292,29 @@ class Birch:
             A point with weight ``w`` is treated as ``w`` coincident
             points — the mechanism behind the paper's image study
             "weighting" of pixel values, exact by CF additivity.
+
+        Raises
+        ------
+        InvalidPointError
+            Under the default ``bad_point_policy="raise"`` when any row
+            contains NaN/Inf, has the wrong dimensionality, or cannot
+            be cast to float.  The ``"skip"`` and ``"quarantine"``
+            policies account for bad rows instead of raising.
         """
-        points = self._validate(points)
+        clean, weight_arr = self._screen_batch(points, weights)
+        return self._partial_fit_clean(clean, weight_arr)
+
+    def _partial_fit_clean(
+        self, points: np.ndarray, weight_arr: Optional[np.ndarray]
+    ) -> "Birch":
+        """Phase 1 insertion of an already-screened float64 batch."""
+        if points.shape[0] == 0:
+            return self  # the whole batch was rejected (with accounting)
         if self._tree is None:
             self._initialise(points.shape[1])
         assert self._tree is not None and self._budget is not None
-        if weights is None:
+        if weight_arr is None:
             weight_arr = np.ones(points.shape[0], dtype=np.int64)
-        else:
-            weight_arr = np.asarray(weights)
-            if weight_arr.shape != (points.shape[0],):
-                raise ValueError(
-                    f"weights shape {weight_arr.shape} does not match "
-                    f"{points.shape[0]} points"
-                )
-            if (weight_arr <= 0).any():
-                raise ValueError("weights must be positive integers")
-            weight_arr = weight_arr.astype(np.int64)
         if self.config.cf_backend == "stable":
             # w coincident points have mean = the point and SSD = 0.
             for row, w in zip(points, weight_arr):
@@ -259,6 +327,9 @@ class Birch:
 
     def _insert_one(self, cf: AnyCF) -> None:
         assert self._tree is not None and self._budget is not None
+        if self._watchdog is not None and self._watchdog.degraded:
+            self._insert_degraded(cf)
+            return
         if self._delay_mode and self._outlier_handler is not None:
             # Delay-split option: while memory is exhausted, absorb what
             # fits and spill the rest instead of rebuilding per point.
@@ -281,6 +352,68 @@ class Birch:
             else:
                 self._rebuild()
         self._maybe_checkpoint()
+
+    def _insert_degraded(self, cf: AnyCF) -> None:
+        """Degraded-mode insertion: no per-insert rebuilds.
+
+        Once the memory watchdog has tripped, threshold growth has
+        stopped paying for rebuilds, so the hot path changes: absorb
+        into the existing tree where possible, spill to the outlier
+        disk under the ``"spill"`` mode, and force an aggressive
+        coarsen rebuild only when the tree has grown materially since
+        the last one (geometric, not per-point — see
+        :class:`~repro.guardrails.watchdog.MemoryWatchdog`).
+        """
+        assert self._tree is not None and self._budget is not None
+        assert self._watchdog is not None
+        if self._tree.try_absorb_cf(cf):
+            self._points_seen += cf.n
+            self._maybe_checkpoint()
+            return
+        if (
+            self._watchdog.mode == "spill"
+            and self._outlier_handler is not None
+            and self._outlier_handler.spill(cf)
+        ):
+            self._points_seen += cf.n
+            self._maybe_checkpoint()
+            return
+        self._tree.insert_cf(cf)
+        self._points_seen += cf.n
+        if self._watchdog.should_recoarsen(
+            self._budget.pages_in_use, self._budget.capacity_pages
+        ):
+            self._coarsen_rebuild()
+        self._maybe_checkpoint()
+
+    def _coarsen_rebuild(self) -> None:
+        """Forced degraded-mode rebuild with an aggressive threshold."""
+        assert self._tree is not None and self._policy is not None
+        assert self._watchdog is not None and self._budget is not None
+        suggested = self._policy.next_threshold(self._tree, self._points_seen)
+        forced = self._tree.threshold * self._watchdog.coarsen_factor
+        new_threshold = max(suggested, forced)
+        if not np.isfinite(new_threshold):
+            # Repeated doubling can overflow; a finite ceiling already
+            # merges everything mergeable, which is the intent here.
+            new_threshold = np.finfo(np.float64).max / 4
+        self._rebuild_history.append((self._points_seen, new_threshold))
+        sink = None
+        predicate = None
+        if self._outlier_handler is not None:
+            handler = self._outlier_handler
+            sink = handler.spill
+            if self._watchdog.mode == "spill":
+                # Aggressive rule: anything below the mean goes to disk.
+                predicate = lambda cf, mean: mean > 1.0 and cf.n < mean
+            else:
+                predicate = handler.is_potential_outlier
+        self._tree = rebuild_tree(
+            self._tree, new_threshold, outlier_sink=sink, outlier_predicate=predicate
+        )
+        if self._outlier_handler is not None and self._outlier_handler.disk.is_full:
+            self._outlier_handler.reabsorb(self._tree)
+        self._watchdog.note_coarsen_rebuild(self._budget.pages_in_use)
 
     def _maybe_checkpoint(self) -> None:
         """Periodic crash-safety checkpoint (``checkpoint_every_points``)."""
@@ -306,11 +439,24 @@ class Birch:
         )
         if self._outlier_handler is not None and self._outlier_handler.disk.is_full:
             self._outlier_handler.reabsorb(self._tree)
+        if self._watchdog is not None and self._budget is not None:
+            already_degraded = self._watchdog.degraded
+            self._watchdog.observe_rebuild(
+                self._budget.pages_in_use, self._budget.capacity_pages
+            )
+            if self._watchdog.degraded and not already_degraded:
+                # The escalation limit just tripped: one immediate
+                # aggressive rebuild, then the degraded insert path.
+                self._coarsen_rebuild()
 
     def _initialise(self, dimensions: int) -> None:
         layout = PageLayout(page_size=self.config.page_size, dimensions=dimensions)
         self._dimensions = dimensions
         self._budget = MemoryBudget(self.config.memory_bytes, layout)
+        self._watchdog = MemoryWatchdog(
+            escalation_limit=self.config.rebuild_escalation_limit,
+            mode=self.config.degraded_mode,
+        )
         self._policy = ThresholdPolicy(
             expansion_factor=self.config.expansion_factor,
             total_points_hint=self.config.total_points_hint,
@@ -365,6 +511,90 @@ class Birch:
             )
         return points
 
+    # -- ingest guardrails -------------------------------------------------------
+
+    def _check_weights(
+        self, weights: object, n_rows: int
+    ) -> Optional[np.ndarray]:
+        """Validate a raw weights argument against the raw row count."""
+        if weights is None:
+            return None
+        weight_arr = np.asarray(weights)
+        if weight_arr.shape != (n_rows,):
+            raise ValueError(
+                f"weights shape {weight_arr.shape} does not match "
+                f"{n_rows} points"
+            )
+        if (weight_arr <= 0).any():
+            raise ValueError("weights must be positive integers")
+        return weight_arr.astype(np.int64)
+
+    def _ensure_quarantine(self) -> QuarantineStore:
+        """Lazily create the bounded quarantine store (needs d for sizing)."""
+        if self._quarantine is None:
+            d = self._validator.dimensions or 1
+            # One record: the row's floats plus index/reason/weight slots.
+            record_bytes = 8 * (d + 4)
+            self._quarantine = QuarantineStore(
+                capacity_bytes=self.config.effective_quarantine_bytes,
+                record_bytes=record_bytes,
+                page_size=self.config.page_size,
+                stats=self.stats,
+                injector=self._quarantine_injector,
+                retry_attempts=self.config.io_retry_attempts,
+                retry_base_delay=self.config.io_retry_base_delay,
+            )
+        return self._quarantine
+
+    def _screen_batch(
+        self, points: object, weights: object
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Validate one raw batch and apply the bad-point policy.
+
+        Returns the accepted rows as a float64 array (byte-identical to
+        the input rows — clean data is never rewritten) plus the
+        correspondingly filtered weights.  Rejected rows are raised,
+        skipped or quarantined per ``config.bad_point_policy``, always
+        with exact per-reason accounting in point units.
+        """
+        if not self.config.validate_points:
+            clean = self._validate(points)
+            weight_arr = self._check_weights(weights, clean.shape[0])
+            self._rows_fed += clean.shape[0]
+            self._points_fed += (
+                int(weight_arr.sum()) if weight_arr is not None else clean.shape[0]
+            )
+            return clean, weight_arr
+        try:
+            n_rows = len(points)  # type: ignore[arg-type]
+        except TypeError:
+            raise ValueError(
+                "points must be a non-empty (n, d) array or a sequence of rows"
+            )
+        weight_arr = self._check_weights(weights, n_rows)
+        if self._dimensions is not None:
+            self._validator.dimensions = self._dimensions
+        result = self._validator.screen(
+            points, start_row=self._rows_fed, weights=weight_arr
+        )
+        self._rows_fed += n_rows
+        self._points_fed += (
+            int(weight_arr.sum()) if weight_arr is not None else n_rows
+        )
+        if result.rejected:
+            self._apply_bad_point_policy(result)
+        return result.points, result.weights
+
+    def _apply_bad_point_policy(self, result: ScreenResult) -> None:
+        policy = self.config.bad_point_policy
+        if policy == "raise":
+            self._validator.raise_first(result)
+        elif policy == "quarantine":
+            store = self._ensure_quarantine()
+            for record in result.rejected:
+                store.add(record)
+        # "skip": the validator's counters already account for the rows.
+
     # -- crash safety --------------------------------------------------------------
 
     def checkpoint(
@@ -400,6 +630,7 @@ class Birch:
         path: str | Path,
         *,
         outlier_injector: Optional[FaultInjector] = None,
+        quarantine_injector: Optional[FaultInjector] = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> "Birch":
         """Restore an estimator from a :meth:`checkpoint` file.
@@ -417,26 +648,46 @@ class Birch:
             Optional fault injector installed on the restored outlier
             disk (for fault-tolerance tests: the resumed process may
             face the same faulty device).
+        quarantine_injector:
+            Likewise for the restored quarantine store.
         sleep:
             Backoff sleep injection point for tests.
         """
         from repro.core.checkpoint import load_checkpoint
 
         return load_checkpoint(
-            path, outlier_injector=outlier_injector, sleep=sleep
+            path,
+            outlier_injector=outlier_injector,
+            quarantine_injector=quarantine_injector,
+            sleep=sleep,
         )
 
     # -- the full pipeline ---------------------------------------------------------
 
     def fit(self, points: np.ndarray) -> BirchResult:
-        """Run all configured phases on ``points`` and return the result."""
-        points = self._validate(points)
+        """Run all configured phases on ``points`` and return the result.
+
+        Raises
+        ------
+        InvalidPointError
+            Under the default ``bad_point_policy="raise"`` when any row
+            fails validation; with ``"skip"``/``"quarantine"`` the bad
+            rows are accounted for and the clean rows are clustered.
+        NotFittedError
+            If validation rejected *every* row (nothing to cluster).
+        """
         self._reset()
         timings = PhaseTimings()
 
         start = time.perf_counter()
-        self.partial_fit(points)
-        self.stats.record_scan(points.shape[0])
+        clean, weight_arr = self._screen_batch(points, None)
+        if clean.shape[0] == 0:
+            raise NotFittedError(
+                "validation rejected every input row; nothing to cluster "
+                f"(rejections by reason: {self._validator.stats.points_by_reason})"
+            )
+        self._partial_fit_clean(clean, weight_arr)
+        self.stats.record_scan(clean.shape[0])
         outliers = self._finish_phase1()
         timings.phase1 = time.perf_counter() - start
 
@@ -448,29 +699,77 @@ class Birch:
         global_result = self._phase3_cluster()
         timings.phase3 = time.perf_counter() - start
 
-        refinement: Optional[RefinementResult] = None
-        labels: Optional[np.ndarray] = None
-        clusters = global_result.clusters
-        centroids = global_result.centroids
         start = time.perf_counter()
-        if self.config.phase4_passes > 0:
-            refinement = refine(
-                points,
-                centroids,
-                passes=self.config.phase4_passes,
-                discard_outliers=self.config.phase4_discard_outliers,
-                outlier_factor=self.config.phase4_outlier_factor,
-                stats=self.stats,
-                cf_backend=self.config.cf_backend,
-            )
-            labels = refinement.labels
-            centroids = refinement.centroids
-            clusters = [cf for cf in refinement.clusters]
+        refinement, labels, centroids, clusters = self._phase4_refine(
+            clean, global_result
+        )
         timings.phase4 = time.perf_counter() - start
 
+        self._result = self._package_result(
+            timings=timings,
+            global_result=global_result,
+            outliers=outliers,
+            refinement=refinement,
+            labels=labels,
+            centroids=centroids,
+            clusters=clusters,
+        )
+        return self._result
+
+    def _phase4_refine(
+        self,
+        points: np.ndarray,
+        global_result: GlobalClustering,
+        deadline: Optional[float] = None,
+        max_passes: Optional[int] = None,
+    ) -> tuple[
+        Optional[RefinementResult],
+        Optional[np.ndarray],
+        np.ndarray,
+        list[AnyCF],
+    ]:
+        """Run Phase 4 (if configured); returns (refinement, labels,
+        centroids, clusters) with Phase 3 values passed through when
+        refinement is off."""
+        clusters = global_result.clusters
+        centroids = global_result.centroids
+        passes = self.config.phase4_passes
+        if max_passes is not None:
+            passes = min(passes, max_passes)
+        if passes <= 0:
+            return None, None, centroids, clusters
+        refinement = refine(
+            points,
+            centroids,
+            passes=passes,
+            discard_outliers=self.config.phase4_discard_outliers,
+            outlier_factor=self.config.phase4_outlier_factor,
+            stats=self.stats,
+            cf_backend=self.config.cf_backend,
+            deadline=deadline,
+        )
+        return (
+            refinement,
+            refinement.labels,
+            refinement.centroids,
+            list(refinement.clusters),
+        )
+
+    def _package_result(
+        self,
+        *,
+        timings: PhaseTimings,
+        global_result: GlobalClustering,
+        outliers: list[CF],
+        refinement: Optional[RefinementResult],
+        labels: Optional[np.ndarray],
+        centroids: np.ndarray,
+        clusters: list[AnyCF],
+    ) -> BirchResult:
+        """Assemble a :class:`BirchResult` from finished phase outputs."""
         assert self._tree is not None
         tree_stats = self._tree.tree_stats()
-        self._result = BirchResult(
+        return BirchResult(
             centroids=centroids,
             clusters=clusters,
             labels=labels,
@@ -490,9 +789,8 @@ class Birch:
             final_threshold=self._tree.threshold,
             rebuilds=self.stats.tree_rebuilds,
             refinement=refinement,
-            **self._fault_accounting(),
+            **self._robustness_accounting(),
         )
-        return self._result
 
     def finalize(self) -> BirchResult:
         """Phases 2-3 after incremental loading (no Phase 4 data scan).
@@ -534,7 +832,7 @@ class Birch:
             },
             final_threshold=self._tree.threshold,
             rebuilds=self.stats.tree_rebuilds,
-            **self._fault_accounting(),
+            **self._robustness_accounting(),
         )
         return self._result
 
@@ -590,6 +888,13 @@ class Birch:
             dropped_outlier_entries=old.dropped_outlier_entries,
             dropped_outlier_points=old.dropped_outlier_points,
             outlier_disk_degraded=old.outlier_disk_degraded,
+            points_fed=old.points_fed,
+            quarantined_points=old.quarantined_points,
+            quarantined_by_reason=dict(old.quarantined_by_reason),
+            invalid_dropped_points=old.invalid_dropped_points,
+            invalid_by_reason=dict(old.invalid_by_reason),
+            watchdog=old.watchdog,
+            memory_degraded=old.memory_degraded,
         )
         return self._result
 
@@ -609,16 +914,46 @@ class Birch:
 
     # -- phase helpers ------------------------------------------------------------
 
-    def _fault_accounting(self) -> dict[str, object]:
-        """Outlier-disk degradation fields for :class:`BirchResult`."""
+    def _robustness_accounting(self) -> dict[str, object]:
+        """Fault, validation and watchdog fields for :class:`BirchResult`.
+
+        Together with the tree/outlier counts these close the
+        conservation identity ``clustered + outliers + quarantined +
+        dropped == points fed``: every point the caller handed us is in
+        exactly one bucket.
+        """
+        fields: dict[str, object] = {"points_fed": self._points_fed}
         handler = self._outlier_handler
-        if handler is None:
-            return {}
-        return {
-            "dropped_outlier_entries": handler.stats.dropped_entries,
-            "dropped_outlier_points": handler.stats.dropped_points,
-            "outlier_disk_degraded": handler.degraded,
-        }
+        if handler is not None:
+            fields.update(
+                dropped_outlier_entries=handler.stats.dropped_entries,
+                dropped_outlier_points=handler.stats.dropped_points,
+                outlier_disk_degraded=handler.degraded,
+            )
+        rejected_by_reason = dict(self._validator.stats.points_by_reason)
+        rejected_total = sum(rejected_by_reason.values())
+        if self._quarantine is not None:
+            stored_by_reason = self._quarantine.stored_points_by_reason
+            fields.update(
+                quarantined_points=self._quarantine.stored_points,
+                quarantined_by_reason={
+                    r: n for r, n in stored_by_reason.items() if n
+                },
+                invalid_dropped_points=(
+                    rejected_total - self._quarantine.stored_points
+                ),
+            )
+        else:
+            fields.update(invalid_dropped_points=rejected_total)
+        fields.update(
+            invalid_by_reason={r: n for r, n in rejected_by_reason.items() if n}
+        )
+        if self._watchdog is not None:
+            fields.update(
+                watchdog=self._watchdog.report(),
+                memory_degraded=self._watchdog.degraded,
+            )
+        return fields
 
     def _finish_phase1(self) -> list[CF]:
         """End-of-scan outlier resolution; returns the true outliers."""
@@ -647,8 +982,16 @@ class Birch:
             )
             self._tree = rebuild_tree(self._tree, new_threshold)
 
-    def _phase3_cluster(self) -> GlobalClustering:
-        """Global clustering of the leaf entries."""
+    def _phase3_cluster(
+        self, deadline: Optional[float] = None
+    ) -> GlobalClustering:
+        """Global clustering of the leaf entries.
+
+        ``deadline`` (a ``time.monotonic()`` instant) only applies to the
+        hierarchical algorithm, whose merge loop is the one Phase 3 step
+        that can blow up combinatorially; passing ``None`` leaves the
+        computation byte-identical to an unsupervised run.
+        """
         assert self._tree is not None
         entries = self._tree.leaf_entries()
         if not entries:
@@ -664,6 +1007,7 @@ class Birch:
             n_clusters=self.config.n_clusters,
             metric=self.config.metric,
             stop_diameter=self.config.phase3_stop_diameter,
+            deadline=deadline,
         )
 
     def _reset(self) -> None:
@@ -679,3 +1023,8 @@ class Birch:
         self._result = None
         self._rebuild_history = []
         self._next_checkpoint_at = self.config.checkpoint_every_points or 0
+        self._validator = PointValidator()
+        self._quarantine = None
+        self._watchdog = None
+        self._rows_fed = 0
+        self._points_fed = 0

@@ -157,6 +157,19 @@ def _snapshot_payload(birch: "Birch") -> bytes:
         "tree": {"threshold": tree.threshold, "points": tree.points},
         "budget": {"peak_pages": birch._budget.peak_pages},
         "outliers": handler.state_dict() if handler is not None else None,
+        "guardrails": {
+            "rows_fed": birch._rows_fed,
+            "points_fed": birch._points_fed,
+            "validator": {
+                "dimensions": birch._validator.dimensions,
+                "stats": birch._validator.stats.state_dict(),
+            },
+            "watchdog": (
+                birch._watchdog.state_dict()
+                if birch._watchdog is not None
+                else None
+            ),
+        },
     }
     arrays = {
         f"tree_{key}": value for key, value in tree.export_structure().items()
@@ -166,6 +179,13 @@ def _snapshot_payload(birch: "Birch") -> bytes:
         records, birch.config.cf_backend, birch._dimensions
     ).items():
         arrays[f"outlier_{key}"] = value
+    if birch._quarantine is not None:
+        quarantine_state = birch._quarantine.state_dict()
+        meta["guardrails"]["quarantine"] = quarantine_state.pop("meta")
+        for key, value in quarantine_state.items():
+            arrays[f"quar_{key}"] = value
+    else:
+        meta["guardrails"]["quarantine"] = None
     buffer = io.BytesIO()
     np.savez_compressed(
         buffer,
@@ -180,6 +200,7 @@ def _restore_birch(
     path: Path,
     *,
     outlier_injector: Optional[FaultInjector] = None,
+    quarantine_injector: Optional[FaultInjector] = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> "Birch":
     from repro.core.birch import Birch
@@ -198,13 +219,31 @@ def _restore_birch(
             outlier_ns = data["outlier_ns"]
             outlier_vec = data["outlier_vec"]
             outlier_sq = data["outlier_sq"]
+            quarantine_arrays = None
+            if "quar_rows" in data.files:
+                quarantine_arrays = {
+                    key: data[f"quar_{key}"]
+                    for key in (
+                        "rows",
+                        "reasons",
+                        "weights",
+                        "has_values",
+                        "values",
+                        "offsets",
+                    )
+                }
     except ChecksumMismatchError:  # pragma: no cover - defensive
         raise
     except Exception as exc:
         raise ArchiveError(f"cannot read checkpoint {path}: {exc}")
 
     config = _config_from_dict(meta["config"])
-    birch = Birch(config, outlier_injector=outlier_injector, sleep=sleep)
+    birch = Birch(
+        config,
+        outlier_injector=outlier_injector,
+        quarantine_injector=quarantine_injector,
+        sleep=sleep,
+    )
     dimensions = int(meta["dimensions"])
     birch._initialise(dimensions)
     assert birch._tree is not None and birch._budget is not None
@@ -241,6 +280,24 @@ def _restore_birch(
         )
         birch._outlier_handler.disk.adopt(records)
         birch._outlier_handler.load_state(meta["outliers"])
+    # Guardrails state is absent from pre-guardrails checkpoints; those
+    # resume with fresh (zeroed) validation accounting.
+    guardrails = meta.get("guardrails")
+    if guardrails is not None:
+        birch._rows_fed = int(guardrails["rows_fed"])
+        birch._points_fed = int(guardrails["points_fed"])
+        validator_state = guardrails["validator"]
+        if validator_state["dimensions"] is not None:
+            birch._validator.dimensions = int(validator_state["dimensions"])
+        birch._validator.stats.load_state(validator_state["stats"])
+        if guardrails["watchdog"] is not None and birch._watchdog is not None:
+            birch._watchdog.load_state(guardrails["watchdog"])
+        if guardrails["quarantine"] is not None:
+            assert quarantine_arrays is not None
+            store = birch._ensure_quarantine()
+            store.load_state(
+                {"meta": guardrails["quarantine"], **quarantine_arrays}
+            )
     every = config.checkpoint_every_points
     if every is not None:
         birch._next_checkpoint_at = (birch._points_seen // every + 1) * every
@@ -391,6 +448,7 @@ def load_checkpoint(
     *,
     injector: Optional[FaultInjector] = None,
     outlier_injector: Optional[FaultInjector] = None,
+    quarantine_injector: Optional[FaultInjector] = None,
     attempts: int = 1,
     base_delay: float = 0.0,
     sleep: Callable[[float], None] = time.sleep,
@@ -412,6 +470,8 @@ def load_checkpoint(
     outlier_injector:
         Optional fault injector installed on the restored outlier disk
         (the resumed process may face the same faulty device).
+    quarantine_injector:
+        Likewise for the restored quarantine store.
 
     Raises
     ------
@@ -438,5 +498,9 @@ def load_checkpoint(
     )
     payload = _unseal(raw, path)
     return _restore_birch(
-        payload, path, outlier_injector=outlier_injector, sleep=sleep
+        payload,
+        path,
+        outlier_injector=outlier_injector,
+        quarantine_injector=quarantine_injector,
+        sleep=sleep,
     )

@@ -115,6 +115,31 @@ class BirchConfig:
         escalating to the fault policy.
     io_retry_base_delay:
         Backoff before the first retry, in seconds; doubles per retry.
+    validate_points:
+        Screen every ingested batch through the guardrails
+        :class:`~repro.guardrails.validation.PointValidator` (NaN/Inf,
+        per-row dimension, castability).  On by default; turning it off
+        restores the seed's trust-the-caller behaviour.
+    bad_point_policy:
+        What to do with a row that fails validation: ``"raise"``
+        (default — :class:`~repro.errors.InvalidPointError` naming the
+        row and reason), ``"skip"`` (drop with exact per-reason
+        accounting) or ``"quarantine"`` (store in the bounded
+        :class:`~repro.guardrails.quarantine.QuarantineStore` for
+        post-mortem, with overflow counted as dropped).
+    quarantine_bytes:
+        Capacity of the quarantine store; ``None`` means 10% of
+        ``memory_bytes`` (mirroring the outlier disk's 20%-of-``M``
+        convention at half scale).
+    rebuild_escalation_limit:
+        Consecutive rebuilds allowed to leave the tree still over
+        budget before the memory watchdog trips into degraded mode
+        (the pathological regime the Reducibility Theorem does not
+        cover — threshold growth has stopped shrinking the tree).
+    degraded_mode:
+        Watchdog degraded mode: ``"coarsen"`` forces aggressive
+        threshold growth so the tree physically fits; ``"spill"``
+        additionally diverts unabsorbable entries to the outlier disk.
     """
 
     n_clusters: int
@@ -145,6 +170,11 @@ class BirchConfig:
     outlier_fault_policy: str = "raise"
     io_retry_attempts: int = 4
     io_retry_base_delay: float = 0.01
+    validate_points: bool = True
+    bad_point_policy: str = "raise"
+    quarantine_bytes: Optional[int] = None
+    rebuild_escalation_limit: int = 4
+    degraded_mode: str = "coarsen"
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -215,6 +245,25 @@ class BirchConfig:
                 f"io_retry_base_delay must be >= 0, "
                 f"got {self.io_retry_base_delay}"
             )
+        if self.bad_point_policy not in ("raise", "skip", "quarantine"):
+            raise ValueError(
+                "bad_point_policy must be 'raise', 'skip' or 'quarantine', "
+                f"got {self.bad_point_policy!r}"
+            )
+        if self.quarantine_bytes is not None and self.quarantine_bytes < 0:
+            raise ValueError(
+                f"quarantine_bytes must be >= 0, got {self.quarantine_bytes}"
+            )
+        if self.rebuild_escalation_limit < 1:
+            raise ValueError(
+                f"rebuild_escalation_limit must be >= 1, "
+                f"got {self.rebuild_escalation_limit}"
+            )
+        if self.degraded_mode not in ("coarsen", "spill"):
+            raise ValueError(
+                "degraded_mode must be 'coarsen' or 'spill', "
+                f"got {self.degraded_mode!r}"
+            )
         self.metric = Metric.from_name(self.metric)
 
     @property
@@ -223,3 +272,10 @@ class BirchConfig:
         if self.disk_bytes is not None:
             return self.disk_bytes
         return self.memory_bytes // 5
+
+    @property
+    def effective_quarantine_bytes(self) -> int:
+        """Quarantine capacity: explicit value, or 10% of ``M``."""
+        if self.quarantine_bytes is not None:
+            return self.quarantine_bytes
+        return self.memory_bytes // 10

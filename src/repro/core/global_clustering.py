@@ -20,6 +20,7 @@ cluster and exposing exact cluster CFs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -27,6 +28,7 @@ import numpy as np
 
 from repro.core.distances import Metric, distances_to_set, stable_distances_to_set
 from repro.core.features import CF, AnyCF, StableCF
+from repro.errors import PhaseTimeoutError
 
 __all__ = ["CFKMeans", "CFMedoids", "GlobalClustering", "MergeStep", "agglomerative_cf"]
 
@@ -96,6 +98,7 @@ def agglomerative_cf(
     n_clusters: int = 1,
     metric: Metric = Metric.D2_AVG_INTERCLUSTER,
     stop_diameter: Optional[float] = None,
+    deadline: Optional[float] = None,
 ) -> GlobalClustering:
     """Agglomerative hierarchical clustering over CF vectors.
 
@@ -121,6 +124,17 @@ def agglomerative_cf(
         Any of D0-D4; the paper's experiments use D2 (and mention D4).
     stop_diameter:
         Maximum permitted diameter of any merged cluster, or ``None``.
+    deadline:
+        Optional ``time.monotonic()`` instant; if the merge loop is
+        still running past it, :class:`~repro.errors.PhaseTimeoutError`
+        is raised (the supervisor catches this and falls back to
+        CF-k-means).  ``None`` (the default) never checks the clock, so
+        untimed runs are byte-identical to the original algorithm.
+
+    Raises
+    ------
+    PhaseTimeoutError
+        When ``deadline`` is set and exceeded mid-merge.
     """
     m = len(entries)
     if m == 0:
@@ -201,6 +215,11 @@ def agglomerative_cf(
 
     remaining = m
     while remaining > n_clusters:
+        if deadline is not None and time.monotonic() > deadline:
+            raise PhaseTimeoutError(
+                f"Phase 3 hierarchical merge loop exceeded its deadline "
+                f"with {remaining} clusters remaining (target {n_clusters})"
+            )
         i = int(np.argmin(nn_dist))
         if not np.isfinite(nn_dist[i]):
             break  # every remaining pair is forbidden by stop_diameter

@@ -25,6 +25,7 @@ is how the outlier-handling option hooks into rebuilds (Section 5.1.4).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 from repro.core.features import AnyCF
@@ -65,6 +66,13 @@ def rebuild_tree(
         The rebuilt tree, sharing the old tree's layout, metric, budget
         and I/O ledger.
     """
+    if not math.isfinite(new_threshold):
+        # A runaway threshold schedule (e.g. repeated aggressive
+        # coarsening overflowing to inf/nan) must fail loudly here, not
+        # silently build a tree that absorbs everything into one entry.
+        raise ValueError(
+            f"rebuild threshold must be finite, got {new_threshold}"
+        )
     if new_threshold < old.threshold:
         raise ValueError(
             f"rebuild threshold {new_threshold} is below current {old.threshold}; "

@@ -18,6 +18,7 @@ Options implemented, as in the paper:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -50,6 +51,10 @@ class RefinementResult:
         Number of points dropped by the outlier rule.
     converged:
         True if the last pass left every label unchanged.
+    deadline_hit:
+        True when a ``deadline`` stopped the passes early; the result is
+        still fully consistent (labels/clusters from the last completed
+        pass) — non-convergence is *reported*, never raised.
     """
 
     centroids: np.ndarray
@@ -58,6 +63,7 @@ class RefinementResult:
     passes_run: int
     discarded: int
     converged: bool
+    deadline_hit: bool = False
 
 
 def refine(
@@ -68,6 +74,7 @@ def refine(
     outlier_factor: float = 2.0,
     stats: Optional[IOStats] = None,
     cf_backend: str = "classic",
+    deadline: Optional[float] = None,
 ) -> RefinementResult:
     """Run Phase 4 refinement.
 
@@ -92,6 +99,12 @@ def refine(
         Representation of the returned cluster CFs (``"classic"`` or
         ``"stable"``); with ``"stable"`` the cluster radii used by the
         outlier rule are computed cancellation-free.
+    deadline:
+        Optional ``time.monotonic()`` instant checked between passes:
+        once it is exceeded, no further pass starts and the result
+        carries ``deadline_hit=True`` (graceful degradation — Phase 4
+        never raises on a budget).  ``None`` never checks the clock, so
+        untimed runs are byte-identical to before.
     """
     if cf_backend not in CF_BACKENDS:
         raise ValueError(
@@ -116,8 +129,12 @@ def refine(
         stats.record_scan(n)
     converged = False
     passes_run = 0
+    deadline_hit = False
 
     for _ in range(passes):
+        if deadline is not None and time.monotonic() > deadline:
+            deadline_hit = True
+            break
         new_centroids = _recompute(points, labels, centroids)
         new_labels = _assign(points, new_centroids)
         if stats is not None:
@@ -145,6 +162,7 @@ def refine(
         passes_run=passes_run,
         discarded=discarded,
         converged=converged,
+        deadline_hit=deadline_hit,
     )
 
 

@@ -13,8 +13,10 @@ The hierarchy::
     ReproError
     ├── NotFittedError          (also RuntimeError)
     ├── PhaseError              (also RuntimeError)
+    │   └── PhaseTimeoutError
     ├── ArchiveError            (also ValueError)
     │   └── ChecksumMismatchError
+    ├── InvalidPointError       (also ValueError)
     ├── IOFaultError            (also OSError)
     │   ├── TransientIOError
     │   └── PermanentIOError
@@ -35,10 +37,12 @@ __all__ = [
     "ChecksumMismatchError",
     "DiskFullError",
     "IOFaultError",
+    "InvalidPointError",
     "MemoryExhaustedError",
     "NotFittedError",
     "PermanentIOError",
     "PhaseError",
+    "PhaseTimeoutError",
     "ReproError",
     "TransientIOError",
 ]
@@ -58,6 +62,33 @@ class NotFittedError(ReproError, RuntimeError):
 
 class PhaseError(ReproError, RuntimeError):
     """A pipeline phase could not complete (e.g. Phase 2 cannot condense)."""
+
+
+class PhaseTimeoutError(PhaseError):
+    """A pipeline phase exceeded its wall-clock deadline.
+
+    Raised from inside long-running phase kernels (the Phase 3
+    agglomerative merge loop, Phase 4 refinement passes) when a
+    supervisor-imposed deadline passes; the phase supervisor catches it
+    and falls back to a cheaper algorithm or reports a capped result.
+    """
+
+
+class InvalidPointError(ReproError, ValueError):
+    """An ingested point failed validation (NaN/Inf, bad shape, bad dtype).
+
+    Carries the offending stream row index and the rejection reason so a
+    producer can locate the poisoned record.  Raised by the ingest
+    guardrails under the default ``bad_point_policy="raise"``; the
+    ``"skip"`` and ``"quarantine"`` policies account for the point
+    instead of raising.
+    """
+
+    def __init__(self, message: str, *, row: int | None = None,
+                 reason: str | None = None) -> None:
+        super().__init__(message)
+        self.row = row
+        self.reason = reason
 
 
 class ArchiveError(ReproError, ValueError):

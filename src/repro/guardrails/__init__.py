@@ -1,0 +1,78 @@
+"""Robustness layer wrapped around the BIRCH pipeline.
+
+Production ingest is hostile: records arrive poisoned (NaN/Inf, wrong
+dimensionality, non-numeric dtypes), memory budgets get misconfigured,
+and downstream phases hit inputs their algorithms cannot digest.  This
+package keeps each of those failures *local* and *accounted for*
+instead of letting it corrupt CF sums or abort a multi-hour scan:
+
+``validation``
+    :class:`PointValidator` — streaming screen in front of Phase 1 that
+    classifies every bad row with an exact reason (``nan``/``inf``/
+    ``dimension``/``non_numeric``), driven by
+    ``BirchConfig.bad_point_policy``.
+``quarantine``
+    :class:`QuarantineStore` — bounded, fault-injectable,
+    checkpointable holding pen for rejected rows (built on the
+    pagestore abstractions), with per-reason point accounting.
+``watchdog``
+    :class:`MemoryWatchdog` — rebuild-escalation circuit breaker for
+    the out-of-memory loop, with ``coarsen``/``spill`` degraded modes.
+``supervisor``
+    :func:`run_supervised` — executes Phases 1-4 under per-phase
+    deadlines and iteration budgets with typed fallbacks, emitting a
+    structured :class:`RunReport`.
+
+The supervisor is imported lazily (it drives :class:`~repro.core.birch.
+Birch`, which itself uses the other guardrails — an eager import would
+be circular).
+"""
+
+from __future__ import annotations
+
+from repro.guardrails.quarantine import QuarantineStore
+from repro.guardrails.validation import (
+    BAD_POINT_POLICIES,
+    BAD_POINT_REASONS,
+    PointValidator,
+    RejectedPoint,
+    ScreenResult,
+)
+from repro.guardrails.watchdog import (
+    DEGRADED_MODES,
+    MemoryWatchdog,
+    WatchdogReport,
+)
+
+__all__ = [
+    "BAD_POINT_POLICIES",
+    "BAD_POINT_REASONS",
+    "DEGRADED_MODES",
+    "MemoryWatchdog",
+    "PhaseBudgets",
+    "PhaseOutcome",
+    "PointValidator",
+    "QuarantineStore",
+    "RejectedPoint",
+    "RunReport",
+    "ScreenResult",
+    "SupervisedRun",
+    "WatchdogReport",
+    "run_supervised",
+]
+
+_SUPERVISOR_NAMES = {
+    "PhaseBudgets",
+    "PhaseOutcome",
+    "RunReport",
+    "SupervisedRun",
+    "run_supervised",
+}
+
+
+def __getattr__(name: str):
+    if name in _SUPERVISOR_NAMES:
+        from repro.guardrails import supervisor
+
+        return getattr(supervisor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,270 @@
+"""Bounded quarantine for rejected ingest records.
+
+Under ``bad_point_policy="quarantine"`` a rejected row is not discarded
+— it goes to a :class:`QuarantineStore` so an operator can inspect,
+repair and re-feed the poisoned records after the scan.  The store is
+built on the same :class:`~repro.pagestore.disk.DiskStore` abstraction
+as the outlier disk, which buys three properties for free:
+
+* **bounded**: quarantine space is capped in bytes, like the paper's
+  outlier disk ``R`` — a poisoned firehose cannot balloon memory; when
+  the store is full, further records are *dropped with accounting*
+  (``overflow`` counters), never silently;
+* **fault-injectable**: a :class:`~repro.pagestore.faults.FaultInjector`
+  can be installed on the underlying store, so the quarantine path is
+  exercised by the same deterministic fault schedules as every other
+  I/O surface (a permanent fault degrades the store: later records are
+  counted as overflow rather than lost);
+* **checkpointable**: contents and counters round-trip through
+  ``state_dict``-style arrays, so quarantine accounting survives a
+  crash/resume cycle exactly.
+
+Accounting is exact and per-reason: ``clustered + outliers + quarantined
++ dropped == total points fed`` must hold at all times, and the
+quarantine side of that identity lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import PermanentIOError, TransientIOError
+from repro.guardrails.validation import BAD_POINT_REASONS, RejectedPoint
+from repro.pagestore.disk import DiskFullError, DiskStore
+from repro.pagestore.faults import FaultInjector, FaultyDiskStore, retry_io
+from repro.pagestore.iostats import IOStats
+
+__all__ = ["QuarantineStore"]
+
+#: Stable integer codes for the reason strings (array serialisation).
+_REASON_CODES = {reason: i for i, reason in enumerate(BAD_POINT_REASONS)}
+_CODE_REASONS = {i: reason for reason, i in _REASON_CODES.items()}
+
+
+class QuarantineStore:
+    """Bounded, fault-injectable store of rejected ingest records.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total simulated quarantine space; the analogue of the outlier
+        disk's ``R``.
+    record_bytes:
+        Charged size of one quarantined record.
+    page_size:
+        Transfer granularity for I/O accounting.
+    stats:
+        Shared :class:`IOStats` ledger (optional).
+    injector:
+        Optional deterministic fault injector on the underlying store.
+    retry_attempts / retry_base_delay:
+        Transient-fault retry parameters (see
+        :func:`~repro.pagestore.faults.retry_io`).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        record_bytes: int,
+        page_size: int = 1024,
+        stats: Optional[IOStats] = None,
+        injector: Optional[FaultInjector] = None,
+        retry_attempts: int = 4,
+        retry_base_delay: float = 0.0,
+    ) -> None:
+        disk: DiskStore[RejectedPoint]
+        if injector is not None:
+            disk = FaultyDiskStore(
+                capacity_bytes=capacity_bytes,
+                record_bytes=record_bytes,
+                page_size=page_size,
+                stats=stats,
+                injector=injector,
+            )
+        else:
+            disk = DiskStore(
+                capacity_bytes=capacity_bytes,
+                record_bytes=record_bytes,
+                page_size=page_size,
+                stats=stats,
+            )
+        self.disk = disk
+        self.retry_attempts = retry_attempts
+        self.retry_base_delay = retry_base_delay
+        self._degraded = False
+        self._stored_points_by_reason = {r: 0 for r in BAD_POINT_REASONS}
+        self._overflow_points_by_reason = {r: 0 for r in BAD_POINT_REASONS}
+        self._overflow_rows = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once a permanent fault took the store out of service."""
+        return self._degraded
+
+    def __len__(self) -> int:
+        return len(self.disk)
+
+    @property
+    def stored_points(self) -> int:
+        """Points currently held (rows weighted by multiplicity)."""
+        return sum(self._stored_points_by_reason.values())
+
+    @property
+    def stored_points_by_reason(self) -> dict[str, int]:
+        """Per-reason point counts of held records."""
+        return dict(self._stored_points_by_reason)
+
+    @property
+    def overflow_points(self) -> int:
+        """Points rejected by the *store* (full or faulted) — still counted."""
+        return sum(self._overflow_points_by_reason.values())
+
+    @property
+    def overflow_points_by_reason(self) -> dict[str, int]:
+        """Per-reason point counts of overflowed records."""
+        return dict(self._overflow_points_by_reason)
+
+    @property
+    def total_points(self) -> int:
+        """All points routed here (stored + overflow); the conservation term."""
+        return self.stored_points + self.overflow_points
+
+    @property
+    def points_by_reason(self) -> dict[str, int]:
+        """Per-reason totals over stored and overflowed records."""
+        return {
+            r: self._stored_points_by_reason[r]
+            + self._overflow_points_by_reason[r]
+            for r in BAD_POINT_REASONS
+        }
+
+    def records(self) -> Iterator[RejectedPoint]:
+        """Iterate held records without I/O charges."""
+        return self.disk.peek()
+
+    # -- ingest --------------------------------------------------------------
+
+    def add(self, record: RejectedPoint) -> bool:
+        """Quarantine one record; always accounts for it.
+
+        Returns True if the record was physically stored, False if it
+        overflowed (store full, or degraded by a permanent fault).
+        Either way the record's points are counted, so conservation
+        accounting never loses a point.
+        """
+        if self._degraded:
+            self._note_overflow(record)
+            return False
+        try:
+            retry_io(
+                lambda: self.disk.write(record),
+                attempts=self.retry_attempts,
+                base_delay=self.retry_base_delay,
+                sleep=lambda _delay: None,
+            )
+        except DiskFullError:
+            self._note_overflow(record)
+            return False
+        except (TransientIOError, PermanentIOError):
+            self._degraded = True
+            self._note_overflow(record)
+            return False
+        self._stored_points_by_reason[record.reason] += record.weight
+        return True
+
+    def _note_overflow(self, record: RejectedPoint) -> None:
+        self._overflow_points_by_reason[record.reason] += record.weight
+        self._overflow_rows += 1
+
+    def drain(self) -> list[RejectedPoint]:
+        """Remove and return every held record (for repair/re-feed)."""
+        records = self.disk.drain()
+        self._stored_points_by_reason = {r: 0 for r in BAD_POINT_REASONS}
+        return records
+
+    # -- checkpoint support --------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """Counters plus record arrays, for checkpointing.
+
+        Row values are ragged (a dimension-mismatched row is by
+        definition the wrong length), so they are stored flattened with
+        offsets; ``non_numeric`` rows carry no values (empty slice).
+        """
+        records = list(self.disk.peek())
+        offsets = [0]
+        flat: list[float] = []
+        for rec in records:
+            values = rec.values if rec.values is not None else ()
+            flat.extend(values)
+            offsets.append(len(flat))
+        return {
+            "meta": {
+                "degraded": self._degraded,
+                "stored_points_by_reason": dict(self._stored_points_by_reason),
+                "overflow_points_by_reason": dict(
+                    self._overflow_points_by_reason
+                ),
+                "overflow_rows": self._overflow_rows,
+            },
+            "rows": np.array([rec.row for rec in records], dtype=np.int64),
+            "reasons": np.array(
+                [_REASON_CODES[rec.reason] for rec in records], dtype=np.int64
+            ),
+            "weights": np.array(
+                [rec.weight for rec in records], dtype=np.int64
+            ),
+            "has_values": np.array(
+                [rec.values is not None for rec in records], dtype=bool
+            ),
+            "values": np.array(flat, dtype=np.float64),
+            "offsets": np.array(offsets, dtype=np.int64),
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore a snapshot saved by :meth:`state_dict`."""
+        meta = state["meta"]
+        self._degraded = bool(meta["degraded"])
+        self._stored_points_by_reason = {
+            r: int(meta["stored_points_by_reason"].get(r, 0))
+            for r in BAD_POINT_REASONS
+        }
+        self._overflow_points_by_reason = {
+            r: int(meta["overflow_points_by_reason"].get(r, 0))
+            for r in BAD_POINT_REASONS
+        }
+        self._overflow_rows = int(meta["overflow_rows"])
+        rows = np.asarray(state["rows"], dtype=np.int64)
+        reasons = np.asarray(state["reasons"], dtype=np.int64)
+        weights = np.asarray(state["weights"], dtype=np.int64)
+        has_values = np.asarray(state["has_values"], dtype=bool)
+        values = np.asarray(state["values"], dtype=np.float64)
+        offsets = np.asarray(state["offsets"], dtype=np.int64)
+        records: list[RejectedPoint] = []
+        for i in range(rows.shape[0]):
+            vals: Optional[tuple[float, ...]] = None
+            if has_values[i]:
+                vals = tuple(
+                    float(v) for v in values[offsets[i] : offsets[i + 1]]
+                )
+            records.append(
+                RejectedPoint(
+                    row=int(rows[i]),
+                    reason=_CODE_REASONS[int(reasons[i])],
+                    values=vals,
+                    weight=int(weights[i]),
+                )
+            )
+        self.disk.adopt(records)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuarantineStore({len(self.disk)} records, "
+            f"{self.stored_points} points held, "
+            f"{self.overflow_points} overflowed"
+            f"{', DEGRADED' if self._degraded else ''})"
+        )

@@ -1,0 +1,366 @@
+"""Streaming ingest validation: the first guardrail in front of Phase 1.
+
+BIRCH's CF sums are *additive* — which is exactly why they are fragile:
+one NaN added to ``LS`` poisons every centroid, radius and distance the
+tree will ever compute, and nothing downstream can tell (the BETULA
+paper's observation that silently-corrupting arithmetic hides for a
+long time applies doubly to corrupting *inputs*).  ``PointValidator``
+therefore screens every batch before it reaches the tree and classifies
+each bad row with an exact reason:
+
+* ``"nan"`` — the row contains at least one NaN;
+* ``"inf"`` — the row contains at least one +/-Inf (and no NaN);
+* ``"dimension"`` — the row's length disagrees with the stream's
+  dimensionality (established by the first valid row, or pinned by the
+  estimator once its tree exists);
+* ``"non_numeric"`` — the row cannot be cast to float64 at all.
+
+What happens to a bad row is the caller's ``bad_point_policy``:
+``"raise"`` (default — fail fast with :class:`InvalidPointError` naming
+the stream row index and reason), ``"skip"`` (drop with accounting) or
+``"quarantine"`` (hand to a bounded :class:`QuarantineStore` for
+post-mortem).  The validator itself only *classifies*; it never mutates
+accepted rows, so a clean batch passes through byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidPointError
+
+__all__ = [
+    "BAD_POINT_POLICIES",
+    "BAD_POINT_REASONS",
+    "PointValidator",
+    "RejectedPoint",
+    "ScreenResult",
+]
+
+BAD_POINT_POLICIES = ("raise", "skip", "quarantine")
+
+#: Every reason a row can be rejected for, in reporting order.
+BAD_POINT_REASONS = ("nan", "inf", "dimension", "non_numeric")
+
+
+@dataclass(frozen=True)
+class RejectedPoint:
+    """One rejected row: where it was, why, and what it contained.
+
+    Attributes
+    ----------
+    row:
+        Global stream row index (0-based across all batches fed so far).
+    reason:
+        One of :data:`BAD_POINT_REASONS`.
+    values:
+        The row's float values where castable (NaN/Inf preserved);
+        ``None`` for ``"non_numeric"`` rows.
+    weight:
+        Point multiplicity of the row (1 unless the caller passed
+        weights), so accounting stays exact in *point* units.
+    """
+
+    row: int
+    reason: str
+    values: Optional[tuple[float, ...]]
+    weight: int = 1
+
+
+@dataclass
+class ScreenResult:
+    """Outcome of screening one batch.
+
+    ``points``/``weights`` hold only the accepted rows (float64,
+    original order preserved); ``rejected`` holds one record per bad
+    row.  ``kept_mask`` maps back to the raw batch rows.
+    """
+
+    points: np.ndarray
+    weights: Optional[np.ndarray]
+    rejected: list[RejectedPoint]
+    kept_mask: np.ndarray
+
+    @property
+    def n_rejected(self) -> int:
+        """Rows rejected in this batch."""
+        return len(self.rejected)
+
+
+@dataclass
+class ValidatorStats:
+    """Lifetime per-reason accounting, in both row and point units."""
+
+    rows_by_reason: dict[str, int] = field(
+        default_factory=lambda: {r: 0 for r in BAD_POINT_REASONS}
+    )
+    points_by_reason: dict[str, int] = field(
+        default_factory=lambda: {r: 0 for r in BAD_POINT_REASONS}
+    )
+
+    @property
+    def total_rows(self) -> int:
+        """Total rejected rows."""
+        return sum(self.rows_by_reason.values())
+
+    @property
+    def total_points(self) -> int:
+        """Total rejected points (rows weighted by multiplicity)."""
+        return sum(self.points_by_reason.values())
+
+    def note(self, reason: str, weight: int) -> None:
+        """Count one rejected row of ``weight`` points."""
+        self.rows_by_reason[reason] += 1
+        self.points_by_reason[reason] += weight
+
+    def state_dict(self) -> dict[str, dict[str, int]]:
+        """Counters as plain dicts, for checkpointing."""
+        return {
+            "rows_by_reason": dict(self.rows_by_reason),
+            "points_by_reason": dict(self.points_by_reason),
+        }
+
+    def load_state(self, state: dict[str, dict[str, int]]) -> None:
+        """Restore counters saved by :meth:`state_dict`."""
+        for reason, count in state.get("rows_by_reason", {}).items():
+            self.rows_by_reason[reason] = int(count)
+        for reason, count in state.get("points_by_reason", {}).items():
+            self.points_by_reason[reason] = int(count)
+
+
+class PointValidator:
+    """Classify each incoming row as clean or bad-with-reason.
+
+    Parameters
+    ----------
+    dimensions:
+        Expected dimensionality, or ``None`` to learn it from the first
+        castable row of the stream.  The estimator pins this once its
+        tree exists so every later batch is held to the same ``d``.
+
+    Notes
+    -----
+    The validator is policy-agnostic: it returns a
+    :class:`ScreenResult` and counts rejections in :attr:`stats`;
+    deciding to raise/skip/quarantine is the caller's job (see
+    :meth:`repro.core.birch.Birch.partial_fit`).
+    """
+
+    def __init__(self, dimensions: Optional[int] = None) -> None:
+        if dimensions is not None and dimensions < 1:
+            raise ValueError(f"dimensions must be >= 1, got {dimensions}")
+        self.dimensions = dimensions
+        self.stats = ValidatorStats()
+
+    # -- classification ------------------------------------------------------
+
+    def screen(
+        self,
+        raw: object,
+        *,
+        start_row: int = 0,
+        weights: Optional[np.ndarray] = None,
+    ) -> ScreenResult:
+        """Split one batch into accepted rows and classified rejects.
+
+        Parameters
+        ----------
+        raw:
+            The batch as the caller supplied it: a ``(n, d)`` array, or
+            a sequence of rows (possibly ragged / non-numeric — exactly
+            the poisoned shapes this layer exists to catch).
+        start_row:
+            Global index of the batch's first row, so every
+            :class:`RejectedPoint` names its position in the *stream*.
+        weights:
+            Optional per-row multiplicities, already validated by the
+            caller; filtered in lockstep with the rows.
+
+        Raises
+        ------
+        ValueError
+            For structural misuse that is not a per-row problem: an
+            empty batch, or an array that is not 2-d.
+        """
+        rows, castable = self._as_rows(raw)
+        if len(rows) == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        if castable is not None:
+            return self._screen_rectangular(castable, start_row, weights)
+        return self._screen_rows(rows, start_row, weights)
+
+    def raise_first(self, result: ScreenResult) -> None:
+        """Raise :class:`InvalidPointError` for the first rejected row."""
+        if not result.rejected:
+            return
+        bad = result.rejected[0]
+        detail = {
+            "nan": "contains NaN",
+            "inf": "contains Inf",
+            "non_numeric": "is not castable to float",
+        }.get(bad.reason)
+        if bad.reason == "dimension":
+            have = len(bad.values) if bad.values is not None else "?"
+            detail = f"has {have} dimensions, stream has {self.dimensions}"
+        raise InvalidPointError(
+            f"invalid point at row {bad.row}: {detail} "
+            f"(reason={bad.reason!r}; {result.n_rejected} bad row(s) in "
+            f"this batch)",
+            row=bad.row,
+            reason=bad.reason,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _as_rows(
+        self, raw: object
+    ) -> tuple[Sequence[object], Optional[np.ndarray]]:
+        """Normalise input to (row sequence, rectangular float array | None)."""
+        try:
+            arr = np.asarray(raw, dtype=np.float64)
+        except (ValueError, TypeError):
+            arr = np.asarray(raw, dtype=object)
+        if arr.dtype == object:
+            # ndim == 2 happens when the rows align but some cell is not
+            # castable (e.g. a string): still a per-row problem.
+            if arr.ndim == 2:
+                return [list(row) for row in arr], None
+            if arr.ndim != 1:
+                raise ValueError(
+                    f"points must be a (n, d) array or a sequence of rows, "
+                    f"got object array of shape {arr.shape}"
+                )
+            return list(arr), None
+        if arr.ndim != 2:
+            raise ValueError(
+                f"points must be a non-empty (n, d) array, got shape {arr.shape}"
+            )
+        return [None] * arr.shape[0], arr
+
+    def _screen_rectangular(
+        self,
+        arr: np.ndarray,
+        start_row: int,
+        weights: Optional[np.ndarray],
+    ) -> ScreenResult:
+        """Vectorised screen of a well-shaped float batch."""
+        n, d = arr.shape
+        rejected: list[RejectedPoint] = []
+        if self.dimensions is not None and d != self.dimensions:
+            # Every row in the batch is the wrong width.
+            kept = np.zeros(n, dtype=bool)
+            for i in range(n):
+                w = int(weights[i]) if weights is not None else 1
+                rejected.append(
+                    RejectedPoint(
+                        row=start_row + i,
+                        reason="dimension",
+                        values=tuple(float(v) for v in arr[i]),
+                        weight=w,
+                    )
+                )
+                self.stats.note("dimension", w)
+            return ScreenResult(
+                points=np.empty((0, self.dimensions), dtype=np.float64),
+                weights=(
+                    np.empty(0, dtype=weights.dtype)
+                    if weights is not None
+                    else None
+                ),
+                rejected=rejected,
+                kept_mask=kept,
+            )
+        if self.dimensions is None:
+            self.dimensions = d
+        has_nan = np.isnan(arr).any(axis=1)
+        has_inf = np.isinf(arr).any(axis=1) & ~has_nan
+        kept = ~(has_nan | has_inf)
+        for i in np.nonzero(~kept)[0]:
+            reason = "nan" if has_nan[i] else "inf"
+            w = int(weights[i]) if weights is not None else 1
+            rejected.append(
+                RejectedPoint(
+                    row=start_row + int(i),
+                    reason=reason,
+                    values=tuple(float(v) for v in arr[i]),
+                    weight=w,
+                )
+            )
+            self.stats.note(reason, w)
+        return ScreenResult(
+            points=arr[kept],
+            weights=weights[kept] if weights is not None else None,
+            rejected=rejected,
+            kept_mask=kept,
+        )
+
+    def _screen_rows(
+        self,
+        rows: Sequence[object],
+        start_row: int,
+        weights: Optional[np.ndarray],
+    ) -> ScreenResult:
+        """Row-by-row screen of a ragged or mixed-type batch."""
+        kept = np.zeros(len(rows), dtype=bool)
+        clean: list[np.ndarray] = []
+        kept_weights: list[int] = []
+        rejected: list[RejectedPoint] = []
+        for i, row in enumerate(rows):
+            w = int(weights[i]) if weights is not None else 1
+            try:
+                vec = np.asarray(row, dtype=np.float64)
+            except (ValueError, TypeError):
+                vec = None
+            if vec is None or vec.ndim != 1 or vec.shape[0] == 0:
+                rejected.append(
+                    RejectedPoint(
+                        row=start_row + i,
+                        reason="non_numeric",
+                        values=None,
+                        weight=w,
+                    )
+                )
+                self.stats.note("non_numeric", w)
+                continue
+            if self.dimensions is None:
+                # First castable row of the stream defines d.
+                self.dimensions = int(vec.shape[0])
+            reason = None
+            if vec.shape[0] != self.dimensions:
+                reason = "dimension"
+            elif np.isnan(vec).any():
+                reason = "nan"
+            elif np.isinf(vec).any():
+                reason = "inf"
+            if reason is not None:
+                rejected.append(
+                    RejectedPoint(
+                        row=start_row + i,
+                        reason=reason,
+                        values=tuple(float(v) for v in vec),
+                        weight=w,
+                    )
+                )
+                self.stats.note(reason, w)
+                continue
+            kept[i] = True
+            clean.append(vec)
+            kept_weights.append(w)
+        d = self.dimensions if self.dimensions is not None else 0
+        points = (
+            np.stack(clean).astype(np.float64)
+            if clean
+            else np.empty((0, max(d, 1)), dtype=np.float64)
+        )
+        out_weights = None
+        if weights is not None:
+            out_weights = np.asarray(kept_weights, dtype=weights.dtype)
+        return ScreenResult(
+            points=points,
+            weights=out_weights,
+            rejected=rejected,
+            kept_mask=kept,
+        )

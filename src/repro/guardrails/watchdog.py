@@ -1,0 +1,187 @@
+"""Memory watchdog: rebuild-escalation limits and degraded modes.
+
+Phase 1's answer to memory pressure is the Section 4.2 loop: grow the
+threshold, rebuild, continue.  The Reducibility Theorem guarantees a
+rebuild never *grows* the tree — but it does not guarantee the rebuilt
+tree fits the budget.  When ``M`` is pathologically small (fewer pages
+than even a collapsed tree needs) or the data refuses to compress at
+any threshold the policy proposes, the naive loop degenerates into a
+rebuild per insertion: the run neither crashes nor progresses, and the
+paper's out-of-memory discussion (§4.2) has nothing to say about it.
+
+``MemoryWatchdog`` is the circuit breaker for that loop.  It observes
+every rebuild; after ``escalation_limit`` *consecutive* rebuilds that
+leave the tree still over budget, it trips into a documented degraded
+mode chosen by ``degraded_mode``:
+
+* ``"coarsen"`` — force the threshold up by an aggressive multiplicative
+  factor (doubling the factor each round) so entries merge far faster
+  than the policy's conservative schedule would allow; accuracy is
+  traded for a tree that physically fits.
+* ``"spill"`` — like coarsen, but between coarsen rounds the driver
+  also diverts entries that will not absorb into the existing tree to
+  the outlier disk, trading disk traffic for memory.
+
+In degraded mode the driver stops rebuilding on every over-budget
+insert; it re-coarsens only when the tree has *doubled* since the last
+rebuild, so rebuild frequency is geometric, not per-point.  The
+watchdog's counters are reported in :class:`~repro.core.birch.BirchResult`
+and in the supervisor's ``RunReport``, and survive checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DEGRADED_MODES", "MemoryWatchdog", "WatchdogReport"]
+
+DEGRADED_MODES = ("coarsen", "spill")
+
+
+@dataclass
+class WatchdogReport:
+    """Snapshot of the watchdog's state for result/run reporting.
+
+    Attributes
+    ----------
+    degraded:
+        True once the escalation limit tripped.
+    mode:
+        The configured degraded mode (``"coarsen"`` or ``"spill"``).
+    ineffective_rebuilds:
+        Rebuilds that left the tree still over budget (lifetime count).
+    coarsen_rebuilds:
+        Forced aggressive rebuilds performed after tripping.
+    escalation_limit:
+        Consecutive ineffective rebuilds tolerated before tripping.
+    """
+
+    degraded: bool
+    mode: str
+    ineffective_rebuilds: int
+    coarsen_rebuilds: int
+    escalation_limit: int
+
+
+class MemoryWatchdog:
+    """Detects rebuild loops that stop shrinking the tree.
+
+    Parameters
+    ----------
+    escalation_limit:
+        Consecutive over-budget rebuilds tolerated before degrading.
+    mode:
+        Degraded mode to enter (``"coarsen"`` or ``"spill"``).
+    coarsen_factor:
+        Initial multiplicative threshold bump for forced rebuilds;
+        doubles after every forced rebuild that still fails to fit.
+    """
+
+    def __init__(
+        self,
+        escalation_limit: int = 4,
+        mode: str = "coarsen",
+        coarsen_factor: float = 4.0,
+    ) -> None:
+        if escalation_limit < 1:
+            raise ValueError(
+                f"escalation_limit must be >= 1, got {escalation_limit}"
+            )
+        if mode not in DEGRADED_MODES:
+            raise ValueError(
+                f"mode must be one of {DEGRADED_MODES}, got {mode!r}"
+            )
+        if coarsen_factor <= 1.0:
+            raise ValueError(
+                f"coarsen_factor must be > 1, got {coarsen_factor}"
+            )
+        self.escalation_limit = escalation_limit
+        self.mode = mode
+        self.coarsen_factor = coarsen_factor
+        self._consecutive_ineffective = 0
+        self._ineffective_total = 0
+        self._coarsen_rebuilds = 0
+        self._degraded = False
+        self._pages_at_last_rebuild = 0
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once the escalation limit has tripped."""
+        return self._degraded
+
+    def observe_rebuild(self, pages_after: int, capacity_pages: int) -> None:
+        """Record one rebuild's outcome; may trip the breaker.
+
+        A rebuild is *ineffective* when the rebuilt tree still exceeds
+        the steady-state budget — threshold growth is no longer buying
+        memory.  ``escalation_limit`` consecutive ineffective rebuilds
+        trip the watchdog into degraded mode.
+        """
+        self._pages_at_last_rebuild = pages_after
+        if pages_after > capacity_pages:
+            self._consecutive_ineffective += 1
+            self._ineffective_total += 1
+            if self._consecutive_ineffective >= self.escalation_limit:
+                self._degraded = True
+        else:
+            self._consecutive_ineffective = 0
+
+    def note_coarsen_rebuild(self, pages_after: int) -> None:
+        """Record a forced degraded-mode rebuild (doubles the factor)."""
+        self._coarsen_rebuilds += 1
+        self.coarsen_factor *= 2.0
+        self._pages_at_last_rebuild = pages_after
+
+    #: Pages of headroom kept below the budget's insertion slack: a
+    #: forced rebuild must fire before a hard allocation failure would.
+    HARD_MARGIN = 24
+
+    def should_recoarsen(self, pages_in_use: int, capacity_pages: int) -> bool:
+        """Whether degraded mode should force another coarsen rebuild.
+
+        Fires when the tree has doubled since the last rebuild, or when
+        it is approaching the budget's hard allocation cap — so forced
+        rebuilds stay geometric in frequency instead of per-insert, yet
+        always pre-empt a :class:`~repro.errors.MemoryExhaustedError`.
+        """
+        if not self._degraded:
+            return False
+        if pages_in_use <= capacity_pages:
+            return False
+        if pages_in_use >= capacity_pages + self.HARD_MARGIN:
+            return True
+        return pages_in_use >= 2 * max(self._pages_at_last_rebuild, 1)
+
+    # -- reporting / persistence --------------------------------------------
+
+    def report(self) -> WatchdogReport:
+        """Current counters as an immutable report."""
+        return WatchdogReport(
+            degraded=self._degraded,
+            mode=self.mode,
+            ineffective_rebuilds=self._ineffective_total,
+            coarsen_rebuilds=self._coarsen_rebuilds,
+            escalation_limit=self.escalation_limit,
+        )
+
+    def state_dict(self) -> dict[str, object]:
+        """Counters and breaker state, for checkpointing."""
+        return {
+            "consecutive_ineffective": self._consecutive_ineffective,
+            "ineffective_total": self._ineffective_total,
+            "coarsen_rebuilds": self._coarsen_rebuilds,
+            "degraded": self._degraded,
+            "pages_at_last_rebuild": self._pages_at_last_rebuild,
+            "coarsen_factor": self.coarsen_factor,
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore a snapshot saved by :meth:`state_dict`."""
+        self._consecutive_ineffective = int(state["consecutive_ineffective"])
+        self._ineffective_total = int(state["ineffective_total"])
+        self._coarsen_rebuilds = int(state["coarsen_rebuilds"])
+        self._degraded = bool(state["degraded"])
+        self._pages_at_last_rebuild = int(state["pages_at_last_rebuild"])
+        self.coarsen_factor = float(state["coarsen_factor"])

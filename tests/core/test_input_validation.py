@@ -16,6 +16,8 @@ actual mismatch, for both CF backends.
 import numpy as np
 import pytest
 
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
 from repro.core.distances import (
     Metric,
     distances_to_set,
@@ -23,6 +25,7 @@ from repro.core.distances import (
     stable_distances_to_set,
 )
 from repro.core.features import CF, CF_BACKENDS, StableCF
+from repro.errors import InvalidPointError
 
 BACKENDS = sorted(CF_BACKENDS)
 
@@ -133,3 +136,63 @@ class TestDistancesToSetValidation:
             probe, np.empty(0), np.empty((0, 2)), np.empty(0), metric
         )
         assert out.shape == (0,)
+
+
+class TestBirchIngestValidation:
+    """The estimator-level guardrail: ``fit`` rejects poisoned rows by
+    default, naming the offending row and the reason."""
+
+    def _points(self):
+        rng = np.random.default_rng(5)
+        return rng.normal(0.0, 4.0, (120, 2))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_nan_raises_invalid_point_by_default(self, backend):
+        points = self._points()
+        points[37, 1] = np.nan
+        est = Birch(BirchConfig(n_clusters=2, cf_backend=backend))
+        with pytest.raises(InvalidPointError, match="row 37") as excinfo:
+            est.fit(points)
+        assert excinfo.value.row == 37
+        assert excinfo.value.reason == "nan"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_inf_raises_with_reason(self, backend):
+        points = self._points()
+        points[0, 0] = np.inf
+        est = Birch(BirchConfig(n_clusters=2, cf_backend=backend))
+        with pytest.raises(InvalidPointError, match="contains Inf"):
+            est.fit(points)
+
+    def test_partial_fit_row_index_is_stream_global(self):
+        points = self._points()
+        points[60, 0] = np.nan  # row 10 of the *second* batch
+        est = Birch(BirchConfig(n_clusters=2))
+        est.partial_fit(points[:50])
+        with pytest.raises(InvalidPointError, match="row 60"):
+            est.partial_fit(points[50:])
+
+    def test_dimension_change_mid_stream_raises(self):
+        est = Birch(BirchConfig(n_clusters=2))
+        est.partial_fit(self._points())
+        with pytest.raises(InvalidPointError, match="dimension"):
+            est.partial_fit(np.ones((5, 3)))
+
+    def test_invalid_point_error_is_a_value_error(self):
+        """Callers that catch ``ValueError`` keep working."""
+        points = self._points()
+        points[3, 0] = np.nan
+        with pytest.raises(ValueError):
+            Birch(BirchConfig(n_clusters=2)).fit(points)
+
+    def test_legacy_opt_out_restores_old_behaviour(self):
+        points = self._points()
+        points[3, 0] = np.nan
+        # Generous memory: no rebuild, so the poisoned threshold guard
+        # in rebuild_tree is never reached either.
+        config = BirchConfig(
+            n_clusters=2, validate_points=False, memory_bytes=1 << 20
+        )
+        # No InvalidPointError: NaN flows into the tree as before.
+        result = Birch(config).fit(points)
+        assert result is not None

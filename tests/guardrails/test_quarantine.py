@@ -1,0 +1,121 @@
+"""Tests for the bounded, fault-injectable :class:`QuarantineStore`."""
+
+import pytest
+
+from repro.guardrails.quarantine import QuarantineStore
+from repro.guardrails.validation import RejectedPoint
+from repro.pagestore.faults import FaultInjector
+
+pytestmark = pytest.mark.guardrails
+
+
+def rec(row, reason="nan", values=(1.0, 2.0), weight=1):
+    return RejectedPoint(row=row, reason=reason, values=values, weight=weight)
+
+
+def make_store(capacity_records=4, **kwargs):
+    return QuarantineStore(
+        capacity_bytes=capacity_records * 64, record_bytes=64, **kwargs
+    )
+
+
+class TestBoundedCapacity:
+    def test_stores_until_full_then_overflows_with_accounting(self):
+        store = make_store(capacity_records=2)
+        assert store.add(rec(0))
+        assert store.add(rec(1))
+        assert not store.add(rec(2))  # full: overflow, still counted
+        assert store.stored_points == 2
+        assert store.overflow_points == 1
+        assert store.total_points == 3  # conservation term never loses points
+
+    def test_weights_counted_in_point_units(self):
+        store = make_store()
+        store.add(rec(0, weight=7))
+        assert store.stored_points == 7
+        assert store.points_by_reason["nan"] == 7
+
+    def test_per_reason_accounting(self):
+        store = make_store(capacity_records=8)
+        store.add(rec(0, reason="nan"))
+        store.add(rec(1, reason="inf"))
+        store.add(rec(2, reason="dimension", values=(1.0, 2.0, 3.0)))
+        store.add(rec(3, reason="non_numeric", values=None))
+        assert store.points_by_reason == {
+            "nan": 1, "inf": 1, "dimension": 1, "non_numeric": 1,
+        }
+
+    def test_drain_empties_and_resets_stored_counts(self):
+        store = make_store()
+        store.add(rec(0))
+        store.add(rec(1))
+        records = store.drain()
+        assert [r.row for r in records] == [0, 1]
+        assert store.stored_points == 0
+        assert len(store) == 0
+
+
+class TestFaultInjection:
+    def test_transient_faults_heal_under_retry(self):
+        injector = FaultInjector(kind="transient", fail_every=2)
+        store = make_store(injector=injector, retry_attempts=4)
+        for i in range(4):
+            assert store.add(rec(i))
+        assert store.stored_points == 4
+        assert not store.degraded
+        assert injector.faults_injected > 0
+
+    def test_permanent_fault_degrades_store_not_accounting(self):
+        injector = FaultInjector(kind="permanent", fail_every=3)
+        store = make_store(capacity_records=8, injector=injector)
+        results = [store.add(rec(i)) for i in range(6)]
+        assert store.degraded
+        assert not all(results)
+        # Every record is accounted for despite the dead device.
+        assert store.total_points == 6
+        assert store.stored_points + store.overflow_points == 6
+
+    def test_degraded_store_rejects_everything_after(self):
+        injector = FaultInjector(kind="permanent", fail_every=1)
+        store = make_store(injector=injector)
+        assert not store.add(rec(0))
+        assert not store.add(rec(1))
+        assert store.overflow_points == 2
+        assert store.stored_points == 0
+
+
+class TestStateRoundTrip:
+    def test_records_and_counters_survive(self):
+        store = make_store(capacity_records=2)
+        store.add(rec(3, reason="nan", values=(1.0, float("nan"))))
+        store.add(rec(9, reason="dimension", values=(1.0, 2.0, 3.0), weight=2))
+        store.add(rec(11, reason="inf"))  # overflows
+        state = store.state_dict()
+
+        fresh = make_store(capacity_records=2)
+        fresh.load_state(state)
+        assert fresh.stored_points == store.stored_points
+        assert fresh.overflow_points == store.overflow_points
+        assert fresh.points_by_reason == store.points_by_reason
+        restored = list(fresh.records())
+        assert [r.row for r in restored] == [3, 9]
+        assert restored[1].values == (1.0, 2.0, 3.0)
+        assert restored[1].weight == 2
+
+    def test_ragged_and_valueless_rows_round_trip(self):
+        store = make_store(capacity_records=4)
+        store.add(rec(0, reason="non_numeric", values=None))
+        store.add(rec(1, reason="dimension", values=(5.0,)))
+        fresh = make_store(capacity_records=4)
+        fresh.load_state(store.state_dict())
+        restored = list(fresh.records())
+        assert restored[0].values is None
+        assert restored[1].values == (5.0,)
+
+    def test_degraded_flag_round_trips(self):
+        injector = FaultInjector(kind="permanent", fail_every=1)
+        store = make_store(injector=injector)
+        store.add(rec(0))
+        fresh = make_store()
+        fresh.load_state(store.state_dict())
+        assert fresh.degraded

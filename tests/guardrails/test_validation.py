@@ -1,0 +1,150 @@
+"""Tests for the streaming :class:`PointValidator` ingest screen."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidPointError
+from repro.guardrails.validation import (
+    BAD_POINT_REASONS,
+    PointValidator,
+    RejectedPoint,
+)
+
+pytestmark = pytest.mark.guardrails
+
+
+class TestRectangularScreen:
+    def test_clean_batch_passes_byte_identical(self, rng):
+        points = rng.normal(0, 1, (50, 3))
+        result = PointValidator().screen(points)
+        assert result.points.tobytes() == points.tobytes()
+        assert result.rejected == []
+        assert result.kept_mask.all()
+
+    def test_nan_rows_rejected_with_reason(self):
+        points = np.ones((4, 2))
+        points[1, 0] = np.nan
+        points[3, 1] = np.nan
+        result = PointValidator().screen(points)
+        assert result.points.shape == (2, 2)
+        assert [r.row for r in result.rejected] == [1, 3]
+        assert all(r.reason == "nan" for r in result.rejected)
+
+    def test_inf_classified_separately_from_nan(self):
+        points = np.ones((3, 2))
+        points[0, 0] = np.inf
+        points[2, 0] = np.nan
+        points[2, 1] = -np.inf  # NaN wins when a row has both
+        result = PointValidator().screen(points)
+        reasons = {r.row: r.reason for r in result.rejected}
+        assert reasons == {0: "inf", 2: "nan"}
+
+    def test_first_batch_learns_dimensions(self):
+        validator = PointValidator()
+        validator.screen(np.ones((3, 4)))
+        assert validator.dimensions == 4
+
+    def test_pinned_dimensions_reject_whole_batch(self):
+        validator = PointValidator(dimensions=2)
+        result = validator.screen(np.ones((3, 5)))
+        assert result.points.shape == (0, 2)
+        assert all(r.reason == "dimension" for r in result.rejected)
+        assert len(result.rejected) == 3
+
+    def test_start_row_offsets_stream_indices(self):
+        points = np.ones((3, 2))
+        points[1, 0] = np.nan
+        result = PointValidator().screen(points, start_row=100)
+        assert result.rejected[0].row == 101
+
+    def test_weights_filtered_and_counted_in_points(self):
+        points = np.ones((3, 2))
+        points[0, 0] = np.nan
+        weights = np.array([5, 2, 3], dtype=np.int64)
+        validator = PointValidator()
+        result = validator.screen(points, weights=weights)
+        assert result.weights.tolist() == [2, 3]
+        assert validator.stats.points_by_reason["nan"] == 5
+        assert validator.stats.rows_by_reason["nan"] == 1
+
+
+class TestRaggedScreen:
+    def test_ragged_rows_classified_per_row(self):
+        rows = [[1.0, 2.0], [1.0, 2.0, 3.0], ["x", "y"], [np.nan, 0.0]]
+        validator = PointValidator()
+        result = validator.screen(rows)
+        assert result.points.shape == (1, 2)
+        reasons = {r.row: r.reason for r in result.rejected}
+        assert reasons == {1: "dimension", 2: "non_numeric", 3: "nan"}
+
+    def test_first_castable_row_defines_dimensions(self):
+        rows = [["junk"], [7.0, 8.0, 9.0], [1.0, 2.0]]
+        validator = PointValidator()
+        result = validator.screen(rows)
+        assert validator.dimensions == 3
+        assert result.points.shape == (1, 3)
+        reasons = {r.row: r.reason for r in result.rejected}
+        assert reasons == {0: "non_numeric", 2: "dimension"}
+
+    def test_non_numeric_record_has_no_values(self):
+        result = PointValidator().screen([[1.0, 2.0], ["a", "b"]])
+        bad = result.rejected[0]
+        assert bad.reason == "non_numeric"
+        assert bad.values is None
+
+
+class TestStructuralErrors:
+    def test_empty_batch_raises_value_error(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PointValidator().screen(np.empty((0, 2)))
+
+    def test_3d_array_raises_value_error(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PointValidator().screen(np.zeros((2, 2, 2)))
+
+    def test_bad_dimensions_argument(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            PointValidator(dimensions=0)
+
+
+class TestRaiseFirst:
+    def test_names_row_and_reason(self):
+        points = np.ones((3, 2))
+        points[2, 1] = np.nan
+        validator = PointValidator()
+        result = validator.screen(points, start_row=40)
+        with pytest.raises(InvalidPointError, match="row 42") as excinfo:
+            validator.raise_first(result)
+        assert excinfo.value.row == 42
+        assert excinfo.value.reason == "nan"
+
+    def test_dimension_message_names_both_widths(self):
+        validator = PointValidator(dimensions=2)
+        result = validator.screen(np.ones((1, 4)))
+        with pytest.raises(InvalidPointError, match="has 4 dimensions"):
+            validator.raise_first(result)
+
+    def test_no_rejections_is_a_no_op(self):
+        validator = PointValidator()
+        result = validator.screen(np.ones((2, 2)))
+        validator.raise_first(result)  # must not raise
+
+
+class TestStatsRoundTrip:
+    def test_state_dict_round_trip(self):
+        validator = PointValidator()
+        points = np.ones((3, 2))
+        points[0, 0] = np.nan
+        points[1, 1] = np.inf
+        validator.screen(points)
+        state = validator.stats.state_dict()
+        fresh = PointValidator()
+        fresh.stats.load_state(state)
+        assert fresh.stats.rows_by_reason == validator.stats.rows_by_reason
+        assert fresh.stats.points_by_reason == validator.stats.points_by_reason
+        assert fresh.stats.total_points == 2
+
+    def test_reason_vocabulary_is_closed(self):
+        assert set(BAD_POINT_REASONS) == {"nan", "inf", "dimension", "non_numeric"}
+        rec = RejectedPoint(row=0, reason="nan", values=(1.0,))
+        assert rec.weight == 1

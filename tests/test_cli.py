@@ -220,8 +220,126 @@ class TestResume:
         output = capsys.readouterr().out
         assert "more points" in output
 
-    def test_resume_missing_checkpoint_fails_loudly(self, tmp_path):
-        from repro.errors import ArchiveError
+    def test_resume_missing_checkpoint_fails_loudly(self, tmp_path, capsys):
+        from repro.cli import EXIT_ARCHIVE
 
-        with pytest.raises(ArchiveError):
-            main(["resume", str(tmp_path / "no-such.ckpt")])
+        code = main(["resume", str(tmp_path / "no-such.ckpt")])
+        assert code == EXIT_ARCHIVE
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "does not exist" in err
+
+
+@pytest.fixture
+def dirty_csv(tmp_path, rng):
+    points = np.concatenate(
+        [rng.normal(c, 0.4, size=(60, 2)) for c in ((0, 0), (10, 0))]
+    )
+    points[7, 0] = np.nan
+    path = tmp_path / "dirty.csv"
+    np.savetxt(path, points, delimiter=",")
+    return path
+
+
+class TestErrorExitCodes:
+    """Operator-facing failures map to short messages + distinct codes."""
+
+    def test_invalid_point_exits_3(self, dirty_csv, capsys):
+        from repro.cli import EXIT_INVALID_POINT
+
+        code = main(["cluster", str(dirty_csv), "-k", "2"])
+        assert code == EXIT_INVALID_POINT == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "row 7" in err
+        assert "Traceback" not in err
+
+    def test_missing_checkpoint_exits_4(self, tmp_path, capsys):
+        from repro.cli import EXIT_ARCHIVE
+
+        code = main(["resume", str(tmp_path / "gone.ckpt")])
+        assert code == EXIT_ARCHIVE == 4
+
+    def test_corrupt_checkpoint_exits_5(self, csv_points, tmp_path, capsys):
+        from repro.cli import EXIT_CHECKSUM
+
+        ckpt = tmp_path / "run.ckpt"
+        main(
+            [
+                "cluster",
+                str(csv_points),
+                "-k",
+                "3",
+                "--checkpoint",
+                str(ckpt),
+                "--checkpoint-every",
+                "50",
+            ]
+        )
+        blob = bytearray(ckpt.read_bytes())
+        blob[60] ^= 0xFF  # flip one payload byte
+        ckpt.write_bytes(bytes(blob))
+        capsys.readouterr()
+
+        code = main(["resume", str(ckpt)])
+        assert code == EXIT_CHECKSUM == 5
+        assert "integrity" in capsys.readouterr().err
+
+    def test_bad_points_skip_recovers_with_warning(self, dirty_csv, capsys):
+        code = main(["cluster", str(dirty_csv), "-k", "2", "--bad-points", "skip"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 clusters" in out
+        assert "1 dropped by validation" in out
+
+    def test_bad_points_quarantine_recovers(self, dirty_csv, capsys):
+        code = main(
+            ["cluster", str(dirty_csv), "-k", "2", "--bad-points", "quarantine"]
+        )
+        assert code == 0
+        assert "quarantined" in capsys.readouterr().out
+
+
+class TestSupervised:
+    def test_supervised_prints_run_report(self, csv_points, capsys):
+        code = main(["cluster", str(csv_points), "-k", "3", "--supervised"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run status: ok" in out
+        assert "phase3" in out
+        assert "conservation=ok" in out
+
+    def test_supervised_handles_dirty_input(self, dirty_csv, capsys):
+        code = main(
+            [
+                "cluster",
+                str(dirty_csv),
+                "-k",
+                "2",
+                "--supervised",
+                "--bad-points",
+                "quarantine",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run status: degraded" in out
+
+    def test_supervised_save_labels_uses_nearest_centroid(
+        self, csv_points, tmp_path
+    ):
+        labels_path = tmp_path / "labels.txt"
+        code = main(
+            [
+                "cluster",
+                str(csv_points),
+                "-k",
+                "3",
+                "--supervised",
+                "--save-labels",
+                str(labels_path),
+            ]
+        )
+        assert code == 0
+        labels = np.loadtxt(labels_path)
+        assert labels.shape == (180,)
