@@ -1,0 +1,195 @@
+"""Phase 1 ingest throughput — scalar vs bulk vs sharded.
+
+Measures points/second on the Figure 4 base workload (the DS1 grid,
+K = 100) at three levels:
+
+* **scalar** — the per-point ``CFTree.insert_points`` loop;
+* **bulk** — the vectorised ``CFTree.bulk_insert`` fast path, which is
+  byte-identical to scalar by construction (the grouped descent commits
+  only speculation verified against exactly evolved entry states);
+* **sharded** — ``Birch.fit(..., n_jobs=N)``, building per-shard trees
+  in worker processes and merging them by CF additivity.
+
+Results land in ``BENCH_phase1_ingest.json`` so the perf-smoke CI job
+and the performance docs have a machine-readable record.  Run
+standalone (this is not a pytest module):
+
+    PYTHONPATH=src python benchmarks/bench_phase1_ingest.py \
+        --scale 1.0 --out BENCH_phase1_ingest.json
+
+``--assert-speedup X`` exits non-zero unless bulk >= X * scalar on both
+backends (CI uses 1.0 on a small preset; the acceptance run uses 3.0 at
+scale 1.0, i.e. N = 100,000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.tree import CFTree
+from repro.datagen.presets import ds1
+from repro.pagestore.iostats import IOStats
+from repro.pagestore.page import PageLayout
+
+
+def _make_tree(backend: str, threshold: float, page_size: int, d: int) -> CFTree:
+    layout = PageLayout(page_size=page_size, dimensions=d)
+    return CFTree(
+        layout, threshold=threshold, cf_backend=backend, stats=IOStats()
+    )
+
+
+def _time_tree_ingest(
+    points: np.ndarray,
+    backend: str,
+    threshold: float,
+    page_size: int,
+    mode: str,
+) -> tuple[float, CFTree]:
+    tree = _make_tree(backend, threshold, page_size, points.shape[1])
+    start = time.perf_counter()
+    if mode == "scalar":
+        tree.insert_points(points)
+    else:
+        consumed = 0
+        while consumed < points.shape[0]:
+            consumed += tree.bulk_insert(points[consumed:])
+    return time.perf_counter() - start, tree
+
+
+def _time_sharded_fit(
+    points: np.ndarray, n_jobs: int, threshold: float
+) -> float:
+    # Fixed threshold and a generous budget so the measurement isolates
+    # the scan itself (threshold-growth rebuilds are an orthogonal cost
+    # that would dominate either path equally).
+    config = BirchConfig(
+        n_clusters=100,
+        memory_bytes=16 * 1024 * 1024,
+        initial_threshold=threshold,
+        total_points_hint=points.shape[0],
+        phase4_passes=0,
+        validate_points=False,
+    )
+    result = Birch(config).fit(points, n_jobs=n_jobs)
+    assert result.conservation_ok
+    return result.timings.phase1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="DS1 scale; 1.0 = the paper's N = 100,000 (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="fixed tree threshold for the scalar/bulk comparison",
+    )
+    parser.add_argument("--page-size", type=int, default=1024)
+    parser.add_argument(
+        "--jobs", type=int, nargs="*", default=[1, 2, 4],
+        help="n_jobs values for the sharded fit comparison",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_phase1_ingest.json"),
+        help="JSON output path",
+    )
+    parser.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="X",
+        help="fail unless bulk >= X * scalar on both backends",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = ds1(scale=args.scale, seed=args.seed)
+    points = dataset.points
+    n, d = points.shape
+    print(f"DS1 grid: N={n} d={d} (scale={args.scale}, seed={args.seed})")
+
+    report: dict[str, object] = {
+        "dataset": {
+            "preset": "ds1",
+            "scale": args.scale,
+            "seed": args.seed,
+            "n": n,
+            "d": d,
+        },
+        "tree_ingest": {},
+        "sharded_fit": {},
+        "threshold": args.threshold,
+        "page_size": args.page_size,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    ok = True
+    for backend in ("classic", "stable"):
+        scalar_s, scalar_tree = _time_tree_ingest(
+            points, backend, args.threshold, args.page_size, "scalar"
+        )
+        bulk_s, bulk_tree = _time_tree_ingest(
+            points, backend, args.threshold, args.page_size, "bulk"
+        )
+        assert scalar_tree.points == bulk_tree.points == n
+        assert scalar_tree.stats.summary() == bulk_tree.stats.summary(), (
+            "bulk path diverged from scalar (I/O ledger mismatch)"
+        )
+        speedup = scalar_s / bulk_s
+        report["tree_ingest"][backend] = {
+            "scalar_seconds": scalar_s,
+            "bulk_seconds": bulk_s,
+            "scalar_points_per_second": n / scalar_s,
+            "bulk_points_per_second": n / bulk_s,
+            "speedup": speedup,
+        }
+        print(
+            f"{backend:>7}: scalar {n / scalar_s:9.0f} pts/s | "
+            f"bulk {n / bulk_s:9.0f} pts/s | {speedup:.2f}x"
+        )
+        if args.assert_speedup is not None and speedup < args.assert_speedup:
+            print(
+                f"FAIL: {backend} bulk speedup {speedup:.2f}x "
+                f"< required {args.assert_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            ok = False
+
+    base_seconds = None
+    for jobs in args.jobs:
+        phase1_s = _time_sharded_fit(points, jobs, args.threshold)
+        entry = {
+            "phase1_seconds": phase1_s,
+            "points_per_second": n / phase1_s,
+        }
+        if jobs == 1:
+            base_seconds = phase1_s
+        if base_seconds is not None:
+            entry["speedup_vs_jobs_1"] = base_seconds / phase1_s
+        report["sharded_fit"][f"jobs_{jobs}"] = entry
+        extra = (
+            f" | {base_seconds / phase1_s:.2f}x vs jobs=1"
+            if base_seconds is not None and jobs != 1
+            else ""
+        )
+        print(
+            f"fit n_jobs={jobs}: phase1 {phase1_s:6.2f}s "
+            f"({n / phase1_s:9.0f} pts/s){extra}"
+        )
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="points between automatic checkpoints (with --checkpoint)",
     )
     cluster.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the Phase 1 scan (sharded build, "
+        "merged by CF additivity; 1 = single-process)",
+    )
+    cluster.add_argument(
         "--bad-points",
         choices=["raise", "skip", "quarantine"],
         default="raise",
@@ -240,10 +248,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             args.checkpoint_every if args.checkpoint is not None else None
         ),
         bad_point_policy=args.bad_points,
+        n_jobs=args.jobs,
     )
     if args.supervised:
         from repro.guardrails import PhaseBudgets, run_supervised
 
+        if args.jobs > 1:
+            print(
+                "warning: --supervised scans are single-process "
+                "(deadline-chunked); --jobs ignored"
+            )
         budgets = PhaseBudgets(
             phase1_seconds=args.phase_seconds,
             phase2_seconds=args.phase_seconds,
@@ -278,6 +292,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"clustered {result.points_fed} points into {len(live)} clusters "
         f"in {timer.elapsed:.2f}s "
         f"({result.rebuilds} rebuilds, final T={result.final_threshold:.4g})"
+    )
+    t = result.timings
+    print(
+        f"phase times: p1={t.phase1:.2f}s "
+        f"(ingest {t.phase1_ingest:.2f}s, rebuilds {t.phase1_rebuilds:.2f}s) "
+        f"p2={t.phase2:.2f}s p3={t.phase3:.2f}s p4={t.phase4:.2f}s"
     )
     print(
         format_table(

@@ -17,8 +17,10 @@ BIRCH's single-scan/streaming nature directly.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -55,14 +57,51 @@ _NO_DATA_MESSAGE = "no data inserted yet; call fit or partial_fit first"
 _NOT_FITTED_MESSAGE = "not fitted yet; call fit or finalize first"
 
 
+def _build_shard_worker(
+    payload: tuple[BirchConfig, np.ndarray],
+) -> dict[str, object]:
+    """Build one shard's CF-tree in a worker process (Phase 1 only).
+
+    Module-level so it pickles under any multiprocessing start method.
+    Returns plain picklable state: the shard tree's leaf entries in
+    chain order, its final threshold, the potential outliers left on
+    its disk, the worker's I/O ledger and points consumed.  The parent
+    merges these by CF additivity (Theorem 4.1) — nothing about the
+    shard build survives except its CFs, so worker-side checkpointing
+    and validation are disabled by the caller's config.
+    """
+    config, shard = payload
+    worker = Birch(config)
+    worker._partial_fit_clean(shard, None)
+    assert worker._tree is not None
+    outliers: list[AnyCF] = []
+    if worker._outlier_handler is not None:
+        outliers = list(worker._outlier_handler.disk.peek())
+    return {
+        "leaf_cfs": worker._tree.leaf_entries(),
+        "threshold": worker._tree.threshold,
+        "outliers": outliers,
+        "io": worker.stats.state_dict(),
+        "points_seen": worker._points_seen,
+    }
+
+
 @dataclass
 class PhaseTimings:
-    """Wall-clock seconds spent in each phase."""
+    """Wall-clock seconds spent in each phase.
+
+    ``phase1_ingest`` and ``phase1_rebuilds`` split ``phase1`` into the
+    raw insertion scan and the threshold-increase rebuilds it triggered
+    (they are components of ``phase1``, not additional phases, so
+    ``total`` does not count them again).
+    """
 
     phase1: float = 0.0
     phase2: float = 0.0
     phase3: float = 0.0
     phase4: float = 0.0
+    phase1_ingest: float = 0.0
+    phase1_rebuilds: float = 0.0
 
     @property
     def total(self) -> float:
@@ -234,6 +273,9 @@ class Birch:
         self._watchdog: Optional[MemoryWatchdog] = None
         self._rows_fed = 0
         self._points_fed = 0
+        self._ingest_seconds = 0.0
+        self._rebuild_seconds = 0.0
+        self._rebuild_timer_depth = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -307,23 +349,188 @@ class Birch:
     def _partial_fit_clean(
         self, points: np.ndarray, weight_arr: Optional[np.ndarray]
     ) -> "Birch":
-        """Phase 1 insertion of an already-screened float64 batch."""
+        """Phase 1 insertion of an already-screened float64 batch.
+
+        Unit-weight batches on a healthy tree take the vectorised
+        :meth:`CFTree.bulk_insert` fast path (byte-identical to the
+        per-point loop); weighted, delayed or degraded streams fall
+        back to the guarded per-point path, whose extra per-insert
+        checks are the point.
+        """
         if points.shape[0] == 0:
             return self  # the whole batch was rejected (with accounting)
         if self._tree is None:
             self._initialise(points.shape[1])
         assert self._tree is not None and self._budget is not None
-        if weight_arr is None:
-            weight_arr = np.ones(points.shape[0], dtype=np.int64)
+        start = time.perf_counter()
+        rebuilds_before = self._rebuild_seconds
+        try:
+            if weight_arr is None or (weight_arr == 1).all():
+                self._bulk_ingest(points)
+                return self
+            self._weighted_ingest(points, weight_arr)
+            return self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._ingest_seconds += max(
+                0.0, elapsed - (self._rebuild_seconds - rebuilds_before)
+            )
+
+    def _bulk_ingest(self, points: np.ndarray) -> None:
+        """Unit-weight Phase 1 scan through the bulk fast path.
+
+        Equivalence with the per-point loop rests on two invariants:
+        absorption-only bulk runs never allocate or free a node, so the
+        memory budget can only flip state on a scalar-fallback
+        insertion — and ``stop_after_fallback=True`` returns control
+        here right after each one, exactly where :meth:`_insert_one`
+        would have checked the budget.  Checkpoint cadence is preserved
+        by capping each call at the next checkpoint boundary.
+        """
+        assert self._tree is not None and self._budget is not None
+        n = points.shape[0]
+        every = self.config.checkpoint_every_points
+        i = 0
+        while i < n:
+            if self._delay_mode or (
+                self._watchdog is not None and self._watchdog.degraded
+            ):
+                # The stream left the healthy fast-path regime; the
+                # guarded per-point path owns these rows.
+                self._scalar_ingest(points[i:])
+                return
+            cap = n - i
+            if every is not None:
+                cap = min(cap, max(1, self._next_checkpoint_at - self._points_seen))
+            took = self._tree.bulk_insert(
+                points[i : i + cap], max_rows=cap, stop_after_fallback=True
+            )
+            i += took
+            self._points_seen += took
+            if self._budget.over_budget:
+                if self.config.delay_split and self._outlier_handler is not None:
+                    self._delay_mode = True
+                else:
+                    self._rebuild()
+            self._maybe_checkpoint()
+
+    def _scalar_ingest(self, points: np.ndarray) -> None:
+        """Per-point unit-weight insertion through the guarded path."""
+        if self.config.cf_backend == "stable":
+            for row in points:
+                self._insert_one(StableCF(1, row.copy(), 0.0))
+            return
+        norms = np.einsum("ij,ij->i", points, points)
+        for row, norm in zip(points, norms):
+            self._insert_one(CF(1, row.copy(), float(norm)))
+
+    def _weighted_ingest(
+        self, points: np.ndarray, weight_arr: np.ndarray
+    ) -> None:
+        """Weighted insertion (image-study multiplicities)."""
         if self.config.cf_backend == "stable":
             # w coincident points have mean = the point and SSD = 0.
             for row, w in zip(points, weight_arr):
                 self._insert_one(StableCF(int(w), row.copy(), 0.0))
-            return self
+            return
         norms = np.einsum("ij,ij->i", points, points)
         for row, norm, w in zip(points, norms, weight_arr):
             self._insert_one(CF(int(w), w * row, float(w * norm)))
-        return self
+
+    def _sharded_phase1(self, points: np.ndarray, n_jobs: int) -> None:
+        """Sharded parallel Phase 1 (``fit(..., n_jobs=N)``).
+
+        The batch is split into ``n_jobs`` contiguous shards, each built
+        into its own CF-tree by a worker process, and the shard trees
+        are merged here by CF additivity: the merged tree's threshold is
+        raised to the largest shard threshold (every shard leaf entry
+        satisfies it by construction), each shard's leaf entries are
+        reinserted in chain order through the normal guarded path, and
+        each shard's spilled potential outliers are re-resolved against
+        the merged tree (absorb if it fits, else spill to the parent
+        disk, else insert).  Deterministic for fixed ``(seed, n_jobs)``:
+        ``np.array_split`` is deterministic, shard builds are
+        single-process, and ``Pool.map`` preserves payload order.
+        """
+        start = time.perf_counter()
+        rebuilds_before = self._rebuild_seconds
+        try:
+            self._sharded_phase1_inner(points, n_jobs)
+        finally:
+            elapsed = time.perf_counter() - start
+            self._ingest_seconds += max(
+                0.0, elapsed - (self._rebuild_seconds - rebuilds_before)
+            )
+
+    def _sharded_phase1_inner(self, points: np.ndarray, n_jobs: int) -> None:
+        worker_config = replace(
+            self.config,
+            n_jobs=1,
+            checkpoint_every_points=None,
+            checkpoint_path=None,
+            validate_points=False,
+            phase4_passes=0,
+            memory_bytes=max(
+                self.config.memory_bytes // n_jobs, 4 * self.config.page_size
+            ),
+            disk_bytes=max(
+                self.config.effective_disk_bytes // n_jobs, self.config.page_size
+            ),
+            total_points_hint=(
+                None
+                if self.config.total_points_hint is None
+                else max(1, self.config.total_points_hint // n_jobs)
+            ),
+        )
+        payloads = [
+            (worker_config, shard)
+            for shard in np.array_split(points, n_jobs)
+            if shard.shape[0]
+        ]
+        results = self._run_shard_workers(payloads)
+        self._initialise(points.shape[1])
+        assert self._tree is not None
+        self._tree.threshold = max(
+            self.config.initial_threshold,
+            *(float(r["threshold"]) for r in results),
+        )
+        for r in results:
+            for cf in r["leaf_cfs"]:
+                self._insert_one(cf)
+        for r in results:
+            for cf in r["outliers"]:
+                assert self._tree is not None
+                if self._tree.try_absorb_cf(cf):
+                    self._points_seen += cf.n
+                    self._maybe_checkpoint()
+                elif self._outlier_handler is not None and self._outlier_handler.spill(
+                    cf
+                ):
+                    self._points_seen += cf.n
+                    self._maybe_checkpoint()
+                else:
+                    self._insert_one(cf)
+            self.stats.merge_counts(r["io"])
+
+    def _run_shard_workers(
+        self, payloads: list[tuple[BirchConfig, np.ndarray]]
+    ) -> list[dict[str, object]]:
+        """Run shard builds, in processes when the platform allows.
+
+        Falls back to an in-process serial sweep when worker processes
+        cannot be created (sandboxes without fork/semaphores) — the
+        worker function is pure, so the results are identical either
+        way, just without the wall-clock win.
+        """
+        if len(payloads) == 1:
+            return [_build_shard_worker(payloads[0])]
+        try:
+            with multiprocessing.get_context().Pool(
+                processes=len(payloads)
+            ) as pool:
+                return pool.map(_build_shard_worker, payloads)
+        except (OSError, PermissionError, ImportError):
+            return [_build_shard_worker(p) for p in payloads]
 
     def _insert_one(self, cf: AnyCF) -> None:
         assert self._tree is not None and self._budget is not None
@@ -388,6 +595,10 @@ class Birch:
 
     def _coarsen_rebuild(self) -> None:
         """Forced degraded-mode rebuild with an aggressive threshold."""
+        with self._rebuild_timer():
+            self._coarsen_rebuild_inner()
+
+    def _coarsen_rebuild_inner(self) -> None:
         assert self._tree is not None and self._policy is not None
         assert self._watchdog is not None and self._budget is not None
         suggested = self._policy.next_threshold(self._tree, self._points_seen)
@@ -424,7 +635,25 @@ class Birch:
         self.checkpoint(self.config.checkpoint_path)
         self._next_checkpoint_at = (self._points_seen // every + 1) * every
 
+    @contextmanager
+    def _rebuild_timer(self):
+        """Accumulate wall time into ``_rebuild_seconds`` (outermost only,
+        so a rebuild that escalates into a coarsen rebuild is not
+        double-counted)."""
+        start = time.perf_counter()
+        self._rebuild_timer_depth += 1
+        try:
+            yield
+        finally:
+            self._rebuild_timer_depth -= 1
+            if self._rebuild_timer_depth == 0:
+                self._rebuild_seconds += time.perf_counter() - start
+
     def _rebuild(self) -> None:
+        with self._rebuild_timer():
+            self._rebuild_inner()
+
+    def _rebuild_inner(self) -> None:
         assert self._tree is not None and self._policy is not None
         new_threshold = self._policy.next_threshold(self._tree, self._points_seen)
         self._rebuild_history.append((self._points_seen, new_threshold))
@@ -664,8 +893,20 @@ class Birch:
 
     # -- the full pipeline ---------------------------------------------------------
 
-    def fit(self, points: np.ndarray) -> BirchResult:
+    def fit(
+        self, points: np.ndarray, *, n_jobs: Optional[int] = None
+    ) -> BirchResult:
         """Run all configured phases on ``points`` and return the result.
+
+        Parameters
+        ----------
+        points:
+            The dataset, shape ``(n, d)``.
+        n_jobs:
+            Override ``config.n_jobs`` for this call: ``N > 1`` builds
+            the Phase 1 tree from ``N`` contiguous shards in worker
+            processes and merges them by CF additivity (see
+            :class:`~repro.core.config.BirchConfig`).
 
         Raises
         ------
@@ -676,6 +917,9 @@ class Birch:
         NotFittedError
             If validation rejected *every* row (nothing to cluster).
         """
+        jobs = self.config.n_jobs if n_jobs is None else int(n_jobs)
+        if jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {jobs}")
         self._reset()
         timings = PhaseTimings()
 
@@ -686,10 +930,15 @@ class Birch:
                 "validation rejected every input row; nothing to cluster "
                 f"(rejections by reason: {self._validator.stats.points_by_reason})"
             )
-        self._partial_fit_clean(clean, weight_arr)
+        if jobs > 1 and weight_arr is None and clean.shape[0] >= jobs:
+            self._sharded_phase1(clean, jobs)
+        else:
+            self._partial_fit_clean(clean, weight_arr)
         self.stats.record_scan(clean.shape[0])
         outliers = self._finish_phase1()
         timings.phase1 = time.perf_counter() - start
+        timings.phase1_ingest = self._ingest_seconds
+        timings.phase1_rebuilds = self._rebuild_seconds
 
         start = time.perf_counter()
         self._phase2_condense()
@@ -802,6 +1051,8 @@ class Birch:
         if self._tree is None:
             raise NotFittedError(_NO_DATA_MESSAGE)
         timings = PhaseTimings()
+        timings.phase1_ingest = self._ingest_seconds
+        timings.phase1_rebuilds = self._rebuild_seconds
 
         start = time.perf_counter()
         outliers = self._finish_phase1()
@@ -871,6 +1122,8 @@ class Birch:
             phase2=old.timings.phase2,
             phase3=old.timings.phase3,
             phase4=old.timings.phase4 + elapsed,
+            phase1_ingest=old.timings.phase1_ingest,
+            phase1_rebuilds=old.timings.phase1_rebuilds,
         )
         self._result = BirchResult(
             centroids=refinement.centroids,
@@ -1028,3 +1281,6 @@ class Birch:
         self._watchdog = None
         self._rows_fed = 0
         self._points_fed = 0
+        self._ingest_seconds = 0.0
+        self._rebuild_seconds = 0.0
+        self._rebuild_timer_depth = 0

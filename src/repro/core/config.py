@@ -140,6 +140,19 @@ class BirchConfig:
         Watchdog degraded mode: ``"coarsen"`` forces aggressive
         threshold growth so the tree physically fits; ``"spill"``
         additionally diverts unabsorbable entries to the outlier disk.
+    n_jobs:
+        Worker processes for the Phase 1 ``fit`` scan.  ``1`` (default)
+        keeps the single-process path.  ``N > 1`` partitions the batch
+        into ``N`` contiguous shards, builds one CF-tree per shard in a
+        worker process, and merges the shard trees by CF additivity
+        (Theorem 4.1: reinserting each shard's leaf entries and
+        re-resolving its spilled outliers loses nothing).  The merged
+        run is deterministic for a fixed ``(random_seed, n_jobs)`` pair
+        but is *not* byte-identical to ``n_jobs=1`` — insertion order
+        differs, which BIRCH's quality is robust to (Section 7's order
+        sensitivity experiment); equality of cluster count and centroid
+        agreement are what the parity tests assert.  Only ``fit`` uses
+        workers; ``partial_fit`` streams are inherently sequential.
     """
 
     n_clusters: int
@@ -175,6 +188,7 @@ class BirchConfig:
     quarantine_bytes: Optional[int] = None
     rebuild_escalation_limit: int = 4
     degraded_mode: str = "coarsen"
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -264,6 +278,8 @@ class BirchConfig:
                 "degraded_mode must be 'coarsen' or 'spill', "
                 f"got {self.degraded_mode!r}"
             )
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
         self.metric = Metric.from_name(self.metric)
 
     @property

@@ -216,7 +216,12 @@ class CFNode:
             n_new = n_old + cf.n
             delta = cf.mean - self._vec[index]
             self._vec[index] += (cf.n / n_new) * delta
-            self._sq[index] += cf.ssd + (n_old * cf.n / n_new) * float(delta @ delta)
+            # einsum, not ``delta @ delta``: the fused bulk-ingest update
+            # must reproduce this value bitwise and BLAS dot products are
+            # not shape-consistent.
+            self._sq[index] += cf.ssd + (n_old * cf.n / n_new) * float(
+                np.einsum("j,j->", delta, delta)
+            )
             self._ns[index] = n_new
         else:
             self._ns[index] += cf.n

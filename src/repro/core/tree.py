@@ -34,10 +34,16 @@ import numpy as np
 from repro.core.distances import (
     Metric,
     distance,
+    gathered_point_distances,
     merged_diameter,
     merged_radius,
+    paired_point_merged_stat,
+    point_distances_to_set,
+    stable_gathered_point_distances,
     stable_merged_diameter,
     stable_merged_radius,
+    stable_paired_point_merged_stat,
+    stable_point_distances_to_set,
 )
 from repro.core.features import CF, AnyCF, CF_BACKENDS, StableCF, coerce_backend
 from repro.core.node import CFNode
@@ -46,6 +52,13 @@ from repro.pagestore.memory import MemoryBudget
 from repro.pagestore.page import PageLayout
 
 __all__ = ["CFTree", "ThresholdKind", "TreeStats"]
+
+#: Optimistic run-window bounds for :meth:`CFTree.bulk_insert`.  The
+#: window doubles while whole windows keep absorbing and shrinks toward
+#: the observed run length otherwise, bounding wasted vectorised work to
+#: a constant factor of the useful work on adversarial (shuffled) input.
+_BULK_MIN_WINDOW = 16
+_BULK_MAX_WINDOW = 4096
 
 
 class ThresholdKind(enum.Enum):
@@ -201,27 +214,351 @@ class CFTree:
         """Insert one raw data point."""
         self.insert_cf(self._cf_class.from_point(point))
 
+    def _coerce_points(self, points: np.ndarray) -> np.ndarray:
+        """Validate a point batch; a single ``(d,)`` point becomes ``(1, d)``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1 and points.shape[0] == self.layout.dimensions:
+            points = points[None, :]
+        if points.ndim != 2 or points.shape[1] != self.layout.dimensions:
+            raise ValueError(
+                f"points must be (n, {self.layout.dimensions}) or a single "
+                f"({self.layout.dimensions},) point — the tree's page layout "
+                f"was built for d={self.layout.dimensions} — got shape "
+                f"{points.shape}"
+            )
+        return points
+
+    def _scratch_cf(self) -> AnyCF:
+        """A reusable singleton-probe CF for the hot insertion loops.
+
+        ``insert_cf`` copies entry data into node arrays and never
+        retains the probe object, so one scratch instance can carry a
+        fresh row (as a view, no copy) on every iteration instead of
+        allocating a CF object and a row copy per point.
+        """
+        zero = np.zeros(self.layout.dimensions, dtype=np.float64)
+        if self.cf_backend == "stable":
+            return StableCF(1, zero, 0.0)
+        return CF(1, zero, 0.0)
+
     def insert_points(self, points: np.ndarray) -> None:
         """Insert a batch of points (rows of an ``(n, d)`` array).
 
-        Semantically identical to calling :meth:`insert_point` per row;
-        the classic batch form precomputes the per-point square norms in
-        one vectorised pass, which is the hot path of Phase 1 (a stable
-        singleton CF is ``(1, X, 0)`` and needs no precomputation).
+        Semantically identical to calling :meth:`insert_point` per row.
+        The square norms of the whole chunk are precomputed in one
+        vectorised pass for both backends (they are the singleton
+        probes' ``SS`` values; a stable singleton carries ``SSD = 0``
+        and ignores them), and one scratch CF is reused across rows.
+        A single ``(d,)`` point is promoted to ``(1, d)``.
         """
-        points = np.asarray(points, dtype=np.float64)
-        if points.ndim != 2 or points.shape[1] != self.layout.dimensions:
-            raise ValueError(
-                f"points must be (n, {self.layout.dimensions}), "
-                f"got shape {points.shape}"
-            )
+        points = self._coerce_points(points)
+        norms = np.einsum("ij,ij->i", points, points)
+        scratch = self._scratch_cf()
         if self.cf_backend == "stable":
             for row in points:
-                self.insert_cf(StableCF(1, row.copy(), 0.0))
+                scratch.mean = row
+                scratch.ssd = 0.0
+                self.insert_cf(scratch)
             return
-        norms = np.einsum("ij,ij->i", points, points)
         for row, norm in zip(points, norms):
-            self.insert_cf(CF(1, row.copy(), float(norm)))
+            scratch.ls = row
+            scratch.ss = float(norm)
+            self.insert_cf(scratch)
+
+    def bulk_insert(
+        self,
+        points: np.ndarray,
+        *,
+        max_rows: Optional[int] = None,
+        stop_after_fallback: bool = False,
+    ) -> int:
+        """Insert a batch via the vectorised Phase-1 fast path.
+
+        Produces a tree **byte-identical** to :meth:`insert_points` on
+        the same rows (structure, entry floats, leaf chain and I/O
+        ledger), but descends once per *node group* instead of once per
+        point: a window of rows is routed down the tree speculatively —
+        at each node the probe-to-entry distance matrix for the whole
+        group is one kernel call, rows partition by argmin child and
+        recurse per group — and every row's decisions are then verified
+        against the *exactly evolved* entry states (each touched entry
+        replays the rows assigned to it: a ``cumsum`` left fold for the
+        classic backend, the Chan recurrence for the stable one, both
+        bitwise equal to :meth:`CFNode.add_to_entry`).  The longest
+        prefix of rows whose speculative choices match the sequential
+        semantics commits with one batched write per touched entry; the
+        first deviating row — an argmin flipped by in-window evolution,
+        or a failed threshold test needing a new entry — falls back to
+        the scalar :meth:`insert_cf`, which handles appends, splits and
+        merging refinement verbatim.
+
+        Parameters
+        ----------
+        points:
+            ``(n, d)`` batch (or one ``(d,)`` point).
+        max_rows:
+            Consume at most this many rows (``None`` = all).  Lets the
+            caller align consumption with checkpoint boundaries.
+        stop_after_fallback:
+            Return right after the first scalar-fallback insertion, so
+            the caller can re-check memory budgets: absorption-only runs
+            never allocate or free a node, hence never change the
+            budget's over/under state — only fallback rows can.
+
+        Returns
+        -------
+        int
+            Number of rows consumed (all of them unless ``max_rows`` or
+            ``stop_after_fallback`` cut the batch short).
+        """
+        points = self._coerce_points(points)
+        limit = points.shape[0] if max_rows is None else min(
+            points.shape[0], int(max_rows)
+        )
+        if limit <= 0:
+            return 0
+        norms = np.einsum("ij,ij->i", points, points)
+        scratch = self._scratch_cf()
+        stat_kind = (
+            "diameter"
+            if self.threshold_kind is ThresholdKind.DIAMETER
+            else "radius"
+        )
+        i = 0
+        window = _BULK_MIN_WINDOW
+        while i < limit:
+            w = min(window, limit - i)
+            absorbed = self._bulk_run(points, norms, i, w, stat_kind)
+            i += absorbed
+            if absorbed == w:
+                window = min(_BULK_MAX_WINDOW, 2 * w)
+                continue  # the whole window absorbed; widen and go on
+            # A partial absorb predicts the next commit length; sizing
+            # the window just above it bounds the work wasted on rows
+            # past the commit point that must be re-validated.
+            window = min(
+                _BULK_MAX_WINDOW,
+                max(_BULK_MIN_WINDOW, absorbed + absorbed // 2 + 1),
+            )
+            # points[i] cannot take the fast path from the current
+            # state: insert it exactly as the per-point loop would.
+            if self.cf_backend == "stable":
+                scratch.mean = points[i]
+                scratch.ssd = 0.0
+            else:
+                scratch.ls = points[i]
+                scratch.ss = float(norms[i])
+            self.insert_cf(scratch)
+            i += 1
+            if stop_after_fallback:
+                break
+        return i
+
+    def _bulk_run(
+        self,
+        points: np.ndarray,
+        norms: np.ndarray,
+        start: int,
+        w: int,
+        stat_kind: str,
+    ) -> int:
+        """Absorb the longest confirmable prefix of a window of rows.
+
+        Speculate-validate-commit over ``points[start:start+w]``:
+
+        1. **Route** the window down the tree using the entries' current
+           (static) states — one distance-matrix kernel per visited
+           node, rows partitioned by argmin child.
+        2. **Replay** each touched entry's exact state history over the
+           rows routed to it, bitwise equal to the sequential
+           ``add_to_entry`` fold, and re-evaluate every routing argmin
+           and leaf threshold test against the state each row would
+           actually have seen (the entry's state after the rows ordered
+           before it).  Row ``start`` always sees static state, so its
+           routing is confirmed by construction and progress is
+           guaranteed.
+        3. **Commit** the longest prefix of rows whose decisions all
+           match the sequential semantics, with one batched write per
+           touched entry.
+
+        Returns the number of rows absorbed (0 when row ``start`` fails
+        its own threshold test and needs the scalar path).
+        """
+        if self.root.size == 0:
+            return 0
+        stable = self.cf_backend == "stable"
+        rows = points[start : start + w]
+        row_norms = norms[start : start + w]
+        d = self.layout.dimensions
+        eps = float(np.finfo(np.float64).eps)
+        threshold_sq = self.threshold**2
+
+        # -- 1. speculative routing --------------------------------------
+        # visits: (node, row indices routed here (ascending), their
+        # argmin columns, the static distance matrix).
+        visits: list[tuple[CFNode, np.ndarray, np.ndarray, np.ndarray]] = []
+        pending: list[tuple[CFNode, np.ndarray]] = [(self.root, np.arange(w))]
+        while pending:
+            node, idx = pending.pop()
+            sub_rows = rows[idx]
+            if stable:
+                mat = stable_point_distances_to_set(
+                    sub_rows,
+                    node.ns,
+                    node._vec[: node.size],
+                    node._sq[: node.size],
+                    self.metric,
+                )
+            else:
+                mat = point_distances_to_set(
+                    sub_rows,
+                    row_norms[idx],
+                    node.ns,
+                    node._vec[: node.size],
+                    node._sq[: node.size],
+                    self.metric,
+                )
+            cols = np.argmin(mat, axis=1)
+            visits.append((node, idx, cols, mat))
+            if not node.is_leaf:
+                assert node.children is not None
+                for c in np.unique(cols):
+                    child_idx = idx[cols == c]
+                    pending.append((node.children[int(c)], child_idx))
+
+        # -- 2. exact sequential validation ------------------------------
+        # ok[r] stays True while row r's every argmin and its leaf
+        # threshold test, re-evaluated against exactly evolved states,
+        # match the speculative choice.  Prefix counts are exact for any
+        # row all of whose predecessors are confirmed, which is all that
+        # matters: commit stops at the first unconfirmed row.
+        ok = np.ones(w, dtype=bool)
+        writes: list[tuple[CFNode, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for node, idx, cols, mat in visits:
+            wn = idx.shape[0]
+            k = node.size
+            # Per-row entry snapshots, seeded with the static states and
+            # overwritten per touched column with each row's view of
+            # that entry's exact history.
+            g_ns = np.empty((wn, k), dtype=np.float64)
+            g_vec = np.empty((wn, k, d), dtype=np.float64)
+            g_sq = np.empty((wn, k), dtype=np.float64)
+            g_ns[:] = node.ns
+            g_vec[:] = node._vec[:k]
+            g_sq[:] = node._sq[:k]
+            for c in np.unique(cols):
+                c = int(c)
+                assigned = idx[cols == c]
+                m = assigned.shape[0]
+                # Entry state history: h_*[t] is entry c after absorbing
+                # the first t rows assigned to it.  Counts are exact
+                # integer-valued floats.
+                h_ns = node._ns[c] + np.arange(m + 1, dtype=np.float64)
+                h_vec = np.empty((m + 1, d), dtype=np.float64)
+                h_sq = np.empty(m + 1, dtype=np.float64)
+                h_vec[0] = node._vec[c]
+                h_sq[0] = node._sq[c]
+                if stable:
+                    # Chan recurrence, bitwise equal to the scalar
+                    # add_to_entry update (singleton cf: n=1, ssd=0; the
+                    # precomputed coefficients are the same elementwise
+                    # IEEE divisions the scalar loop performs).
+                    inv = 1.0 / h_ns[1:]
+                    coef = h_ns[:m] / h_ns[1:]
+                    if d <= 2:
+                        # Pure-float inner loop.  Safe only for d <= 2:
+                        # the scalar path's einsum dot reduces one or
+                        # two products, and a two-term IEEE sum is
+                        # order-independent, so plain Python floats
+                        # reproduce it bitwise.  (For d >= 3 einsum
+                        # uses SIMD partial sums with a different
+                        # reduction order.)
+                        xs = rows[assigned].tolist()
+                        inv_l = inv.tolist()
+                        coef_l = coef.tolist()
+                        mean = node._vec[c].tolist()
+                        sq = float(node._sq[c])
+                        for t in range(m):
+                            x = xs[t]
+                            iv = inv_l[t]
+                            dd = 0.0
+                            for j in range(d):
+                                dj = x[j] - mean[j]
+                                mean[j] += iv * dj
+                                dd += dj * dj
+                            sq += coef_l[t] * dd
+                            h_vec[t + 1] = mean
+                            h_sq[t + 1] = sq
+                    else:
+                        assigned_rows = rows[assigned]
+                        for t in range(m):
+                            delta = assigned_rows[t] - h_vec[t]
+                            h_vec[t + 1] = h_vec[t] + inv[t] * delta
+                            h_sq[t + 1] = h_sq[t] + coef[t] * float(
+                                np.einsum("j,j->", delta, delta)
+                            )
+                else:
+                    # Classic additivity is a left fold of +=, which
+                    # cumsum reproduces bitwise when the base state
+                    # seeds the scan.
+                    h_vec[1:] = rows[assigned]
+                    h_vec = np.cumsum(h_vec, axis=0)
+                    h_sq[1:] = row_norms[assigned]
+                    h_sq = np.cumsum(h_sq)
+                # State index each visiting row would have seen: the
+                # number of assigned rows ordered strictly before it.
+                t_of = np.searchsorted(assigned, idx)
+                g_ns[:, c] = h_ns[t_of]
+                g_vec[:, c] = h_vec[t_of]
+                g_sq[:, c] = h_sq[t_of]
+                writes.append((node, c, assigned, h_ns, h_vec, h_sq))
+            if stable:
+                dists = stable_gathered_point_distances(
+                    rows[idx], g_ns, g_vec, g_sq, self.metric
+                )
+            else:
+                dists = gathered_point_distances(
+                    rows[idx], row_norms[idx], g_ns, g_vec, g_sq, self.metric
+                )
+            ok[idx] &= np.argmin(dists, axis=1) == cols
+            if node.is_leaf:
+                # Threshold fit for every row against its own target
+                # entry's pre-absorb state; the slack terms mirror
+                # _fits_threshold exactly.
+                rn = np.arange(wn)
+                own_ns = g_ns[rn, cols]
+                own_vec = g_vec[rn, cols]
+                own_sq = g_sq[rn, cols]
+                if stable:
+                    value = stable_paired_point_merged_stat(
+                        rows[idx], own_ns, own_vec, own_sq, stat_kind
+                    )
+                    n_merged = own_ns + 1.0
+                    mean_sq = np.einsum("rj,rj->r", own_vec, own_vec)
+                    slack_sq = 64.0 * eps * (
+                        value * value + eps * n_merged * mean_sq
+                    )
+                else:
+                    value = paired_point_merged_stat(
+                        rows[idx], row_norms[idx], own_ns, own_vec, own_sq, stat_kind
+                    )
+                    merged_ss = own_sq + row_norms[idx]
+                    slack_sq = 64.0 * eps * np.maximum(merged_ss, 1.0)
+                ok[idx] &= value * value <= threshold_sq + slack_sq
+
+        bad = np.flatnonzero(~ok)
+        p = int(bad[0]) if bad.size else w
+        if p == 0:
+            return 0
+
+        # -- 3. commit the confirmed prefix ------------------------------
+        for node, c, assigned, h_ns, h_vec, h_sq in writes:
+            t = int(np.searchsorted(assigned, p))
+            node._ns[c] = h_ns[t]
+            node._vec[c] = h_vec[t]
+            node._sq[c] = h_sq[t]
+        self._points += p
+        return p
 
     def insert_cf(self, cf: AnyCF) -> None:
         """Insert a subcluster CF (a point, an old leaf entry, an outlier).
@@ -368,7 +705,7 @@ class CFTree:
             else:
                 value = stable_merged_radius(cf, ns, means, ssds)[0]
             n_merged = float(ns[0]) + cf.n
-            mean_sq = float(means[0] @ means[0])
+            mean_sq = float(np.einsum("j,j->", means[0], means[0]))
             slack_sq = 64.0 * eps * (value * value + eps * n_merged * mean_sq)
         else:
             ls = leaf.ls[index : index + 1]

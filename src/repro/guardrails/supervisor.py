@@ -163,6 +163,10 @@ class RunReport:
         True when the memory watchdog tripped during the scan.
     conservation_ok:
         The ledger identity, verified on the finished result.
+    phase1_ingest_seconds / phase1_rebuild_seconds:
+        Phase 1 split into the raw insertion scan and the
+        threshold-increase rebuilds it triggered (together they are the
+        in-scan part of the phase1 outcome's ``seconds``).
     """
 
     phases: list[PhaseOutcome] = field(default_factory=list)
@@ -173,6 +177,8 @@ class RunReport:
     outlier_points: int = 0
     memory_degraded: bool = False
     conservation_ok: bool = True
+    phase1_ingest_seconds: float = 0.0
+    phase1_rebuild_seconds: float = 0.0
 
     @property
     def status(self) -> str:
@@ -201,6 +207,13 @@ class RunReport:
         lines = [f"run status: {self.status}"]
         for outcome in self.phases:
             line = f"  {outcome.phase}: {outcome.status} ({outcome.seconds:.3f}s)"
+            if outcome.phase == "phase1" and (
+                self.phase1_ingest_seconds or self.phase1_rebuild_seconds
+            ):
+                line += (
+                    f" [ingest {self.phase1_ingest_seconds:.3f}s, "
+                    f"rebuilds {self.phase1_rebuild_seconds:.3f}s]"
+                )
             for note in outcome.notes:
                 line += f"\n    - {note}"
             lines.append(line)
@@ -342,6 +355,8 @@ def run_supervised(
             f"({wd.coarsen_rebuilds} forced coarsen rebuild(s))",
         )
     outcome.seconds = timings.phase1 = time.perf_counter() - start
+    timings.phase1_ingest = birch._ingest_seconds
+    timings.phase1_rebuilds = birch._rebuild_seconds
 
     # ---- Phase 2: condense (budget trips degrade, never abort) ---------
     outcome = PhaseOutcome(phase="phase2")
@@ -453,6 +468,8 @@ def _fill_accounting(
 ) -> None:
     """Copy the conservation ledger into the report."""
     report.points_fed = birch._points_fed
+    report.phase1_ingest_seconds = birch._ingest_seconds
+    report.phase1_rebuild_seconds = birch._rebuild_seconds
     if result is not None:
         ledger = result.accounting()
         report.quarantined_points = ledger["quarantined"]

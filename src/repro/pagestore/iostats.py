@@ -90,6 +90,27 @@ class IOStats:
         """Every counter (including scan points), for checkpointing."""
         return {**self.summary(), "scan_points": self._scan_points}
 
+    def merge_counts(self, state: dict[str, int]) -> None:
+        """Add counters saved by :meth:`state_dict` onto this ledger.
+
+        Used by the sharded parallel build: each worker process keeps
+        its own ledger while building a shard tree, and the parent sums
+        them so the merged run reports total simulated I/O, rebuilds,
+        splits and merges across all shards.  ``data_scans`` is summed
+        too, so callers that partition *one* logical scan across
+        workers should leave worker scan recording off (the ``Birch``
+        driver records the single Phase 1 scan in the parent only).
+        """
+        self.page_reads += int(state["page_reads"])
+        self.page_writes += int(state["page_writes"])
+        self.bytes_read += int(state["bytes_read"])
+        self.bytes_written += int(state["bytes_written"])
+        self.data_scans += int(state["data_scans"])
+        self.tree_rebuilds += int(state["tree_rebuilds"])
+        self.splits += int(state["splits"])
+        self.merges += int(state["merges"])
+        self._scan_points += int(state.get("scan_points", 0))
+
     def load_state(self, state: dict[str, int]) -> None:
         """Restore counters saved by :meth:`state_dict`."""
         self.page_reads = int(state["page_reads"])

@@ -1,0 +1,284 @@
+"""Equivalence suite for the vectorised Phase-1 fast path.
+
+``CFTree.bulk_insert`` promises a tree **byte-identical** to the
+per-point ``insert_points`` loop — same structure export, same leaf
+chain, same I/O ledger — on both CF backends, both threshold kinds,
+and any chunking of the input.  These tests are the enforcement of
+that promise, plus the sharded ``fit(n_jobs=N)`` parity checks (same
+cluster count, deterministic, conservation ledger balanced — sharded
+builds change insertion order, so they claim quality parity rather
+than byte identity) and the ``insert_points`` ergonomics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.core.distances import (
+    Metric,
+    distances_to_set,
+    gathered_point_distances,
+    stable_distances_to_set,
+    stable_gathered_point_distances,
+)
+from repro.core.features import CF, StableCF
+from repro.core.tree import CFTree, ThresholdKind
+from repro.datagen.presets import ds1
+from repro.pagestore.iostats import IOStats
+from repro.pagestore.page import PageLayout
+
+BACKENDS = ("classic", "stable")
+KINDS = (ThresholdKind.DIAMETER, ThresholdKind.RADIUS)
+CHUNKS = (1, 7, 4096)
+
+
+def make_tree(
+    *,
+    dimensions: int = 2,
+    threshold: float = 0.5,
+    page_size: int = 128,
+    cf_backend: str = "classic",
+    threshold_kind: ThresholdKind = ThresholdKind.DIAMETER,
+) -> CFTree:
+    layout = PageLayout(page_size=page_size, dimensions=dimensions)
+    return CFTree(
+        layout,
+        threshold=threshold,
+        cf_backend=cf_backend,
+        threshold_kind=threshold_kind,
+        stats=IOStats(),
+    )
+
+
+def assert_identical_trees(a: CFTree, b: CFTree) -> None:
+    """Byte-for-byte equality: structure, entry floats, chain, ledger."""
+    sa, sb = a.export_structure(), b.export_structure()
+    assert sa.keys() == sb.keys()
+    for key in sa:
+        assert np.array_equal(sa[key], sb[key]), f"structure mismatch in {key}"
+    assert a.points == b.points
+    assert a.stats is not None and b.stats is not None
+    assert a.stats.summary() == b.stats.summary()
+    chain_a = [[cf.n for cf in leaf.iter_entry_cfs()] for leaf in a.leaves()]
+    chain_b = [[cf.n for cf in leaf.iter_entry_cfs()] for leaf in b.leaves()]
+    assert chain_a == chain_b
+
+
+def clustered_points(rng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    """A clustery stream (the regime bulk ingest is built for)."""
+    centers = rng.uniform(-10.0, 10.0, size=(max(4, n // 50), d))
+    idx = rng.integers(0, centers.shape[0], size=n)
+    return centers[idx] + rng.normal(0.0, 0.4, size=(n, d))
+
+
+class TestBulkByteIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    def test_bulk_equals_scalar_on_clustered_stream(self, backend, kind, chunk):
+        rng = np.random.default_rng(hash((backend, kind.value, chunk)) % 2**32)
+        points = clustered_points(rng, 600, 2)
+        scalar = make_tree(cf_backend=backend, threshold_kind=kind)
+        bulk = make_tree(cf_backend=backend, threshold_kind=kind)
+        scalar.insert_points(points)
+        for start in range(0, points.shape[0], chunk):
+            took = 0
+            block = points[start : start + chunk]
+            while took < block.shape[0]:
+                took += bulk.bulk_insert(block[took:])
+        assert_identical_trees(scalar, bulk)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("trial", range(3))
+    def test_bulk_equals_scalar_random_geometry(self, backend, trial):
+        """Random d, threshold and page size (hence random B and L)."""
+        rng = np.random.default_rng(1000 * trial + (backend == "stable"))
+        d = int(rng.integers(1, 6))
+        threshold = float(rng.uniform(0.05, 2.0))
+        page_size = int(rng.choice([96, 160, 256, 512]))
+        points = clustered_points(rng, 400, d)
+        scalar = make_tree(
+            dimensions=d,
+            threshold=threshold,
+            page_size=page_size,
+            cf_backend=backend,
+        )
+        bulk = make_tree(
+            dimensions=d,
+            threshold=threshold,
+            page_size=page_size,
+            cf_backend=backend,
+        )
+        scalar.insert_points(points)
+        consumed = 0
+        while consumed < points.shape[0]:
+            consumed += bulk.bulk_insert(points[consumed:])
+        assert_identical_trees(scalar, bulk)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stop_after_fallback_consumes_prefix_only(self, backend):
+        rng = np.random.default_rng(7)
+        points = clustered_points(rng, 300, 2)
+        tree = make_tree(cf_backend=backend, threshold=0.2)
+        took = tree.bulk_insert(points, stop_after_fallback=True)
+        assert 0 < took <= points.shape[0]
+        assert tree.points == took
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_max_rows_cap(self, backend):
+        rng = np.random.default_rng(8)
+        points = clustered_points(rng, 200, 2)
+        tree = make_tree(cf_backend=backend)
+        took = tree.bulk_insert(points, max_rows=57)
+        assert took == 57
+        assert tree.points == 57
+
+
+class TestGatheredKernels:
+    """The validation kernels must be bitwise equal to the scalar ones."""
+
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_classic_gathered_matches_per_probe(self, metric):
+        rng = np.random.default_rng(3)
+        w, k, d = 17, 5, 3
+        pts = rng.normal(size=(w, d))
+        norms = np.einsum("ij,ij->i", pts, pts)
+        ns = rng.integers(1, 20, size=(w, k)).astype(np.float64)
+        ls = rng.normal(size=(w, k, d)) * ns[:, :, None]
+        ss = np.einsum("rkj,rkj->rk", ls, ls) / ns + rng.uniform(
+            0.0, 5.0, size=(w, k)
+        )
+        got = gathered_point_distances(pts, norms, ns, ls, ss, metric)
+        for r in range(w):
+            probe = CF(1, pts[r], float(norms[r]))
+            expect = distances_to_set(probe, ns[r], ls[r], ss[r], metric)
+            assert np.array_equal(got[r], expect)
+
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_stable_gathered_matches_per_probe(self, metric):
+        rng = np.random.default_rng(4)
+        w, k, d = 17, 5, 3
+        pts = rng.normal(size=(w, d))
+        ns = rng.integers(1, 20, size=(w, k)).astype(np.float64)
+        means = rng.normal(size=(w, k, d))
+        ssds = rng.uniform(0.0, 5.0, size=(w, k))
+        got = stable_gathered_point_distances(pts, ns, means, ssds, metric)
+        for r in range(w):
+            probe = StableCF(1, pts[r], 0.0)
+            expect = stable_distances_to_set(
+                probe, ns[r], means[r], ssds[r], metric
+            )
+            assert np.array_equal(got[r], expect)
+
+
+class TestInsertPointsErgonomics:
+    def test_single_point_promoted(self):
+        tree = make_tree()
+        tree.insert_points(np.array([1.0, 2.0]))
+        assert tree.points == 1
+        assert np.allclose(tree.leaf_entries()[0].centroid, [1.0, 2.0])
+
+    def test_single_point_promoted_bulk(self):
+        tree = make_tree()
+        took = tree.bulk_insert(np.array([1.0, 2.0]))
+        assert took == 1
+        assert tree.points == 1
+
+    def test_dimension_error_names_layout(self):
+        tree = make_tree()
+        with pytest.raises(ValueError, match="page layout"):
+            tree.insert_points(np.zeros((4, 3)))
+
+    def test_shape_error_reports_got_shape(self):
+        tree = make_tree()
+        with pytest.raises(ValueError, match=r"\(4, 3\)"):
+            tree.insert_points(np.zeros((4, 3)))
+
+    def test_wrong_single_point_length_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError, match=r"\(2,\)"):
+            tree.insert_points(np.zeros(3))
+
+
+class TestShardedFit:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return ds1(scale=0.03, seed=0).points  # 3,000 points, K=100 grid
+
+    def config(self, **kwargs) -> BirchConfig:
+        return BirchConfig(
+            n_clusters=100, memory_bytes=256 * 1024, **kwargs
+        )
+
+    def test_deterministic_for_fixed_seed_and_jobs(self, grid):
+        r1 = Birch(self.config()).fit(grid, n_jobs=2)
+        r2 = Birch(self.config()).fit(grid, n_jobs=2)
+        assert np.array_equal(r1.centroids, r2.centroids)
+        assert r1.io == r2.io
+        assert r1.final_threshold == r2.final_threshold
+
+    def test_quality_parity_with_sequential(self, grid):
+        seq = Birch(self.config()).fit(grid)
+        par = Birch(self.config()).fit(grid, n_jobs=3)
+        assert par.n_clusters == seq.n_clusters
+        # Each sharded centroid must land near a sequential one (well
+        # under the grid spacing of sqrt(2)).
+        d = np.linalg.norm(
+            seq.centroids[:, None, :] - par.centroids[None, :, :], axis=2
+        )
+        assert float(d.min(axis=0).max()) < 0.5
+
+    def test_conservation_ledger_balances(self, grid):
+        result = Birch(self.config()).fit(grid, n_jobs=4)
+        assert result.conservation_ok
+        ledger = result.accounting()
+        assert ledger["fed"] == grid.shape[0]
+
+    def test_config_n_jobs_used_by_default(self, grid):
+        result = Birch(self.config(n_jobs=2)).fit(grid)
+        explicit = Birch(self.config()).fit(grid, n_jobs=2)
+        assert np.array_equal(result.centroids, explicit.centroids)
+
+    def test_invalid_n_jobs_rejected(self, grid):
+        with pytest.raises(ValueError, match="n_jobs"):
+            Birch(self.config()).fit(grid, n_jobs=0)
+        with pytest.raises(ValueError, match="n_jobs"):
+            BirchConfig(n_clusters=2, n_jobs=0)
+
+    def test_phase_timers_populated(self, grid):
+        result = Birch(self.config()).fit(grid, n_jobs=2)
+        t = result.timings
+        assert t.phase1_ingest > 0.0
+        assert t.phase1_ingest + t.phase1_rebuilds <= t.phase1 + 1e-6
+
+
+class TestCheckpointOnBulkPath:
+    def test_bulk_built_stream_checkpoints_and_resumes(self, tmp_path):
+        """Kill a bulk-ingesting stream mid-scan; resume must continue
+        bit-for-bit (the checkpoint cadence caps each bulk call)."""
+        rng = np.random.default_rng(11)
+        points = clustered_points(rng, 2_000, 2)
+        path = tmp_path / "ck.npz"
+        config = BirchConfig(
+            n_clusters=10,
+            memory_bytes=256 * 1024,
+            checkpoint_every_points=500,
+            checkpoint_path=str(path),
+            phase4_passes=0,
+        )
+        straight = Birch(config)
+        straight.partial_fit(points)
+        interrupted = Birch(config)
+        interrupted.partial_fit(points[:1_000])
+        assert path.exists()
+        resumed = Birch.resume(path)
+        fed = resumed.points_seen
+        assert fed % 500 == 0 and 0 < fed <= 1_000
+        resumed.partial_fit(points[fed:])
+        assert resumed.points_seen == straight.points_seen
+        a = straight.tree.export_structure()
+        b = resumed.tree.export_structure()
+        for key in a:
+            assert np.array_equal(a[key], b[key]), key
+        assert straight.finalize().n_clusters == resumed.finalize().n_clusters
