@@ -10,7 +10,13 @@ Three commands cover the adopt-this-library workflow:
   the Section 6.7-style comparison table;
 * ``resume``   — pick up a stream from a crash-safety checkpoint
   (``cluster --checkpoint``), optionally feed it more points, and
-  finish Phases 2-3.
+  finish Phases 2-3;
+* ``inspect``  — print tree-health diagnostics and an ASCII outline
+  from a checkpoint or a ``save_tree`` archive, without clustering.
+
+``cluster`` takes ``--trace PATH`` (append a JSONL telemetry journal)
+and ``--metrics PATH`` (write a Prometheus textfile of run counters);
+telemetry never changes clustering output.
 
 CSV convention: one point per row, numeric columns only; a trailing
 ``label`` column is written by ``generate`` and ignored by ``cluster``
@@ -42,6 +48,7 @@ from repro.errors import (
     InvalidPointError,
 )
 from repro.datagen.generator import InputOrder
+from repro.observe import ObserveConfig
 from repro.datagen.mixtures import GaussianMixture
 from repro.datagen.presets import ds1, ds2, ds3
 from repro.evaluation.labels import adjusted_rand_index, purity
@@ -143,6 +150,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the phase supervisor and print its RunReport",
     )
     cluster.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append a JSONL telemetry journal of the run to PATH",
+    )
+    cluster.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a Prometheus textfile of run counters/gauges to PATH",
+    )
+    cluster.add_argument(
         "--phase-seconds",
         type=float,
         default=None,
@@ -162,6 +183,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument(
         "--save-result", type=Path, default=None, help="write result .npz"
+    )
+
+    inspect_cmd = sub.add_parser(
+        "inspect",
+        help="print tree diagnostics from a checkpoint or tree archive",
+    )
+    inspect_cmd.add_argument(
+        "archive",
+        type=Path,
+        help="file written by ``cluster --checkpoint`` or ``save_tree``",
+    )
+    inspect_cmd.add_argument(
+        "--max-depth",
+        type=int,
+        default=3,
+        metavar="D",
+        help="outline depth (levels shown from the root)",
+    )
+    inspect_cmd.add_argument(
+        "--max-children",
+        type=int,
+        default=4,
+        metavar="C",
+        help="children shown per node before eliding",
     )
 
     compare = sub.add_parser("compare", help="BIRCH vs CLARANS on a CSV")
@@ -249,6 +294,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ),
         bad_point_policy=args.bad_points,
         n_jobs=args.jobs,
+        observe=(
+            ObserveConfig(
+                trace_path=str(args.trace) if args.trace else None,
+                metrics_path=str(args.metrics) if args.metrics else None,
+            )
+            if args.trace is not None or args.metrics is not None
+            else None
+        ),
     )
     if args.supervised:
         from repro.guardrails import PhaseBudgets, run_supervised
@@ -311,6 +364,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
     )
     print(f"weighted average diameter D = {weighted_average_diameter(live):.4f}")
+    if not args.supervised and result.telemetry is not None:
+        # The supervised path already printed these via report.summary().
+        for line in result.telemetry.summary_lines():
+            print(line)
+    if args.trace is not None:
+        print(f"telemetry journal appended to {args.trace}")
+    if args.metrics is not None:
+        print(f"metrics textfile written to {args.metrics}")
 
     if (
         truth is not None
@@ -367,6 +428,34 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     if args.save_result is not None:
         save_result(args.save_result, result)
         print(f"result archive written to {args.save_result}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.diagnostics import diagnose, render_outline
+    from repro.core.serialization import load_tree
+
+    try:
+        with open(args.archive, "rb") as fh:
+            magic = fh.read(8)
+    except OSError as exc:
+        raise ArchiveError(f"cannot read {args.archive}: {exc}") from exc
+    if magic == b"BIRCHCKP":
+        estimator = Birch.resume(args.archive)
+        tree = estimator.tree
+        print(
+            f"checkpoint {args.archive}: {estimator.points_seen} points "
+            f"seen, {estimator.rebuilds} rebuilds, "
+            f"T={tree.threshold:.4g}"
+        )
+    else:
+        tree = load_tree(args.archive)
+        print(f"tree archive {args.archive}: T={tree.threshold:.4g}")
+    for line in diagnose(tree).summary_lines():
+        print(line)
+    print(render_outline(
+        tree, max_depth=args.max_depth, max_children=args.max_children
+    ))
     return 0
 
 
@@ -497,6 +586,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "cluster": _cmd_cluster,
         "resume": _cmd_resume,
+        "inspect": _cmd_inspect,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
     }

@@ -41,6 +41,7 @@ from repro.core.threshold import ThresholdPolicy
 from repro.core.tree import CFTree
 from repro.errors import NotFittedError, PhaseError
 from repro.guardrails.quarantine import QuarantineStore
+from repro.observe import TelemetrySnapshot, build_recorder
 from repro.guardrails.validation import PointValidator, ScreenResult
 from repro.guardrails.watchdog import MemoryWatchdog, WatchdogReport
 from repro.pagestore.disk import DiskStore
@@ -82,6 +83,7 @@ def _build_shard_worker(
         "threshold": worker._tree.threshold,
         "outliers": outliers,
         "io": worker.stats.state_dict(),
+        "telemetry": worker._recorder.state_dict(),
         "points_seen": worker._points_seen,
     }
 
@@ -112,6 +114,33 @@ class PhaseTimings:
     def phases_1_3(self) -> float:
         """Time through Phase 3 (the paper reports this separately)."""
         return self.phase1 + self.phase2 + self.phase3
+
+    def to_dict(self) -> dict[str, float]:
+        """Every timing field as a plain JSON-serialisable dict."""
+        return {
+            "phase1": self.phase1,
+            "phase2": self.phase2,
+            "phase3": self.phase3,
+            "phase4": self.phase4,
+            "phase1_ingest": self.phase1_ingest,
+            "phase1_rebuilds": self.phase1_rebuilds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "PhaseTimings":
+        """Rebuild from :meth:`to_dict` output.
+
+        Pre-PR-4 payloads lack ``phase1_ingest``/``phase1_rebuilds``;
+        those default to 0.0 so old bench JSON still loads.
+        """
+        return cls(
+            phase1=float(data.get("phase1", 0.0)),
+            phase2=float(data.get("phase2", 0.0)),
+            phase3=float(data.get("phase3", 0.0)),
+            phase4=float(data.get("phase4", 0.0)),
+            phase1_ingest=float(data.get("phase1_ingest", 0.0)),
+            phase1_rebuilds=float(data.get("phase1_rebuilds", 0.0)),
+        )
 
 
 @dataclass
@@ -162,6 +191,12 @@ class BirchResult:
         Memory-watchdog counters (``None`` before any data was seen).
     memory_degraded:
         True when the watchdog tripped into its degraded mode.
+    telemetry:
+        Frozen :class:`~repro.observe.TelemetrySnapshot` (counters,
+        gauges, recent events) when ``config.observe`` enabled the
+        recorder; ``None`` otherwise.  Pure observation — two runs
+        differing only in this field's presence have byte-identical
+        clustering output.
     """
 
     centroids: np.ndarray
@@ -186,6 +221,7 @@ class BirchResult:
     invalid_by_reason: dict[str, int] = field(default_factory=dict)
     watchdog: Optional[WatchdogReport] = field(default=None, repr=False)
     memory_degraded: bool = False
+    telemetry: Optional[TelemetrySnapshot] = field(default=None, repr=False)
 
     @property
     def n_clusters(self) -> int:
@@ -255,6 +291,9 @@ class Birch:
     ) -> None:
         self.config = config
         self.stats = IOStats()
+        self._recorder = build_recorder(config.observe)
+        if self._recorder.enabled:
+            self.stats.observer = self._recorder
         self._outlier_injector = outlier_injector
         self._quarantine_injector = quarantine_injector
         self._sleep = sleep
@@ -470,6 +509,16 @@ class Birch:
             checkpoint_path=None,
             validate_points=False,
             phase4_passes=0,
+            # Workers keep their own in-memory recorders (counters merge
+            # below) but must not race the parent for its trace/metrics
+            # files.
+            observe=(
+                None
+                if self.config.observe is None
+                else replace(
+                    self.config.observe, trace_path=None, metrics_path=None
+                )
+            ),
             memory_bytes=max(
                 self.config.memory_bytes // n_jobs, 4 * self.config.page_size
             ),
@@ -511,6 +560,12 @@ class Birch:
                 else:
                     self._insert_one(cf)
             self.stats.merge_counts(r["io"])
+            if self._recorder.enabled:
+                # Shard counters (bulk windows, fallbacks, worker I/O
+                # forwarded by its own observer) sum onto the parent in
+                # Pool.map payload order — same additivity discipline
+                # and determinism as IOStats.merge_counts just above.
+                self._recorder.merge_counts(r.get("telemetry", {}))
 
     def _run_shard_workers(
         self, payloads: list[tuple[BirchConfig, np.ndarray]]
@@ -609,6 +664,14 @@ class Birch:
             # merges everything mergeable, which is the intent here.
             new_threshold = np.finfo(np.float64).max / 4
         self._rebuild_history.append((self._points_seen, new_threshold))
+        if self._recorder.enabled:
+            self._recorder.event(
+                "rebuild.trigger",
+                reason="coarsen",
+                points_seen=self._points_seen,
+                new_threshold=new_threshold,
+            )
+            self._recorder.count("watchdog.coarsen_rebuilds")
         sink = None
         predicate = None
         if self._outlier_handler is not None:
@@ -657,6 +720,13 @@ class Birch:
         assert self._tree is not None and self._policy is not None
         new_threshold = self._policy.next_threshold(self._tree, self._points_seen)
         self._rebuild_history.append((self._points_seen, new_threshold))
+        if self._recorder.enabled:
+            self._recorder.event(
+                "rebuild.trigger",
+                reason="budget",
+                points_seen=self._points_seen,
+                new_threshold=new_threshold,
+            )
         sink = None
         predicate = None
         if self._outlier_handler is not None:
@@ -674,6 +744,14 @@ class Birch:
                 self._budget.pages_in_use, self._budget.capacity_pages
             )
             if self._watchdog.degraded and not already_degraded:
+                if self._recorder.enabled:
+                    self._recorder.event(
+                        "watchdog.trip",
+                        mode=self._watchdog.mode,
+                        points_seen=self._points_seen,
+                        ineffective_rebuilds=self._watchdog._ineffective_total,
+                    )
+                    self._recorder.count("watchdog.trips")
                 # The escalation limit just tripped: one immediate
                 # aggressive rebuild, then the degraded insert path.
                 self._coarsen_rebuild()
@@ -700,6 +778,7 @@ class Birch:
             stats=self.stats,
             merging_refinement=self.config.merging_refinement,
             cf_backend=self.config.cf_backend,
+            recorder=self._recorder,
         )
         if self.config.outlier_handling:
             disk: DiskStore[CF]
@@ -725,6 +804,7 @@ class Birch:
                 retry_attempts=self.config.io_retry_attempts,
                 retry_base_delay=self.config.io_retry_base_delay,
                 sleep=self._sleep,
+                recorder=self._recorder,
             )
 
     def _validate(self, points: np.ndarray) -> np.ndarray:
@@ -772,6 +852,7 @@ class Birch:
                 injector=self._quarantine_injector,
                 retry_attempts=self.config.io_retry_attempts,
                 retry_base_delay=self.config.io_retry_base_delay,
+                recorder=self._recorder,
             )
         return self._quarantine
 
@@ -811,6 +892,12 @@ class Birch:
             int(weight_arr.sum()) if weight_arr is not None else n_rows
         )
         if result.rejected:
+            if self._recorder.enabled:
+                for record in result.rejected:
+                    self._recorder.count("guardrails.rejected_points", record.weight)
+                    self._recorder.count(
+                        f"guardrails.rejected.{record.reason}", record.weight
+                    )
             self._apply_bad_point_policy(result)
         return result.points, result.weights
 
@@ -851,6 +938,15 @@ class Birch:
             raise NotFittedError(_NO_DATA_MESSAGE)
         from repro.core.checkpoint import write_checkpoint
 
+        if self._recorder.enabled:
+            with self._recorder.span(
+                "checkpoint.write",
+                path=str(path),
+                points_seen=self._points_seen,
+            ):
+                write_checkpoint(path, self, injector=injector, sleep=self._sleep)
+            self._recorder.count("checkpoint.writes")
+            return
         write_checkpoint(path, self, injector=injector, sleep=self._sleep)
 
     @classmethod
@@ -922,6 +1018,14 @@ class Birch:
             raise ValueError(f"n_jobs must be >= 1, got {jobs}")
         self._reset()
         timings = PhaseTimings()
+        rec = self._recorder
+        if rec.enabled:
+            rec.event(
+                "run.start",
+                mode="fit",
+                n_jobs=jobs,
+                cf_backend=self.config.cf_backend,
+            )
 
         start = time.perf_counter()
         clean, weight_arr = self._screen_batch(points, None)
@@ -939,20 +1043,36 @@ class Birch:
         timings.phase1 = time.perf_counter() - start
         timings.phase1_ingest = self._ingest_seconds
         timings.phase1_rebuilds = self._rebuild_seconds
+        if rec.enabled:
+            rec.event(
+                "phase",
+                name="phase1",
+                seconds=timings.phase1,
+                ingest_seconds=timings.phase1_ingest,
+                rebuild_seconds=timings.phase1_rebuilds,
+                points_seen=self._points_seen,
+            )
 
         start = time.perf_counter()
         self._phase2_condense()
         timings.phase2 = time.perf_counter() - start
+        if rec.enabled:
+            rec.event("phase", name="phase2", seconds=timings.phase2)
 
         start = time.perf_counter()
         global_result = self._phase3_cluster()
         timings.phase3 = time.perf_counter() - start
+        if rec.enabled:
+            rec.event("phase", name="phase3", seconds=timings.phase3)
 
         start = time.perf_counter()
         refinement, labels, centroids, clusters = self._phase4_refine(
             clean, global_result
         )
         timings.phase4 = time.perf_counter() - start
+        if rec.enabled:
+            rec.event("phase", name="phase4", seconds=timings.phase4)
+            rec.event("run.end", mode="fit", total_seconds=timings.total)
 
         self._result = self._package_result(
             timings=timings,
@@ -1018,7 +1138,14 @@ class Birch:
         """Assemble a :class:`BirchResult` from finished phase outputs."""
         assert self._tree is not None
         tree_stats = self._tree.tree_stats()
+        telemetry = None
+        if self._recorder.enabled:
+            self._recorder.gauge("tree.threshold", self._tree.threshold)
+            self._recorder.gauge("tree.nodes", tree_stats.node_count)
+            telemetry = self._recorder.snapshot()
+            self._recorder.flush()
         return BirchResult(
+            telemetry=telemetry,
             centroids=centroids,
             clusters=clusters,
             labels=labels,
@@ -1064,7 +1191,17 @@ class Birch:
         timings.phase3 = time.perf_counter() - start
 
         tree_stats = self._tree.tree_stats()
+        telemetry = None
+        if self._recorder.enabled:
+            self._recorder.event(
+                "run.end", mode="finalize", total_seconds=timings.total
+            )
+            self._recorder.gauge("tree.threshold", self._tree.threshold)
+            self._recorder.gauge("tree.nodes", tree_stats.node_count)
+            telemetry = self._recorder.snapshot()
+            self._recorder.flush()
         self._result = BirchResult(
+            telemetry=telemetry,
             centroids=global_result.centroids,
             clusters=global_result.clusters,
             labels=None,
@@ -1266,6 +1403,7 @@ class Birch:
     def _reset(self) -> None:
         """Discard all state so ``fit`` starts from scratch."""
         self.stats.reset()
+        self._recorder.reset_run()
         self._dimensions = None
         self._tree = None
         self._budget = None

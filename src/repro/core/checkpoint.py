@@ -50,7 +50,7 @@ import json
 import os
 import struct
 import time
-from dataclasses import fields
+from dataclasses import asdict, fields, is_dataclass
 from enum import Enum
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional
@@ -86,6 +86,10 @@ def _config_to_dict(config: BirchConfig) -> dict:
         value = getattr(config, field.name)
         if isinstance(value, Enum):
             value = value.value
+        elif is_dataclass(value) and not isinstance(value, type):
+            # Nested config dataclasses (e.g. ObserveConfig) flatten to
+            # plain dicts; BirchConfig.__post_init__ coerces them back.
+            value = asdict(value)
         out[field.name] = value
     return out
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.core.distances import Metric
 from repro.core.tree import ThresholdKind
+from repro.observe import ObserveConfig
 
 __all__ = ["BirchConfig"]
 
@@ -153,6 +154,13 @@ class BirchConfig:
         sensitivity experiment); equality of cluster count and centroid
         agreement are what the parity tests assert.  Only ``fit`` uses
         workers; ``partial_fit`` streams are inherently sequential.
+    observe:
+        Telemetry configuration (:class:`repro.observe.ObserveConfig`).
+        ``None`` (default) disables the observability subsystem
+        entirely: every instrumentation site holds the no-op recorder
+        and hot paths pay one attribute check.  A dict is coerced, so
+        checkpointed configs round-trip.  Telemetry never alters
+        clustering decisions — output is byte-identical on or off.
     """
 
     n_clusters: int
@@ -189,6 +197,7 @@ class BirchConfig:
     rebuild_escalation_limit: int = 4
     degraded_mode: str = "coarsen"
     n_jobs: int = 1
+    observe: Optional[ObserveConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -280,6 +289,15 @@ class BirchConfig:
             )
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if isinstance(self.observe, dict):
+            self.observe = ObserveConfig(**self.observe)
+        if self.observe is not None and not isinstance(
+            self.observe, ObserveConfig
+        ):
+            raise ValueError(
+                f"observe must be an ObserveConfig, a dict or None, "
+                f"got {type(self.observe).__name__}"
+            )
         self.metric = Metric.from_name(self.metric)
 
     @property

@@ -92,13 +92,25 @@ class TreeDiagnostics:
 
 
 def diagnose(tree: CFTree) -> TreeDiagnostics:
-    """Compute :class:`TreeDiagnostics` for a live tree."""
+    """Compute :class:`TreeDiagnostics` for a live tree.
+
+    Handles the degenerate shapes gracefully: an empty tree (a leaf
+    root with no entries) and a single-node tree both produce a valid
+    report.  A structurally broken tree — a nonleaf level whose nodes
+    have no children — raises :class:`ValueError` instead of crashing
+    on an index error, since such a tree violates the CF-tree
+    invariants and its statistics would be meaningless.
+    """
     levels: list[list[CFNode]] = [[tree.root]]
     while not levels[-1][0].is_leaf:
         next_level: list[CFNode] = []
         for node in levels[-1]:
-            assert node.children is not None
-            next_level.extend(node.children)
+            next_level.extend(node.children or ())
+        if not next_level:
+            raise ValueError(
+                f"malformed CF-tree: nonleaf level {len(levels) - 1} has "
+                f"{len(levels[-1])} node(s) but no children"
+            )
         levels.append(next_level)
 
     nonleaf_sizes = [
@@ -144,7 +156,11 @@ def render_outline(tree: CFTree, max_depth: int = 3, max_children: int = 4) -> s
 
     Each line shows one node: its kind, entry count and summarised
     point total; children beyond ``max_children`` are elided.
+    Non-positive ``max_depth``/``max_children`` are clamped to 1 so a
+    caller-supplied limit can never produce an empty outline.
     """
+    max_depth = max(1, max_depth)
+    max_children = max(1, max_children)
     lines: list[str] = []
 
     def visit(node: CFNode, depth: int) -> None:

@@ -42,6 +42,7 @@ from typing import Callable
 from repro.core.features import CF
 from repro.core.tree import CFTree
 from repro.errors import PermanentIOError, TransientIOError
+from repro.observe.recorder import NULL_RECORDER, Recorder
 from repro.pagestore.disk import DiskFullError, DiskStore
 from repro.pagestore.faults import retry_io
 
@@ -119,6 +120,7 @@ class OutlierHandler:
         retry_attempts: int = 4,
         retry_base_delay: float = 0.01,
         sleep: Callable[[float], None] = time.sleep,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         if not 0.0 < fraction < 1.0:
             raise ValueError(f"fraction must be in (0, 1), got {fraction}")
@@ -133,6 +135,7 @@ class OutlierHandler:
         self.retry_attempts = retry_attempts
         self.retry_base_delay = retry_base_delay
         self._sleep = sleep
+        self.recorder = recorder
         self.stats = OutlierStats()
         self._degraded = False
 
@@ -159,6 +162,7 @@ class OutlierHandler:
     def _retry(self, operation: Callable[[], object]) -> object:
         def note_retry(_attempt: int, _exc: TransientIOError) -> None:
             self.stats.transient_retries += 1
+            self.recorder.count("io.retries")
 
         return retry_io(
             operation,
@@ -168,9 +172,22 @@ class OutlierHandler:
             on_retry=note_retry,
         )
 
+    def _mark_degraded(self, where: str) -> None:
+        self._degraded = True
+        if self.recorder.enabled:
+            self.recorder.event(
+                "outlier_disk.degraded",
+                policy=self.fault_policy,
+                during=where,
+            )
+
     def _drop(self, entries: list[CF]) -> None:
         self.stats.dropped_entries += len(entries)
         self.stats.dropped_points += sum(cf.n for cf in entries)
+        if self.recorder.enabled and entries:
+            self.recorder.count(
+                "outlier.dropped_points", sum(cf.n for cf in entries)
+            )
 
     # -- spilling -------------------------------------------------------------
 
@@ -196,12 +213,13 @@ class OutlierHandler:
         except (TransientIOError, PermanentIOError):
             if self.fault_policy == "raise":
                 raise
-            self._degraded = True
+            self._mark_degraded("spill")
             if self.fault_policy == "drop":
                 self._drop([cf])
                 return True
             return False
         self.stats.spilled += 1
+        self.recorder.count("outlier.spilled")
         return True
 
     def make_sink(self) -> "OutlierHandler":
@@ -238,7 +256,7 @@ class OutlierHandler:
         except (TransientIOError, PermanentIOError):
             if self.fault_policy == "raise":
                 raise
-            self._degraded = True
+            self._mark_degraded("reabsorb-drain")
             lost = list(self.disk.peek())  # bookkeeping view of what died
             self._drop(lost)
             self.disk.clear()
@@ -252,6 +270,8 @@ class OutlierHandler:
             else:
                 kept.append(cf)
         self.stats.reabsorbed += absorbed
+        if self.recorder.enabled and absorbed:
+            self.recorder.count("outlier.reabsorbed", absorbed)
         self.stats.reabsorption_cycles += 1
         if kept and not self._degraded:
             try:
@@ -260,7 +280,7 @@ class OutlierHandler:
             except (TransientIOError, PermanentIOError):
                 if self.fault_policy == "raise":
                     raise
-                self._degraded = True
+                self._mark_degraded("reabsorb-writeback")
         if kept:
             if self.fault_policy == "reabsorb":
                 for cf in kept:
@@ -284,7 +304,7 @@ class OutlierHandler:
         except (TransientIOError, PermanentIOError):
             if self.fault_policy == "raise":
                 raise
-            self._degraded = True
+            self._mark_degraded("final-drain")
             lost = list(self.disk.peek())
             self._drop(lost)
             self.disk.clear()

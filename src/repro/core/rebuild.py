@@ -26,6 +26,7 @@ is how the outlier-handling option hooks into rebuilds (Section 5.1.4).
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Optional
 
 from repro.core.features import AnyCF
@@ -80,7 +81,10 @@ def rebuild_tree(
         )
 
     budget = old.budget
-    old_height = old.tree_stats().height
+    rec = old.recorder
+    started = time.perf_counter() if rec.enabled else 0.0
+    old_stats = old.tree_stats()
+    old_height = old_stats.height
     saved_transient = None
     if budget is not None:
         saved_transient = budget.transient_pages
@@ -98,6 +102,7 @@ def rebuild_tree(
         stats=old.stats,
         merging_refinement=old.merging_refinement,
         cf_backend=old.cf_backend,
+        recorder=old.recorder,
     )
 
     # Collect the chain up front (cheap: one pointer per leaf page); the
@@ -109,6 +114,7 @@ def rebuild_tree(
     # "nodes in OldCurrentPath are freed" step and is what keeps the
     # in-flight footprint within the old size plus h pages.
     ancestors, remaining = _leaf_ancestry(old)
+    n_diverted = 0
     for leaf in list(old.leaves()):
         entries = list(leaf.iter_entry_cfs())
         chain = ancestors.get(id(leaf), [])
@@ -129,11 +135,28 @@ def rebuild_tree(
                 diverted = outlier_sink(cf)
             if not diverted:
                 new.insert_cf(cf)
+            elif rec.enabled:
+                n_diverted += 1
 
     if budget is not None and saved_transient is not None:
         budget.transient_pages = saved_transient
     if old.stats is not None:
         old.stats.record_rebuild()
+    if rec.enabled:
+        new_stats = new.tree_stats()
+        rec.event(
+            "rebuild",
+            old_threshold=old.threshold,
+            new_threshold=new_threshold,
+            nodes_before=old_stats.node_count,
+            nodes_after=new_stats.node_count,
+            entries_before=old_stats.leaf_entry_count,
+            entries_after=new_stats.leaf_entry_count,
+            entries_diverted=n_diverted,
+            seconds=time.perf_counter() - started,
+        )
+        rec.gauge("tree.threshold", new_threshold)
+        rec.gauge("tree.nodes", new_stats.node_count)
     return new
 
 

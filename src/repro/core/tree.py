@@ -47,6 +47,7 @@ from repro.core.distances import (
 )
 from repro.core.features import CF, AnyCF, CF_BACKENDS, StableCF, coerce_backend
 from repro.core.node import CFNode
+from repro.observe.recorder import NULL_RECORDER, Recorder
 from repro.pagestore.iostats import IOStats
 from repro.pagestore.memory import MemoryBudget
 from repro.pagestore.page import PageLayout
@@ -139,6 +140,7 @@ class CFTree:
         stats: Optional[IOStats] = None,
         merging_refinement: bool = True,
         cf_backend: str = "classic",
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if threshold < 0:
             raise ValueError(f"threshold must be >= 0, got {threshold}")
@@ -156,6 +158,7 @@ class CFTree:
         self._cf_class = CF_BACKENDS[cf_backend]
         self.budget = budget
         self.stats = stats
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._node_count = 0
         self._points = 0
         self.root: CFNode = self._new_node(is_leaf=True)
@@ -252,6 +255,8 @@ class CFTree:
         A single ``(d,)`` point is promoted to ``(1, d)``.
         """
         points = self._coerce_points(points)
+        if self.recorder.enabled:
+            self.recorder.count("scalar.rows", points.shape[0])
         norms = np.einsum("ij,ij->i", points, points)
         scratch = self._scratch_cf()
         if self.cf_backend == "stable":
@@ -326,10 +331,20 @@ class CFTree:
         )
         i = 0
         window = _BULK_MIN_WINDOW
+        rec = self.recorder
         while i < limit:
             w = min(window, limit - i)
             absorbed = self._bulk_run(points, norms, i, w, stat_kind)
             i += absorbed
+            if rec.enabled:
+                # Per-window accounting (never per point): window count,
+                # absorbed prefix length, and whether the whole window
+                # committed — enough to derive the fallback rate and the
+                # speculative-commit prefix distribution offline.
+                rec.count("bulk.windows")
+                rec.count("bulk.absorbed_rows", absorbed)
+                if absorbed == w:
+                    rec.count("bulk.full_windows")
             if absorbed == w:
                 window = min(_BULK_MAX_WINDOW, 2 * w)
                 continue  # the whole window absorbed; widen and go on
@@ -350,6 +365,8 @@ class CFTree:
                 scratch.ss = float(norms[i])
             self.insert_cf(scratch)
             i += 1
+            if rec.enabled:
+                rec.count("bulk.fallback_rows")
             if stop_after_fallback:
                 break
         return i
@@ -979,6 +996,7 @@ class CFTree:
         stats: Optional[IOStats] = None,
         merging_refinement: bool = True,
         cf_backend: str = "classic",
+        recorder: Optional[Recorder] = None,
     ) -> "CFTree":
         """Rebuild the exact tree captured by :meth:`export_structure`.
 
@@ -1024,6 +1042,7 @@ class CFTree:
             stats=stats,
             merging_refinement=merging_refinement,
             cf_backend=cf_backend,
+            recorder=recorder,
         )
         tree._free_node(tree.root)  # discard the fresh empty root
         nodes = [tree._new_node(bool(flag)) for flag in is_leaf]

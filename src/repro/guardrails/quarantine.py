@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import PermanentIOError, TransientIOError
 from repro.guardrails.validation import BAD_POINT_REASONS, RejectedPoint
+from repro.observe.recorder import NULL_RECORDER, Recorder
 from repro.pagestore.disk import DiskFullError, DiskStore
 from repro.pagestore.faults import FaultInjector, FaultyDiskStore, retry_io
 from repro.pagestore.iostats import IOStats
@@ -73,6 +74,7 @@ class QuarantineStore:
         injector: Optional[FaultInjector] = None,
         retry_attempts: int = 4,
         retry_base_delay: float = 0.0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         disk: DiskStore[RejectedPoint]
         if injector is not None:
@@ -93,6 +95,7 @@ class QuarantineStore:
         self.disk = disk
         self.retry_attempts = retry_attempts
         self.retry_base_delay = retry_base_delay
+        self.recorder = recorder
         self._degraded = False
         self._stored_points_by_reason = {r: 0 for r in BAD_POINT_REASONS}
         self._overflow_points_by_reason = {r: 0 for r in BAD_POINT_REASONS}
@@ -159,12 +162,17 @@ class QuarantineStore:
         if self._degraded:
             self._note_overflow(record)
             return False
+
+        def note_retry(_attempt: int, _exc: TransientIOError) -> None:
+            self.recorder.count("quarantine.retries")
+
         try:
             retry_io(
                 lambda: self.disk.write(record),
                 attempts=self.retry_attempts,
                 base_delay=self.retry_base_delay,
                 sleep=lambda _delay: None,
+                on_retry=note_retry,
             )
         except DiskFullError:
             self._note_overflow(record)
@@ -174,11 +182,16 @@ class QuarantineStore:
             self._note_overflow(record)
             return False
         self._stored_points_by_reason[record.reason] += record.weight
+        if self.recorder.enabled:
+            self.recorder.count("quarantine.stored_points", record.weight)
+            self.recorder.gauge("quarantine.bytes_used", self.disk.bytes_used)
         return True
 
     def _note_overflow(self, record: RejectedPoint) -> None:
         self._overflow_points_by_reason[record.reason] += record.weight
         self._overflow_rows += 1
+        if self.recorder.enabled:
+            self.recorder.count("quarantine.overflow_points", record.weight)
 
     def drain(self) -> list[RejectedPoint]:
         """Remove and return every held record (for repair/re-feed)."""

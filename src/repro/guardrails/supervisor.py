@@ -46,6 +46,7 @@ from repro.errors import (
     PhaseTimeoutError,
     ReproError,
 )
+from repro.observe import TelemetrySnapshot
 from repro.pagestore.faults import FaultInjector
 
 __all__ = [
@@ -167,6 +168,9 @@ class RunReport:
         Phase 1 split into the raw insertion scan and the
         threshold-increase rebuilds it triggered (together they are the
         in-scan part of the phase1 outcome's ``seconds``).
+    telemetry:
+        Frozen :class:`~repro.observe.TelemetrySnapshot` of the run's
+        recorder; ``None`` when telemetry is disabled.
     """
 
     phases: list[PhaseOutcome] = field(default_factory=list)
@@ -179,6 +183,7 @@ class RunReport:
     conservation_ok: bool = True
     phase1_ingest_seconds: float = 0.0
     phase1_rebuild_seconds: float = 0.0
+    telemetry: Optional[TelemetrySnapshot] = field(default=None, repr=False)
 
     @property
     def status(self) -> str:
@@ -223,6 +228,8 @@ class RunReport:
             f"dropped={self.invalid_dropped_points} "
             f"conservation={'ok' if self.conservation_ok else 'VIOLATED'}"
         )
+        if self.telemetry is not None:
+            lines.extend(f"  {l}" for l in self.telemetry.summary_lines())
         return "\n".join(lines)
 
 
@@ -289,6 +296,29 @@ def run_supervised(
     )
     report = RunReport()
     timings = PhaseTimings()
+    rec = birch._recorder
+
+    def note_phase(
+        outcome: PhaseOutcome, budget: Optional[float] = None
+    ) -> None:
+        # One supervisor.phase event per attempted phase, budget included
+        # so the journal shows how much of it the phase consumed.
+        if rec.enabled:
+            rec.event(
+                "supervisor.phase",
+                phase=outcome.phase,
+                status=outcome.status,
+                seconds=outcome.seconds,
+                budget=budget,
+            )
+
+    if rec.enabled:
+        rec.event(
+            "run.start",
+            mode="supervised",
+            n_jobs=config.n_jobs,
+            cf_backend=config.cf_backend,
+        )
 
     # ---- Phase 1: screened scan under an optional deadline -------------
     outcome = PhaseOutcome(phase="phase1")
@@ -335,6 +365,7 @@ def run_supervised(
         outcome.status = "failed"
         outcome.error = str(exc)
         outcome.seconds = time.perf_counter() - start
+        note_phase(outcome, budgets.phase1_seconds)
         _fill_accounting(report, birch)
         return SupervisedRun(report=report, result=None)
     validator_stats = birch._validator.stats
@@ -357,6 +388,7 @@ def run_supervised(
     outcome.seconds = timings.phase1 = time.perf_counter() - start
     timings.phase1_ingest = birch._ingest_seconds
     timings.phase1_rebuilds = birch._rebuild_seconds
+    note_phase(outcome, budgets.phase1_seconds)
 
     # ---- Phase 2: condense (budget trips degrade, never abort) ---------
     outcome = PhaseOutcome(phase="phase2")
@@ -379,6 +411,7 @@ def run_supervised(
             f"condense took {outcome.seconds:.3f}s "
             f"(budget {budgets.phase2_seconds:.3f}s)",
         )
+    note_phase(outcome, budgets.phase2_seconds)
 
     # ---- Phase 3: global clustering with CF-k-means fallback -----------
     outcome = PhaseOutcome(phase="phase3")
@@ -404,15 +437,18 @@ def run_supervised(
             outcome.status = "failed"
             outcome.error = f"{exc}; fallback also failed: {fallback_exc}"
             outcome.seconds = timings.phase3 = time.perf_counter() - start
+            note_phase(outcome, budgets.phase3_seconds)
             _fill_accounting(report, birch)
             return SupervisedRun(report=report, result=None)
     except (ReproError, ValueError) as exc:
         outcome.status = "failed"
         outcome.error = str(exc)
         outcome.seconds = timings.phase3 = time.perf_counter() - start
+        note_phase(outcome, budgets.phase3_seconds)
         _fill_accounting(report, birch)
         return SupervisedRun(report=report, result=None)
     outcome.seconds = timings.phase3 = time.perf_counter() - start
+    note_phase(outcome, budgets.phase3_seconds)
 
     # ---- Phase 4: capped refinement (non-convergence is reported) ------
     outcome = PhaseOutcome(phase="phase4")
@@ -446,6 +482,9 @@ def run_supervised(
                 f"refinement did not converge within "
                 f"{refinement.passes_run} pass(es) (reported, not raised)"
             )
+    note_phase(outcome, budgets.phase4_seconds)
+    if rec.enabled:
+        rec.event("run.end", mode="supervised", total_seconds=timings.total)
 
     result = birch._package_result(
         timings=timings,
@@ -470,6 +509,14 @@ def _fill_accounting(
     report.points_fed = birch._points_fed
     report.phase1_ingest_seconds = birch._ingest_seconds
     report.phase1_rebuild_seconds = birch._rebuild_seconds
+    if birch._recorder.enabled:
+        # Prefer the result's frozen snapshot (taken after the final
+        # gauges); on a failed run freeze whatever was recorded so far.
+        report.telemetry = (
+            result.telemetry
+            if result is not None and result.telemetry is not None
+            else birch._recorder.snapshot()
+        )
     if result is not None:
         ledger = result.accounting()
         report.quarantined_points = ledger["quarantined"]

@@ -1,0 +1,44 @@
+"""repro.observe — runtime tracing, metrics, and tree-health telemetry.
+
+A process-local event bus (:class:`Recorder`) with counters, gauges,
+spans, and structured events, fanned out to pluggable sinks: an
+in-memory ring buffer (surfaced as ``BirchResult.telemetry``), an
+append-only JSONL run journal, and a Prometheus-style textfile
+exporter.  Disabled by default; when off, every instrumentation site
+holds the shared :data:`NULL_RECORDER` and the pipeline's output is
+byte-identical either way.
+"""
+
+from repro.observe.config import ObserveConfig
+from repro.observe.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TelemetrySnapshot,
+    build_recorder,
+)
+from repro.observe.sinks import (
+    JsonlSink,
+    RingBufferSink,
+    Sink,
+    events_named,
+    read_jsonl,
+    render_metrics_textfile,
+    write_metrics_textfile,
+)
+
+__all__ = [
+    "JsonlSink",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ObserveConfig",
+    "Recorder",
+    "RingBufferSink",
+    "Sink",
+    "TelemetrySnapshot",
+    "build_recorder",
+    "events_named",
+    "read_jsonl",
+    "render_metrics_textfile",
+    "write_metrics_textfile",
+]

@@ -1,0 +1,64 @@
+"""Configuration of the observability subsystem.
+
+``ObserveConfig`` hangs off :class:`repro.core.config.BirchConfig` as
+the optional ``observe`` field: ``None`` (the default) means telemetry
+is compiled out of the run — every instrumentation site sees the no-op
+:data:`repro.observe.recorder.NULL_RECORDER` and the hot paths pay at
+most one attribute check.  A populated config selects which sinks a
+:class:`~repro.observe.recorder.Recorder` writes to.
+
+The config is a plain dataclass of JSON-serialisable scalars so it
+round-trips through checkpoint files (see
+:mod:`repro.core.checkpoint`), and sink *paths* rather than sink
+*objects* so it stays picklable for ``n_jobs`` worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ObserveConfig"]
+
+
+@dataclass
+class ObserveConfig:
+    """Telemetry knobs for one pipeline run.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  ``False`` behaves exactly like ``observe=None``
+        (a disabled recorder everywhere) while keeping the config in
+        place — handy for flipping telemetry per run without rebuilding
+        the config.
+    trace_path:
+        Append-only JSONL run journal.  Every event (phase spans,
+        rebuilds, checkpoints, watchdog trips, ...) is one line,
+        flushed as written, so a crash loses at most the final partial
+        line and the journal survives alongside the checkpoint file it
+        references.
+    metrics_path:
+        Prometheus-style textfile written atomically at the end of
+        every ``fit``/``finalize`` (node-exporter textfile-collector
+        format: one ``birch_*`` sample per counter and gauge).
+    ring_capacity:
+        Size of the in-memory event ring buffer surfaced as
+        ``BirchResult.telemetry.events`` — the most recent events only,
+        bounded so telemetry never competes with the tree for memory.
+    """
+
+    enabled: bool = True
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    ring_capacity: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.ring_capacity < 1:
+            raise ValueError(
+                f"ring_capacity must be >= 1, got {self.ring_capacity}"
+            )
+        if self.trace_path is not None:
+            self.trace_path = str(self.trace_path)
+        if self.metrics_path is not None:
+            self.metrics_path = str(self.metrics_path)

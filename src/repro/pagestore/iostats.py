@@ -42,32 +42,52 @@ class IOStats:
     merges: int = 0
     _scan_points: int = field(default=0, repr=False)
 
+    # Optional telemetry tap (a repro.observe Recorder, or None).  A
+    # plain class attribute rather than a dataclass field: it is
+    # process-local runtime wiring, not accountable state — it must not
+    # appear in state_dict()/checkpoints or cross pickle boundaries.
+    observer = None
+
     def record_read(self, nbytes: int, pages: int = 1) -> None:
         """Record ``pages`` simulated page reads totalling ``nbytes``."""
         self.page_reads += pages
         self.bytes_read += nbytes
+        if self.observer is not None:
+            self.observer.count("io.page_reads", pages)
+            self.observer.count("io.bytes_read", nbytes)
 
     def record_write(self, nbytes: int, pages: int = 1) -> None:
         """Record ``pages`` simulated page writes totalling ``nbytes``."""
         self.page_writes += pages
         self.bytes_written += nbytes
+        if self.observer is not None:
+            self.observer.count("io.page_writes", pages)
+            self.observer.count("io.bytes_written", nbytes)
 
     def record_scan(self, n_points: int = 0) -> None:
         """Record one complete pass over the input data."""
         self.data_scans += 1
         self._scan_points += n_points
+        if self.observer is not None:
+            self.observer.count("io.data_scans")
 
     def record_rebuild(self) -> None:
         """Record one CF-tree rebuild."""
         self.tree_rebuilds += 1
+        if self.observer is not None:
+            self.observer.count("io.rebuilds")
 
     def record_split(self) -> None:
         """Record one node split."""
         self.splits += 1
+        if self.observer is not None:
+            self.observer.count("io.splits")
 
     def record_merge(self) -> None:
         """Record one merging refinement."""
         self.merges += 1
+        if self.observer is not None:
+            self.observer.count("io.merges")
 
     @property
     def points_scanned(self) -> int:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.diagnostics import diagnose, render_outline
+from repro.core.node import CFNode
 from repro.core.tree import CFTree
 from repro.pagestore.page import PageLayout
 
@@ -88,3 +89,56 @@ class TestOutline:
     def test_leaf_only_tree(self, tiny_tree):
         outline = render_outline(tiny_tree)
         assert outline.startswith("leaf[")
+
+
+@pytest.fixture(params=["classic", "stable"])
+def empty_tree(request) -> CFTree:
+    layout = PageLayout(page_size=256, dimensions=2)
+    return CFTree(layout, threshold=1.0, cf_backend=request.param)
+
+
+class TestDegenerateTrees:
+    """diagnose()/render_outline on empty and single-node trees."""
+
+    def test_diagnose_empty_tree(self, empty_tree):
+        diag = diagnose(empty_tree)
+        assert diag.height == 1
+        assert diag.nodes_per_level == [1]
+        assert diag.leaf_entry_count == 0
+        assert diag.mean_fanout == 0.0
+        assert diag.leaf_occupancy == 0.0
+        assert diag.median_entry_points == 0.0
+        assert diag.threshold_headroom is None
+        assert diag.cf_backend == empty_tree.cf_backend
+
+    def test_empty_tree_summary_and_outline_render(self, empty_tree):
+        assert diagnose(empty_tree).summary_lines()
+        outline = render_outline(empty_tree)
+        assert outline.startswith("leaf[0/")
+        assert "n=0" in outline
+
+    def test_single_node_tree_both_backends(self, empty_tree):
+        empty_tree.insert_point(np.array([1.0, 2.0]))
+        diag = diagnose(empty_tree)
+        assert diag.height == 1
+        assert diag.leaf_entry_count == 1
+        assert int(diag.entry_points.sum()) == 1
+        assert render_outline(empty_tree).startswith("leaf[1/")
+
+    def test_malformed_tree_raises_value_error(self):
+        # A nonleaf root whose only child is a childless nonleaf node
+        # violates the tree invariants; diagnose must say so instead of
+        # dying on an index error.
+        layout = PageLayout(page_size=256, dimensions=2)
+        tree = CFTree(layout, threshold=1.0)
+        broken = CFNode(layout, is_leaf=False)
+        tree.root = CFNode(layout, is_leaf=False)
+        tree.root.children = [broken]
+        with pytest.raises(ValueError, match="malformed CF-tree"):
+            diagnose(tree)
+
+    def test_outline_clamps_nonpositive_limits(self, big_tree):
+        outline = render_outline(big_tree, max_depth=0, max_children=-1)
+        lines = outline.split("\n")
+        assert lines[0].startswith("node[")  # root always shown
+        assert len(lines) >= 2  # the depth-elision marker follows

@@ -1,0 +1,59 @@
+"""JSON round-trip tests for the per-phase timing record."""
+
+import json
+
+from repro.core.birch import PhaseTimings
+
+
+class TestPhaseTimings:
+    def test_to_dict_lists_every_field(self):
+        timings = PhaseTimings(
+            phase1=1.5,
+            phase2=0.25,
+            phase3=0.75,
+            phase4=0.5,
+            phase1_ingest=1.0,
+            phase1_rebuilds=0.5,
+        )
+        assert timings.to_dict() == {
+            "phase1": 1.5,
+            "phase2": 0.25,
+            "phase3": 0.75,
+            "phase4": 0.5,
+            "phase1_ingest": 1.0,
+            "phase1_rebuilds": 0.5,
+        }
+
+    def test_round_trip_through_json(self):
+        timings = PhaseTimings(
+            phase1=2.0,
+            phase2=0.1,
+            phase3=0.4,
+            phase4=0.3,
+            phase1_ingest=1.6,
+            phase1_rebuilds=0.4,
+        )
+        restored = PhaseTimings.from_dict(
+            json.loads(json.dumps(timings.to_dict()))
+        )
+        assert restored == timings
+        assert restored.phase1_ingest == 1.6
+        assert restored.phase1_rebuilds == 0.4
+
+    def test_from_dict_tolerates_pre_split_payloads(self):
+        # Bench JSON written before the ingest/rebuild split has only
+        # the four phase fields; the split components default to zero.
+        restored = PhaseTimings.from_dict(
+            {"phase1": 1.0, "phase2": 0.5, "phase3": 0.25, "phase4": 0.125}
+        )
+        assert restored.phase1 == 1.0
+        assert restored.phase1_ingest == 0.0
+        assert restored.phase1_rebuilds == 0.0
+
+    def test_total_ignores_split_components(self):
+        timings = PhaseTimings(
+            phase1=1.0, phase2=1.0, phase3=1.0, phase4=1.0,
+            phase1_ingest=0.7, phase1_rebuilds=0.3,
+        )
+        assert timings.total == 4.0
+        assert timings.phases_1_3 == 3.0

@@ -1,0 +1,138 @@
+"""Tests for the telemetry sinks (ring buffer, JSONL journal, textfile)."""
+
+import json
+
+import pytest
+
+from repro.observe.sinks import (
+    JsonlSink,
+    RingBufferSink,
+    events_named,
+    read_jsonl,
+    render_metrics_textfile,
+    write_metrics_textfile,
+)
+
+pytestmark = pytest.mark.observe
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_events(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(5):
+            ring.emit({"event": "tick", "i": i})
+        assert len(ring) == 3
+        assert [e["i"] for e in ring.events()] == [2, 3, 4]
+
+    def test_events_returns_a_copy(self):
+        ring = RingBufferSink(capacity=4)
+        ring.emit({"event": "tick"})
+        snapshot = ring.events()
+        ring.emit({"event": "tock"})
+        assert len(snapshot) == 1
+
+    def test_clear_empties_buffer(self):
+        ring = RingBufferSink(capacity=4)
+        ring.emit({"event": "tick"})
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.events() == []
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"event": "a", "n": 1})
+        sink.emit({"event": "b", "n": 2})
+        sink.close()
+        records = read_jsonl(str(path))
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert all("ts" in r for r in records)
+
+    def test_appends_across_reopens(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        first = JsonlSink(str(path))
+        first.emit({"event": "run.start"})
+        first.close()
+        second = JsonlSink(str(path))
+        second.emit({"event": "run.start"})
+        second.close()
+        assert len(read_jsonl(str(path))) == 2
+
+    def test_flushes_per_line(self, tmp_path):
+        # Crash-safety: every record must be on disk before the next
+        # emit, without waiting for close().
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"event": "a"})
+        assert len(read_jsonl(str(path))) == 1
+        sink.close()
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"event": "a"})
+        sink.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "tru')  # no newline: a torn final write
+        records = read_jsonl(str(path))
+        assert [r["event"] for r in records] == ["a"]
+
+    def test_mid_journal_corruption_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"event": "a"}\n')
+            fh.write("not json at all\n")
+            fh.write('{"event": "b"}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(str(path))
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestEventsNamed:
+    def test_filters_by_event_name(self):
+        records = [
+            {"event": "phase", "name": "phase1"},
+            {"event": "rebuild"},
+            {"event": "phase", "name": "phase2"},
+        ]
+        assert len(events_named(records, "phase")) == 2
+        assert events_named(records, "missing") == []
+
+
+class TestMetricsTextfile:
+    def test_renders_sorted_prometheus_lines(self):
+        text = render_metrics_textfile(
+            {"bulk.windows": 7, "io.page_reads": 3},
+            {"tree.threshold": 1.5},
+        )
+        lines = text.splitlines()
+        assert "# TYPE birch_bulk_windows counter" in lines
+        assert "birch_bulk_windows 7" in lines
+        assert "# TYPE birch_tree_threshold gauge" in lines
+        assert "birch_tree_threshold 1.5" in lines
+        # Counter names come out sorted.
+        assert lines.index("birch_bulk_windows 7") < lines.index(
+            "birch_io_page_reads 3"
+        )
+        assert text.endswith("\n")
+
+    def test_sanitises_metric_names(self):
+        text = render_metrics_textfile({"weird-name.with spaces": 1}, {})
+        assert "birch_weird_name_with_spaces 1" in text
+
+    def test_empty_state_renders_empty(self):
+        assert render_metrics_textfile({}, {}) == ""
+
+    def test_write_is_atomic_and_replaces(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_metrics_textfile(str(path), {"a": 1}, {})
+        write_metrics_textfile(str(path), {"a": 2}, {})
+        content = path.read_text()
+        assert "birch_a 2" in content
+        assert "birch_a 1" not in content
+        # No leftover temp files from the atomic-replace dance.
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]

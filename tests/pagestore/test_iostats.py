@@ -43,6 +43,59 @@ class TestCounters:
         assert all(v == 0 for v in stats.summary().values())
         assert stats.points_scanned == 0
 
+    def test_merge_counts_adds_worker_ledgers(self):
+        parent = IOStats()
+        parent.record_read(1024, pages=1)
+        parent.record_rebuild()
+        worker_a, worker_b = IOStats(), IOStats()
+        worker_a.record_read(2048, pages=2)
+        worker_a.record_write(1024, pages=1)
+        worker_a.record_split()
+        worker_b.record_scan(50)
+        worker_b.record_merge()
+        parent.merge_counts(worker_a.state_dict())
+        parent.merge_counts(worker_b.state_dict())
+        assert parent.page_reads == 3
+        assert parent.bytes_read == 1024 + 2048
+        assert parent.page_writes == 1
+        assert parent.bytes_written == 1024
+        assert parent.data_scans == 1
+        assert parent.points_scanned == 50
+        assert parent.tree_rebuilds == 1
+        assert parent.splits == 1
+        assert parent.merges == 1
+
+    def test_merge_counts_is_order_independent(self):
+        states = []
+        for pages in (1, 2, 3):
+            worker = IOStats()
+            worker.record_read(pages * 512, pages=pages)
+            worker.record_scan(pages)
+            states.append(worker.state_dict())
+        forward, backward = IOStats(), IOStats()
+        for state in states:
+            forward.merge_counts(state)
+        for state in reversed(states):
+            backward.merge_counts(state)
+        assert forward.state_dict() == backward.state_dict()
+
+    def test_merge_counts_tolerates_missing_scan_points(self):
+        # Pre-PR-3 worker payloads had no scan_points key.
+        parent = IOStats()
+        state = IOStats().state_dict()
+        state.pop("scan_points")
+        parent.merge_counts(state)
+        assert parent.points_scanned == 0
+
+    def test_state_dict_round_trip(self):
+        stats = IOStats()
+        stats.record_read(4096, pages=4)
+        stats.record_scan(123)
+        restored = IOStats()
+        restored.load_state(stats.state_dict())
+        assert restored.state_dict() == stats.state_dict()
+        assert restored.points_scanned == 123
+
     def test_summary_keys_are_stable(self):
         expected = {
             "page_reads",

@@ -343,3 +343,109 @@ class TestSupervised:
         assert code == 0
         labels = np.loadtxt(labels_path)
         assert labels.shape == (180,)
+
+
+class TestTelemetryFlags:
+    def test_trace_writes_journal(self, csv_points, tmp_path, capsys):
+        from repro.observe import read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["cluster", str(csv_points), "-k", "3", "--trace", str(trace)]
+        )
+        assert code == 0
+        names = [r["event"] for r in read_jsonl(trace)]
+        assert "run.start" in names and "run.end" in names
+        out = capsys.readouterr().out
+        assert "telemetry journal appended" in out
+        assert "telemetry:" in out
+
+    def test_metrics_writes_textfile(self, csv_points, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            ["cluster", str(csv_points), "-k", "3", "--metrics", str(metrics)]
+        )
+        assert code == 0
+        assert "# TYPE birch_bulk_windows counter" in metrics.read_text()
+        assert "metrics textfile written" in capsys.readouterr().out
+
+    def test_no_flags_means_no_telemetry_output(self, csv_points, capsys):
+        code = main(["cluster", str(csv_points), "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out
+
+    def test_supervised_report_includes_telemetry(
+        self, csv_points, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "cluster",
+                str(csv_points),
+                "-k",
+                "3",
+                "--supervised",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "telemetry:" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_inspect_checkpoint(self, csv_points, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        main(
+            [
+                "cluster",
+                str(csv_points),
+                "-k",
+                "3",
+                "--checkpoint",
+                str(ckpt),
+                "--checkpoint-every",
+                "50",
+            ]
+        )
+        capsys.readouterr()
+        code = main(["inspect", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out
+        assert "points seen" in out
+        assert "height" in out
+        assert "leaf[" in out or "node[" in out
+
+    def test_inspect_tree_archive(self, csv_points, tmp_path, capsys):
+        from repro.core.birch import Birch
+        from repro.core.config import BirchConfig
+        from repro.core.serialization import save_tree
+
+        points = np.loadtxt(csv_points, delimiter=",", ndmin=2)
+        birch = Birch(BirchConfig(n_clusters=3))
+        birch.partial_fit(points)
+        archive = tmp_path / "tree.npz"
+        save_tree(archive, birch.tree)
+        code = main(["inspect", str(archive), "--max-depth", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tree archive" in out
+        assert "cf backend" in out
+
+    def test_inspect_missing_file_exits_4(self, tmp_path, capsys):
+        from repro.cli import EXIT_ARCHIVE
+
+        code = main(["inspect", str(tmp_path / "no-such.bin")])
+        assert code == EXIT_ARCHIVE
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_garbage_file_exits_4(self, tmp_path, capsys):
+        from repro.cli import EXIT_ARCHIVE
+
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"definitely not an archive of any kind")
+        code = main(["inspect", str(junk)])
+        assert code == EXIT_ARCHIVE
+        assert "error:" in capsys.readouterr().err
