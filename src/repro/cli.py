@@ -135,8 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for the Phase 1 scan (sharded build, "
-        "merged by CF additivity; 1 = single-process)",
+        help="shard count for the Phase 1 scan (shared-memory worker "
+        "pool, pairwise CF-additive merge; processes are clamped to "
+        "the machine's CPUs; 1 = single-process)",
     )
     cluster.add_argument(
         "--bad-points",
@@ -306,10 +307,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.supervised:
         from repro.guardrails import PhaseBudgets, run_supervised
 
-        if args.jobs > 1:
+        if args.jobs > 1 and args.phase_seconds is not None:
             print(
-                "warning: --supervised scans are single-process "
-                "(deadline-chunked); --jobs ignored"
+                "warning: deadline-budgeted --supervised scans are "
+                "single-process (the chunked scan is the supervision); "
+                "--jobs ignored"
             )
         budgets = PhaseBudgets(
             phase1_seconds=args.phase_seconds,
@@ -325,8 +327,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             return 1
         result = run.result
     else:
-        estimator = Birch(config)
-        with Timer() as timer:
+        with Birch(config) as estimator, Timer() as timer:
             result = estimator.fit(points)
     if result.quarantined_points or result.invalid_dropped_points:
         print(

@@ -17,7 +17,7 @@ BIRCH's single-scan/streaming nature directly.
 
 from __future__ import annotations
 
-import multiprocessing
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -49,6 +49,8 @@ from repro.pagestore.faults import FaultInjector, FaultyDiskStore
 from repro.pagestore.iostats import IOStats
 from repro.pagestore.memory import MemoryBudget
 from repro.pagestore.page import PageLayout
+from repro.parallel.pool import SharedPool
+from repro.parallel.shm import SharedBlock, inline_slice
 
 __all__ = ["Birch", "BirchResult", "PhaseTimings"]
 
@@ -56,36 +58,6 @@ _MAX_CONDENSE_ROUNDS = 64
 
 _NO_DATA_MESSAGE = "no data inserted yet; call fit or partial_fit first"
 _NOT_FITTED_MESSAGE = "not fitted yet; call fit or finalize first"
-
-
-def _build_shard_worker(
-    payload: tuple[BirchConfig, np.ndarray],
-) -> dict[str, object]:
-    """Build one shard's CF-tree in a worker process (Phase 1 only).
-
-    Module-level so it pickles under any multiprocessing start method.
-    Returns plain picklable state: the shard tree's leaf entries in
-    chain order, its final threshold, the potential outliers left on
-    its disk, the worker's I/O ledger and points consumed.  The parent
-    merges these by CF additivity (Theorem 4.1) — nothing about the
-    shard build survives except its CFs, so worker-side checkpointing
-    and validation are disabled by the caller's config.
-    """
-    config, shard = payload
-    worker = Birch(config)
-    worker._partial_fit_clean(shard, None)
-    assert worker._tree is not None
-    outliers: list[AnyCF] = []
-    if worker._outlier_handler is not None:
-        outliers = list(worker._outlier_handler.disk.peek())
-    return {
-        "leaf_cfs": worker._tree.leaf_entries(),
-        "threshold": worker._tree.threshold,
-        "outliers": outliers,
-        "io": worker.stats.state_dict(),
-        "telemetry": worker._recorder.state_dict(),
-        "points_seen": worker._points_seen,
-    }
 
 
 @dataclass
@@ -315,6 +287,58 @@ class Birch:
         self._ingest_seconds = 0.0
         self._rebuild_seconds = 0.0
         self._rebuild_timer_depth = 0
+        self._pool: Optional[SharedPool] = None
+
+    # -- worker-pool lifecycle ---------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent).
+
+        Safe to skip — an unused estimator holds no processes, and pool
+        workers are daemonic so interpreter exit reaps them — but
+        long-lived applications that shard many fits should close (or
+        use the estimator as a context manager) to return the processes
+        promptly.  Fitted state is untouched; the next sharded fit
+        simply re-creates workers.
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "Birch":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _ensure_pool(self, requested: int, n_tasks: int) -> SharedPool:
+        """The persistent pool, sized for this dispatch.
+
+        The effective process count is clamped to the machine
+        (``os.cpu_count()``) and to the number of tasks that actually
+        exist — processes beyond either bound cannot help.  Shard
+        *count* is never clamped (it is part of the deterministic
+        ``(seed, n_jobs)`` contract); only the processes executing the
+        shards are.  A ``pool.clamped`` telemetry event records any
+        reduction.  The pool persists across ``fit``/``partial_fit``
+        calls and is resized (old workers released) only when the clamp
+        changes.
+        """
+        procs = max(1, min(requested, os.cpu_count() or 1, n_tasks))
+        if procs < requested and self._recorder.enabled:
+            self._recorder.event(
+                "pool.clamped",
+                requested=requested,
+                effective=procs,
+                cpu_count=os.cpu_count() or 1,
+                tasks=n_tasks,
+            )
+            self._recorder.count("pool.clamped")
+        if self._pool is not None and self._pool.processes != procs:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = SharedPool(procs)
+        return self._pool
 
     # -- introspection -------------------------------------------------------
 
@@ -479,17 +503,20 @@ class Birch:
     def _sharded_phase1(self, points: np.ndarray, n_jobs: int) -> None:
         """Sharded parallel Phase 1 (``fit(..., n_jobs=N)``).
 
-        The batch is split into ``n_jobs`` contiguous shards, each built
-        into its own CF-tree by a worker process, and the shard trees
-        are merged here by CF additivity: the merged tree's threshold is
-        raised to the largest shard threshold (every shard leaf entry
-        satisfies it by construction), each shard's leaf entries are
-        reinserted in chain order through the normal guarded path, and
-        each shard's spilled potential outliers are re-resolved against
-        the merged tree (absorb if it fits, else spill to the parent
-        disk, else insert).  Deterministic for fixed ``(seed, n_jobs)``:
-        ``np.array_split`` is deterministic, shard builds are
-        single-process, and ``Pool.map`` preserves payload order.
+        The batch is split into ``n_jobs`` contiguous shards, published
+        once in shared memory, and built into per-shard CF-trees by the
+        persistent worker pool.  The shard trees are then merged by CF
+        additivity in pairwise tournament rounds (``ceil(log2 N)``
+        rounds instead of a serial ``N``-step fold), each round's pairs
+        dispatched on the same pool.  The winning tree's structure
+        arrays are adopted bit-for-bit as the parent tree, and each
+        shard's spilled potential outliers are re-resolved against it
+        (absorb if it fits, else spill to the parent disk, else
+        insert).  Deterministic for fixed ``(seed, n_jobs)``:
+        ``np.array_split`` bounds are deterministic, shard builds are
+        single-process, the pairing order is fixed, and the pool's
+        ``map`` preserves task order — the worker *process* count never
+        influences any result, only wall-clock.
         """
         start = time.perf_counter()
         rebuilds_before = self._rebuild_seconds
@@ -501,8 +528,16 @@ class Birch:
                 0.0, elapsed - (self._rebuild_seconds - rebuilds_before)
             )
 
-    def _sharded_phase1_inner(self, points: np.ndarray, n_jobs: int) -> None:
-        worker_config = replace(
+    def _shard_configs(self, n_jobs: int) -> tuple[BirchConfig, BirchConfig]:
+        """Worker configs for shard builds and merge rounds.
+
+        Shard builders split the parent's memory/disk budgets ``n_jobs``
+        ways; merge workers get the *full* memory budget, because an
+        intermediate merged tree must fit wherever the final tree will
+        live.  Both strip checkpointing, validation and file-backed
+        observers — those belong to the parent alone.
+        """
+        build_config = replace(
             self.config,
             n_jobs=1,
             checkpoint_every_points=None,
@@ -531,61 +566,144 @@ class Birch:
                 else max(1, self.config.total_points_hint // n_jobs)
             ),
         )
-        payloads = [
-            (worker_config, shard)
-            for shard in np.array_split(points, n_jobs)
-            if shard.shape[0]
-        ]
-        results = self._run_shard_workers(payloads)
-        self._initialise(points.shape[1])
-        assert self._tree is not None
-        self._tree.threshold = max(
-            self.config.initial_threshold,
-            *(float(r["threshold"]) for r in results),
+        merge_config = replace(
+            build_config,
+            memory_bytes=self.config.memory_bytes,
+            disk_bytes=self.config.effective_disk_bytes,
+            total_points_hint=self.config.total_points_hint,
         )
-        for r in results:
-            for cf in r["leaf_cfs"]:
-                self._insert_one(cf)
-        for r in results:
-            for cf in r["outliers"]:
-                assert self._tree is not None
-                if self._tree.try_absorb_cf(cf):
-                    self._points_seen += cf.n
-                    self._maybe_checkpoint()
-                elif self._outlier_handler is not None and self._outlier_handler.spill(
-                    cf
-                ):
-                    self._points_seen += cf.n
-                    self._maybe_checkpoint()
-                else:
-                    self._insert_one(cf)
-            self.stats.merge_counts(r["io"])
-            if self._recorder.enabled:
-                # Shard counters (bulk windows, fallbacks, worker I/O
-                # forwarded by its own observer) sum onto the parent in
-                # Pool.map payload order — same additivity discipline
-                # and determinism as IOStats.merge_counts just above.
-                self._recorder.merge_counts(r.get("telemetry", {}))
+        return build_config, merge_config
 
-    def _run_shard_workers(
-        self, payloads: list[tuple[BirchConfig, np.ndarray]]
-    ) -> list[dict[str, object]]:
-        """Run shard builds, in processes when the platform allows.
+    def _sharded_phase1_inner(self, points: np.ndarray, n_jobs: int) -> None:
+        from repro.parallel.worker import build_shard, merge_pair
 
-        Falls back to an in-process serial sweep when worker processes
-        cannot be created (sandboxes without fork/semaphores) — the
-        worker function is pure, so the results are identical either
-        way, just without the wall-clock win.
-        """
-        if len(payloads) == 1:
-            return [_build_shard_worker(payloads[0])]
+        dimensions = points.shape[1]
+        build_config, merge_config = self._shard_configs(n_jobs)
+        # Contiguous np.array_split bounds; empty shards (n < n_jobs)
+        # are dropped — they contribute nothing and a worker cannot
+        # build a tree from zero rows.
+        bounds = []
+        lo = 0
+        for shard_len in (len(s) for s in np.array_split(points, n_jobs)):
+            if shard_len:
+                bounds.append((lo, lo + shard_len))
+            lo += shard_len
+        if not bounds:
+            self._initialise(dimensions)
+            return
+        rec = self._recorder
+        pool = self._ensure_pool(n_jobs, len(bounds))
+
+        # Publish the batch once; workers view [lo, hi) slices without
+        # any rows crossing the pipe.  Serial fallback (and shm-less
+        # platforms) read inline views of the same array instead — the
+        # float values are bit-identical either way.
+        block: Optional[SharedBlock] = None
+        if not pool.serial:
+            try:
+                block = SharedBlock(points)
+            except OSError:
+                block = None
         try:
-            with multiprocessing.get_context().Pool(
-                processes=len(payloads)
-            ) as pool:
-                return pool.map(_build_shard_worker, payloads)
-        except (OSError, PermissionError, ImportError):
-            return [_build_shard_worker(p) for p in payloads]
+            tasks = [
+                {
+                    "config": build_config,
+                    "shard": (
+                        block.slice_spec(lo, hi)
+                        if block is not None
+                        else inline_slice(points, lo, hi)
+                    ),
+                }
+                for lo, hi in bounds
+            ]
+            with rec.span(
+                "shard.build", shards=len(tasks), rows=points.shape[0]
+            ):
+                states = pool.map(build_shard, tasks, recorder=rec)
+        finally:
+            if block is not None:
+                block.close()
+
+        # Bank every shard's outliers and additive counters now, in
+        # shard order: merge-round states carry only their own fold's
+        # counters, so nothing is double-counted and the totals do not
+        # depend on the pairing tree.
+        pending_outliers: list[AnyCF] = []
+        for state in states:
+            pending_outliers.extend(state["outliers"])  # type: ignore[arg-type]
+            self.stats.merge_counts(state["io"])  # type: ignore[arg-type]
+            if rec.enabled:
+                rec.merge_counts(state.get("telemetry", {}))  # type: ignore[arg-type]
+
+        # Pairwise tournament reduction: adjacent pairs each round, odd
+        # tree passes through.  ceil(log2(shards)) rounds, every round's
+        # pairs independent and dispatched together on the pool.
+        round_no = 0
+        while len(states) > 1:
+            pairs = [
+                {
+                    "config": merge_config,
+                    "dimensions": dimensions,
+                    "left": states[i],
+                    "right": states[i + 1],
+                }
+                for i in range(0, len(states) - 1, 2)
+            ]
+            with rec.span("merge.round", round=round_no, pairs=len(pairs)):
+                merged = pool.map(merge_pair, pairs, recorder=rec)
+            for state in merged:
+                self.stats.merge_counts(state["io"])  # type: ignore[arg-type]
+                if rec.enabled:
+                    rec.merge_counts(state.get("telemetry", {}))  # type: ignore[arg-type]
+            if len(states) % 2:
+                merged.append(states[-1])
+            states = merged
+            round_no += 1
+
+        # Adopt the winner bit-for-bit: same structure arrays the merge
+        # workers exchanged, now under the parent's budget and ledger.
+        final = states[0]
+        self._initialise(dimensions)
+        assert self._tree is not None and self._budget is not None
+        layout = self._tree.layout
+        self._budget.reset()  # the placeholder root page is discarded
+        self._tree = CFTree.from_structure(
+            final["structure"],  # type: ignore[arg-type]
+            layout=layout,
+            threshold=max(
+                self.config.initial_threshold, float(final["threshold"])  # type: ignore[arg-type]
+            ),
+            metric=self.config.metric,
+            threshold_kind=self.config.threshold_kind,
+            points=int(final["points"]),  # type: ignore[arg-type]
+            budget=self._budget,
+            stats=self.stats,
+            merging_refinement=self.config.merging_refinement,
+            cf_backend=self.config.cf_backend,
+            recorder=self._recorder,
+        )
+        self._points_seen = int(final["points"])  # type: ignore[arg-type]
+        while self._budget.over_budget:
+            self._rebuild()
+        self._maybe_checkpoint()
+
+        # Re-resolve every shard's potential outliers against the final
+        # merged tree, in shard order (absorb if it fits an existing
+        # entry, else spill to the parent disk, else insert properly) —
+        # each path adds the CF's point count exactly once, keeping the
+        # conservation ledger exact.
+        for cf in pending_outliers:
+            assert self._tree is not None
+            if self._tree.try_absorb_cf(cf):
+                self._points_seen += cf.n
+                self._maybe_checkpoint()
+            elif self._outlier_handler is not None and self._outlier_handler.spill(
+                cf
+            ):
+                self._points_seen += cf.n
+                self._maybe_checkpoint()
+            else:
+                self._insert_one(cf)
 
     def _insert_one(self, cf: AnyCF) -> None:
         assert self._tree is not None and self._budget is not None
@@ -1034,7 +1152,7 @@ class Birch:
                 "validation rejected every input row; nothing to cluster "
                 f"(rejections by reason: {self._validator.stats.points_by_reason})"
             )
-        if jobs > 1 and weight_arr is None and clean.shape[0] >= jobs:
+        if jobs > 1 and weight_arr is None:
             self._sharded_phase1(clean, jobs)
         else:
             self._partial_fit_clean(clean, weight_arr)

@@ -142,18 +142,26 @@ class BirchConfig:
         threshold growth so the tree physically fits; ``"spill"``
         additionally diverts unabsorbable entries to the outlier disk.
     n_jobs:
-        Worker processes for the Phase 1 ``fit`` scan.  ``1`` (default)
+        Shard count for the Phase 1 ``fit`` scan.  ``1`` (default)
         keeps the single-process path.  ``N > 1`` partitions the batch
-        into ``N`` contiguous shards, builds one CF-tree per shard in a
-        worker process, and merges the shard trees by CF additivity
-        (Theorem 4.1: reinserting each shard's leaf entries and
-        re-resolving its spilled outliers loses nothing).  The merged
-        run is deterministic for a fixed ``(random_seed, n_jobs)`` pair
-        but is *not* byte-identical to ``n_jobs=1`` — insertion order
-        differs, which BIRCH's quality is robust to (Section 7's order
-        sensitivity experiment); equality of cluster count and centroid
-        agreement are what the parity tests assert.  Only ``fit`` uses
-        workers; ``partial_fit`` streams are inherently sequential.
+        into ``N`` contiguous shards, publishes the rows once in shared
+        memory, builds one CF-tree per shard on a persistent worker
+        pool owned by the estimator (created lazily, reused across
+        fits; ``Birch.close()`` releases it), and reduces the shard
+        trees in pairwise tournament rounds by CF additivity
+        (Theorem 4.1: batched leaf-entry merges and re-resolving each
+        shard's spilled outliers lose nothing).  The worker *process*
+        count is clamped to ``os.cpu_count()`` and the shard count
+        (``pool.clamped`` telemetry event); the shard count itself
+        never is, so results are deterministic for a fixed
+        ``(random_seed, n_jobs)`` pair on any machine — including
+        platforms where processes cannot be created at all and the same
+        sharded algorithm runs in-process.  A sharded run is *not*
+        byte-identical to ``n_jobs=1`` — insertion order differs, which
+        BIRCH's quality is robust to (Section 7's order sensitivity
+        experiment); equality of cluster count and centroid agreement
+        are what the parity tests assert.  Only ``fit`` uses workers;
+        ``partial_fit`` streams are inherently sequential.
     observe:
         Telemetry configuration (:class:`repro.observe.ObserveConfig`).
         ``None`` (default) disables the observability subsystem

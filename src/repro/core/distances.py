@@ -50,6 +50,7 @@ from repro.core.features import CF, AnyCF, StableCF
 
 __all__ = [
     "Metric",
+    "cf_batch_distances",
     "distance",
     "distances_to_set",
     "gathered_point_distances",
@@ -62,6 +63,7 @@ __all__ = [
     "stable_gathered_point_distances",
     "stable_merged_diameter",
     "stable_merged_radius",
+    "stable_cf_batch_distances",
     "stable_paired_point_distances",
     "stable_paired_point_merged_stat",
     "stable_point_distances_to_set",
@@ -634,6 +636,130 @@ def stable_paired_point_merged_stat(
     n_merged = ns + 1
     ssd_merged = ssds + 0.0 + ((ns * 1) / n_merged) * delta2
     return np.sqrt(np.maximum(ssd_merged, 0.0) / n_merged)
+
+
+# -- bulk CF-merge kernels -----------------------------------------------------
+#
+# The batched CF descent (CFTree.bulk_insert_cfs, used by the pairwise
+# tree merge) routes m subcluster CFs through a node in one call.  These
+# kernels evaluate the m x k distance matrix between CF *probes* (not
+# singleton points) and a node's entries.  They mirror the formulas of
+# distances_to_set/stable_distances_to_set but are used for routing
+# only — the leaf absorption decision always re-runs the scalar
+# _fits_threshold against the evolved entry state — so unlike the
+# point kernels above they carry no bitwise-equality contract.
+
+
+def cf_batch_distances(
+    p_ns: np.ndarray,
+    p_ls: np.ndarray,
+    p_ss: np.ndarray,
+    ns: np.ndarray,
+    ls: np.ndarray,
+    ss: np.ndarray,
+    metric: Metric = Metric.D2_AVG_INTERCLUSTER,
+) -> np.ndarray:
+    """Distances between ``m`` classic CF probes and ``k`` classic CFs.
+
+    Parameters
+    ----------
+    p_ns, p_ls, p_ss:
+        The probes, shapes ``(m,)``, ``(m, d)`` and ``(m,)``.
+    ns, ls, ss:
+        The target set, shapes ``(k,)``, ``(k, d)`` and ``(k,)`` (the
+        struct-of-arrays view of a tree node).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(m, k)`` distance matrix.
+    """
+    m, k = p_ns.shape[0], ns.shape[0]
+    if m == 0 or k == 0:
+        return np.empty((m, k), dtype=np.float64)
+    if metric is Metric.D0_EUCLIDEAN or metric is Metric.D1_MANHATTAN:
+        diff = (ls / ns[:, None])[None, :, :] - (p_ls / p_ns[:, None])[
+            :, None, :
+        ]
+        if metric is Metric.D1_MANHATTAN:
+            return np.abs(diff).sum(axis=2)
+        return np.sqrt(
+            np.maximum(np.einsum("mkj,mkj->mk", diff, diff), 0.0)
+        )
+    if metric is Metric.D2_AVG_INTERCLUSTER:
+        cross = np.einsum("mj,kj->mk", p_ls, ls)
+        d2 = (
+            ns[None, :] * p_ss[:, None]
+            + p_ns[:, None] * ss[None, :]
+            - 2.0 * cross
+        ) / (ns[None, :] * p_ns[:, None])
+        return np.sqrt(np.maximum(d2, 0.0))
+    n_merged = ns[None, :] + p_ns[:, None]
+    ls_merged = ls[None, :, :] + p_ls[:, None, :]
+    if metric is Metric.D3_AVG_INTRACLUSTER:
+        ss_merged = ss[None, :] + p_ss[:, None]
+        norm = np.einsum("mkj,mkj->mk", ls_merged, ls_merged)
+        denom = n_merged * (n_merged - 1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d2 = np.where(
+                denom > 0,
+                (2.0 * n_merged * ss_merged - 2.0 * norm) / denom,
+                0.0,
+            )
+        return np.sqrt(np.maximum(d2, 0.0))
+    if metric is Metric.D4_VARIANCE_INCREASE:
+        own = np.einsum("kj,kj->k", ls, ls) / ns
+        probe_own = np.einsum("mj,mj->m", p_ls, p_ls) / p_ns
+        merged = np.einsum("mkj,mkj->mk", ls_merged, ls_merged) / n_merged
+        return np.sqrt(
+            np.maximum(own[None, :] + probe_own[:, None] - merged, 0.0)
+        )
+    raise ValueError(f"unhandled metric {metric!r}")
+
+
+def stable_cf_batch_distances(
+    p_ns: np.ndarray,
+    p_means: np.ndarray,
+    p_ssds: np.ndarray,
+    ns: np.ndarray,
+    means: np.ndarray,
+    ssds: np.ndarray,
+    metric: Metric = Metric.D2_AVG_INTERCLUSTER,
+) -> np.ndarray:
+    """Distances between ``m`` StableCF probes and ``k`` StableCFs.
+
+    The stable counterpart of :func:`cf_batch_distances`; same shapes,
+    cancellation-free arithmetic throughout.
+    """
+    m, k = p_ns.shape[0], ns.shape[0]
+    if m == 0 or k == 0:
+        return np.empty((m, k), dtype=np.float64)
+    diff = means[None, :, :] - p_means[:, None, :]
+    if metric is Metric.D1_MANHATTAN:
+        return np.abs(diff).sum(axis=2)
+    delta2 = np.einsum("mkj,mkj->mk", diff, diff)
+    if metric is Metric.D0_EUCLIDEAN:
+        return np.sqrt(delta2)
+    if metric is Metric.D2_AVG_INTERCLUSTER:
+        return np.sqrt(
+            ssds[None, :] / ns[None, :]
+            + p_ssds[:, None] / p_ns[:, None]
+            + delta2
+        )
+    n_merged = ns[None, :] + p_ns[:, None]
+    if metric is Metric.D3_AVG_INTRACLUSTER:
+        ssd_merged = (
+            ssds[None, :]
+            + p_ssds[:, None]
+            + (ns[None, :] * p_ns[:, None] / n_merged) * delta2
+        )
+        denom = n_merged - 1.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d2 = np.where(denom > 0, 2.0 * ssd_merged / denom, 0.0)
+        return np.sqrt(np.maximum(d2, 0.0))
+    if metric is Metric.D4_VARIANCE_INCREASE:
+        return np.sqrt((ns[None, :] * p_ns[:, None] / n_merged) * delta2)
+    raise ValueError(f"unhandled metric {metric!r}")
 
 
 def stable_merged_radius(

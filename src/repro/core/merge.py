@@ -8,28 +8,123 @@ tree.  Because a leaf entry is an exact CF of its points, the fold
 loses nothing beyond what the absorption threshold always loses — the
 merged tree is a valid Phase 1 output for the union of the shards.
 
-:func:`merge_trees` implements the fold: entries of the donor trees are
-inserted into (a rebuild-grown copy of) the first tree, growing the
-threshold with the standard policy whenever the merged tree would
-exceed its memory budget.
+:func:`merge_tree_pair` is the unit of work: one donor tree folded into
+one accumulator through :meth:`~repro.core.tree.CFTree.bulk_insert_cfs`
+(batched routing descent instead of a per-entry scalar insert), growing
+the threshold with the standard policy whenever the merged tree would
+exceed its memory budget.  :func:`merge_trees` keeps the historical
+N-ary API as a sequential fold over pairs; the sharded build reduces
+pairs in parallel rounds instead (see :mod:`repro.parallel.worker`).
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.rebuild import rebuild_tree
 from repro.core.threshold import ThresholdPolicy
 from repro.core.tree import CFTree
 
-__all__ = ["merge_trees"]
+__all__ = ["merge_tree_pair", "merge_trees"]
+
+
+def _check_compatible(first: CFTree, other: CFTree) -> None:
+    if other.layout.dimensions != first.layout.dimensions:
+        raise ValueError(
+            f"dimension mismatch: {other.layout.dimensions} vs "
+            f"{first.layout.dimensions}"
+        )
+    if other.metric is not first.metric:
+        raise ValueError("metric mismatch between trees")
+    if other.threshold_kind is not first.threshold_kind:
+        raise ValueError("threshold-kind mismatch between trees")
+    if other.cf_backend != first.cf_backend:
+        raise ValueError(
+            f"cf-backend mismatch between trees: {other.cf_backend!r} vs "
+            f"{first.cf_backend!r}"
+        )
+
+
+def _donor_arrays(
+    donor: CFTree,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The donor's leaf entries as struct-of-arrays, in chain order.
+
+    Copies, so the fold never aliases the donor's pages (the donor is
+    read-only to the merge and may be freed by the caller afterwards).
+    """
+    ns_parts: list[np.ndarray] = []
+    vec_parts: list[np.ndarray] = []
+    sq_parts: list[np.ndarray] = []
+    for leaf in donor.leaves():
+        size = leaf.size
+        if size == 0:
+            continue
+        ns_parts.append(leaf._ns[:size].copy())
+        vec_parts.append(leaf._vec[:size].copy())
+        sq_parts.append(leaf._sq[:size].copy())
+    d = donor.layout.dimensions
+    if not ns_parts:
+        return (
+            np.empty(0, dtype=np.float64),
+            np.empty((0, d), dtype=np.float64),
+            np.empty(0, dtype=np.float64),
+        )
+    return (
+        np.concatenate(ns_parts),
+        np.concatenate(vec_parts),
+        np.concatenate(sq_parts),
+    )
+
+
+def merge_tree_pair(
+    acc: CFTree,
+    donor: CFTree,
+    policy: Optional[ThresholdPolicy] = None,
+) -> CFTree:
+    """Fold ``donor``'s leaf entries into ``acc``.
+
+    ``acc`` is the accumulator (consumed and returned, possibly
+    rebuilt coarser); ``donor`` is read but not freed.  Entries move in
+    leaf-chain order through the batched CF descent, pausing to re-check
+    the memory budget after any insertion that allocated a node and
+    rebuilding at the policy's next threshold whenever the budget trips
+    — the same grow-until-it-fits loop Phase 1 applies to raw points,
+    lifted to subclusters.
+
+    Returns a tree whose summary CF is the exact sum of both inputs'
+    (CF additivity, Theorem 4.1) and whose threshold is at least the
+    larger of the two inputs'.
+    """
+    _check_compatible(acc, donor)
+    if policy is None:
+        policy = ThresholdPolicy()
+
+    # Level the playing field: the accumulator must be at least as
+    # coarse as the donor, or donor entries could violate its
+    # threshold invariant.
+    merged = acc
+    if donor.threshold > merged.threshold:
+        merged = rebuild_tree(merged, donor.threshold)
+
+    ns, vecs, sqs = _donor_arrays(donor)
+    total = ns.shape[0]
+    i = 0
+    while i < total:
+        i = merged.bulk_insert_cfs(ns, vecs, sqs, start=i, stop_on_alloc=True)
+        while merged.budget is not None and merged.budget.over_budget:
+            new_threshold = policy.next_threshold(merged, merged.points)
+            merged = rebuild_tree(merged, new_threshold)
+    return merged
 
 
 def merge_trees(
     trees: Sequence[CFTree],
     policy: Optional[ThresholdPolicy] = None,
 ) -> CFTree:
-    """Fold several CF-trees into one.
+    """Fold several CF-trees into one (sequential pairwise fold).
 
     Parameters
     ----------
@@ -54,36 +149,12 @@ def merge_trees(
         raise ValueError("need at least one tree to merge")
     first = trees[0]
     for other in trees[1:]:
-        if other.layout.dimensions != first.layout.dimensions:
-            raise ValueError(
-                f"dimension mismatch: {other.layout.dimensions} vs "
-                f"{first.layout.dimensions}"
-            )
-        if other.metric is not first.metric:
-            raise ValueError("metric mismatch between trees")
-        if other.threshold_kind is not first.threshold_kind:
-            raise ValueError("threshold-kind mismatch between trees")
-        if other.cf_backend != first.cf_backend:
-            raise ValueError(
-                f"cf-backend mismatch between trees: {other.cf_backend!r} vs "
-                f"{first.cf_backend!r}"
-            )
+        _check_compatible(first, other)
 
     if policy is None:
         policy = ThresholdPolicy()
 
-    # Level the playing field: the accumulator must be at least as
-    # coarse as the coarsest donor, or donor entries could violate its
-    # threshold invariant.
-    target_threshold = max(tree.threshold for tree in trees)
     merged = first
-    if target_threshold > merged.threshold:
-        merged = rebuild_tree(merged, target_threshold)
-
     for donor in trees[1:]:
-        for cf in donor.leaf_entries():
-            merged.insert_cf(cf)
-            if merged.budget is not None and merged.budget.over_budget:
-                new_threshold = policy.next_threshold(merged, merged.points)
-                merged = rebuild_tree(merged, new_threshold)
+        merged = merge_tree_pair(merged, donor, policy=policy)
     return merged

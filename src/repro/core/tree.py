@@ -33,12 +33,14 @@ import numpy as np
 
 from repro.core.distances import (
     Metric,
+    cf_batch_distances,
     distance,
     gathered_point_distances,
     merged_diameter,
     merged_radius,
     paired_point_merged_stat,
     point_distances_to_set,
+    stable_cf_batch_distances,
     stable_gathered_point_distances,
     stable_merged_diameter,
     stable_merged_radius,
@@ -60,6 +62,11 @@ __all__ = ["CFTree", "ThresholdKind", "TreeStats"]
 #: a constant factor of the useful work on adversarial (shuffled) input.
 _BULK_MIN_WINDOW = 16
 _BULK_MAX_WINDOW = 4096
+
+#: Routing chunk for :meth:`CFTree.bulk_insert_cfs` (the batched CF
+#: merge).  One batched descent routes this many donor CFs before the
+#: sequential apply step re-validates each against the evolved tree.
+_CF_BULK_CHUNK = 256
 
 
 class ThresholdKind(enum.Enum):
@@ -612,6 +619,213 @@ class CFTree:
             node.add_to_entry(child_idx, cf)
         self._points += cf.n
         return True
+
+    # -- bulk CF merge (the pairwise tree-merge hot path) ---------------------
+
+    def bulk_insert_cfs(
+        self,
+        ns: np.ndarray,
+        vecs: np.ndarray,
+        sqs: np.ndarray,
+        *,
+        start: int = 0,
+        stop_on_alloc: bool = False,
+    ) -> int:
+        """Insert a batch of subcluster CFs via batched descent.
+
+        The donor entries arrive as the struct-of-arrays triple a leaf
+        node stores — ``ns`` ``(m,)``, ``vecs`` ``(m, d)`` and ``sqs``
+        ``(m,)`` holding ``(N, LS, SS)`` rows on the classic backend and
+        ``(n, mean, SSD)`` rows on the stable one.  Rows from ``start``
+        onward are consumed in order.
+
+        A chunk of CFs is routed down the tree with one distance-matrix
+        kernel per visited node (:func:`cf_batch_distances`), then
+        applied *sequentially*: each CF re-tests the threshold against
+        its target entry's **current, evolved** state before absorbing
+        (so the leaf threshold invariant can never be violated by
+        within-chunk evolution), appends in place when the test fails
+        and the leaf has room, and falls back to the scalar
+        :meth:`insert_cf` when its routed path was invalidated by an
+        earlier split/merge or the leaf is full.  The result is
+        deterministic for a fixed input but — unlike
+        :meth:`bulk_insert` — is *not* byte-identical to a scalar
+        ``insert_cf`` loop: routing uses chunk-start states, which is
+        exactly the batching that makes merge folds cheap.
+
+        Parameters
+        ----------
+        start:
+            First row to consume (resumption cursor).
+        stop_on_alloc:
+            Return right after any insertion that changed the node
+            count, so the caller can re-check its memory budget —
+            absorb/append rows never allocate, only scalar-fallback
+            splits do.
+
+        Returns
+        -------
+        int
+            The new cursor: index of the first row *not* consumed
+            (``m`` when the whole batch went in).
+        """
+        ns = np.asarray(ns, dtype=np.float64)
+        vecs = np.asarray(vecs, dtype=np.float64)
+        sqs = np.asarray(sqs, dtype=np.float64)
+        total = ns.shape[0]
+        i = int(start)
+        rec = self.recorder
+        stable = self.cf_backend == "stable"
+        while i < total:
+            if self.root.size == 0:
+                # Empty tree: the first CF seeds the root (no
+                # allocation; the root page already exists).
+                self.insert_cf(self._row_cf(stable, ns, vecs, sqs, i))
+                i += 1
+                continue
+            w = min(_CF_BULK_CHUNK, total - i)
+            leaves, cols, paths = self._route_cfs(
+                ns[i : i + w], vecs[i : i + w], sqs[i : i + w]
+            )
+            root_at_route = self.root
+            absorbed = appended = fallbacks = 0
+            stop_at: Optional[int] = None
+            for r in range(w):
+                cf = self._row_cf(stable, ns, vecs, sqs, i)
+                leaf = leaves[r]
+                col = int(cols[r])
+                path = paths[r]
+                intact = (
+                    self.root is root_at_route
+                    and self._path_intact(path, leaf)
+                    and col < leaf.size
+                )
+                if intact and self._fits_threshold(leaf, col, cf):
+                    leaf.add_to_entry(col, cf)
+                    for node, idx in path:
+                        node.add_to_entry(idx, cf)
+                    self._points += cf.n
+                    absorbed += 1
+                    i += 1
+                    continue
+                if intact and not leaf.is_full:
+                    leaf.append_entry(cf)
+                    for node, idx in path:
+                        node.add_to_entry(idx, cf)
+                    self._points += cf.n
+                    appended += 1
+                    i += 1
+                    continue
+                # Stale path or full leaf: the scalar path owns this CF
+                # (fresh descent, split propagation, refinement).
+                nodes_before = self._node_count
+                self.insert_cf(cf)
+                fallbacks += 1
+                i += 1
+                if stop_on_alloc and self._node_count != nodes_before:
+                    stop_at = i
+                    break
+            if rec.enabled:
+                rec.count("bulkcf.chunks")
+                rec.count("bulkcf.absorbed", absorbed)
+                rec.count("bulkcf.appended", appended)
+                rec.count("bulkcf.fallbacks", fallbacks)
+            if stop_at is not None:
+                return stop_at
+        return i
+
+    def _row_cf(
+        self,
+        stable: bool,
+        ns: np.ndarray,
+        vecs: np.ndarray,
+        sqs: np.ndarray,
+        i: int,
+    ) -> AnyCF:
+        """Materialise donor row ``i`` as a CF of the tree's backend."""
+        if stable:
+            return StableCF(int(ns[i]), vecs[i].copy(), float(sqs[i]))
+        return CF(int(ns[i]), vecs[i].copy(), float(sqs[i]))
+
+    def _route_cfs(
+        self, p_ns: np.ndarray, p_vec: np.ndarray, p_sq: np.ndarray
+    ) -> tuple[list[CFNode], np.ndarray, list[tuple[tuple[CFNode, int], ...]]]:
+        """Batched speculative descent for ``m`` CF probes.
+
+        Partitions the probes by argmin child at every level — one
+        distance-matrix kernel per *visited node*, not per probe — and
+        returns, per probe: the reached leaf, the argmin entry column
+        within it, and the root-to-leaf path as ``(node, child_idx)``
+        pairs.  All answers reflect the tree state at call time; the
+        caller re-validates against the evolved state before applying.
+        """
+        m = p_ns.shape[0]
+        stable = self.cf_backend == "stable"
+        out_leaf: list[CFNode] = [self.root] * m
+        out_col = np.zeros(m, dtype=np.int64)
+        empty_path: tuple[tuple[CFNode, int], ...] = ()
+        out_path: list[tuple[tuple[CFNode, int], ...]] = [empty_path] * m
+        pending: list[
+            tuple[CFNode, np.ndarray, tuple[tuple[CFNode, int], ...]]
+        ] = [(self.root, np.arange(m), empty_path)]
+        while pending:
+            node, idx, path = pending.pop()
+            k = node.size
+            if stable:
+                mat = stable_cf_batch_distances(
+                    p_ns[idx],
+                    p_vec[idx],
+                    p_sq[idx],
+                    node.ns,
+                    node._vec[:k],
+                    node._sq[:k],
+                    self.metric,
+                )
+            else:
+                mat = cf_batch_distances(
+                    p_ns[idx],
+                    p_vec[idx],
+                    p_sq[idx],
+                    node.ns,
+                    node._vec[:k],
+                    node._sq[:k],
+                    self.metric,
+                )
+            cols = np.argmin(mat, axis=1)
+            if node.is_leaf:
+                for pos in range(idx.shape[0]):
+                    r = int(idx[pos])
+                    out_leaf[r] = node
+                    out_col[r] = cols[pos]
+                    out_path[r] = path
+                continue
+            assert node.children is not None
+            for c in np.unique(cols):
+                c = int(c)
+                pending.append(
+                    (node.children[c], idx[cols == c], path + ((node, c),))
+                )
+        return out_leaf, out_col, out_path
+
+    def _path_intact(
+        self, path: tuple[tuple[CFNode, int], ...], leaf: CFNode
+    ) -> bool:
+        """Is a routed root-to-leaf path still live in the tree?
+
+        Splits, merges and re-splits rewrite ``children`` lists; a path
+        is applied blindly only when every link still points at the same
+        node object it did at routing time.
+        """
+        node = self.root
+        for parent, idx in path:
+            if (
+                parent is not node
+                or parent.children is None
+                or idx >= parent.size
+            ):
+                return False
+            node = parent.children[idx]
+        return node is leaf
 
     def nearest_entry(self, point: np.ndarray) -> tuple[AnyCF, float]:
         """The leaf entry greedily closest to ``point``, with distance.

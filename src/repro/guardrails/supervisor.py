@@ -331,7 +331,14 @@ def run_supervised(
         if deadline is None:
             clean, weight_arr = birch._screen_batch(points, None)
             if clean.shape[0]:
-                birch._partial_fit_clean(clean, weight_arr)
+                if config.n_jobs > 1 and weight_arr is None:
+                    # No deadline to interleave with the scan, so the
+                    # supervised path can use the sharded parallel build
+                    # (deadline-chunked scans stay single-process: the
+                    # chunking IS the supervision there).
+                    birch._sharded_phase1(clean, config.n_jobs)
+                else:
+                    birch._partial_fit_clean(clean, weight_arr)
                 clean_parts.append(clean)
         else:
             n_rows = len(points)
@@ -367,6 +374,7 @@ def run_supervised(
         outcome.seconds = time.perf_counter() - start
         note_phase(outcome, budgets.phase1_seconds)
         _fill_accounting(report, birch)
+        birch.close()
         return SupervisedRun(report=report, result=None)
     validator_stats = birch._validator.stats
     if validator_stats.total_points:
@@ -439,6 +447,7 @@ def run_supervised(
             outcome.seconds = timings.phase3 = time.perf_counter() - start
             note_phase(outcome, budgets.phase3_seconds)
             _fill_accounting(report, birch)
+            birch.close()
             return SupervisedRun(report=report, result=None)
     except (ReproError, ValueError) as exc:
         outcome.status = "failed"
@@ -446,6 +455,7 @@ def run_supervised(
         outcome.seconds = timings.phase3 = time.perf_counter() - start
         note_phase(outcome, budgets.phase3_seconds)
         _fill_accounting(report, birch)
+        birch.close()
         return SupervisedRun(report=report, result=None)
     outcome.seconds = timings.phase3 = time.perf_counter() - start
     note_phase(outcome, budgets.phase3_seconds)
@@ -497,6 +507,7 @@ def run_supervised(
     )
     birch._result = result
     _fill_accounting(report, birch, result)
+    birch.close()
     return SupervisedRun(report=report, result=result)
 
 

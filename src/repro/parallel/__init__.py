@@ -1,0 +1,25 @@
+"""Process-parallel Phase 1 runtime (the paper's closing discussion).
+
+CF additivity (Theorem 4.1) makes BIRCH's Phase 1 data-parallel: shard
+the input, build one CF-tree per shard, and fold the shard trees — the
+merged tree is a valid Phase 1 output for the union of the shards.
+This package supplies the runtime pieces the estimator composes:
+
+* :mod:`repro.parallel.shm` — zero-copy input sharding: the parent
+  publishes the point array once through
+  :class:`multiprocessing.shared_memory.SharedMemory` and workers map
+  read-only ``np.ndarray`` views over it, so shard payloads pickle as a
+  ``(name, lo, hi)`` spec instead of the rows themselves;
+* :mod:`repro.parallel.pool` — :class:`SharedPool`, a persistent,
+  lazily-created worker pool with order-preserving ``map``, typed
+  re-raise of worker exceptions, and a serial in-process fallback for
+  sandboxed platforms where processes cannot be created;
+* :mod:`repro.parallel.worker` — the module-level (hence picklable)
+  worker entry points: ``build_shard`` (one shard's Phase 1 build) and
+  ``merge_pair`` (one pairwise tree merge of the tournament reduction).
+"""
+
+from repro.parallel.pool import SharedPool
+from repro.parallel.shm import SharedBlock, inline_slice, open_shard
+
+__all__ = ["SharedBlock", "SharedPool", "inline_slice", "open_shard"]

@@ -1,0 +1,216 @@
+"""A persistent worker pool with typed error transport.
+
+The previous sharded build created (and tore down) a fresh
+``multiprocessing.Pool`` inside every ``fit`` and wrapped the *entire*
+dispatch — pool creation and worker execution alike — in
+``except (OSError, PermissionError, ImportError)``.  That conflated two
+very different failures:
+
+* *the platform cannot run worker processes* (sandboxed environments
+  without fork or POSIX semaphores) — the correct response is the
+  in-process serial fallback, and
+* *a worker raised a typed library error* (an
+  :class:`~repro.errors.IOFaultError` is an ``OSError`` subclass!) —
+  which must surface to the caller as the original exception, not be
+  silently retried serially or wrapped in a multiprocessing traceback.
+
+:class:`SharedPool` separates them.  Pool creation is attempted once,
+lazily, and only *creation* failures engage the serial fallback.
+Worker callables run inside a guard that returns ``("ok", result)`` or
+``("err", exception)``, so any exception a worker raises — including
+custom classes with keyword-only constructors that multiprocessing's
+own rebuilding would mangle — is re-raised in the parent with its
+original type.
+
+The pool is owned by its creator (the :class:`~repro.core.birch.Birch`
+estimator) and reused across ``fit``/``partial_fit`` calls; ``close``
+is idempotent and a closed pool transparently re-creates workers on the
+next ``map``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.errors import ReproError
+from repro.observe.recorder import NULL_RECORDER, Recorder
+
+__all__ = ["FORCE_SERIAL_ENV", "SharedPool", "WorkerError"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment switch forcing the in-process serial fallback; used by
+#: the byte-identity test matrix to run the *same* sharded algorithm
+#: with and without real worker processes.
+FORCE_SERIAL_ENV = "REPRO_PARALLEL_FORCE_SERIAL"
+
+#: Failures of pool *creation* that mean "this platform cannot run
+#: worker processes" (missing _multiprocessing, read-only /dev/shm,
+#: seccomp'd fork).  Nothing a worker function raises is caught here.
+_POOL_CREATION_ERRORS = (OSError, PermissionError, ImportError)
+
+
+class WorkerError(ReproError, RuntimeError):
+    """A worker raised an exception that could not cross the pipe.
+
+    Carries the worker-side traceback text; the original exception type
+    was not picklable, so this is the typed stand-in.
+    """
+
+
+def _force_serial() -> bool:
+    return os.environ.get(FORCE_SERIAL_ENV, "") not in ("", "0")
+
+
+def _guarded(payload: tuple[Callable[[T], R], T]) -> tuple[str, object]:
+    """Worker-side trampoline: never lets an exception hit the pipe raw.
+
+    Multiprocessing rebuilds a worker exception from ``type(exc)(*args)``
+    which breaks keyword-only constructors and loses chained context; a
+    tagged tuple round-trips the already-pickle-tested exception object
+    itself instead.
+    """
+    fn, task = payload
+    try:
+        return "ok", fn(task)
+    except BaseException as exc:  # noqa: BLE001 - transported, re-raised
+        try:
+            pickle.loads(pickle.dumps(exc))
+            return "err", exc
+        except Exception:
+            return "err", WorkerError(
+                f"worker raised unpicklable {type(exc).__name__}: {exc}\n"
+                f"{traceback.format_exc()}"
+            )
+
+
+class SharedPool:
+    """Order-preserving ``map`` over a persistent process pool.
+
+    Parameters
+    ----------
+    processes:
+        Worker process count.  The caller is responsible for clamping
+        (the estimator clamps to ``os.cpu_count()`` and the task
+        count); the pool runs exactly what it is told.
+    context:
+        Optional :mod:`multiprocessing` context (tests inject
+        ``"spawn"`` to exercise pickling under the strictest start
+        method).
+
+    Notes
+    -----
+    Workers are created lazily on the first :meth:`map` (or first
+    :attr:`serial` read), so constructing an estimator costs nothing
+    until a sharded fit actually runs.  If creation fails with a
+    platform error the pool permanently degrades to an in-process
+    serial sweep over the same worker functions — byte-identical
+    results, no wall-clock win.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        *,
+        context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.processes = int(processes)
+        self._context = context
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._serial = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure(self) -> None:
+        if self._pool is not None or self._serial:
+            return
+        if _force_serial():
+            self._serial = True
+            return
+        try:
+            ctx = (
+                self._context
+                if self._context is not None
+                else multiprocessing.get_context()
+            )
+            self._pool = ctx.Pool(processes=self.processes)
+        except _POOL_CREATION_ERRORS:
+            self._serial = True
+
+    @property
+    def serial(self) -> bool:
+        """True when the in-process fallback is (or will be) in effect.
+
+        Reading this attempts pool creation, so the answer is definitive
+        — callers use it to decide whether shared-memory transport is
+        worth setting up.
+        """
+        self._ensure()
+        return self._serial
+
+    @property
+    def alive(self) -> bool:
+        """True while worker processes exist (False before first map
+        and after :meth:`close`)."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Terminate the worker processes (idempotent).
+
+        The pool object stays reusable: the next :meth:`map` re-creates
+        workers.  A platform-degraded serial pool stays serial.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "SharedPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Iterable[T],
+        *,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> list[R]:
+        """Apply ``fn`` to every task, preserving task order.
+
+        Worker exceptions re-raise here with their original type (a
+        :class:`WorkerError` stands in for unpicklable ones); platform
+        inability to create processes silently degrades to the serial
+        sweep instead.  Each dispatch emits a ``pool.dispatch``
+        telemetry span on ``recorder``.
+        """
+        items: Sequence[T] = list(tasks)
+        if not items:
+            return []
+        self._ensure()
+        with recorder.span(
+            "pool.dispatch",
+            tasks=len(items),
+            processes=0 if self._serial else self.processes,
+            serial=self._serial,
+        ):
+            if self._pool is None:
+                return [fn(t) for t in items]
+            tagged = self._pool.map(_guarded, [(fn, t) for t in items])
+        results: list[R] = []
+        for tag, value in tagged:
+            if tag == "err":
+                raise value  # the worker's original typed exception
+            results.append(value)  # type: ignore[arg-type]
+        return results

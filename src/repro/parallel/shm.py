@@ -1,0 +1,177 @@
+"""Zero-copy shard transport over POSIX shared memory.
+
+The sharded Phase 1 build used to pickle each shard's rows into its
+worker process — for an ``(N, d)`` float64 dataset that is ``8 N d``
+bytes serialised, copied and deserialised again per ``fit``.  Instead,
+the parent now publishes the whole batch *once* as a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and sends
+each worker a tiny spec (segment name, array shape, ``[lo, hi)`` row
+range).  Workers map a read-only ``np.ndarray`` view over the segment:
+no rows cross the pipe in either direction.
+
+Two spec kinds flow through :func:`open_shard`:
+
+* ``{"kind": "shm", ...}`` — attach the named segment and return the
+  ``[lo, hi)`` row view (zero-copy);
+* ``{"kind": "inline", "rows": ndarray}`` — the rows themselves, used
+  by the serial in-process fallback (where a view of the caller's array
+  is already zero-copy) and as a degraded path when segment creation
+  fails (sandboxes that mount ``/dev/shm`` read-only).
+
+Platform caveats
+----------------
+* Worker processes attach segments by name; on Python <= 3.12 the
+  attachment registers with the ``resource_tracker``, which mis-tracks
+  ownership under both start methods — :func:`open_shard` suppresses
+  the registration during attach (see :func:`_attach_untracked`) so the
+  parent alone owns the segment.
+* The parent must outlive its workers' reads: :class:`SharedBlock` is
+  closed (and the segment unlinked) only after the pool ``map`` that
+  consumed it has returned.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["SharedBlock", "inline_slice", "open_shard"]
+
+
+class SharedBlock:
+    """One float64 ``(n, d)`` array published in shared memory.
+
+    Creating the block copies ``array`` into a fresh segment (the one
+    unavoidable copy); every worker view after that is zero-copy.  The
+    parent owns the segment: :meth:`close` both detaches and unlinks
+    it, so call it only after all workers have finished reading.
+
+    Raises
+    ------
+    OSError
+        When the platform cannot provide shared memory (no ``/dev/shm``,
+        permission denied, size limits); callers fall back to inline
+        specs.
+    """
+
+    def __init__(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array, dtype=np.float64)
+        self.shape = array.shape
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        try:
+            view = np.ndarray(
+                self.shape, dtype=np.float64, buffer=self._shm.buf
+            )
+            view[...] = array
+            # Drop the view immediately: SharedMemory.close() raises
+            # BufferError while exported ndarray buffers are alive.
+            del view
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    def slice_spec(self, lo: int, hi: int) -> dict[str, object]:
+        """A picklable spec for rows ``[lo, hi)`` of the block."""
+        return {
+            "kind": "shm",
+            "name": self._shm.name,
+            "shape": tuple(int(s) for s in self.shape),
+            "lo": int(lo),
+            "hi": int(hi),
+        }
+
+    def close(self) -> None:
+        """Detach and unlink the segment (idempotent)."""
+        shm, self._shm = getattr(self, "_shm", None), None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedBlock":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def inline_slice(points: np.ndarray, lo: int, hi: int) -> dict[str, object]:
+    """An inline spec carrying rows ``[lo, hi)`` directly.
+
+    Used when no shared-memory segment is available: through the serial
+    fallback this is a zero-copy view of the caller's array; through a
+    real pool it pickles the rows (the pre-shared-memory behaviour).
+    """
+    return {"kind": "inline", "rows": points[lo:hi]}
+
+
+def open_shard(
+    spec: dict[str, object],
+) -> tuple[np.ndarray, Callable[[], None]]:
+    """Resolve a shard spec into ``(rows, close)``.
+
+    The returned ``close`` callable releases the worker's attachment
+    (a no-op for inline specs); call it once every reference into the
+    returned view has been dropped.  The float values seen through
+    either spec kind are bit-identical, which is what keeps pool and
+    serial-fallback builds byte-identical.
+    """
+    kind = spec.get("kind")
+    if kind == "inline":
+        return spec["rows"], lambda: None  # type: ignore[return-value]
+    if kind != "shm":
+        raise ValueError(f"unknown shard spec kind {kind!r}")
+    shm = _attach_untracked(str(spec["name"]))
+    base = np.ndarray(
+        tuple(spec["shape"]),  # type: ignore[arg-type]
+        dtype=np.float64,
+        buffer=shm.buf,
+    )
+    rows = base[int(spec["lo"]) : int(spec["hi"])]  # type: ignore[arg-type]
+
+    def close(_shm: shared_memory.SharedMemory = shm) -> None:
+        try:
+            _shm.close()
+        except BufferError:  # pragma: no cover - a view outlived us
+            # Best effort: the mapping is reclaimed at worker exit; the
+            # parent still owns (and unlinks) the segment either way.
+            pass
+
+    return rows, close
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment by name without resource-tracker registration.
+
+    On Python <= 3.12, ``SharedMemory(name=...)`` registers even a mere
+    *attachment* with the ``resource_tracker``.  That is wrong in both
+    start-method regimes: under ``spawn`` the worker's own tracker
+    unlinks (and warns about) the parent-owned segment at worker exit;
+    under ``fork`` the workers share the *parent's* tracker, so
+    unregistering after the fact would instead erase the parent's own
+    registration and crash the tracker when the parent unlinks.
+    Suppressing the registration during attach (Python 3.13's
+    ``track=False``, backported by hand) is correct for both.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]

@@ -105,3 +105,82 @@ class TestValidation:
         )
         with pytest.raises(ValueError, match="threshold-kind"):
             merge_trees([a, b])
+
+
+class TestBulkCFMerge:
+    """The batched CF descent behind :func:`merge_tree_pair`."""
+
+    @pytest.mark.parametrize("backend", ["classic", "stable"])
+    @pytest.mark.parametrize(
+        "kind",
+        [ThresholdKind.DIAMETER, ThresholdKind.RADIUS],
+        ids=["diameter", "radius"],
+    )
+    def test_pair_summary_exact_both_backends(self, rng, backend, kind):
+        from repro.core.merge import merge_tree_pair
+
+        a_pts = rng.normal(0, 1, size=(200, 2))
+        b_pts = rng.normal(6, 1, size=(200, 2))
+        acc = build(a_pts, cf_backend=backend, threshold_kind=kind)
+        donor = build(b_pts, cf_backend=backend, threshold_kind=kind)
+        merged = merge_tree_pair(acc, donor)
+        merged.check_invariants()
+        summary = merged.summary_cf()
+        direct = CF.from_points(np.concatenate([a_pts, b_pts]))
+        assert summary.n == 400
+        assert np.allclose(summary.centroid, direct.centroid, rtol=1e-9)
+
+    def test_pair_merge_is_deterministic(self, rng):
+        from repro.core.merge import merge_tree_pair
+
+        a_pts = rng.normal(0, 2, size=(300, 2))
+        b_pts = rng.normal(4, 2, size=(300, 2))
+
+        def run():
+            merged = merge_tree_pair(build(a_pts), build(b_pts))
+            s = merged.export_structure()
+            return {k: v.tobytes() for k, v in s.items()}
+
+        assert run() == run()
+
+    def test_bulk_insert_cfs_matches_scalar_summary(self, rng):
+        donor = build(rng.normal(0, 3, size=(400, 2)))
+        ns = np.concatenate([leaf.ns.copy() for leaf in donor.leaves()])
+        vecs = np.concatenate(
+            [leaf._vec[: leaf.size].copy() for leaf in donor.leaves()]
+        )
+        sqs = np.concatenate(
+            [leaf._sq[: leaf.size].copy() for leaf in donor.leaves()]
+        )
+        tree = build(rng.normal(0, 3, size=(100, 2)))
+        consumed = tree.bulk_insert_cfs(ns, vecs, sqs)
+        assert consumed == ns.shape[0]
+        tree.check_invariants()
+        assert tree.summary_cf().n == 500
+
+    def test_bulk_insert_cfs_stop_on_alloc_resumes(self, rng):
+        donor = build(rng.normal(0, 5, size=(600, 2)), threshold=0.1)
+        ns = np.concatenate([leaf.ns.copy() for leaf in donor.leaves()])
+        vecs = np.concatenate(
+            [leaf._vec[: leaf.size].copy() for leaf in donor.leaves()]
+        )
+        sqs = np.concatenate(
+            [leaf._sq[: leaf.size].copy() for leaf in donor.leaves()]
+        )
+        tree = build(rng.normal(0, 5, size=(50, 2)), threshold=0.1)
+        i = 0
+        rounds = 0
+        while i < ns.shape[0]:
+            i = tree.bulk_insert_cfs(ns, vecs, sqs, start=i, stop_on_alloc=True)
+            rounds += 1
+        assert rounds > 1  # splits actually paused the sweep
+        tree.check_invariants()
+        assert tree.summary_cf().n == 650
+
+    def test_cf_backend_mismatch_rejected(self, rng):
+        from repro.core.merge import merge_tree_pair
+
+        a = build(rng.normal(size=(10, 2)), cf_backend="classic")
+        b = build(rng.normal(size=(10, 2)), cf_backend="stable")
+        with pytest.raises(ValueError, match="backend"):
+            merge_tree_pair(a, b)

@@ -1,0 +1,84 @@
+"""CLI behaviour of ``--jobs``: typed exits and supervised parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.parallel
+
+
+@pytest.fixture
+def csv_points(tmp_path, rng):
+    points = np.concatenate(
+        [rng.normal(c, 0.4, size=(80, 2)) for c in ((0, 0), (10, 0))]
+    )
+    path = tmp_path / "points.csv"
+    np.savetxt(path, points, delimiter=",")
+    return path
+
+
+@pytest.fixture
+def dirty_csv(tmp_path, rng):
+    points = rng.normal(0.0, 0.5, size=(120, 2))
+    points[11, 1] = np.nan
+    path = tmp_path / "dirty.csv"
+    np.savetxt(path, points, delimiter=",")
+    return path
+
+
+class TestJobsExitCodes:
+    def test_invalid_point_with_jobs_exits_3(self, dirty_csv, capsys):
+        # The regression companion: a typed error in a parallel run must
+        # exit with its mapped code, not be swallowed into a serial
+        # retry or a generic crash.
+        from repro.cli import EXIT_INVALID_POINT
+
+        code = main(["cluster", str(dirty_csv), "-k", "2", "--jobs", "2"])
+        assert code == EXIT_INVALID_POINT == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_clean_run_with_jobs_succeeds(self, csv_points, capsys):
+        code = main(["cluster", str(csv_points), "-k", "2", "--jobs", "2"])
+        assert code == 0
+        assert "clustered 160 points" in capsys.readouterr().out
+
+
+class TestSupervisedJobs:
+    def test_supervised_without_deadline_uses_jobs(self, csv_points, capsys):
+        code = main(
+            [
+                "cluster",
+                str(csv_points),
+                "-k",
+                "2",
+                "--jobs",
+                "2",
+                "--supervised",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "--jobs ignored" not in out
+
+    def test_supervised_with_deadline_warns_and_stays_serial(
+        self, csv_points, capsys
+    ):
+        code = main(
+            [
+                "cluster",
+                str(csv_points),
+                "-k",
+                "2",
+                "--jobs",
+                "2",
+                "--supervised",
+                "--phase-seconds",
+                "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "--jobs ignored" in out

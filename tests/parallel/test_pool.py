@@ -1,0 +1,132 @@
+"""SharedPool semantics: ordering, persistence, typed error transport.
+
+The regression these tests pin down: the old sharded build caught
+``(OSError, PermissionError, ImportError)`` around the *whole* dispatch,
+so a worker raising :class:`~repro.errors.IOFaultError` (an ``OSError``
+subclass) silently re-ran the shard serially instead of surfacing the
+fault.  :class:`~repro.parallel.pool.SharedPool` must reserve the
+fallback for pool-creation failures and re-raise worker exceptions with
+their original types.
+"""
+
+import pytest
+
+from repro.errors import InvalidPointError, PermanentIOError, ReproError
+from repro.parallel.pool import FORCE_SERIAL_ENV, SharedPool, WorkerError
+
+pytestmark = pytest.mark.parallel
+
+
+# Worker callables must be module-level to pickle under any start method.
+def _square(x):
+    return x * x
+
+
+def _raise_invalid_point(x):
+    raise InvalidPointError("bad row in worker", row=int(x), reason="non_finite")
+
+
+def _raise_permanent_io(x):
+    raise PermanentIOError(f"disk page {x} unreadable")
+
+
+class _Unpicklable(Exception):
+    def __init__(self, handle):
+        super().__init__("holds an fd")
+        self.handle = handle
+
+
+def _raise_unpicklable(x):
+    _raise_unpicklable.closure = lambda: x  # noqa: B010 - make it truly local
+    raise _Unpicklable(handle=_raise_unpicklable.closure)
+
+
+@pytest.fixture(params=["pool", "serial"])
+def pool(request, monkeypatch):
+    """The same assertions must hold with and without real processes."""
+    if request.param == "serial":
+        monkeypatch.setenv(FORCE_SERIAL_ENV, "1")
+    else:
+        monkeypatch.delenv(FORCE_SERIAL_ENV, raising=False)
+    p = SharedPool(2)
+    yield p
+    p.close()
+
+
+class TestMap:
+    def test_preserves_task_order(self, pool):
+        assert pool.map(_square, range(17)) == [i * i for i in range(17)]
+
+    def test_empty_tasks(self, pool):
+        assert pool.map(_square, []) == []
+
+    def test_invalid_processes_rejected(self):
+        with pytest.raises(ValueError):
+            SharedPool(0)
+
+
+class TestTypedErrors:
+    def test_worker_error_keeps_original_type(self, pool):
+        with pytest.raises(InvalidPointError) as excinfo:
+            pool.map(_raise_invalid_point, [7])
+        assert excinfo.value.row == 7
+        assert excinfo.value.reason == "non_finite"
+
+    def test_oserror_subclass_is_not_swallowed(self, pool):
+        # The regression: IOFaultError subclasses OSError, which the old
+        # dispatch-wide except clause treated as "platform cannot fork".
+        with pytest.raises(PermanentIOError):
+            pool.map(_raise_permanent_io, [3])
+
+    def test_unpicklable_exception_becomes_worker_error(self, pool):
+        with pytest.raises((WorkerError, _Unpicklable)) as excinfo:
+            pool.map(_raise_unpicklable, [1])
+        if isinstance(excinfo.value, WorkerError):
+            assert "_Unpicklable" in str(excinfo.value)
+            assert isinstance(excinfo.value, ReproError)
+
+
+class TestLifecycle:
+    def test_persists_across_maps(self):
+        pool = SharedPool(2)
+        try:
+            pool.map(_square, [1, 2])
+            was_alive = pool.alive
+            pool.map(_square, [3, 4])
+            # Whatever mode the platform allowed, a second dispatch must
+            # not have torn down and recreated the mode.
+            assert pool.alive == was_alive
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_reusable(self):
+        pool = SharedPool(2)
+        pool.map(_square, [1])
+        pool.close()
+        pool.close()
+        assert not pool.alive
+        assert pool.map(_square, [5]) == [25]
+        pool.close()
+
+    def test_forced_serial_never_spawns(self, monkeypatch):
+        monkeypatch.setenv(FORCE_SERIAL_ENV, "1")
+        pool = SharedPool(4)
+        assert pool.serial
+        assert pool.map(_square, [2, 3]) == [4, 9]
+        assert not pool.alive
+        pool.close()
+
+    def test_creation_failure_degrades_to_serial(self, monkeypatch):
+        monkeypatch.delenv(FORCE_SERIAL_ENV, raising=False)
+
+        class _NoFork:
+            def Pool(self, processes):
+                raise OSError("no processes in this sandbox")
+
+        pool = SharedPool(2, context=_NoFork())
+        assert pool.serial
+        assert pool.map(_square, [4]) == [16]
+        # Worker errors still surface typed through the serial sweep.
+        with pytest.raises(PermanentIOError):
+            pool.map(_raise_permanent_io, [0])
+        pool.close()

@@ -1,0 +1,72 @@
+"""Shared-memory shard transport: bit-identity and ownership."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import SharedBlock, inline_slice, open_shard
+
+pytestmark = pytest.mark.parallel
+
+
+@pytest.fixture
+def rows(rng):
+    return rng.normal(size=(101, 3))
+
+
+class TestSharedBlock:
+    def test_roundtrip_is_bit_identical(self, rows):
+        with SharedBlock(rows) as block:
+            view, close = open_shard(block.slice_spec(0, rows.shape[0]))
+            try:
+                assert np.array_equal(view, rows)
+                assert view.dtype == np.float64
+            finally:
+                del view
+                close()
+
+    def test_slice_views_match_inline_views(self, rows):
+        with SharedBlock(rows) as block:
+            shm_view, close = open_shard(block.slice_spec(10, 40))
+            inline_view, _ = open_shard(inline_slice(rows, 10, 40))
+            try:
+                # Byte-identical transport is what keeps pool and
+                # serial-fallback builds byte-identical.
+                assert np.array_equal(shm_view, inline_view)
+            finally:
+                del shm_view
+                close()
+
+    def test_non_contiguous_input_copied_correctly(self, rng):
+        base = rng.normal(size=(60, 6))
+        strided = base[::2, ::3]
+        with SharedBlock(strided) as block:
+            view, close = open_shard(block.slice_spec(0, strided.shape[0]))
+            try:
+                assert np.array_equal(view, strided)
+            finally:
+                del view
+                close()
+
+    def test_close_is_idempotent(self, rows):
+        block = SharedBlock(rows)
+        block.close()
+        block.close()
+
+    def test_segment_gone_after_close(self, rows):
+        block = SharedBlock(rows)
+        spec = block.slice_spec(0, 5)
+        block.close()
+        with pytest.raises(FileNotFoundError):
+            open_shard(spec)
+
+
+class TestSpecs:
+    def test_inline_slice_is_a_view(self, rows):
+        view, close = open_shard(inline_slice(rows, 5, 25))
+        assert view.base is rows
+        assert view.shape == (20, 3)
+        close()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            open_shard({"kind": "carrier-pigeon"})
