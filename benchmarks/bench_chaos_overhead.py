@@ -1,0 +1,198 @@
+"""Fault-tolerance overhead on the failure-free path.
+
+The supervised runtime (heartbeats, per-task deadlines, chaos
+consultation, incident plumbing) exists for the rare bad day; on a good
+day it must be nearly free.  This benchmark measures the failure-free
+sharded fit two ways on the DS1 grid:
+
+* **unarmed** — ``chaos_injector=None``, no per-task deadline: the
+  production default;
+* **armed** — a seeded :class:`ChaosInjector` that is consulted for
+  every task but never fires (its one-shot trigger is beyond the task
+  count), plus a generous per-task deadline, so every supervision code
+  path runs without any fault actually occurring.
+
+Both runs must produce byte-identical centroids; the armed run may cost
+at most ``--assert-overhead`` percent more wall clock (the acceptance
+bound is 2% at scale 1.0).  Each round runs the two configurations
+back-to-back and the reported overhead is the **median of the per-round
+armed/unarmed ratios** — pairing inside a round cancels the slow
+frequency/allocator drift that would otherwise dominate a sub-percent
+effect, and the median discards rounds a background process disturbed.
+
+Results land in ``BENCH_chaos_overhead.json``.  Run standalone (this is
+not a pytest module):
+
+    PYTHONPATH=src python benchmarks/bench_chaos_overhead.py \
+        --scale 1.0 --out BENCH_chaos_overhead.json --assert-overhead 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.datagen.presets import ds1
+from repro.parallel.chaos import ChaosInjector
+from repro.parallel.config import ParallelConfig
+
+#: One-shot trigger far beyond any realistic task count: the injector
+#: is consulted per task attempt but never fires.
+_NEVER = 10**9
+
+
+def _fit_once(
+    points: np.ndarray, armed: bool, jobs: int, threshold: float
+) -> tuple[float, np.ndarray, int]:
+    config = BirchConfig(
+        n_clusters=100,
+        memory_bytes=16 * 1024 * 1024,
+        initial_threshold=threshold,
+        total_points_hint=points.shape[0],
+        phase4_passes=0,
+        validate_points=False,
+        parallel=ParallelConfig(
+            task_deadline_seconds=600.0 if armed else None
+        ),
+    )
+    chaos = (
+        ChaosInjector(mode="kill", fail_on_task=_NEVER, seed=0)
+        if armed
+        else None
+    )
+    with Birch(config, chaos_injector=chaos) as estimator:
+        start = time.perf_counter()
+        result = estimator.fit(points, n_jobs=jobs)
+        seconds = time.perf_counter() - start
+    assert result.conservation_ok
+    assert result.parallel_incidents == [], (
+        "the armed injector must never fire on the failure-free path"
+    )
+    if chaos is not None:
+        assert chaos.faults_injected == 0
+    return seconds, result.centroids, len(result.clusters)
+
+
+def _paired_rounds(
+    points: np.ndarray, jobs: int, threshold: float, repeats: int
+) -> tuple[float, float, float]:
+    """Best times plus the median per-round armed/unarmed ratio."""
+    best_unarmed = best_armed = float("inf")
+    ratios: list[float] = []
+    unarmed_centroids = armed_centroids = None
+    for _ in range(repeats):
+        unarmed_s, unarmed_centroids, _ = _fit_once(
+            points, False, jobs, threshold
+        )
+        best_unarmed = min(best_unarmed, unarmed_s)
+        armed_s, armed_centroids, _ = _fit_once(
+            points, True, jobs, threshold
+        )
+        best_armed = min(best_armed, armed_s)
+        ratios.append(armed_s / unarmed_s)
+    assert unarmed_centroids is not None and armed_centroids is not None
+    assert armed_centroids.tobytes() == unarmed_centroids.tobytes(), (
+        "arming the supervision machinery changed clustering output"
+    )
+    return best_unarmed, best_armed, float(np.median(ratios))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="DS1 scale; 1.0 = the paper's N = 100,000 (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="initial tree threshold (skips the rebuild ramp)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, nargs="+", default=[2, 4],
+        help="n_jobs values to measure (default: 2 4)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="trials per configuration; best time wins (default 3)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_chaos_overhead.json"),
+        help="JSON output path",
+    )
+    parser.add_argument(
+        "--assert-overhead", type=float, default=None, metavar="X",
+        help="fail if the armed overhead exceeds X%% at any jobs value",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = ds1(scale=args.scale, seed=args.seed)
+    points = dataset.points
+    n, d = points.shape
+    print(f"DS1 grid: N={n} d={d} (scale={args.scale}, seed={args.seed})")
+
+    report: dict[str, object] = {
+        "dataset": {
+            "preset": "ds1",
+            "scale": args.scale,
+            "seed": args.seed,
+            "n": n,
+            "d": d,
+        },
+        "threshold": args.threshold,
+        "repeats": args.repeats,
+        "runs": {},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "note": (
+            "armed = never-firing ChaosInjector consulted per task plus a "
+            "per-task deadline; unarmed = chaos_injector=None. Both paths "
+            "run the same supervised pool; the delta is the cost of the "
+            "fault-tolerance machinery on a failure-free fit."
+        ),
+    }
+
+    ok = True
+    for jobs in args.jobs:
+        unarmed_s, armed_s, median_ratio = _paired_rounds(
+            points, jobs, args.threshold, args.repeats
+        )
+        overhead_pct = (median_ratio - 1.0) * 100.0
+        report["runs"][f"jobs_{jobs}"] = {
+            "unarmed_seconds": unarmed_s,
+            "armed_seconds": armed_s,
+            "unarmed_points_per_second": n / unarmed_s,
+            "armed_points_per_second": n / armed_s,
+            "overhead_pct": overhead_pct,
+            "byte_identical_centroids": True,
+        }
+        print(
+            f"jobs={jobs}: unarmed {unarmed_s:6.2f}s | "
+            f"armed {armed_s:6.2f}s | overhead {overhead_pct:+.2f}%"
+        )
+        if (
+            args.assert_overhead is not None
+            and overhead_pct > args.assert_overhead
+        ):
+            print(
+                f"FAIL: jobs={jobs} armed overhead {overhead_pct:.2f}% "
+                f"> allowed {args.assert_overhead:.2f}%",
+                file=sys.stderr,
+            )
+            ok = False
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

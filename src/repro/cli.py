@@ -26,8 +26,10 @@ Exit codes: 0 success, 2 argparse usage errors, and for operational
 failures a stable mapping scripts can branch on — 3 invalid input point
 (``InvalidPointError``), 4 unreadable checkpoint/archive
 (``ArchiveError``), 5 checkpoint integrity failure
-(``ChecksumMismatchError``).  Each prints a one-line message to stderr
-instead of a traceback.
+(``ChecksumMismatchError``), 6 parallel task unrecoverable
+(``WorkerCrashError``; only under ``--escalation raise`` — the default
+ladder finishes the task in-process instead).  Each prints a one-line
+message to stderr instead of a traceback.
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ from repro.errors import (
     ArchiveError,
     ChecksumMismatchError,
     InvalidPointError,
+    WorkerCrashError,
 )
 from repro.datagen.generator import InputOrder
 from repro.observe import ObserveConfig
@@ -67,11 +70,13 @@ _PRESETS = {"ds1": ds1, "ds2": ds2, "ds3": ds3}
 EXIT_INVALID_POINT = 3
 EXIT_ARCHIVE = 4
 EXIT_CHECKSUM = 5
+EXIT_WORKER_CRASH = 6
 
 _ERROR_EXIT_CODES: list[tuple[type[Exception], int]] = [
     (ChecksumMismatchError, EXIT_CHECKSUM),
     (ArchiveError, EXIT_ARCHIVE),
     (InvalidPointError, EXIT_INVALID_POINT),
+    (WorkerCrashError, EXIT_WORKER_CRASH),
 ]
 
 
@@ -138,6 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard count for the Phase 1 scan (shared-memory worker "
         "pool, pairwise CF-additive merge; processes are clamped to "
         "the machine's CPUs; 1 = single-process)",
+    )
+    cluster.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra worker attempts a failed shard/merge task gets "
+        "before escalation (with --jobs; default: the ladder's default)",
+    )
+    cluster.add_argument(
+        "--task-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-task deadline for worker dispatches; a hung worker is "
+        "terminated and the task retried (with --jobs)",
+    )
+    cluster.add_argument(
+        "--escalation",
+        choices=["serial", "raise"],
+        default=None,
+        help="what to do with a task that exhausts its retries: finish "
+        "it in-process (serial, default) or fail the run (exit code 6)",
     )
     cluster.add_argument(
         "--bad-points",
@@ -280,6 +308,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     points, truth = _load_points(args.input, args.truth_column)
+    parallel = None
+    if (
+        args.task_retries is not None
+        or args.task_seconds is not None
+        or args.escalation is not None
+    ):
+        from repro.parallel.config import ParallelConfig
+
+        defaults = ParallelConfig()
+        parallel = ParallelConfig(
+            max_task_retries=(
+                args.task_retries
+                if args.task_retries is not None
+                else defaults.max_task_retries
+            ),
+            task_deadline_seconds=args.task_seconds,
+            escalation=(
+                args.escalation
+                if args.escalation is not None
+                else defaults.escalation
+            ),
+        )
     config = BirchConfig(
         n_clusters=args.clusters,
         memory_bytes=args.memory_kb * 1024,
@@ -295,6 +345,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ),
         bad_point_policy=args.bad_points,
         n_jobs=args.jobs,
+        parallel=parallel,
         observe=(
             ObserveConfig(
                 trace_path=str(args.trace) if args.trace else None,
@@ -339,6 +390,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(
             "warning: memory watchdog tripped; run finished in degraded "
             f"mode {result.watchdog.mode!r}"
+        )
+    if result.parallel_incidents:
+        by_kind: dict[str, int] = {}
+        for incident in result.parallel_incidents:
+            kind = str(incident.get("kind"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        print(
+            "warning: parallel failure ladder engaged ("
+            + ", ".join(f"{k}×{n}" for k, n in sorted(by_kind.items()))
+            + "); output is byte-identical to a failure-free run"
         )
 
     live = [cf for cf in result.clusters if cf.n > 0]
@@ -597,12 +658,12 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(f"unknown command {args.command!r}")
     try:
         return command(args)
-    except (InvalidPointError, ArchiveError) as exc:
+    except (InvalidPointError, ArchiveError, WorkerCrashError) as exc:
         for cls, code in _ERROR_EXIT_CODES:
             if isinstance(exc, cls):
                 print(f"error: {exc}", file=sys.stderr)
                 return code
-        raise  # pragma: no cover - the table covers both branches
+        raise  # pragma: no cover - the table covers every branch
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -49,6 +49,7 @@ from repro.pagestore.faults import FaultInjector, FaultyDiskStore
 from repro.pagestore.iostats import IOStats
 from repro.pagestore.memory import MemoryBudget
 from repro.pagestore.page import PageLayout
+from repro.parallel.chaos import ChaosInjector
 from repro.parallel.pool import SharedPool
 from repro.parallel.shm import SharedBlock, inline_slice
 
@@ -169,6 +170,16 @@ class BirchResult:
         recorder; ``None`` otherwise.  Pure observation — two runs
         differing only in this field's presence have byte-identical
         clustering output.
+    parallel_incidents:
+        Every rung of the parallel failure ladder taken during the
+        sharded Phase 1 build, as plain dicts (``kind`` is one of
+        ``worker.death``/``worker.hang``/``pool.respawn``/
+        ``task.retry``/``task.escalated``/``task.error``; see
+        :class:`repro.parallel.supervise.Incident`).  Empty on
+        failure-free and single-process runs.  Recovery is invisible
+        everywhere else: a fit that survived worker deaths is
+        byte-identical to the failure-free run for the same
+        ``(random_seed, n_jobs)``.
     """
 
     centroids: np.ndarray
@@ -194,6 +205,7 @@ class BirchResult:
     watchdog: Optional[WatchdogReport] = field(default=None, repr=False)
     memory_degraded: bool = False
     telemetry: Optional[TelemetrySnapshot] = field(default=None, repr=False)
+    parallel_incidents: list[dict] = field(default_factory=list, repr=False)
 
     @property
     def n_clusters(self) -> int:
@@ -259,6 +271,7 @@ class Birch:
         *,
         outlier_injector: Optional[FaultInjector] = None,
         quarantine_injector: Optional[FaultInjector] = None,
+        chaos_injector: Optional[ChaosInjector] = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.config = config
@@ -268,6 +281,7 @@ class Birch:
             self.stats.observer = self._recorder
         self._outlier_injector = outlier_injector
         self._quarantine_injector = quarantine_injector
+        self._chaos_injector = chaos_injector
         self._sleep = sleep
         self._dimensions: Optional[int] = None
         self._tree: Optional[CFTree] = None
@@ -288,21 +302,31 @@ class Birch:
         self._rebuild_seconds = 0.0
         self._rebuild_timer_depth = 0
         self._pool: Optional[SharedPool] = None
+        self._parallel_incidents: list[dict] = []
+        self._task_deadline_override: Optional[float] = None
 
     # -- worker-pool lifecycle ---------------------------------------------------
 
     def close(self) -> None:
-        """Release the persistent worker pool (idempotent).
+        """Release the persistent worker pool (idempotent, never raises).
 
-        Safe to skip — an unused estimator holds no processes, and pool
-        workers are daemonic so interpreter exit reaps them — but
-        long-lived applications that shard many fits should close (or
-        use the estimator as a context manager) to return the processes
-        promptly.  Fitted state is untouched; the next sharded fit
-        simply re-creates workers.
+        Safe to call any number of times, at any point — before any
+        fit, mid-failure (a fit that raised), or after pool creation
+        itself failed (the pool degrades to its serial fallback, which
+        holds no processes).  As belt and braces the pool module also
+        registers every live pool with an ``atexit`` hook and every
+        worker is daemonic, so interpreter exit can never leave live
+        worker processes; long-lived applications should still close
+        (or use the estimator as a context manager) to return the
+        processes promptly.  Fitted state is untouched; the next
+        sharded fit simply re-creates workers.
         """
-        if self._pool is not None:
-            self._pool.close()
+        pool = self._pool
+        if pool is not None:
+            try:
+                pool.close()
+            except Exception:  # pragma: no cover - teardown must not mask
+                pass
 
     def __enter__(self) -> "Birch":
         return self
@@ -337,8 +361,20 @@ class Birch:
             self._pool.close()
             self._pool = None
         if self._pool is None:
-            self._pool = SharedPool(procs)
+            self._pool = SharedPool(
+                procs,
+                parallel=self.config.effective_parallel,
+                chaos=self._chaos_injector,
+                sleep=self._sleep,
+            )
         return self._pool
+
+    @property
+    def parallel_incidents(self) -> list[dict]:
+        """Failure-ladder incidents of the current fit (see
+        :class:`BirchResult.parallel_incidents`); populated even when
+        the fit raised."""
+        return list(self._parallel_incidents)
 
     # -- introspection -------------------------------------------------------
 
@@ -527,6 +563,15 @@ class Birch:
             self._ingest_seconds += max(
                 0.0, elapsed - (self._rebuild_seconds - rebuilds_before)
             )
+            # Bank the failure-ladder incidents whether the build
+            # completed or raised — a typed failure must still report
+            # what the supervisor saw (BirchResult.parallel_incidents /
+            # Birch.parallel_incidents).
+            if self._pool is not None:
+                self._parallel_incidents.extend(
+                    incident.to_dict()
+                    for incident in self._pool.reset_incidents()
+                )
 
     def _shard_configs(self, n_jobs: int) -> tuple[BirchConfig, BirchConfig]:
         """Worker configs for shard builds and merge rounds.
@@ -575,7 +620,12 @@ class Birch:
         return build_config, merge_config
 
     def _sharded_phase1_inner(self, points: np.ndarray, n_jobs: int) -> None:
-        from repro.parallel.worker import build_shard, merge_pair
+        from repro.parallel.worker import (
+            OP_BUILD,
+            OP_MERGE,
+            build_shard,
+            merge_pair,
+        )
 
         dimensions = points.shape[1]
         build_config, merge_config = self._shard_configs(n_jobs)
@@ -619,7 +669,13 @@ class Birch:
             with rec.span(
                 "shard.build", shards=len(tasks), rows=points.shape[0]
             ):
-                states = pool.map(build_shard, tasks, recorder=rec)
+                states = pool.map(
+                    build_shard,
+                    tasks,
+                    recorder=rec,
+                    op=OP_BUILD,
+                    task_deadline=self._task_deadline_override,
+                )
         finally:
             if block is not None:
                 block.close()
@@ -650,7 +706,13 @@ class Birch:
                 for i in range(0, len(states) - 1, 2)
             ]
             with rec.span("merge.round", round=round_no, pairs=len(pairs)):
-                merged = pool.map(merge_pair, pairs, recorder=rec)
+                merged = pool.map(
+                    merge_pair,
+                    pairs,
+                    recorder=rec,
+                    op=OP_MERGE,
+                    task_deadline=self._task_deadline_override,
+                )
             for state in merged:
                 self.stats.merge_counts(state["io"])  # type: ignore[arg-type]
                 if rec.enabled:
@@ -1403,6 +1465,7 @@ class Birch:
             invalid_by_reason=dict(old.invalid_by_reason),
             watchdog=old.watchdog,
             memory_degraded=old.memory_degraded,
+            parallel_incidents=list(old.parallel_incidents),
         )
         return self._result
 
@@ -1461,6 +1524,7 @@ class Birch:
                 watchdog=self._watchdog.report(),
                 memory_degraded=self._watchdog.degraded,
             )
+        fields.update(parallel_incidents=list(self._parallel_incidents))
         return fields
 
     def _finish_phase1(self) -> list[CF]:
@@ -1540,3 +1604,4 @@ class Birch:
         self._ingest_seconds = 0.0
         self._rebuild_seconds = 0.0
         self._rebuild_timer_depth = 0
+        self._parallel_incidents = []

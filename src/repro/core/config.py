@@ -15,6 +15,7 @@ from typing import Optional
 from repro.core.distances import Metric
 from repro.core.tree import ThresholdKind
 from repro.observe import ObserveConfig
+from repro.parallel.config import ParallelConfig
 
 __all__ = ["BirchConfig"]
 
@@ -169,6 +170,16 @@ class BirchConfig:
         and hot paths pay one attribute check.  A dict is coerced, so
         checkpointed configs round-trip.  Telemetry never alters
         clustering decisions — output is byte-identical on or off.
+    parallel:
+        Failure-ladder knobs of the sharded worker pool
+        (:class:`repro.parallel.config.ParallelConfig`): task retries
+        with seeded backoff, bounded worker respawn, poison-task
+        escalation and per-task deadlines.  ``None`` (default) applies
+        the ladder defaults; a dict is coerced so checkpointed configs
+        round-trip.  Recovery never alters clustering decisions —
+        retried and escalated tasks are pure re-executions, so results
+        stay byte-identical to a failure-free run for a fixed
+        ``(random_seed, n_jobs)``.
     """
 
     n_clusters: int
@@ -206,6 +217,7 @@ class BirchConfig:
     degraded_mode: str = "coarsen"
     n_jobs: int = 1
     observe: Optional[ObserveConfig] = None
+    parallel: Optional[ParallelConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -306,6 +318,15 @@ class BirchConfig:
                 f"observe must be an ObserveConfig, a dict or None, "
                 f"got {type(self.observe).__name__}"
             )
+        if isinstance(self.parallel, dict):
+            self.parallel = ParallelConfig(**self.parallel)
+        if self.parallel is not None and not isinstance(
+            self.parallel, ParallelConfig
+        ):
+            raise ValueError(
+                f"parallel must be a ParallelConfig, a dict or None, "
+                f"got {type(self.parallel).__name__}"
+            )
         self.metric = Metric.from_name(self.metric)
 
     @property
@@ -321,3 +342,10 @@ class BirchConfig:
         if self.quarantine_bytes is not None:
             return self.quarantine_bytes
         return self.memory_bytes // 10
+
+    @property
+    def effective_parallel(self) -> ParallelConfig:
+        """Failure-ladder knobs: explicit value, or the defaults."""
+        if self.parallel is not None:
+            return self.parallel
+        return ParallelConfig()

@@ -21,7 +21,8 @@ The hierarchy::
     │   ├── TransientIOError
     │   └── PermanentIOError
     ├── DiskFullError           (also RuntimeError)
-    └── MemoryExhaustedError    (also RuntimeError)
+    ├── MemoryExhaustedError    (also RuntimeError)
+    └── WorkerCrashError        (also RuntimeError)
 
 ``TransientIOError`` models faults worth retrying (EINTR-style blips,
 momentary unavailability); ``PermanentIOError`` models a device that is
@@ -45,6 +46,7 @@ __all__ = [
     "PhaseTimeoutError",
     "ReproError",
     "TransientIOError",
+    "WorkerCrashError",
 ]
 
 
@@ -133,3 +135,27 @@ class DiskFullError(ReproError, RuntimeError):
 
 class MemoryExhaustedError(ReproError, RuntimeError):
     """A hard page allocation exceeded the memory budget plus allowance."""
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A parallel task exhausted the failure ladder without a result.
+
+    Raised only under ``ParallelConfig(escalation="raise")`` — the
+    default ``"serial"`` escalation runs the task in-process instead.
+    Carries the dispatch's task kind, the task index, and how many
+    worker attempts were consumed; the full story is in the incident
+    log (``BirchResult.parallel_incidents``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str | None = None,
+        task_index: int | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.task_index = task_index
+        self.attempts = attempts

@@ -48,6 +48,7 @@ from repro.errors import (
 )
 from repro.observe import TelemetrySnapshot
 from repro.pagestore.faults import FaultInjector
+from repro.parallel.chaos import ChaosInjector
 
 __all__ = [
     "PHASE_STATUSES",
@@ -90,6 +91,14 @@ class PhaseBudgets:
     phase4_max_passes:
         Hard cap on refinement passes (min with the config's
         ``phase4_passes``).
+    parallel_task_seconds:
+        Per-task wall-clock ceiling for the sharded Phase 1 build's
+        worker dispatches (shard builds and merge-pair rounds).  A
+        worker holding one task longer is declared hung and the task
+        walks the parallel degradation ladder (retry → respawn →
+        serial; see :class:`repro.parallel.config.ParallelConfig`)
+        instead of stalling the whole dispatch.  Overrides
+        ``config.parallel.task_deadline_seconds`` for the run.
     """
 
     phase1_seconds: Optional[float] = None
@@ -97,6 +106,7 @@ class PhaseBudgets:
     phase3_seconds: Optional[float] = None
     phase4_seconds: Optional[float] = None
     phase4_max_passes: Optional[int] = None
+    parallel_task_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -104,6 +114,7 @@ class PhaseBudgets:
             "phase2_seconds",
             "phase3_seconds",
             "phase4_seconds",
+            "parallel_task_seconds",
         ):
             value = getattr(self, name)
             if value is not None and value <= 0:
@@ -259,6 +270,7 @@ def run_supervised(
     *,
     outlier_injector: Optional[FaultInjector] = None,
     quarantine_injector: Optional[FaultInjector] = None,
+    chaos_injector: Optional[ChaosInjector] = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> SupervisedRun:
     """Run the four phases under supervision; never raise for budgets.
@@ -275,9 +287,11 @@ def run_supervised(
     budgets:
         Per-phase deadlines and caps; ``None`` runs unbudgeted (and
         byte-identical to ``fit`` on clean data).
-    outlier_injector / quarantine_injector / sleep:
+    outlier_injector / quarantine_injector / chaos_injector / sleep:
         Fault-injection and backoff hooks, forwarded to
-        :class:`~repro.core.birch.Birch`.
+        :class:`~repro.core.birch.Birch` (``chaos_injector`` sabotages
+        the sharded build's worker tasks; see
+        :class:`repro.parallel.chaos.ChaosInjector`).
 
     Returns
     -------
@@ -292,8 +306,12 @@ def run_supervised(
         config,
         outlier_injector=outlier_injector,
         quarantine_injector=quarantine_injector,
+        chaos_injector=chaos_injector,
         sleep=sleep,
     )
+    # Hung-worker detection for the sharded build: the per-task ceiling
+    # rides into every pool dispatch of this run.
+    birch._task_deadline_override = budgets.parallel_task_seconds
     report = RunReport()
     timings = PhaseTimings()
     rec = birch._recorder
@@ -372,10 +390,12 @@ def run_supervised(
         outcome.status = "failed"
         outcome.error = str(exc)
         outcome.seconds = time.perf_counter() - start
+        _note_parallel_incidents(outcome, birch)
         note_phase(outcome, budgets.phase1_seconds)
         _fill_accounting(report, birch)
         birch.close()
         return SupervisedRun(report=report, result=None)
+    _note_parallel_incidents(outcome, birch)
     validator_stats = birch._validator.stats
     if validator_stats.total_points:
         outcome.degrade(
@@ -509,6 +529,28 @@ def run_supervised(
     _fill_accounting(report, birch, result)
     birch.close()
     return SupervisedRun(report=report, result=result)
+
+
+def _note_parallel_incidents(outcome: PhaseOutcome, birch: Birch) -> None:
+    """Summarise the sharded build's failure-ladder incidents, if any.
+
+    Survived worker failures do not degrade the phase — the recovered
+    result is byte-identical to the failure-free run — but they belong
+    in the report so an operator can see the fleet is unhealthy.
+    """
+    incidents = birch._parallel_incidents
+    if not incidents:
+        return
+    by_kind: dict[str, int] = {}
+    for incident in incidents:
+        kind = str(incident.get("kind"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    outcome.degrade(
+        "ok",
+        "parallel failure ladder engaged ("
+        + ", ".join(f"{k}×{n}" for k, n in sorted(by_kind.items()))
+        + "); recovered output is byte-identical to a failure-free run",
+    )
 
 
 def _fill_accounting(

@@ -9,17 +9,53 @@ This package supplies the runtime pieces the estimator composes:
   publishes the point array once through
   :class:`multiprocessing.shared_memory.SharedMemory` and workers map
   read-only ``np.ndarray`` views over it, so shard payloads pickle as a
-  ``(name, lo, hi)`` spec instead of the rows themselves;
+  ``(name, lo, hi)`` spec instead of the rows themselves; a live-block
+  registry plus ``atexit`` unlink guarantees no fit path leaks a
+  segment;
 * :mod:`repro.parallel.pool` — :class:`SharedPool`, a persistent,
   lazily-created worker pool with order-preserving ``map``, typed
   re-raise of worker exceptions, and a serial in-process fallback for
   sandboxed platforms where processes cannot be created;
+* :mod:`repro.parallel.supervise` — the :class:`Supervisor` behind the
+  pool: worker liveness (exitcode + heartbeat), crash/hang detection,
+  seeded-backoff task retry, bounded respawn and poison-task
+  escalation (retry → respawn → serial), with every rung recorded as
+  an :class:`Incident`;
+* :mod:`repro.parallel.config` — :class:`ParallelConfig`, the failure
+  ladder's knobs (embedded in ``BirchConfig.parallel``);
+* :mod:`repro.parallel.chaos` — :class:`ChaosInjector`, seeded
+  deterministic process-fault injection (kill/hang/delay/raise)
+  mirroring the :mod:`repro.pagestore.faults` discipline;
 * :mod:`repro.parallel.worker` — the module-level (hence picklable)
   worker entry points: ``build_shard`` (one shard's Phase 1 build) and
   ``merge_pair`` (one pairwise tree merge of the tournament reduction).
 """
 
-from repro.parallel.pool import SharedPool
-from repro.parallel.shm import SharedBlock, inline_slice, open_shard
+from repro.parallel.chaos import CHAOS_MODES, ChaosDirective, ChaosInjector
+from repro.parallel.config import ESCALATION_MODES, ParallelConfig
+from repro.parallel.pool import SharedPool, WorkerError
+from repro.parallel.shm import (
+    SharedBlock,
+    active_segment_count,
+    active_segment_names,
+    inline_slice,
+    open_shard,
+)
+from repro.parallel.supervise import Incident, Supervisor
 
-__all__ = ["SharedBlock", "SharedPool", "inline_slice", "open_shard"]
+__all__ = [
+    "CHAOS_MODES",
+    "ChaosDirective",
+    "ChaosInjector",
+    "ESCALATION_MODES",
+    "Incident",
+    "ParallelConfig",
+    "SharedBlock",
+    "SharedPool",
+    "Supervisor",
+    "WorkerError",
+    "active_segment_count",
+    "active_segment_names",
+    "inline_slice",
+    "open_shard",
+]

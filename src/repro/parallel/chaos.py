@@ -1,0 +1,234 @@
+"""Deterministic process-fault injection for the worker pool.
+
+The PR-2 :class:`~repro.pagestore.faults.FaultInjector` gave disk I/O a
+testing discipline — seeded schedules, replayable faults, typed errors.
+This module is the process-layer equivalent: a :class:`ChaosInjector`
+decides, *in the parent and deterministically*, which dispatched task
+attempts are sabotaged and how.  The decision is shipped to the worker
+as a tiny picklable :class:`ChaosDirective` alongside the task payload,
+and the worker trampoline executes it before (or instead of) the real
+function:
+
+* ``"kill"``  — the worker SIGKILLs itself (models OOM-kill / crash);
+* ``"hang"``  — the worker sleeps past any reasonable deadline (models
+  a wedged task; the supervisor must terminate it);
+* ``"delay"`` — the worker sleeps briefly, then runs the task normally
+  (models a slow worker; nothing should fail);
+* ``"raise"`` — the worker raises a typed error without running the
+  task (defaults to :class:`~repro.errors.TransientIOError`, the retry
+  loop's target; inject a ``PermanentIOError`` to exercise typed
+  propagation).
+
+Planning parent-side is what makes chaos runs replayable: which worker
+process picks up which task is scheduler noise, but the ``(op,
+task_index, attempt)`` triple is deterministic for a fixed dispatch, so
+a seeded schedule keyed on it injects the same faults every run.
+
+By default an injector targets only a task's *first* attempt
+(``first_attempt_only=True``), so every sabotaged task heals on retry
+by construction — the chaos analogue of a transient disk fault.  Turn
+it off (with ``max_faults`` bounding the blast radius) to build poison
+tasks that kill every worker they touch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import TransientIOError
+
+__all__ = ["CHAOS_MODES", "ChaosDirective", "ChaosInjector"]
+
+#: Supported sabotage modes.
+CHAOS_MODES = ("kill", "hang", "delay", "raise")
+
+
+@dataclass(frozen=True)
+class ChaosDirective:
+    """One sabotage order, shipped to the worker with its task.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`CHAOS_MODES`.
+    seconds:
+        Sleep duration for ``"hang"``/``"delay"``.
+    error:
+        Exception instance for ``"raise"`` (must be picklable).
+    """
+
+    kind: str
+    seconds: float = 0.0
+    error: Optional[BaseException] = field(default=None, compare=False)
+
+
+class ChaosInjector:
+    """Seeded, deterministic source of injected process faults.
+
+    Parameters
+    ----------
+    mode:
+        Sabotage applied when a schedule fires (see :data:`CHAOS_MODES`).
+    ops:
+        Task kinds the injector listens to (``"build"``, ``"merge"``);
+        non-matching dispatches pass through and advance no schedule.
+    fail_every:
+        Sabotage every k-th matching first-attempt task (the k-th,
+        2k-th, ...), counted across dispatches.
+    fail_probability:
+        Sabotage each matching task with this probability, drawn from a
+        private ``random.Random(seed)`` stream.
+    fail_on_task:
+        Sabotage exactly the matching task with this (0-based) schedule
+        index, then disarm — the process analogue of
+        ``fail_at_byte``'s one-shot trigger.
+    seed:
+        Seed of the probability stream.
+    max_faults:
+        Stop injecting after this many faults (``None`` = unbounded).
+    first_attempt_only:
+        When True (default), retries of a sabotaged task run clean, so
+        the failure ladder's first rung always heals it.  Set False to
+        model a poison task that fails on every attempt.
+    delay_seconds / hang_seconds:
+        Sleep lengths for the ``"delay"`` and ``"hang"`` modes.  Hang
+        must comfortably exceed the supervisor's task deadline.
+    error:
+        Exception instance for ``"raise"`` mode; defaults to a
+        :class:`~repro.errors.TransientIOError` (retried), pass a
+        ``PermanentIOError`` or any typed error to test propagation.
+
+    Examples
+    --------
+    >>> inj = ChaosInjector(mode="kill", fail_every=2)
+    >>> inj.plan("build", task_index=0, attempt=0) is None
+    True
+    >>> inj.plan("build", task_index=1, attempt=0).kind
+    'kill'
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "kill",
+        ops: Iterable[str] = ("build", "merge"),
+        fail_every: Optional[int] = None,
+        fail_probability: float = 0.0,
+        fail_on_task: Optional[int] = None,
+        seed: int = 0,
+        max_faults: Optional[int] = None,
+        first_attempt_only: bool = True,
+        delay_seconds: float = 0.02,
+        hang_seconds: float = 3600.0,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        if mode not in CHAOS_MODES:
+            raise ValueError(f"mode must be one of {CHAOS_MODES}, got {mode!r}")
+        if fail_every is not None and fail_every < 1:
+            raise ValueError(f"fail_every must be >= 1, got {fail_every}")
+        if not 0.0 <= fail_probability <= 1.0:
+            raise ValueError(
+                f"fail_probability must be in [0, 1], got {fail_probability}"
+            )
+        if fail_on_task is not None and fail_on_task < 0:
+            raise ValueError(f"fail_on_task must be >= 0, got {fail_on_task}")
+        if max_faults is not None and max_faults < 0:
+            raise ValueError(f"max_faults must be >= 0, got {max_faults}")
+        if delay_seconds < 0 or hang_seconds < 0:
+            raise ValueError("delay/hang seconds must be >= 0")
+        self.mode = mode
+        self.ops = frozenset(ops)
+        self.fail_every = fail_every
+        self.fail_probability = fail_probability
+        self.fail_on_task = fail_on_task
+        self.seed = seed
+        self.max_faults = max_faults
+        self.first_attempt_only = first_attempt_only
+        self.delay_seconds = delay_seconds
+        self.hang_seconds = hang_seconds
+        self.error = (
+            error
+            if error is not None
+            else TransientIOError("injected chaos fault (raise mode)")
+        )
+        self._rng = random.Random(seed)
+        self._plan_count = 0
+        self._one_shot_armed = fail_on_task is not None
+        self.faults_injected = 0
+
+    @property
+    def plan_count(self) -> int:
+        """Matching first-attempt plans consulted so far."""
+        return self._plan_count
+
+    def plan(
+        self, op: str, task_index: int, attempt: int
+    ) -> Optional[ChaosDirective]:
+        """Decide whether to sabotage this ``(op, task, attempt)``.
+
+        Returns the directive to ship with the task, or ``None`` for a
+        clean run.  Retries (``attempt > 0``) advance no schedule, so a
+        schedule is a function of the *task stream*, not of how many
+        repair attempts the supervisor needed.
+        """
+        if op not in self.ops:
+            return None
+        if attempt > 0:
+            if self.first_attempt_only:
+                return None
+            # Poison regime: repeat whatever the first attempt got.
+            return self._fire_unscheduled()
+        index = self._plan_count
+        self._plan_count += 1
+        if (
+            self.max_faults is not None
+            and self.faults_injected >= self.max_faults
+        ):
+            return None
+        fire = False
+        if self.fail_every is not None and (index + 1) % self.fail_every == 0:
+            fire = True
+        if not fire and self.fail_probability > 0.0:
+            fire = self._rng.random() < self.fail_probability
+        if not fire and self._one_shot_armed and index == self.fail_on_task:
+            self._one_shot_armed = False
+            fire = True
+        if not fire:
+            return None
+        self.faults_injected += 1
+        return self._directive()
+
+    def _fire_unscheduled(self) -> Optional[ChaosDirective]:
+        """Fire outside the schedules (poison retries), budget permitting."""
+        if (
+            self.max_faults is not None
+            and self.faults_injected >= self.max_faults
+        ):
+            return None
+        self.faults_injected += 1
+        return self._directive()
+
+    def _directive(self) -> ChaosDirective:
+        if self.mode == "kill":
+            return ChaosDirective("kill")
+        if self.mode == "hang":
+            return ChaosDirective("hang", seconds=self.hang_seconds)
+        if self.mode == "delay":
+            return ChaosDirective("delay", seconds=self.delay_seconds)
+        return ChaosDirective("raise", error=self.error)
+
+    def reset(self) -> None:
+        """Rewind every schedule to its initial state (same seed)."""
+        self._rng = random.Random(self.seed)
+        self._plan_count = 0
+        self._one_shot_armed = self.fail_on_task is not None
+        self.faults_injected = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosInjector(mode={self.mode!r}, ops={sorted(self.ops)}, "
+            f"every={self.fail_every}, p={self.fail_probability}, "
+            f"on_task={self.fail_on_task}, injected={self.faults_injected})"
+        )

@@ -1,0 +1,120 @@
+"""Configuration of the fault-tolerant parallel runtime.
+
+:class:`ParallelConfig` is the process-layer analogue of the I/O knobs
+on :class:`~repro.core.config.BirchConfig` (``io_retry_attempts``,
+``outlier_fault_policy``): it parameterises the degradation ladder the
+supervised worker pool walks when a worker crashes, hangs or raises —
+
+    **retry** (same task, fresh worker, seeded backoff)
+    → **respawn** (replace the dead worker, bounded budget)
+    → **serial** (run the task's function in-process, byte-identical
+    by construction).
+
+It lives in its own module so :mod:`repro.core.config` can embed it
+without importing any of the process machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ESCALATION_MODES", "ParallelConfig"]
+
+#: What to do with a poison task (one that exhausted its retries or
+#: killed ``poison_threshold`` consecutive workers): ``"serial"`` runs
+#: the same function in-process; ``"raise"`` surfaces a typed
+#: :class:`~repro.errors.WorkerCrashError` to the caller.
+ESCALATION_MODES = ("serial", "raise")
+
+
+@dataclass
+class ParallelConfig:
+    """Knobs of the supervised worker pool's failure ladder.
+
+    Attributes
+    ----------
+    max_task_retries:
+        Extra attempts a failed task gets on a (possibly respawned)
+        worker before escalation.  A task therefore runs at most
+        ``1 + max_task_retries`` times in a worker process; escalation
+        runs it once more in-process under ``escalation="serial"``.
+    poison_threshold:
+        Consecutive worker deaths attributable to one task before it is
+        declared poison and escalated immediately — a task that SIGKILLs
+        (or OOMs) every worker it touches must not burn the whole
+        respawn budget retrying forever.
+    max_worker_respawns:
+        Total replacement workers one dispatch may spawn.  When the
+        budget is exhausted the pool finishes the dispatch with the
+        workers it still has, or in-process if none survive.
+    task_deadline_seconds:
+        Per-task wall-clock ceiling.  A worker that holds one task
+        longer than this is declared hung, terminated and treated as a
+        crash (same retry → respawn → serial ladder).  ``None`` (the
+        default) disables hang detection; the supervised pipeline can
+        override it per run via
+        :attr:`~repro.guardrails.supervisor.PhaseBudgets.parallel_task_seconds`.
+    retry_backoff_seconds:
+        Base delay before re-dispatching a failed task; doubles per
+        attempt with a seeded jitter factor in ``[0.5, 1.5)`` so
+        retries are deterministic for a fixed ``backoff_seed``.
+    backoff_seed:
+        Seed of the jitter stream (mirrors
+        :class:`~repro.pagestore.faults.FaultInjector`'s discipline:
+        every sleep a test observes can be replayed).
+    escalation:
+        ``"serial"`` (default) or ``"raise"`` — see
+        :data:`ESCALATION_MODES`.
+    supervise_interval_seconds:
+        The supervisor's poll tick: how often worker liveness and task
+        deadlines are checked while waiting for results.  Purely an
+        observation cadence — it never changes any result.
+    """
+
+    max_task_retries: int = 2
+    poison_threshold: int = 2
+    max_worker_respawns: int = 8
+    task_deadline_seconds: Optional[float] = None
+    retry_backoff_seconds: float = 0.05
+    backoff_seed: int = 0
+    escalation: str = "serial"
+    supervise_interval_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+        if self.poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
+        if self.max_worker_respawns < 0:
+            raise ValueError(
+                f"max_worker_respawns must be >= 0, "
+                f"got {self.max_worker_respawns}"
+            )
+        if (
+            self.task_deadline_seconds is not None
+            and self.task_deadline_seconds <= 0
+        ):
+            raise ValueError(
+                f"task_deadline_seconds must be positive, "
+                f"got {self.task_deadline_seconds}"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be >= 0, "
+                f"got {self.retry_backoff_seconds}"
+            )
+        if self.escalation not in ESCALATION_MODES:
+            raise ValueError(
+                f"escalation must be one of {ESCALATION_MODES}, "
+                f"got {self.escalation!r}"
+            )
+        if self.supervise_interval_seconds <= 0:
+            raise ValueError(
+                f"supervise_interval_seconds must be positive, "
+                f"got {self.supervise_interval_seconds}"
+            )

@@ -1,43 +1,50 @@
-"""A persistent worker pool with typed error transport.
+"""A persistent, supervised worker pool with typed error transport.
 
-The previous sharded build created (and tore down) a fresh
-``multiprocessing.Pool`` inside every ``fit`` and wrapped the *entire*
-dispatch — pool creation and worker execution alike — in
-``except (OSError, PermissionError, ImportError)``.  That conflated two
-very different failures:
+The first version of this module wrapped ``multiprocessing.Pool``.
+That fixed the error-transport problem (worker exceptions re-raise in
+the parent with their original types, never swallowed by the serial
+fallback) but left the pool brittle: ``Pool.map`` has no liveness
+story, so a worker that is SIGKILLed — the routine fate of the
+biggest shard on a memory-tight box — wedges the dispatch forever.
 
-* *the platform cannot run worker processes* (sandboxed environments
-  without fork or POSIX semaphores) — the correct response is the
-  in-process serial fallback, and
-* *a worker raised a typed library error* (an
-  :class:`~repro.errors.IOFaultError` is an ``OSError`` subclass!) —
-  which must surface to the caller as the original exception, not be
-  silently retried serially or wrapped in a multiprocessing traceback.
+:class:`SharedPool` now fronts a
+:class:`~repro.parallel.supervise.Supervisor`: per-worker pipes and
+heartbeats, crash/hang detection, seeded-backoff task retry, bounded
+worker respawn, and poison-task escalation to in-process execution
+(byte-identical by construction).  See :mod:`repro.parallel.supervise`
+for the ladder; :mod:`repro.parallel.chaos` for the deterministic
+fault injection that tests it.
 
-:class:`SharedPool` separates them.  Pool creation is attempted once,
-lazily, and only *creation* failures engage the serial fallback.
-Worker callables run inside a guard that returns ``("ok", result)`` or
-``("err", exception)``, so any exception a worker raises — including
-custom classes with keyword-only constructors that multiprocessing's
-own rebuilding would mangle — is re-raised in the parent with its
-original type.
+The two original contracts still hold:
+
+* *the platform cannot run worker processes* (sandboxes without fork
+  or POSIX semaphores) degrades to the in-process serial sweep — only
+  worker-fleet *creation* failures engage it;
+* *a worker raised a typed library error* surfaces to the caller as
+  the original exception (a :class:`WorkerError` stands in for
+  unpicklable ones).
 
 The pool is owned by its creator (the :class:`~repro.core.birch.Birch`
 estimator) and reused across ``fit``/``partial_fit`` calls; ``close``
-is idempotent and a closed pool transparently re-creates workers on the
-next ``map``.
+is idempotent and a closed pool transparently re-creates workers on
+the next ``map``.  Live pools are also tracked in a module-level
+registry with an ``atexit`` hook, so interpreter exit never leaves
+orphaned worker processes even when an owner forgets to close.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
-import pickle
-import traceback
+import time
+import weakref
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-from repro.errors import ReproError
 from repro.observe.recorder import NULL_RECORDER, Recorder
+from repro.parallel.chaos import ChaosInjector
+from repro.parallel.config import ParallelConfig
+from repro.parallel.supervise import Incident, Supervisor, WorkerError
 
 __all__ = ["FORCE_SERIAL_ENV", "SharedPool", "WorkerError"]
 
@@ -49,48 +56,34 @@ R = TypeVar("R")
 #: with and without real worker processes.
 FORCE_SERIAL_ENV = "REPRO_PARALLEL_FORCE_SERIAL"
 
-#: Failures of pool *creation* that mean "this platform cannot run
-#: worker processes" (missing _multiprocessing, read-only /dev/shm,
+#: Failures of worker-fleet *creation* that mean "this platform cannot
+#: run worker processes" (missing _multiprocessing, read-only /dev/shm,
 #: seccomp'd fork).  Nothing a worker function raises is caught here.
 _POOL_CREATION_ERRORS = (OSError, PermissionError, ImportError)
 
+#: Every live pool, closed at interpreter exit as a last resort so a
+#: leaked pool can never leave worker processes behind.  WeakSet: the
+#: registry must not keep otherwise-dead pools alive.
+_LIVE_POOLS: "weakref.WeakSet[SharedPool]" = weakref.WeakSet()
 
-class WorkerError(ReproError, RuntimeError):
-    """A worker raised an exception that could not cross the pipe.
 
-    Carries the worker-side traceback text; the original exception type
-    was not picklable, so this is the typed stand-in.
-    """
+def _close_live_pools() -> None:  # pragma: no cover - exercised at exit
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_pools)
 
 
 def _force_serial() -> bool:
     return os.environ.get(FORCE_SERIAL_ENV, "") not in ("", "0")
 
 
-def _guarded(payload: tuple[Callable[[T], R], T]) -> tuple[str, object]:
-    """Worker-side trampoline: never lets an exception hit the pipe raw.
-
-    Multiprocessing rebuilds a worker exception from ``type(exc)(*args)``
-    which breaks keyword-only constructors and loses chained context; a
-    tagged tuple round-trips the already-pickle-tested exception object
-    itself instead.
-    """
-    fn, task = payload
-    try:
-        return "ok", fn(task)
-    except BaseException as exc:  # noqa: BLE001 - transported, re-raised
-        try:
-            pickle.loads(pickle.dumps(exc))
-            return "err", exc
-        except Exception:
-            return "err", WorkerError(
-                f"worker raised unpicklable {type(exc).__name__}: {exc}\n"
-                f"{traceback.format_exc()}"
-            )
-
-
 class SharedPool:
-    """Order-preserving ``map`` over a persistent process pool.
+    """Order-preserving, failure-surviving ``map`` over worker processes.
 
     Parameters
     ----------
@@ -102,6 +95,17 @@ class SharedPool:
         Optional :mod:`multiprocessing` context (tests inject
         ``"spawn"`` to exercise pickling under the strictest start
         method).
+    parallel:
+        The failure-ladder knobs
+        (:class:`~repro.parallel.config.ParallelConfig`); defaults
+        apply when omitted.
+    chaos:
+        Optional :class:`~repro.parallel.chaos.ChaosInjector` whose
+        directives sabotage dispatched tasks (tests only).  Not
+        consulted on the serial fallback — there is no worker process
+        to sabotage.
+    sleep:
+        Backoff sleep injection point for tests.
 
     Notes
     -----
@@ -118,18 +122,27 @@ class SharedPool:
         processes: int,
         *,
         context: Optional[multiprocessing.context.BaseContext] = None,
+        parallel: Optional[ParallelConfig] = None,
+        chaos: Optional[ChaosInjector] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         self.processes = int(processes)
+        self.parallel = parallel if parallel is not None else ParallelConfig()
+        self.chaos = chaos
         self._context = context
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._sleep = sleep
+        self._supervisor: Optional[Supervisor] = None
         self._serial = False
+        #: Failure-ladder incidents across the pool's whole lifetime
+        #: (shared with each supervisor incarnation; survives close()).
+        self.incidents: list[Incident] = []
 
     # -- lifecycle -----------------------------------------------------------
 
     def _ensure(self) -> None:
-        if self._pool is not None or self._serial:
+        if self._supervisor is not None or self._serial:
             return
         if _force_serial():
             self._serial = True
@@ -140,17 +153,26 @@ class SharedPool:
                 if self._context is not None
                 else multiprocessing.get_context()
             )
-            self._pool = ctx.Pool(processes=self.processes)
+            self._supervisor = Supervisor(
+                self.processes,
+                context=ctx,
+                config=self.parallel,
+                chaos=self.chaos,
+                sleep=self._sleep,
+                incidents=self.incidents,
+            )
         except _POOL_CREATION_ERRORS:
             self._serial = True
+        else:
+            _LIVE_POOLS.add(self)
 
     @property
     def serial(self) -> bool:
         """True when the in-process fallback is (or will be) in effect.
 
-        Reading this attempts pool creation, so the answer is definitive
-        — callers use it to decide whether shared-memory transport is
-        worth setting up.
+        Reading this attempts worker-fleet creation, so the answer is
+        definitive — callers use it to decide whether shared-memory
+        transport is worth setting up.
         """
         self._ensure()
         return self._serial
@@ -159,18 +181,35 @@ class SharedPool:
     def alive(self) -> bool:
         """True while worker processes exist (False before first map
         and after :meth:`close`)."""
-        return self._pool is not None
+        return self._supervisor is not None and self._supervisor.alive
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (empty when serial/closed)."""
+        if self._supervisor is None:
+            return []
+        return self._supervisor.worker_pids
+
+    def reset_incidents(self) -> list[Incident]:
+        """Return the accumulated incidents and start a fresh log.
+
+        The list object itself is retained (it is shared with the live
+        supervisor), so this drains it in place and hands back a copy.
+        """
+        drained = list(self.incidents)
+        self.incidents.clear()
+        return drained
 
     def close(self) -> None:
-        """Terminate the worker processes (idempotent).
+        """Terminate the worker processes (idempotent, safe mid-failure).
 
         The pool object stays reusable: the next :meth:`map` re-creates
-        workers.  A platform-degraded serial pool stays serial.
+        workers.  A platform-degraded serial pool stays serial.  The
+        incident log survives.
         """
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        supervisor, self._supervisor = self._supervisor, None
+        _LIVE_POOLS.discard(self)
+        if supervisor is not None:
+            supervisor.close()
 
     def __enter__(self) -> "SharedPool":
         return self
@@ -186,31 +225,45 @@ class SharedPool:
         tasks: Iterable[T],
         *,
         recorder: Recorder = NULL_RECORDER,
+        op: str = "task",
+        task_deadline: Optional[float] = None,
     ) -> list[R]:
         """Apply ``fn`` to every task, preserving task order.
 
         Worker exceptions re-raise here with their original type (a
         :class:`WorkerError` stands in for unpicklable ones); platform
         inability to create processes silently degrades to the serial
-        sweep instead.  Each dispatch emits a ``pool.dispatch``
+        sweep instead.  Worker crashes and hangs walk the supervisor's
+        retry → respawn → serial ladder and are recorded on
+        :attr:`incidents`.  Each dispatch emits a ``pool.dispatch``
         telemetry span on ``recorder``.
+
+        Parameters
+        ----------
+        op:
+            Task-kind label (``"build"``, ``"merge"``) used by chaos
+            schedules, incidents and telemetry.
+        task_deadline:
+            Per-task wall-clock ceiling for this dispatch, overriding
+            ``parallel.task_deadline_seconds``.
         """
         items: Sequence[T] = list(tasks)
         if not items:
             return []
         self._ensure()
-        with recorder.span(
-            "pool.dispatch",
-            tasks=len(items),
-            processes=0 if self._serial else self.processes,
-            serial=self._serial,
-        ):
-            if self._pool is None:
+        if self._supervisor is None:
+            with recorder.span(
+                "pool.dispatch",
+                op=op,
+                tasks=len(items),
+                processes=0,
+                serial=True,
+            ):
                 return [fn(t) for t in items]
-            tagged = self._pool.map(_guarded, [(fn, t) for t in items])
-        results: list[R] = []
-        for tag, value in tagged:
-            if tag == "err":
-                raise value  # the worker's original typed exception
-            results.append(value)  # type: ignore[arg-type]
-        return results
+        return self._supervisor.map(
+            fn,
+            items,
+            op=op,
+            recorder=recorder,
+            task_deadline=task_deadline,
+        )

@@ -32,12 +32,52 @@ Platform caveats
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from multiprocessing import shared_memory
 from typing import Callable
 
 import numpy as np
 
-__all__ = ["SharedBlock", "inline_slice", "open_shard"]
+__all__ = [
+    "SharedBlock",
+    "active_segment_count",
+    "active_segment_names",
+    "inline_slice",
+    "open_shard",
+]
+
+#: Every live parent-owned segment.  ``SharedBlock.close`` is the
+#: normal release path; this registry is the backstop that (a) lets the
+#: test suite's leak-check fixture assert nothing escaped a fit, and
+#: (b) unlinks whatever is left at interpreter exit so no code path —
+#: raise, timeout, Ctrl-C — can strand a ``/dev/shm`` segment beyond
+#: the process lifetime.  WeakSet: registration must not keep a
+#: forgotten block (and its segment mapping) alive.
+_LIVE_BLOCKS: "weakref.WeakSet[SharedBlock]" = weakref.WeakSet()
+
+
+def active_segment_count() -> int:
+    """Number of parent-owned segments not yet closed (leak check)."""
+    return len(active_segment_names())
+
+
+def active_segment_names() -> list[str]:
+    """Names of parent-owned segments not yet closed."""
+    return sorted(
+        block.name for block in _LIVE_BLOCKS if block._shm is not None
+    )
+
+
+def _unlink_live_blocks() -> None:  # pragma: no cover - exercised at exit
+    for block in list(_LIVE_BLOCKS):
+        try:
+            block.close()
+        except Exception:
+            pass
+
+
+atexit.register(_unlink_live_blocks)
 
 
 class SharedBlock:
@@ -62,6 +102,7 @@ class SharedBlock:
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(1, array.nbytes)
         )
+        self._name = self._shm.name
         try:
             view = np.ndarray(
                 self.shape, dtype=np.float64, buffer=self._shm.buf
@@ -73,11 +114,12 @@ class SharedBlock:
         except BaseException:
             self.close()
             raise
+        _LIVE_BLOCKS.add(self)
 
     @property
     def name(self) -> str:
-        """The segment name workers attach by."""
-        return self._shm.name
+        """The segment name workers attach by (stable across close)."""
+        return self._name
 
     def slice_spec(self, lo: int, hi: int) -> dict[str, object]:
         """A picklable spec for rows ``[lo, hi)`` of the block."""
@@ -92,6 +134,7 @@ class SharedBlock:
     def close(self) -> None:
         """Detach and unlink the segment (idempotent)."""
         shm, self._shm = getattr(self, "_shm", None), None
+        _LIVE_BLOCKS.discard(self)
         if shm is None:
             return
         try:

@@ -1,0 +1,664 @@
+"""Worker supervision: liveness, retry, respawn, escalation.
+
+:class:`Supervisor` is the process engine behind
+:class:`~repro.parallel.pool.SharedPool`.  Where the old dispatch was a
+single blocking ``multiprocessing.Pool.map`` — which wedges forever the
+moment a worker is OOM-killed mid-task — the supervisor owns each
+worker process individually (one duplex pipe and one heartbeat slot
+per worker) and runs an event loop around
+:func:`multiprocessing.connection.wait`:
+
+* a **result** arriving on a pipe completes (or fails) its task;
+* a pipe hitting **EOF**, or a worker whose ``is_alive()`` goes false,
+  is a **crash** (SIGKILL, OOM, segfault);
+* a worker holding one task past the per-task **deadline** is **hung**
+  and is terminated.
+
+Every failure walks the same degradation ladder, parameterised by
+:class:`~repro.parallel.config.ParallelConfig`:
+
+    retry (same task, seeded backoff, fresh worker)
+    → respawn (replace the dead worker, bounded budget)
+    → serial (run the task's function in-process — byte-identical by
+      construction, since tasks are pure functions of their payload).
+
+A task that kills ``poison_threshold`` consecutive workers skips
+straight to the last rung instead of burning the respawn budget.  Every
+rung taken is recorded as an :class:`Incident` (surfaced as
+``BirchResult.parallel_incidents``) and emitted as a telemetry event
+(``worker.death`` / ``worker.hang`` / ``pool.respawn`` / ``task.retry``
+/ ``task.escalated``).
+
+Determinism: results are keyed by task id and returned in task order,
+retries re-run the *same pure function on the same payload*, and
+escalation runs it in-process — so for a fixed ``(random_seed,
+n_jobs)`` a dispatch that survived any number of injected worker deaths
+returns byte-identical results to a failure-free one.  Only wall-clock
+and the incident log differ.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import random
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ReproError, TransientIOError, WorkerCrashError
+from repro.observe.recorder import NULL_RECORDER, Recorder
+from repro.parallel.chaos import ChaosDirective, ChaosInjector
+from repro.parallel.config import ParallelConfig
+
+__all__ = ["Incident", "Supervisor", "WorkerError"]
+
+
+class WorkerError(ReproError, RuntimeError):
+    """A worker raised an exception that could not cross the pipe.
+
+    Carries the worker-side traceback text; the original exception type
+    was not picklable, so this is the typed stand-in.  (Historically
+    defined in :mod:`repro.parallel.pool`, still re-exported there.)
+    """
+
+
+@dataclass
+class Incident:
+    """One rung of the failure ladder, as observed by the supervisor.
+
+    Attributes
+    ----------
+    kind:
+        ``"worker.death"``, ``"worker.hang"``, ``"pool.respawn"``,
+        ``"task.retry"``, ``"task.escalated"`` or ``"task.error"``.
+    op:
+        The dispatch's task kind (``"build"``, ``"merge"``, ...).
+    task_index:
+        Index of the affected task within its dispatch (``None`` for
+        incidents not tied to a task, e.g. an idle worker dying).
+    attempt:
+        0-based worker attempt the incident interrupted.
+    detail:
+        Free-form extra fields (pid, exit code, backoff, reason...).
+    """
+
+    kind: str
+    op: str
+    task_index: Optional[int] = None
+    attempt: int = 0
+    detail: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain JSON-serialisable form (for results and reports)."""
+        out: dict[str, object] = {
+            "kind": self.kind,
+            "op": self.op,
+            "task_index": self.task_index,
+            "attempt": self.attempt,
+        }
+        out.update(self.detail)
+        return out
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _transportable(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles, else a :class:`WorkerError`.
+
+    Multiprocessing's own exception rebuilding breaks keyword-only
+    constructors and loses chained context; round-tripping the tested
+    object preserves the original type exactly.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return WorkerError(
+            f"worker raised unpicklable {type(exc).__name__}: {exc}\n"
+            f"{traceback.format_exc()}"
+        )
+
+
+def _worker_main(conn, heartbeat) -> None:
+    """Worker process loop: recv task, run it, send the tagged result.
+
+    The heartbeat slot is stamped with ``time.time()`` when a task is
+    picked up and zeroed when it completes, so the parent can tell a
+    worker that never started its task from one wedged inside it.
+    Chaos directives are executed here — *this* process is the one
+    being sabotaged — before the real function runs.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:  # orderly shutdown
+            break
+        task_id, fn, payload, directive = message
+        heartbeat.value = time.time()
+        try:
+            if directive is not None:
+                response = _apply_directive(directive)
+                if response is not None:
+                    conn.send((task_id, *response))
+                    heartbeat.value = 0.0
+                    continue
+            try:
+                result = fn(payload)
+                response = ("ok", result)
+            except BaseException as exc:  # noqa: BLE001 - transported
+                response = ("err", _transportable(exc))
+            try:
+                conn.send((task_id, *response))
+            except Exception:
+                # The result itself would not pickle; report that
+                # instead of dying silently (which would read as a
+                # crash and trigger a pointless retry of the same fn).
+                conn.send(
+                    (
+                        task_id,
+                        "err",
+                        WorkerError(
+                            f"task result of type "
+                            f"{type(response[1]).__name__} did not pickle"
+                        ),
+                    )
+                )
+        finally:
+            heartbeat.value = 0.0
+
+
+def _apply_directive(
+    directive: ChaosDirective,
+) -> Optional[tuple[str, BaseException]]:
+    """Execute a chaos order inside the worker.
+
+    Returns a ready-made error response for ``"raise"`` mode, ``None``
+    when execution should proceed to the real function (``"delay"``
+    sleeps first; ``"hang"`` sleeps long enough that the supervisor
+    terminates this process before the sleep returns; ``"kill"`` never
+    returns).
+    """
+    if directive.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif directive.kind in ("hang", "delay"):
+        time.sleep(directive.seconds)
+    elif directive.kind == "raise":
+        error = directive.error
+        assert error is not None, "raise directive without an error"
+        return ("err", _transportable(error))
+    return None
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One supervised worker process and its control surfaces."""
+
+    __slots__ = ("process", "conn", "heartbeat", "task_id", "started_at")
+
+    def __init__(
+        self, ctx: multiprocessing.context.BaseContext, name: str
+    ) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.heartbeat = ctx.Value("d", 0.0)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.heartbeat),
+            daemon=True,
+            name=name,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.task_id: Optional[int] = None  # in-flight task, if any
+        self.started_at = 0.0  # parent monotonic clock at dispatch
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def busy(self) -> bool:
+        return self.task_id is not None
+
+    def dispatch(self, message: tuple) -> None:
+        self.conn.send(message)
+        self.task_id = message[0]
+        self.started_at = time.monotonic()
+
+    def stop(self, *, force: bool = False) -> None:
+        """Tear the worker down (idempotent, never raises).
+
+        An orderly stop sends the shutdown sentinel and joins briefly;
+        ``force`` (for hung workers) terminates immediately and
+        escalates to SIGKILL if termination does not take.
+        """
+        if not force:
+            try:
+                self.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.process.is_alive():
+            if not force:
+                self.process.join(timeout=0.5)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=2.0)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(timeout=2.0)
+
+
+class Supervisor:
+    """Owns a fleet of worker processes and runs supervised dispatches.
+
+    Parameters
+    ----------
+    processes:
+        Fleet size (the caller clamps; the supervisor runs what it is
+        told).
+    context:
+        Optional :mod:`multiprocessing` context (tests inject
+        ``"spawn"``).
+    config:
+        The failure-ladder knobs (:class:`ParallelConfig`).
+    chaos:
+        Optional :class:`ChaosInjector` consulted once per dispatched
+        task attempt; its directives ride along with the payloads.
+    sleep:
+        Backoff sleep injection point for tests.
+
+    Notes
+    -----
+    Constructing the supervisor spawns the workers — callers treat a
+    platform error here (``OSError``/``PermissionError``/
+    ``ImportError``) as "this platform cannot run worker processes"
+    and fall back to an in-process sweep.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        *,
+        context: Optional[multiprocessing.context.BaseContext] = None,
+        config: Optional[ParallelConfig] = None,
+        chaos: Optional[ChaosInjector] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        incidents: Optional[list[Incident]] = None,
+    ) -> None:
+        self.config = config if config is not None else ParallelConfig()
+        self.chaos = chaos
+        self._ctx = (
+            context if context is not None else multiprocessing.get_context()
+        )
+        self._sleep = sleep
+        self._task_ids = itertools.count()
+        self._worker_ids = itertools.count()
+        self._backoff_rng = random.Random(self.config.backoff_seed)
+        # The incident log may be shared with the owning SharedPool so
+        # it survives worker-fleet teardown/re-creation cycles.
+        self.incidents: list[Incident] = (
+            incidents if incidents is not None else []
+        )
+        self._workers: list[_WorkerHandle] = [
+            self._spawn() for _ in range(processes)
+        ]
+
+    # -- fleet management ----------------------------------------------------
+
+    def _spawn(self) -> _WorkerHandle:
+        return _WorkerHandle(
+            self._ctx, name=f"repro-worker-{next(self._worker_ids)}"
+        )
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live workers (for tests and operators)."""
+        return [
+            w.process.pid
+            for w in self._workers
+            if w.alive and w.process.pid is not None
+        ]
+
+    @property
+    def alive(self) -> bool:
+        """True while at least one worker process is running."""
+        return any(w.alive for w in self._workers)
+
+    def close(self) -> None:
+        """Stop every worker (idempotent, safe mid-failure)."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.stop()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        *,
+        op: str = "task",
+        recorder: Recorder = NULL_RECORDER,
+        task_deadline: Optional[float] = None,
+    ) -> list:
+        """Supervised order-preserving map; see the module docstring.
+
+        Raises the first fatal task error with its original type; a
+        crash that exhausts the ladder under ``escalation="raise"``
+        surfaces as :class:`~repro.errors.WorkerCrashError`.  All
+        incidents observed before a raise stay on :attr:`incidents`.
+        """
+        n = len(payloads)
+        if n == 0:
+            return []
+        deadline = (
+            task_deadline
+            if task_deadline is not None
+            else self.config.task_deadline_seconds
+        )
+        results: list = [None] * n
+        finished = [False] * n
+        attempts = [0] * n  # worker attempts consumed per task
+        deaths = [0] * n  # consecutive worker deaths per task (poison)
+        pending: deque[int] = deque(range(n))
+        id_to_index: dict[int, int] = {}
+        remaining = n
+        respawns_left = self.config.max_worker_respawns
+        tick = self.config.supervise_interval_seconds
+
+        def record(incident: Incident) -> None:
+            self.incidents.append(incident)
+            if recorder.enabled:
+                recorder.event(incident.kind, **incident.to_dict())
+                recorder.count(f"parallel.{incident.kind}")
+
+        def run_serial(index: int, reason: str) -> None:
+            nonlocal remaining
+            record(
+                Incident(
+                    "task.escalated",
+                    op,
+                    task_index=index,
+                    attempt=attempts[index],
+                    detail={"reason": reason},
+                )
+            )
+            if self.config.escalation == "raise":
+                raise WorkerCrashError(
+                    f"{op} task {index} escalated after "
+                    f"{attempts[index]} worker attempt(s) ({reason}) and "
+                    f"escalation policy is 'raise'",
+                    op=op,
+                    task_index=index,
+                    attempts=attempts[index],
+                )
+            # In-process execution of the same pure function: byte-
+            # identical to a worker run by construction.  Chaos is not
+            # consulted — serial execution is the ladder's last rung.
+            results[index] = fn(payloads[index])
+            finished[index] = True
+            remaining -= 1
+
+        def fail_task(index: int, reason: str) -> None:
+            """Walk the ladder for a task whose worker died or hung."""
+            attempts[index] += 1
+            if (
+                deaths[index] >= self.config.poison_threshold
+                or attempts[index] > self.config.max_task_retries
+            ):
+                run_serial(
+                    index,
+                    "poison"
+                    if deaths[index] >= self.config.poison_threshold
+                    else "retries-exhausted",
+                )
+                return
+            backoff = self.config.retry_backoff_seconds * (
+                2 ** (attempts[index] - 1)
+            ) * (0.5 + self._backoff_rng.random())
+            record(
+                Incident(
+                    "task.retry",
+                    op,
+                    task_index=index,
+                    attempt=attempts[index],
+                    detail={"reason": reason, "backoff_seconds": backoff},
+                )
+            )
+            if backoff > 0:
+                self._sleep(backoff)
+            pending.append(index)
+
+        def cull_worker(worker: _WorkerHandle, kind: str) -> None:
+            """Remove a dead/hung worker; ladder its task; respawn."""
+            nonlocal respawns_left
+            index = (
+                id_to_index.get(worker.task_id)
+                if worker.task_id is not None
+                else None
+            )
+            attempt = attempts[index] if index is not None else 0
+            detail: dict[str, object] = {
+                "pid": worker.process.pid,
+                "exitcode": worker.process.exitcode,
+                "last_heartbeat": float(worker.heartbeat.value),
+            }
+            if kind == "worker.hang":
+                detail["deadline_seconds"] = deadline
+                worker.stop(force=True)
+                detail["exitcode"] = worker.process.exitcode
+            else:
+                worker.stop()
+            record(
+                Incident(
+                    kind, op, task_index=index, attempt=attempt, detail=detail
+                )
+            )
+            self._workers.remove(worker)
+            if respawns_left > 0:
+                try:
+                    replacement = self._spawn()
+                except (OSError, PermissionError, ImportError) as exc:
+                    # The platform stopped providing processes mid-run;
+                    # burn the budget so the dispatch finishes with the
+                    # survivors (or in-process).
+                    respawns_left = 0
+                    record(
+                        Incident(
+                            "pool.respawn",
+                            op,
+                            task_index=index,
+                            detail={"failed": str(exc)},
+                        )
+                    )
+                else:
+                    respawns_left -= 1
+                    self._workers.append(replacement)
+                    record(
+                        Incident(
+                            "pool.respawn",
+                            op,
+                            task_index=index,
+                            detail={
+                                "pid": replacement.process.pid,
+                                "replacing_pid": detail["pid"],
+                                "respawns_left": respawns_left,
+                            },
+                        )
+                    )
+            if index is not None:
+                deaths[index] += 1
+                fail_task(
+                    index, "hang" if kind == "worker.hang" else "crash"
+                )
+
+        with recorder.span(
+            "pool.dispatch",
+            op=op,
+            tasks=n,
+            processes=len(self._workers),
+            serial=False,
+        ):
+            self._drain_stale()
+            while remaining:
+                # Cull workers that died between dispatches or while
+                # idle, then hand pending tasks to free workers.
+                for worker in list(self._workers):
+                    if not worker.alive and not worker.busy:
+                        cull_worker(worker, "worker.death")
+                idle = [w for w in self._workers if not w.busy]
+                while pending and idle:
+                    index = pending.popleft()
+                    if finished[index]:  # pragma: no cover - paranoia
+                        continue
+                    worker = idle.pop()
+                    task_id = next(self._task_ids)
+                    id_to_index[task_id] = index
+                    directive = (
+                        self.chaos.plan(op, index, attempts[index])
+                        if self.chaos is not None
+                        else None
+                    )
+                    try:
+                        worker.dispatch(
+                            (task_id, fn, payloads[index], directive)
+                        )
+                    except (OSError, ValueError):
+                        # The pipe is already broken: the worker died
+                        # between the liveness check and the send.
+                        del id_to_index[task_id]
+                        pending.appendleft(index)
+                        worker.task_id = None
+                        cull_worker(worker, "worker.death")
+                if pending and not self._workers:
+                    # No workers left and no respawn budget: the rest
+                    # of the dispatch runs in-process.
+                    while pending:
+                        index = pending.popleft()
+                        if not finished[index]:
+                            run_serial(index, "no-workers")
+                    continue
+                busy = [w for w in self._workers if w.busy]
+                if not busy:
+                    continue  # everything in flight was just escalated
+                ready = _wait_connections(
+                    [w.conn for w in busy], timeout=tick
+                )
+                now = time.monotonic()
+                for worker in busy:
+                    if worker.conn in ready:
+                        self._collect(
+                            worker,
+                            id_to_index,
+                            results,
+                            finished,
+                            attempts,
+                            deaths,
+                            record,
+                            fail_task,
+                            cull_worker,
+                            op,
+                            on_done=lambda: None,
+                        )
+                        if (
+                            worker in self._workers
+                            and worker.task_id is None
+                        ):
+                            continue
+                    elif not worker.alive:
+                        cull_worker(worker, "worker.death")
+                    elif (
+                        deadline is not None
+                        and worker.busy
+                        and now - worker.started_at > deadline
+                    ):
+                        cull_worker(worker, "worker.hang")
+                remaining = n - sum(finished)
+        return results
+
+    def _collect(
+        self,
+        worker: _WorkerHandle,
+        id_to_index: dict[int, int],
+        results: list,
+        finished: list,
+        attempts: list,
+        deaths: list,
+        record,
+        fail_task,
+        cull_worker,
+        op: str,
+        *,
+        on_done,
+    ) -> None:
+        """Receive one message from a ready worker and act on it."""
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            cull_worker(worker, "worker.death")
+            return
+        task_id, tag, value = message
+        worker.task_id = None
+        index = id_to_index.get(task_id)
+        if index is None or finished[index]:
+            return  # stale result from an aborted earlier dispatch
+        if tag == "ok":
+            results[index] = value
+            finished[index] = True
+            deaths[index] = 0
+            return
+        # Worker-raised exception: transient errors ride the retry
+        # ladder, everything else is fatal and re-raises with its
+        # original type (the PR-6 typed-transport contract).
+        if (
+            isinstance(value, TransientIOError)
+            and attempts[index] < self.config.max_task_retries
+        ):
+            deaths[index] = 0
+            fail_task(index, "transient-error")
+            return
+        record(
+            Incident(
+                "task.error",
+                op,
+                task_index=index,
+                attempt=attempts[index],
+                detail={
+                    "error_type": type(value).__name__,
+                    "error": str(value),
+                },
+            )
+        )
+        raise value
+
+    def _drain_stale(self) -> None:
+        """Discard results of tasks from an aborted earlier dispatch.
+
+        A dispatch that raised left its in-flight workers running; by
+        the time the next dispatch starts, their (now meaningless)
+        results may be sitting in the pipes.  Pop everything readable
+        so the new dispatch starts from a clean slate.
+        """
+        for worker in self._workers:
+            try:
+                while worker.conn.poll():
+                    worker.conn.recv()
+                    worker.task_id = None
+            except (EOFError, OSError):
+                continue  # dead worker: the main loop will cull it

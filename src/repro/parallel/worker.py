@@ -40,7 +40,13 @@ from repro.pagestore.memory import MemoryBudget
 from repro.pagestore.page import PageLayout
 from repro.parallel.shm import open_shard
 
-__all__ = ["build_shard", "merge_pair"]
+__all__ = ["OP_BUILD", "OP_MERGE", "build_shard", "merge_pair"]
+
+#: Dispatch ``op`` labels — the task-kind vocabulary shared by chaos
+#: schedules (``ChaosInjector(ops=...)``), incident records and the
+#: ``pool.dispatch`` telemetry span.
+OP_BUILD = "build"
+OP_MERGE = "merge"
 
 
 def build_shard(task: dict[str, object]) -> dict[str, object]:

@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import signal
+import sys
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core.features import CF
 from repro.pagestore.page import PageLayout
+from repro.parallel.shm import active_segment_count, active_segment_names
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -16,12 +21,80 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=0,
         help="seed for the fault-injection test matrix (CI sweeps several)",
     )
+    parser.addoption(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for probability-mode process-chaos schedules "
+        "(CI sweeps several)",
+    )
+
+
+#: Wall-clock ceiling applied to every ``chaos``-marked test when the
+#: ``pytest-timeout`` plugin is not installed (CI installs it and uses
+#: ``--timeout``; this SIGALRM fallback keeps a wedged pool from
+#: hanging a local run instead of failing it).
+_CHAOS_FALLBACK_TIMEOUT = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    use_alarm = (
+        item.get_closest_marker("chaos") is not None
+        and not item.config.pluginmanager.hasplugin("timeout")
+        and sys.platform != "win32"
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def _expired(signum, frame):
+            pytest.fail(
+                f"chaos test exceeded {_CHAOS_FALLBACK_TIMEOUT}s "
+                f"(wedged pool?)", pytrace=False
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(_CHAOS_FALLBACK_TIMEOUT)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_check(request: pytest.FixtureRequest):
+    """No test may leak a parent-owned shared-memory segment.
+
+    Applied automatically to the ``parallel`` and ``chaos`` suites
+    (where segments are created); asserting *after* the test keeps the
+    failure attributed to the leaking test rather than a later one.
+    """
+    if (
+        request.node.get_closest_marker("parallel") is None
+        and request.node.get_closest_marker("chaos") is None
+    ):
+        yield
+        return
+    before = active_segment_count()
+    yield
+    after = active_segment_count()
+    assert after <= before, (
+        f"test leaked {after - before} shared-memory segment(s): "
+        f"{active_segment_names()}"
+    )
 
 
 @pytest.fixture
 def fault_seed(request: pytest.FixtureRequest) -> int:
     """Seed for fault-injection schedules; CI runs a matrix of values."""
     return request.config.getoption("--fault-seed")
+
+
+@pytest.fixture
+def chaos_seed(request: pytest.FixtureRequest) -> int:
+    """Seed for process-chaos schedules; CI runs a matrix of values."""
+    return request.config.getoption("--chaos-seed")
 
 
 @pytest.fixture

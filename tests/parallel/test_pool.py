@@ -120,7 +120,12 @@ class TestLifecycle:
         monkeypatch.delenv(FORCE_SERIAL_ENV, raising=False)
 
         class _NoFork:
-            def Pool(self, processes):
+            # The supervisor's first act is wiring a control pipe; a
+            # sandbox that cannot provide one cannot run workers.
+            def Pipe(self, duplex=True):
+                raise OSError("no processes in this sandbox")
+
+            def Value(self, typecode, value):
                 raise OSError("no processes in this sandbox")
 
         pool = SharedPool(2, context=_NoFork())

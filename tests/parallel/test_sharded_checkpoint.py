@@ -6,6 +6,8 @@ import pytest
 from repro.core.birch import Birch
 from repro.core.config import BirchConfig
 from repro.datagen.presets import ds1
+from repro.parallel.chaos import ChaosInjector
+from repro.parallel.config import ParallelConfig
 
 pytestmark = pytest.mark.parallel
 
@@ -65,6 +67,49 @@ class TestShardedCheckpointResume:
         assert resumed.points_seen > 0
         # The restored tree must satisfy its own invariants.
         resumed.tree.check_invariants()
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("cf_backend", ["stable", "classic"])
+    def test_worker_sigkill_then_resume_is_bit_identical(
+        self, grid_points, tmp_path, cf_backend
+    ):
+        """The double crash: a worker is SIGKILLed *during* the first
+        (checkpointing) fit, the supervised ladder heals it, and then
+        the whole process "dies" and resumes from the checkpoint.  The
+        continuation must be bit-for-bit the run that never saw either
+        failure, with the conservation ledger balanced — on both CF
+        backends."""
+        half = grid_points.shape[0] // 2
+        fast = dict(
+            retry_backoff_seconds=0.0, supervise_interval_seconds=0.02
+        )
+
+        def run(path, chaos):
+            config = _config(
+                path,
+                cf_backend=cf_backend,
+                parallel=ParallelConfig(**fast),
+            )
+            with Birch(config, chaos_injector=chaos) as interrupted:
+                result = interrupted.fit(grid_points[:half], n_jobs=2)
+                incidents = list(result.parallel_incidents)
+            resumed = Birch.resume(path)
+            fed = resumed.points_seen
+            resumed.partial_fit(grid_points[fed:])
+            final = resumed.finalize()
+            return final, incidents
+
+        chaos = ChaosInjector(mode="kill", fail_on_task=0)
+        killed, incidents = run(tmp_path / "killed.npz", chaos)
+        clean, no_incidents = run(tmp_path / "clean.npz", None)
+
+        assert chaos.faults_injected == 1
+        assert any(i["kind"] == "worker.death" for i in incidents)
+        assert no_incidents == []
+        assert killed.centroids.tobytes() == clean.centroids.tobytes()
+        assert killed.final_threshold == clean.final_threshold
+        assert killed.accounting() == clean.accounting()
+        assert killed.conservation_ok and clean.conservation_ok
 
     def test_pool_survives_checkpointed_refits(self, grid_points, tmp_path):
         path = tmp_path / "refit.npz"

@@ -1,0 +1,209 @@
+"""Shared-memory lifecycle: no code path may strand a segment.
+
+Satellite regression for this PR: a sharded fit that *raises* between
+``SharedBlock`` creation and release used to leave the ``/dev/shm``
+segment behind until interpreter exit (and, on an unclean exit, until
+reboot).  These tests count live segments across every failure shape —
+worker error, injected crash, double close, interpreter exit — and also
+pin down the :class:`~repro.core.birch.Birch.close` hardening that
+rides along (idempotent, safe mid-failure, atexit backstop for worker
+processes).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.datagen.presets import ds1
+from repro.errors import PermanentIOError
+from repro.parallel.chaos import ChaosInjector
+from repro.parallel.config import ParallelConfig
+from repro.parallel.shm import (
+    SharedBlock,
+    active_segment_count,
+    active_segment_names,
+    open_shard,
+)
+
+pytestmark = [pytest.mark.parallel, pytest.mark.chaos]
+
+
+def _config() -> BirchConfig:
+    return BirchConfig(
+        n_clusters=100,
+        memory_bytes=256 * 1024,
+        phase4_passes=1,
+        random_seed=7,
+        parallel=ParallelConfig(
+            retry_backoff_seconds=0.0, supervise_interval_seconds=0.02
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_points():
+    return ds1(scale=0.02, seed=0).points
+
+
+class TestSharedBlockRegistry:
+    def test_blocks_register_and_unregister(self):
+        base = active_segment_count()
+        block = SharedBlock(np.arange(8.0).reshape(4, 2))
+        assert active_segment_count() == base + 1
+        assert block.name in active_segment_names()
+        block.close()
+        assert active_segment_count() == base
+        assert block.name not in active_segment_names()
+
+    def test_close_is_idempotent(self):
+        block = SharedBlock(np.ones((3, 2)))
+        block.close()
+        block.close()
+        assert active_segment_count() == 0
+
+    def test_context_manager_releases_on_raise(self):
+        with pytest.raises(RuntimeError):
+            with SharedBlock(np.ones((3, 2))) as block:
+                assert active_segment_count() == 1
+                raise RuntimeError("mid-use failure")
+        assert active_segment_count() == 0
+
+    def test_segment_readable_until_closed(self):
+        data = np.arange(10.0).reshape(5, 2)
+        with SharedBlock(data) as block:
+            rows, release = open_shard(block.slice_spec(1, 4))
+            np.testing.assert_array_equal(rows, data[1:4])
+            del rows
+            release()
+
+    def test_atexit_backstop_unlinks_forgotten_segments(self):
+        # A process that creates a block and never closes it must still
+        # leave /dev/shm clean at interpreter exit.
+        script = textwrap.dedent(
+            """
+            import numpy as np
+            from repro.parallel.shm import SharedBlock
+            block = SharedBlock(np.ones((64, 2)))
+            print(block.name, flush=True)
+            # no close(): atexit must unlink
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            timeout=60,
+            check=True,
+        )
+        name = out.stdout.strip().splitlines()[-1].lstrip("/")
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+
+class TestRaisingFitLeaksNothing:
+    def test_worker_error_mid_build_releases_the_segment(self, grid_points):
+        # The regression: PermanentIOError from a worker mid-dispatch
+        # propagates out of fit() while the batch's SharedBlock is
+        # live.  The finally-block must release it anyway.
+        chaos = ChaosInjector(
+            mode="raise",
+            fail_on_task=1,
+            error=PermanentIOError("injected permanent fault"),
+        )
+        with Birch(_config(), chaos_injector=chaos) as estimator:
+            before = active_segment_count()
+            with pytest.raises(PermanentIOError):
+                estimator.fit(grid_points, n_jobs=2)
+            assert active_segment_count() == before, (
+                f"raising fit leaked segments: {active_segment_names()}"
+            )
+            # The estimator stays usable: a clean refit succeeds.
+            result = estimator.fit(grid_points, n_jobs=2)
+            assert len(result.clusters) > 0
+        assert active_segment_count() == 0
+
+    def test_escalation_raise_releases_the_segment(self, grid_points):
+        chaos = ChaosInjector(
+            mode="kill", fail_on_task=0, first_attempt_only=False
+        )
+        config = _config()
+        config.parallel = ParallelConfig(
+            poison_threshold=1,
+            escalation="raise",
+            retry_backoff_seconds=0.0,
+            supervise_interval_seconds=0.02,
+        )
+        from repro.errors import WorkerCrashError
+
+        with Birch(config, chaos_injector=chaos) as estimator:
+            with pytest.raises(WorkerCrashError):
+                estimator.fit(grid_points, n_jobs=2)
+        assert active_segment_count() == 0
+
+
+class TestBirchClose:
+    def test_close_before_any_fit(self):
+        estimator = Birch(_config())
+        estimator.close()
+        estimator.close()
+
+    def test_close_is_idempotent_after_fit(self, grid_points):
+        estimator = Birch(_config())
+        estimator.fit(grid_points, n_jobs=2)
+        estimator.close()
+        estimator.close()
+        assert active_segment_count() == 0
+
+    def test_fit_after_close_rebuilds_the_pool(self, grid_points):
+        with Birch(_config()) as estimator:
+            first = estimator.fit(grid_points, n_jobs=2)
+            estimator.close()
+            second = estimator.fit(grid_points, n_jobs=2)
+            assert second.centroids.tobytes() == first.centroids.tobytes()
+
+    def test_interpreter_exit_reaps_workers_without_close(self):
+        # Satellite 2's backstop: a script that fits in parallel and
+        # exits without calling close() must not leave live worker
+        # processes (atexit pool registry + daemonic workers).
+        script = textwrap.dedent(
+            """
+            import os
+            from repro.core.birch import Birch
+            from repro.core.config import BirchConfig
+            from repro.datagen.presets import ds1
+            points = ds1(scale=0.01, seed=0).points
+            estimator = Birch(BirchConfig(
+                n_clusters=50, memory_bytes=256 * 1024,
+                phase4_passes=1, random_seed=7,
+            ))
+            estimator.fit(points, n_jobs=2)
+            pool = estimator._pool
+            pids = pool.worker_pids() if pool is not None else []
+            print(" ".join(str(p) for p in pids), flush=True)
+            # no close(): atexit must reap the fleet
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            timeout=120,
+            check=True,
+        )
+        pids = [int(p) for p in out.stdout.split()]
+        assert pids, "the fit should have spawned workers"
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)

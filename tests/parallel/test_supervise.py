@@ -1,0 +1,283 @@
+"""Supervisor internals: liveness, respawn budget, backoff, stale drain.
+
+:mod:`tests.parallel.test_chaos` drives the supervisor through
+:class:`~repro.parallel.pool.SharedPool` and the full estimator; this
+module pins down the engine itself — including failure modes the chaos
+injector cannot express, like a worker SIGKILLed *from outside* while
+idle, or a respawn budget of zero.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import PermanentIOError, TransientIOError
+from repro.parallel.chaos import ChaosInjector
+from repro.parallel.config import ParallelConfig
+from repro.parallel.supervise import Incident, Supervisor, WorkerError
+
+pytestmark = [pytest.mark.parallel, pytest.mark.chaos]
+
+FAST = dict(retry_backoff_seconds=0.0, supervise_interval_seconds=0.02)
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x):
+    time.sleep(0.1)
+    return x * x
+
+
+def _raise_permanent(x):
+    raise PermanentIOError(f"page {x} gone")
+
+
+def _return_unpicklable(x):
+    return lambda: x  # lambdas do not pickle
+
+
+@pytest.fixture
+def supervisor():
+    sup = Supervisor(2, config=ParallelConfig(**FAST))
+    yield sup
+    sup.close()
+
+
+class TestIncident:
+    def test_to_dict_flattens_detail(self):
+        incident = Incident(
+            "worker.death",
+            "build",
+            task_index=3,
+            attempt=1,
+            detail={"pid": 1234, "exitcode": -9},
+        )
+        assert incident.to_dict() == {
+            "kind": "worker.death",
+            "op": "build",
+            "task_index": 3,
+            "attempt": 1,
+            "pid": 1234,
+            "exitcode": -9,
+        }
+
+
+class TestFleet:
+    def test_workers_are_live_and_enumerable(self, supervisor):
+        pids = supervisor.worker_pids
+        assert len(pids) == 2
+        assert supervisor.alive
+        for pid in pids:
+            os.kill(pid, 0)  # raises if the process does not exist
+
+    def test_close_reaps_every_worker(self, supervisor):
+        pids = supervisor.worker_pids
+        supervisor.close()
+        assert not supervisor.alive
+        deadline = time.monotonic() + 5.0
+        while supervisor.worker_pids and time.monotonic() < deadline:
+            time.sleep(0.01)
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_close_is_idempotent(self, supervisor):
+        supervisor.close()
+        supervisor.close()
+
+    def test_map_preserves_order(self, supervisor):
+        assert supervisor.map(_square, list(range(10)), op="build") == [
+            i * i for i in range(10)
+        ]
+
+
+class TestExternalKill:
+    def test_idle_worker_killed_from_outside_is_replaced(self, supervisor):
+        victim = supervisor.worker_pids[0]
+        os.kill(victim, signal.SIGKILL)
+        # The next dispatch must notice the corpse, respawn, and finish.
+        assert supervisor.map(_square, list(range(6)), op="build") == [
+            i * i for i in range(6)
+        ]
+        kinds = [i.kind for i in supervisor.incidents]
+        assert "worker.death" in kinds
+        assert "pool.respawn" in kinds
+        assert victim not in supervisor.worker_pids
+        assert len(supervisor.worker_pids) == 2
+
+    def test_busy_worker_killed_from_outside_retries_its_task(self):
+        import threading
+
+        sup = Supervisor(1, config=ParallelConfig(**FAST))
+        try:
+            pid = sup.worker_pids[0]
+
+            def _kill_soon():
+                # Strike while the worker sleeps inside its first task.
+                time.sleep(0.05)
+                os.kill(pid, signal.SIGKILL)
+
+            threading.Thread(target=_kill_soon, daemon=True).start()
+            assert sup.map(_slow_square, [3, 4], op="build") == [9, 16]
+            assert any(
+                i.kind == "task.retry" for i in sup.incidents
+            ), "the interrupted task must have been retried"
+        finally:
+            sup.close()
+
+
+class TestRespawnBudget:
+    def test_budget_zero_finishes_in_process(self):
+        chaos = ChaosInjector(mode="kill", fail_on_task=0)
+        sup = Supervisor(
+            1,
+            config=ParallelConfig(max_worker_respawns=0, **FAST),
+            chaos=chaos,
+        )
+        try:
+            assert sup.map(_square, [2, 3, 4], op="build") == [4, 9, 16]
+            kinds = [i.kind for i in sup.incidents]
+            assert "pool.respawn" not in kinds
+            escalated = [
+                i for i in sup.incidents if i.kind == "task.escalated"
+            ]
+            assert escalated
+            assert all(
+                i.detail["reason"] == "no-workers" for i in escalated
+            )
+            assert not sup.alive
+        finally:
+            sup.close()
+
+    def test_budget_is_consumed_across_deaths(self):
+        chaos = ChaosInjector(mode="kill", fail_every=1, max_faults=2)
+        sup = Supervisor(
+            2,
+            config=ParallelConfig(max_worker_respawns=8, **FAST),
+            chaos=chaos,
+        )
+        try:
+            assert sup.map(_square, list(range(6)), op="build") == [
+                i * i for i in range(6)
+            ]
+            respawns = [
+                i for i in sup.incidents if i.kind == "pool.respawn"
+            ]
+            assert len(respawns) == 2
+            remaining = [i.detail["respawns_left"] for i in respawns]
+            assert sorted(remaining, reverse=True) == [7, 6]
+        finally:
+            sup.close()
+
+
+class TestBackoff:
+    def _ladder_sleeps(self, seed: int) -> list[float]:
+        sleeps: list[float] = []
+        chaos = ChaosInjector(mode="raise", fail_every=1, max_faults=3)
+        sup = Supervisor(
+            1,
+            config=ParallelConfig(
+                retry_backoff_seconds=0.01,
+                backoff_seed=seed,
+                max_task_retries=2,
+                supervise_interval_seconds=0.02,
+            ),
+            chaos=chaos,
+            sleep=sleeps.append,
+        )
+        try:
+            sup.map(_square, [1, 2, 3], op="build")
+        finally:
+            sup.close()
+        return sleeps
+
+    def test_backoff_is_seeded_and_jittered(self):
+        first = self._ladder_sleeps(seed=0)
+        again = self._ladder_sleeps(seed=0)
+        other = self._ladder_sleeps(seed=99)
+        assert first  # the transient errors really did back off
+        assert first == again, "same seed must replay the same backoff"
+        assert first != other, "different seed must jitter differently"
+        # attempt-1 retries: base * 2**0 * (0.5 + u), u in [0, 1)
+        assert all(0.005 <= s < 0.015 for s in first)
+
+
+class TestErrorPaths:
+    def test_transient_error_retries_then_propagates(self):
+        # Injected transient faults on every attempt: the task retries
+        # max_task_retries times, then the error surfaces typed.
+        chaos = ChaosInjector(
+            mode="raise", fail_on_task=0, first_attempt_only=False
+        )
+        sup = Supervisor(
+            1,
+            config=ParallelConfig(max_task_retries=2, **FAST),
+            chaos=chaos,
+        )
+        try:
+            with pytest.raises(TransientIOError):
+                sup.map(_square, [5], op="build")
+            retries = [i for i in sup.incidents if i.kind == "task.retry"]
+            assert len(retries) == 2
+        finally:
+            sup.close()
+
+    def test_fatal_error_keeps_original_type(self, supervisor):
+        with pytest.raises(PermanentIOError):
+            supervisor.map(_raise_permanent, [0], op="build")
+        assert any(i.kind == "task.error" for i in supervisor.incidents)
+
+    def test_unpicklable_result_is_reported_not_retried(self, supervisor):
+        with pytest.raises(WorkerError, match="did not pickle"):
+            supervisor.map(_return_unpicklable, [1], op="build")
+
+    def test_dispatch_after_fatal_error_starts_clean(self, supervisor):
+        # A raising dispatch leaves siblings in flight; their stale
+        # results must not be mistaken for the next dispatch's.
+        with pytest.raises(PermanentIOError):
+            supervisor.map(
+                _raise_permanent, [0], op="build"
+            )
+        for _ in range(3):
+            assert supervisor.map(
+                _slow_square, [7, 8], op="build"
+            ) == [49, 64]
+
+
+class TestDeadlines:
+    def test_config_deadline_applies_without_override(self):
+        chaos = ChaosInjector(mode="hang", fail_on_task=0, hang_seconds=60.0)
+        sup = Supervisor(
+            2,
+            config=ParallelConfig(task_deadline_seconds=0.3, **FAST),
+            chaos=chaos,
+        )
+        try:
+            start = time.monotonic()
+            assert sup.map(_square, [1, 2], op="build") == [1, 4]
+            assert time.monotonic() - start < 30.0
+            assert any(
+                i.kind == "worker.hang" for i in sup.incidents
+            )
+        finally:
+            sup.close()
+
+    def test_override_beats_config(self):
+        chaos = ChaosInjector(mode="hang", fail_on_task=0, hang_seconds=60.0)
+        sup = Supervisor(
+            2,
+            config=ParallelConfig(task_deadline_seconds=None, **FAST),
+            chaos=chaos,
+        )
+        try:
+            assert sup.map(
+                _square, [1, 2], op="build", task_deadline=0.3
+            ) == [1, 4]
+            hangs = [i for i in sup.incidents if i.kind == "worker.hang"]
+            assert hangs and hangs[0].detail["deadline_seconds"] == 0.3
+        finally:
+            sup.close()
