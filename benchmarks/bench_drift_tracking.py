@@ -1,0 +1,210 @@
+"""Drift tracking: decayed/windowed BIRCH vs static BIRCH vs fresh refit.
+
+The paper's Section 8 leaves "evolving databases" as future work; this
+benchmark measures how far the CF decay + sliding-window machinery
+closes that gap.  Three contenders consume the same rotating-mixture
+stream (:func:`repro.datagen.presets.drifting_mixture`) and are scored
+by adjusted Rand index (ARI) against the *final* epoch's true labels —
+i.e. how well each model describes the data's current geography:
+
+* **static** — plain incremental BIRCH; never forgets, so by the end
+  its tree holds every cluster's full arc and the arcs overlap.
+* **evolving** — the same stream with ``decay_half_life`` and
+  ``epoch_buckets`` set: old mass fades and falls out of the window.
+* **refit** — a fresh BIRCH fit from scratch on only the last
+  ``window`` epochs: the (expensive) upper bound the evolving run is
+  trying to track without re-clustering.
+
+Acceptance (``--assert-tracking``): the evolving run holds ARI within
+10% of the fresh refit, while the static run degrades by at least twice
+that margin.  Results land in ``BENCH_drift_tracking.json``.  Run
+standalone (this is not a pytest module):
+
+    PYTHONPATH=src python benchmarks/bench_drift_tracking.py \
+        --out BENCH_drift_tracking.json --assert-tracking
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.birch import Birch
+from repro.core.config import BirchConfig
+from repro.datagen.presets import drifting_mixture
+from repro.evaluation.labels import adjusted_rand_index
+
+
+def _config(
+    n_clusters: int,
+    half_life: Optional[float],
+    window: Optional[int],
+) -> BirchConfig:
+    return BirchConfig(
+        n_clusters=n_clusters,
+        phase4_passes=0,
+        validate_points=False,
+        decay_half_life=half_life,
+        epoch_buckets=window,
+    )
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    dist2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return np.argmin(dist2, axis=1)
+
+
+def _run_stream(
+    stream: list[tuple[np.ndarray, np.ndarray]],
+    config: BirchConfig,
+) -> tuple[float, "Birch", np.ndarray]:
+    birch = Birch(config)
+    start = time.perf_counter()
+    for points, _ in stream:
+        birch.partial_fit(points)
+    result = birch.finalize()
+    seconds = time.perf_counter() - start
+    assert result.conservation_ok, "conservation ledger must balance"
+    return seconds, birch, result.centroids
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--epochs", type=int, default=32)
+    parser.add_argument("--points-per-epoch", type=int, default=400)
+    parser.add_argument("--clusters", type=int, default=4)
+    parser.add_argument("--dimensions", type=int, default=2)
+    parser.add_argument(
+        "--drift", type=float, default=1.0,
+        help="base arc length each mixture center moves per epoch "
+        "(default 1.0)",
+    )
+    parser.add_argument(
+        "--speed-spread", type=float, default=0.75,
+        help="per-cluster angular speed spread; cluster i moves at "
+        "drift * (1 + spread * i) per epoch (default 0.75)",
+    )
+    parser.add_argument(
+        "--half-life", type=float, default=2.0,
+        help="decay half-life (epochs) for the evolving run (default 2)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=5,
+        help="sliding-window width (epoch buckets) for the evolving run "
+        "and the refit baseline's training slice (default 5)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_drift_tracking.json"),
+        help="JSON output path",
+    )
+    parser.add_argument(
+        "--assert-tracking", action="store_true",
+        help="fail unless evolving ARI >= 0.9x refit ARI and "
+        "static ARI <= 0.8x refit ARI",
+    )
+    args = parser.parse_args(argv)
+
+    stream = drifting_mixture(
+        n_epochs=args.epochs,
+        points_per_epoch=args.points_per_epoch,
+        n_clusters=args.clusters,
+        dimensions=args.dimensions,
+        drift_per_epoch=args.drift,
+        speed_spread=args.speed_spread,
+        seed=args.seed,
+    )
+    eval_points, eval_truth = stream[-1]
+    n_total = args.epochs * args.points_per_epoch
+    print(
+        f"drifting mixture: {args.epochs} epochs x {args.points_per_epoch} "
+        f"points, K={args.clusters}, d={args.dimensions}, "
+        f"drift={args.drift}/epoch"
+    )
+
+    runs: dict[str, dict[str, object]] = {}
+
+    def score(name: str, seconds: float, birch: Birch, centroids: np.ndarray) -> float:
+        ari = adjusted_rand_index(_assign(eval_points, centroids), eval_truth)
+        runs[name] = {
+            "seconds": seconds,
+            "ari_final_epoch": ari,
+            "clusters_found": centroids.shape[0],
+            "points_forgotten": birch.points_forgotten,
+            "ledger": birch.result.accounting(),
+        }
+        print(f"{name:>9}: ARI {ari:+.3f} in {seconds:6.2f}s")
+        return ari
+
+    static_ari = score("static", *_run_stream(stream, _config(args.clusters, None, None)))
+    evolving_ari = score(
+        "evolving",
+        *_run_stream(
+            stream, _config(args.clusters, args.half_life, args.window)
+        ),
+    )
+    refit_ari = score(
+        "refit",
+        *_run_stream(stream[-args.window :], _config(args.clusters, None, None)),
+    )
+
+    evolving_ratio = evolving_ari / refit_ari if refit_ari > 0 else 0.0
+    static_ratio = static_ari / refit_ari if refit_ari > 0 else 0.0
+    report: dict[str, object] = {
+        "dataset": {
+            "preset": "drifting_mixture",
+            "epochs": args.epochs,
+            "points_per_epoch": args.points_per_epoch,
+            "clusters": args.clusters,
+            "dimensions": args.dimensions,
+            "drift_per_epoch": args.drift,
+            "speed_spread": args.speed_spread,
+            "seed": args.seed,
+            "n": n_total,
+        },
+        "half_life": args.half_life,
+        "window": args.window,
+        "runs": runs,
+        "evolving_over_refit": evolving_ratio,
+        "static_over_refit": static_ratio,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "note": (
+            "ARI is measured on the final epoch's points against the "
+            "generating labels: how well each model describes the data's "
+            "current geography. refit = fresh fit on the last `window` "
+            "epochs only; evolving = decay + sliding-window forgetting on "
+            "the full stream; static = plain incremental BIRCH."
+        ),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    ok = True
+    if args.assert_tracking:
+        if evolving_ratio < 0.9:
+            print(
+                f"FAIL: evolving ARI is {evolving_ratio:.2f}x the refit ARI "
+                f"(required >= 0.90x)",
+                file=sys.stderr,
+            )
+            ok = False
+        if static_ratio > 0.8:
+            print(
+                f"FAIL: static ARI is {static_ratio:.2f}x the refit ARI "
+                f"(expected <= 0.80x degradation to demonstrate drift)",
+                file=sys.stderr,
+            )
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,10 @@ failures a stable mapping scripts can branch on — 3 invalid input point
 (``ArchiveError``), 5 checkpoint integrity failure
 (``ChecksumMismatchError``), 6 parallel task unrecoverable
 (``WorkerCrashError``; only under ``--escalation raise`` — the default
-ladder finishes the task in-process instead).  Each prints a one-line
-message to stderr instead of a traceback.
+ladder finishes the task in-process instead), 7 feature needs the other
+CF backend (``UnsupportedBackendError``; e.g. ``--decay-half-life``
+with ``--backend classic``).  Each prints a one-line message to stderr
+instead of a traceback.
 """
 
 from __future__ import annotations
@@ -44,10 +46,12 @@ from repro.baselines.clarans import CLARANS
 from repro.core.birch import Birch
 from repro.core.config import BirchConfig
 from repro.core.serialization import save_result
+from repro.core.evolve import DRIFT_POLICIES
 from repro.errors import (
     ArchiveError,
     ChecksumMismatchError,
     InvalidPointError,
+    UnsupportedBackendError,
     WorkerCrashError,
 )
 from repro.datagen.generator import InputOrder
@@ -71,10 +75,12 @@ EXIT_INVALID_POINT = 3
 EXIT_ARCHIVE = 4
 EXIT_CHECKSUM = 5
 EXIT_WORKER_CRASH = 6
+EXIT_UNSUPPORTED_BACKEND = 7
 
 _ERROR_EXIT_CODES: list[tuple[type[Exception], int]] = [
     (ChecksumMismatchError, EXIT_CHECKSUM),
     (ArchiveError, EXIT_ARCHIVE),
+    (UnsupportedBackendError, EXIT_UNSUPPORTED_BACKEND),
     (InvalidPointError, EXIT_INVALID_POINT),
     (WorkerCrashError, EXIT_WORKER_CRASH),
 ]
@@ -198,6 +204,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="S",
         help="per-phase wall-clock deadline (with --supervised)",
+    )
+    cluster.add_argument(
+        "--backend",
+        choices=["stable", "classic"],
+        default="stable",
+        help="CF backend; the evolving-stream flags below need 'stable' "
+        "(exit code 7 otherwise)",
+    )
+    cluster.add_argument(
+        "--epoch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="feed the CSV as a stream of N-row epochs (one partial_fit "
+        "batch each) instead of a single fit; the logical clock the "
+        "flags below run on advances once per epoch",
+    )
+    cluster.add_argument(
+        "--decay-half-life",
+        type=float,
+        default=None,
+        metavar="H",
+        help="halve every CF's weight every H epochs (exponential "
+        "forgetting; implies streaming ingestion)",
+    )
+    cluster.add_argument(
+        "--epoch-buckets",
+        type=int,
+        default=None,
+        metavar="W",
+        help="sliding-window width in epochs; mass older than the "
+        "window is retired by CF subtraction",
+    )
+    cluster.add_argument(
+        "--forget-before",
+        type=int,
+        default=None,
+        metavar="E",
+        help="after the stream, retire all mass from epochs < E "
+        "(needs --epoch-buckets)",
+    )
+    cluster.add_argument(
+        "--drift-policy",
+        choices=list(DRIFT_POLICIES),
+        default=None,
+        help="respond to drift alarms: alarm = report only, auto_decay "
+        "= age the clock one extra epoch per alarm (needs "
+        "--decay-half-life), recondense = rebuild the tree",
     )
 
     resume = sub.add_parser(
@@ -330,6 +384,19 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 else defaults.escalation
             ),
         )
+    evolve_stream = (
+        args.epoch_size is not None
+        or args.decay_half_life is not None
+        or args.epoch_buckets is not None
+        or args.drift_policy is not None
+    )
+    if args.forget_before is not None and args.epoch_buckets is None:
+        raise SystemExit("--forget-before needs --epoch-buckets")
+    if args.supervised and evolve_stream:
+        raise SystemExit(
+            "--supervised does not combine with the evolving-stream flags "
+            "(--epoch-size/--decay-half-life/--epoch-buckets/--drift-policy)"
+        )
     config = BirchConfig(
         n_clusters=args.clusters,
         memory_bytes=args.memory_kb * 1024,
@@ -337,6 +404,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         metric=args.metric,
         phase4_passes=args.passes,
         total_points_hint=points.shape[0],
+        cf_backend=args.backend,
+        decay_half_life=args.decay_half_life,
+        epoch_buckets=args.epoch_buckets,
+        drift_policy=args.drift_policy,
         checkpoint_path=(
             str(args.checkpoint) if args.checkpoint is not None else None
         ),
@@ -379,7 +450,31 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         result = run.result
     else:
         with Birch(config) as estimator, Timer() as timer:
-            result = estimator.fit(points)
+            if evolve_stream:
+                epoch_size = args.epoch_size or points.shape[0]
+                if epoch_size < 1:
+                    raise SystemExit("--epoch-size must be >= 1")
+                for start in range(0, points.shape[0], epoch_size):
+                    estimator.partial_fit(points[start : start + epoch_size])
+                if args.forget_before is not None:
+                    stats = estimator.forget_before(args.forget_before)
+                    print(
+                        f"forgot {stats['forgotten_points']} points from "
+                        f"{stats['buckets_retired']} epoch bucket(s) "
+                        f"before epoch {args.forget_before}"
+                    )
+                result = estimator.finalize()
+            else:
+                result = estimator.fit(points)
+        if evolve_stream:
+            parts = [f"epochs={estimator.epoch}"]
+            if result.forgotten_points:
+                parts.append(f"forgotten={result.forgotten_points}")
+            if result.decayed_mass:
+                parts.append(f"decayed mass={result.decayed_mass:.1f}")
+            if result.drift is not None:
+                parts.append(f"drift alarms={result.drift['alarms']}")
+            print("evolving stream: " + ", ".join(parts))
     if result.quarantined_points or result.invalid_dropped_points:
         print(
             f"warning: {result.quarantined_points} point(s) quarantined, "
@@ -510,6 +605,20 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             f"seen, {estimator.rebuilds} rebuilds, "
             f"T={tree.threshold:.4g}"
         )
+        if tree.decay_half_life is not None:
+            print(
+                f"decay: half-life={tree.decay_half_life:g} epochs, "
+                f"clock at epoch {tree.decay_clock}"
+            )
+        buckets = estimator._epoch_buckets
+        if buckets is not None and buckets.size:
+            epochs = buckets.epochs()
+            print(
+                f"epoch buckets: {buckets.size} live "
+                f"(epochs {epochs[0]}..{epochs[-1]}), "
+                f"{buckets.points:.0f} raw points tagged, "
+                f"{estimator.points_forgotten} forgotten so far"
+            )
     else:
         tree = load_tree(args.archive)
         print(f"tree archive {args.archive}: T={tree.threshold:.4g}")
@@ -658,7 +767,12 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(f"unknown command {args.command!r}")
     try:
         return command(args)
-    except (InvalidPointError, ArchiveError, WorkerCrashError) as exc:
+    except (
+        InvalidPointError,
+        ArchiveError,
+        UnsupportedBackendError,
+        WorkerCrashError,
+    ) as exc:
         for cls, code in _ERROR_EXIT_CODES:
             if isinstance(exc, cls):
                 print(f"error: {exc}", file=sys.stderr)

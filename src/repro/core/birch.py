@@ -27,6 +27,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.core.config import BirchConfig
+from repro.core.evolve import DriftMonitor, EpochBucket, EpochBuckets
 from repro.core.features import CF, AnyCF, StableCF
 from repro.core.global_clustering import (
     CFKMeans,
@@ -59,6 +60,14 @@ _MAX_CONDENSE_ROUNDS = 64
 
 _NO_DATA_MESSAGE = "no data inserted yet; call fit or partial_fit first"
 _NOT_FITTED_MESSAGE = "not fitted yet; call fit or finalize first"
+
+# Under decay, leaf entries whose weight has faded below one point's
+# worth of evidence are stale arc residue: they no longer testify to the
+# stream's current geography, but their geometry still distorts the
+# diameter-driven Phase 3 merge order.  They are skipped as global
+# clustering input (the mass stays in the tree, so the conservation
+# ledger is untouched and fresh nearby points can re-validate them).
+_DECAY_EVIDENCE_FLOOR = 1.0
 
 
 @dataclass
@@ -180,6 +189,20 @@ class BirchResult:
         everywhere else: a fit that survived worker deaths is
         byte-identical to the failure-free run for the same
         ``(random_seed, n_jobs)``.
+    forgotten_points:
+        Raw points retired from the tree by sliding-window forgetting
+        (``forget_before`` plus automatic window overflow).  A ledger
+        column: the conservation identity counts forgotten mass
+        explicitly, so it still balances exactly.
+    decayed_mass:
+        Mass the decay clock has evaporated: the raw point count minus
+        the tree's weighted mass (0.0 when decay is off).  Reported
+        separately from the integer ledger — decay changes *weights*,
+        not where points are accounted.
+    drift:
+        Drift-monitor summary (alarm count, last alarm epoch/reasons,
+        last centroid velocity) when ``config.drift_policy`` is set;
+        ``None`` otherwise.
     """
 
     centroids: np.ndarray
@@ -206,6 +229,9 @@ class BirchResult:
     memory_degraded: bool = False
     telemetry: Optional[TelemetrySnapshot] = field(default=None, repr=False)
     parallel_incidents: list[dict] = field(default_factory=list, repr=False)
+    forgotten_points: int = 0
+    decayed_mass: float = 0.0
+    drift: Optional[dict] = field(default=None, repr=False)
 
     @property
     def n_clusters(self) -> int:
@@ -215,10 +241,12 @@ class BirchResult:
     def accounting(self) -> dict[str, int]:
         """Where every ingested point ended up (the conservation ledger).
 
-        The identity ``clustered + outliers + quarantined + dropped ==
-        fed`` holds exactly on every run — across CF backends, fault
-        injection and checkpoint/resume — and is asserted by the
-        guardrails test-suite.
+        The identity ``clustered + outliers + quarantined + dropped +
+        forgotten == fed`` holds exactly on every run — across CF
+        backends, fault injection, forgetting and checkpoint/resume —
+        and is asserted by the guardrails and evolve test-suites.
+        Decayed mass never appears here: decay scales *weights*, not
+        point custody, and is reported separately as ``decayed_mass``.
         """
         return {
             "fed": self.points_fed,
@@ -227,6 +255,7 @@ class BirchResult:
             "quarantined": self.quarantined_points,
             "dropped": self.invalid_dropped_points
             + self.dropped_outlier_points,
+            "forgotten": self.forgotten_points,
         }
 
     @property
@@ -238,6 +267,7 @@ class BirchResult:
             + ledger["outliers"]
             + ledger["quarantined"]
             + ledger["dropped"]
+            + ledger["forgotten"]
             == ledger["fed"]
         )
 
@@ -293,6 +323,7 @@ class Birch:
         self._result: Optional[BirchResult] = None
         self._rebuild_history: list[tuple[int, float]] = []
         self._next_checkpoint_at = config.checkpoint_every_points or 0
+        self._mid_epoch_batch = False
         self._validator = PointValidator()
         self._quarantine: Optional[QuarantineStore] = None
         self._watchdog: Optional[MemoryWatchdog] = None
@@ -304,6 +335,14 @@ class Birch:
         self._pool: Optional[SharedPool] = None
         self._parallel_incidents: list[dict] = []
         self._task_deadline_override: Optional[float] = None
+        # Evolving-stream state: the logical epoch counter (one tick per
+        # partial_fit batch), the sliding window of epoch-tagged CF
+        # deltas, the drift monitor, and the forgetting ledger column.
+        self._epoch = 0
+        self._epoch_buckets: Optional[EpochBuckets] = None
+        self._drift_monitor: Optional[DriftMonitor] = None
+        self._points_forgotten = 0
+        self._subtract_clamps = 0
 
     # -- worker-pool lifecycle ---------------------------------------------------
 
@@ -403,6 +442,16 @@ class Birch:
         return self.stats.tree_rebuilds
 
     @property
+    def epoch(self) -> int:
+        """Logical epoch counter (one tick per ``partial_fit`` batch)."""
+        return self._epoch
+
+    @property
+    def points_forgotten(self) -> int:
+        """Raw points retired by sliding-window forgetting so far."""
+        return self._points_forgotten
+
+    @property
     def rebuild_history(self) -> list[tuple[int, float]]:
         """``(points_seen, new_threshold)`` at each Phase 1 rebuild.
 
@@ -441,9 +490,37 @@ class Birch:
             contains NaN/Inf, has the wrong dimensionality, or cannot
             be cast to float.  The ``"skip"`` and ``"quarantine"``
             policies account for bad rows instead of raising.
+
+        Notes
+        -----
+        Each call is one *logical epoch*.  When ``decay_half_life`` is
+        set the decay clock advances by one after the batch; when
+        ``epoch_buckets`` is set the inserted mass is tagged into the
+        current epoch's bucket (and the oldest bucket is retired once
+        the window overflows); when ``drift_policy`` is set the drift
+        monitor observes the epoch and may trigger its response.
         """
+        self._ensure_evolve_state()
         clean, weight_arr = self._screen_batch(points, weights)
-        return self._partial_fit_clean(clean, weight_arr)
+        evicted = self._tag_epoch_mass(clean, weight_arr)
+        # The epoch bucket above already claims the whole batch, and the
+        # decay clock has not advanced yet, so a checkpoint taken while
+        # rows are still landing would be internally inconsistent
+        # (retiring that bucket after a resume would subtract mass the
+        # tree never received).  Defer periodic checkpoints to the end
+        # of the batch, where bucket, tree and clock agree.
+        self._mid_epoch_batch = self._evolve_active()
+        try:
+            self._partial_fit_clean(clean, weight_arr)
+        finally:
+            self._mid_epoch_batch = False
+        if evicted:
+            # Sliding-window overflow: the oldest epoch fell out of the
+            # window while tagging this batch — retire it now.
+            self._retire_buckets(evicted, trigger="window")
+        self._advance_epoch()
+        self._maybe_checkpoint()
+        return self
 
     def _partial_fit_clean(
         self, points: np.ndarray, weight_arr: Optional[np.ndarray]
@@ -465,6 +542,11 @@ class Birch:
         rebuilds_before = self._rebuild_seconds
         try:
             if weight_arr is None or (weight_arr == 1).all():
+                if self._tree.decay_half_life is not None:
+                    # Lazy decay is applied on touch during the scalar
+                    # descent; the fused bulk kernel would bypass it.
+                    self._scalar_ingest(points)
+                    return self
                 self._bulk_ingest(points)
                 return self
             self._weighted_ingest(points, weight_arr)
@@ -862,17 +944,34 @@ class Birch:
                 predicate = lambda cf, mean: mean > 1.0 and cf.n < mean
             else:
                 predicate = handler.is_potential_outlier
-        self._tree = rebuild_tree(
-            self._tree, new_threshold, outlier_sink=sink, outlier_predicate=predicate
+        self._tree = self._rebuild_tree_preserving_decay(
+            new_threshold, sink, predicate
         )
         if self._outlier_handler is not None and self._outlier_handler.disk.is_full:
             self._outlier_handler.reabsorb(self._tree)
         self._watchdog.note_coarsen_rebuild(self._budget.pages_in_use)
 
+    def _evolve_active(self) -> bool:
+        """True when any evolving-stream feature is configured."""
+        cfg = self.config
+        return (
+            cfg.decay_half_life is not None
+            or cfg.epoch_buckets is not None
+            or cfg.drift_policy is not None
+        )
+
     def _maybe_checkpoint(self) -> None:
-        """Periodic crash-safety checkpoint (``checkpoint_every_points``)."""
+        """Periodic crash-safety checkpoint (``checkpoint_every_points``).
+
+        Deferred to the epoch boundary while an evolving-stream batch
+        is mid-flight (see :meth:`partial_fit`): a mid-batch archive
+        would pair a fully-tagged epoch bucket with a partially-fed
+        tree and a stale decay clock.
+        """
         every = self.config.checkpoint_every_points
         if every is None or self._points_seen < self._next_checkpoint_at:
+            return
+        if self._mid_epoch_batch:
             return
         assert self.config.checkpoint_path is not None
         self.checkpoint(self.config.checkpoint_path)
@@ -913,8 +1012,8 @@ class Birch:
             handler = self._outlier_handler
             sink = handler.spill
             predicate = handler.is_potential_outlier
-        self._tree = rebuild_tree(
-            self._tree, new_threshold, outlier_sink=sink, outlier_predicate=predicate
+        self._tree = self._rebuild_tree_preserving_decay(
+            new_threshold, sink, predicate
         )
         if self._outlier_handler is not None and self._outlier_handler.disk.is_full:
             self._outlier_handler.reabsorb(self._tree)
@@ -935,6 +1034,37 @@ class Birch:
                 # The escalation limit just tripped: one immediate
                 # aggressive rebuild, then the degraded insert path.
                 self._coarsen_rebuild()
+
+    def _rebuild_tree_preserving_decay(
+        self,
+        new_threshold: float,
+        sink: Optional[Callable[[AnyCF], bool]],
+        predicate: Optional[Callable[[AnyCF, float], bool]],
+    ) -> CFTree:
+        """Rebuild the tree, carrying the decay state across.
+
+        Without decay this is a plain :func:`rebuild_tree`.  With decay
+        the old tree is settled first (so every reinserted CF carries
+        its fully-decayed weight), the rebuilt tree re-accumulates a
+        *weighted* point count that must be restored to the raw ledger
+        count, and the half-life/clock pair is reinstalled with every
+        node stamped as settled at the current clock.
+        """
+        assert self._tree is not None
+        old = self._tree
+        if old.decay_half_life is None:
+            return rebuild_tree(
+                old, new_threshold, outlier_sink=sink, outlier_predicate=predicate
+            )
+        old.settle_decay()
+        raw_points = old._points
+        half_life, clock = old.decay_half_life, old.decay_clock
+        # Decay disables the outlier path (fractional mass never goes
+        # to the byte-exact outlier disk), so no sink/predicate here.
+        new = rebuild_tree(old, new_threshold)
+        new._points = raw_points
+        new.set_decay(half_life, clock)
+        return new
 
     def _initialise(self, dimensions: int) -> None:
         layout = PageLayout(page_size=self.config.page_size, dimensions=dimensions)
@@ -960,7 +1090,13 @@ class Birch:
             cf_backend=self.config.cf_backend,
             recorder=self._recorder,
         )
-        if self.config.outlier_handling:
+        if self.config.decay_half_life is not None:
+            self._tree.set_decay(self.config.decay_half_life, self._epoch)
+        # Decay and the outlier disk are mutually exclusive: the disk
+        # stores byte-exact CF records whose integer counts cannot carry
+        # the fractional mass a decayed entry holds, so decayed runs
+        # keep every point in-tree (``result.outliers`` stays empty).
+        if self.config.outlier_handling and self.config.decay_half_life is None:
             disk: DiskStore[CF]
             if self._outlier_injector is not None:
                 disk = FaultyDiskStore(
@@ -986,6 +1122,226 @@ class Birch:
                 sleep=self._sleep,
                 recorder=self._recorder,
             )
+
+    # -- evolving streams: epochs, forgetting, drift ----------------------------
+
+    def _ensure_evolve_state(self) -> None:
+        cfg = self.config
+        if cfg.epoch_buckets is not None and self._epoch_buckets is None:
+            self._epoch_buckets = EpochBuckets(
+                cfg.epoch_buckets, cfg.epoch_bucket_entries
+            )
+        if cfg.drift_policy is not None and self._drift_monitor is None:
+            self._drift_monitor = DriftMonitor(
+                window=cfg.drift_window,
+                velocity_factor=cfg.drift_velocity_factor,
+                rebuild_factor=cfg.drift_rebuild_factor,
+            )
+
+    def _tag_epoch_mass(
+        self, points: np.ndarray, weight_arr: Optional[np.ndarray]
+    ) -> list[EpochBucket]:
+        """Record this batch's mass into the current epoch's bucket.
+
+        Returns any bucket evicted by window overflow; the caller
+        retires it after the batch lands in the tree.
+        """
+        buckets = self._epoch_buckets
+        if buckets is None or points.shape[0] == 0:
+            return []
+        evicted: list[EpochBucket] = []
+        for i in range(points.shape[0]):
+            w = 1.0 if weight_arr is None else float(weight_arr[i])
+            old = buckets.record(self._epoch, w, points[i], 0.0)
+            if old is not None:
+                evicted.append(old)
+        return evicted
+
+    def _advance_epoch(self) -> None:
+        """Close the logical epoch a ``partial_fit`` batch opened."""
+        if self._tree is None:
+            return
+        epoch = self._epoch
+        self._epoch = epoch + 1
+        if self._tree.decay_half_life is not None:
+            self._tree.advance_decay_clock(1)
+        self._observe_drift(epoch)
+
+    def _observe_drift(self, epoch: int) -> None:
+        monitor = self._drift_monitor
+        if monitor is None or self._tree is None:
+            return
+        total = self._tree.summary_cf()
+        if total.n <= 0:
+            return
+        alarm = monitor.observe_epoch(
+            epoch, total.centroid, self.stats.tree_rebuilds
+        )
+        if alarm is None:
+            return
+        rec = self._recorder
+        if rec.enabled:
+            rec.event(
+                "drift.alarm",
+                epoch=alarm["epoch"],
+                reasons=",".join(alarm["reasons"]),
+                velocity=alarm["velocity"],
+                rebuilds=alarm["rebuilds"],
+            )
+            rec.count("drift.alarms")
+        policy = self.config.drift_policy
+        if policy == "auto_decay":
+            assert self._tree.decay_half_life is not None
+            # Double-time the clock for this epoch: stale mass fades
+            # twice as fast while the alarm condition persists.
+            self._tree.advance_decay_clock(1)
+        elif policy == "recondense":
+            with self._rebuild_timer():
+                if rec.enabled:
+                    rec.event(
+                        "rebuild.trigger",
+                        reason="drift",
+                        points_seen=self._points_seen,
+                        new_threshold=self._tree.threshold,
+                    )
+                sink = None
+                predicate = None
+                if self._outlier_handler is not None:
+                    sink = self._outlier_handler.spill
+                    predicate = self._outlier_handler.is_potential_outlier
+                self._tree = self._rebuild_tree_preserving_decay(
+                    self._tree.threshold, sink, predicate
+                )
+        if policy != "alarm" and rec.enabled:
+            rec.event("drift.response", policy=policy, epoch=epoch)
+            rec.count("drift.responses")
+
+    def forget_before(self, epoch: int) -> dict:
+        """Retire every epoch bucket strictly older than ``epoch``.
+
+        The retired buckets' CF deltas are subtracted back out of the
+        tree (guarded, honest-accounting: only mass actually removed is
+        counted), the conservation ledger's ``forgotten`` column grows
+        by the raw points retired, and the tree is re-condensed at the
+        current threshold when the subtraction left it ragged.
+
+        Returns a stats dict (``buckets_retired``, ``requested_points``,
+        ``forgotten_points``, ``removed_entries``, ``pruned_nodes``,
+        ``clamped``, ``recondensed``).
+
+        Raises
+        ------
+        NotFittedError
+            Before any data has been seen.
+        ValueError
+            When ``config.epoch_buckets`` is unset (nothing was tagged,
+            so there is nothing to forget).
+        """
+        if self._tree is None:
+            raise NotFittedError(_NO_DATA_MESSAGE)
+        if self._epoch_buckets is None:
+            raise ValueError(
+                "forget_before requires sliding-window tagging; set "
+                "config.epoch_buckets"
+            )
+        retired = self._epoch_buckets.retire_before(epoch)
+        return self._retire_buckets(retired, trigger="forget_before")
+
+    def _retire_buckets(
+        self, buckets: list[EpochBucket], *, trigger: str
+    ) -> dict:
+        """Subtract retired buckets' deltas out of the tree.
+
+        Decay weighting: bucket mass is recorded raw, so under decay
+        each delta is scaled by the decay factor its epoch has accrued
+        before subtraction, and the weighted mass actually removed is
+        converted back to raw points for the ledger (clamped to the
+        tree's raw count — the ledger never goes negative).
+        """
+        assert self._tree is not None
+        tree = self._tree
+        stats = {
+            "buckets_retired": len(buckets),
+            "requested_points": 0,
+            "forgotten_points": 0,
+            "removed_entries": 0,
+            "pruned_nodes": 0,
+            "clamped": 0,
+            "recondensed": False,
+        }
+        if not buckets:
+            return stats
+        rec = self._recorder
+
+        def clamp(magnitude: float) -> None:
+            self._subtract_clamps += 1
+            if rec.enabled:
+                rec.count("cf.subtract_clamped")
+
+        decaying = tree.decay_half_life is not None
+        for bucket in buckets:
+            stats["requested_points"] += int(round(bucket.points))
+            g = 1.0
+            if decaying:
+                assert tree.decay_half_life is not None
+                pending = tree.decay_clock - bucket.epoch
+                # Fold single-epoch factors, mirroring how the tree
+                # itself accrued them (one settle per clock advance) —
+                # a one-shot 0.5**(pending/H) is not bit-equal to the
+                # product and would leave spurious residue to clamp.
+                step = 0.5 ** (1.0 / tree.decay_half_life)
+                for _ in range(max(0, pending)):
+                    g *= step
+            for n, mean, ssd in bucket.iter_deltas():
+                delta = StableCF(n * g, mean.copy(), ssd * g)
+                if delta.n <= 1e-12:
+                    continue
+                sub = tree.subtract_cf(
+                    delta, account_points=not decaying, on_clamp=clamp
+                )
+                stats["removed_entries"] += int(sub["removed_entries"])
+                stats["pruned_nodes"] += int(sub["pruned_nodes"])
+                stats["clamped"] += int(sub["clamped"])
+                if decaying:
+                    raw_sub = int(round(sub["subtracted_n"] / g)) if g > 0 else 0
+                    raw_sub = min(max(0, raw_sub), tree._points)
+                    tree._points -= raw_sub
+                    stats["forgotten_points"] += raw_sub
+                else:
+                    stats["forgotten_points"] += int(round(sub["subtracted_n"]))
+        self._points_forgotten += stats["forgotten_points"]
+        if rec.enabled:
+            rec.event(
+                "forget.retire",
+                trigger=trigger,
+                buckets=stats["buckets_retired"],
+                requested_points=stats["requested_points"],
+                forgotten_points=stats["forgotten_points"],
+                removed_entries=stats["removed_entries"],
+                pruned_nodes=stats["pruned_nodes"],
+            )
+            rec.count("forget.retired_points", stats["forgotten_points"])
+        if stats["pruned_nodes"] > 0 and tree._points > 0:
+            # Subtraction collapsed whole nodes; re-condense at the
+            # current threshold so the tree shape matches its mass.
+            with self._rebuild_timer():
+                if rec.enabled:
+                    rec.event(
+                        "rebuild.trigger",
+                        reason="forget",
+                        points_seen=self._points_seen,
+                        new_threshold=tree.threshold,
+                    )
+                sink = None
+                predicate = None
+                if self._outlier_handler is not None:
+                    sink = self._outlier_handler.spill
+                    predicate = self._outlier_handler.is_potential_outlier
+                self._tree = self._rebuild_tree_preserving_decay(
+                    tree.threshold, sink, predicate
+                )
+            stats["recondensed"] = True
+        return stats
 
     def _validate(self, points: np.ndarray) -> np.ndarray:
         points = np.asarray(points, dtype=np.float64)
@@ -1196,6 +1552,11 @@ class Birch:
         jobs = self.config.n_jobs if n_jobs is None else int(n_jobs)
         if jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {jobs}")
+        if jobs > 1 and self.config.decay_half_life is not None:
+            raise ValueError(
+                "decay_half_life requires a sequential stream (n_jobs == 1); "
+                "the decay clock has no meaning across shards"
+            )
         self._reset()
         timings = PhaseTimings()
         rec = self._recorder
@@ -1317,6 +1678,7 @@ class Birch:
     ) -> BirchResult:
         """Assemble a :class:`BirchResult` from finished phase outputs."""
         assert self._tree is not None
+        self._tree.settle_decay()
         tree_stats = self._tree.tree_stats()
         telemetry = None
         if self._recorder.enabled:
@@ -1357,6 +1719,7 @@ class Birch:
         """
         if self._tree is None:
             raise NotFittedError(_NO_DATA_MESSAGE)
+        self._tree.settle_decay()
         timings = PhaseTimings()
         timings.phase1_ingest = self._ingest_seconds
         timings.phase1_rebuilds = self._rebuild_seconds
@@ -1466,6 +1829,9 @@ class Birch:
             watchdog=old.watchdog,
             memory_degraded=old.memory_degraded,
             parallel_incidents=list(old.parallel_incidents),
+            forgotten_points=old.forgotten_points,
+            decayed_mass=old.decayed_mass,
+            drift=old.drift,
         )
         return self._result
 
@@ -1490,8 +1856,8 @@ class Birch:
 
         Together with the tree/outlier counts these close the
         conservation identity ``clustered + outliers + quarantined +
-        dropped == points fed``: every point the caller handed us is in
-        exactly one bucket.
+        dropped + forgotten == points fed``: every point the caller
+        handed us is in exactly one bucket.
         """
         fields: dict[str, object] = {"points_fed": self._points_fed}
         handler = self._outlier_handler
@@ -1525,6 +1891,14 @@ class Birch:
                 memory_degraded=self._watchdog.degraded,
             )
         fields.update(parallel_incidents=list(self._parallel_incidents))
+        fields.update(forgotten_points=self._points_forgotten)
+        tree = self._tree
+        if tree is not None and tree.decay_half_life is not None:
+            tree.settle_decay()
+            weighted = float(tree.summary_cf().n) if tree._points else 0.0
+            fields.update(decayed_mass=max(0.0, float(tree._points) - weighted))
+        if self._drift_monitor is not None:
+            fields.update(drift=self._drift_monitor.summary())
         return fields
 
     def _finish_phase1(self) -> list[CF]:
@@ -1552,7 +1926,9 @@ class Birch:
             new_threshold = self._policy.next_threshold(
                 self._tree, max(self._points_seen, 1)
             )
-            self._tree = rebuild_tree(self._tree, new_threshold)
+            self._tree = self._rebuild_tree_preserving_decay(
+                new_threshold, None, None
+            )
 
     def _phase3_cluster(
         self, deadline: Optional[float] = None
@@ -1565,9 +1941,25 @@ class Birch:
         computation byte-identical to an unsupervised run.
         """
         assert self._tree is not None
+        self._tree.settle_decay()
         entries = self._tree.leaf_entries()
         if not entries:
+            if self._points_forgotten > 0:
+                raise NotFittedError(
+                    "every inserted point has been forgotten (decay / "
+                    "window retirement emptied the tree); feed more data "
+                    "before finalizing"
+                )
             raise NotFittedError(_NO_DATA_MESSAGE)
+        if self._tree.decay_half_life is not None:
+            fresh = [e for e in entries if e.n >= _DECAY_EVIDENCE_FLOOR]
+            if fresh:
+                dropped = len(entries) - len(fresh)
+                if dropped:
+                    self._recorder.count(
+                        "phase3.low_evidence_skipped", dropped
+                    )
+                entries = fresh
         if self.config.phase3_algorithm == "kmeans":
             return CFKMeans(
                 n_clusters=self.config.n_clusters, seed=self.config.random_seed
@@ -1605,3 +1997,8 @@ class Birch:
         self._rebuild_seconds = 0.0
         self._rebuild_timer_depth = 0
         self._parallel_incidents = []
+        self._epoch = 0
+        self._epoch_buckets = None
+        self._drift_monitor = None
+        self._points_forgotten = 0
+        self._subtract_clamps = 0

@@ -58,6 +58,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro.core.config import BirchConfig
+from repro.core.evolve import EpochBuckets
 from repro.core.features import AnyCF, CF, StableCF
 from repro.core.tree import CFTree, ThresholdKind
 from repro.errors import ArchiveError, ChecksumMismatchError
@@ -68,7 +69,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["CHECKPOINT_VERSION", "load_checkpoint", "write_checkpoint"]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+# Version 2 added the "evolve" section (decay clock, epoch buckets,
+# drift monitor state); version-1 archives still load, resuming with a
+# zeroed decay clock and no window/drift state.
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 
 _MAGIC = b"BIRCHCKP"
 _VERSION_STRUCT = struct.Struct("<I")
@@ -108,7 +113,9 @@ def _config_from_dict(data: dict) -> BirchConfig:
 
 
 def _cfs_to_arrays(cfs: list[AnyCF], backend: str, dimensions: int) -> dict:
-    ns = np.array([cf.n for cf in cfs], dtype=np.int64)
+    # float64, not int64: stable-backend counts may carry fractional
+    # (decayed) mass.  Integer counts survive the round-trip exactly.
+    ns = np.array([cf.n for cf in cfs], dtype=np.float64)
     if backend == "stable":
         vec = (
             np.stack([cf.mean for cf in cfs])
@@ -133,10 +140,12 @@ def _cfs_to_arrays(cfs: list[AnyCF], backend: str, dimensions: int) -> dict:
 def _cfs_from_arrays(
     ns: np.ndarray, vec: np.ndarray, sq: np.ndarray, backend: str
 ) -> list[AnyCF]:
-    make = StableCF if backend == "stable" else CF
-    return [
-        make(int(n), row.copy(), float(s)) for n, row, s in zip(ns, vec, sq)
-    ]
+    if backend == "stable":
+        return [
+            StableCF(float(n), row.copy(), float(s))
+            for n, row, s in zip(ns, vec, sq)
+        ]
+    return [CF(int(n), row.copy(), float(s)) for n, row, s in zip(ns, vec, sq)]
 
 
 # -- payload ------------------------------------------------------------------
@@ -146,7 +155,11 @@ def _snapshot_payload(birch: "Birch") -> bytes:
     tree = birch._tree
     assert tree is not None and birch._budget is not None
     assert birch._policy is not None and birch._dimensions is not None
+    # Fold pending lazy decay in so the exported entry floats are the
+    # settled values; the clock itself is stored alongside.
+    tree.settle_decay()
     handler = birch._outlier_handler
+    buckets = birch._epoch_buckets
     meta = {
         "format": CHECKPOINT_VERSION,
         "config": _config_to_dict(birch.config),
@@ -174,10 +187,32 @@ def _snapshot_payload(birch: "Birch") -> bytes:
                 else None
             ),
         },
+        "evolve": {
+            "epoch": birch._epoch,
+            "decay_clock": tree.decay_clock,
+            "points_forgotten": birch._points_forgotten,
+            "subtract_clamps": birch._subtract_clamps,
+            "drift": (
+                birch._drift_monitor.state_dict()
+                if birch._drift_monitor is not None
+                else None
+            ),
+            "buckets": (
+                {
+                    "max_buckets": buckets.max_buckets,
+                    "max_entries": buckets.max_entries,
+                }
+                if buckets is not None
+                else None
+            ),
+        },
     }
     arrays = {
         f"tree_{key}": value for key, value in tree.export_structure().items()
     }
+    if buckets is not None:
+        for key, value in buckets.to_arrays(birch._dimensions).items():
+            arrays[f"evolve_{key}"] = value
     records = list(handler.disk.peek()) if handler is not None else []
     for key, value in _cfs_to_arrays(
         records, birch.config.cf_backend, birch._dimensions
@@ -223,6 +258,11 @@ def _restore_birch(
             outlier_ns = data["outlier_ns"]
             outlier_vec = data["outlier_vec"]
             outlier_sq = data["outlier_sq"]
+            evolve_arrays = {
+                key[len("evolve_") :]: data[key]
+                for key in data.files
+                if key.startswith("evolve_")
+            }
             quarantine_arrays = None
             if "quar_rows" in data.files:
                 quarantine_arrays = {
@@ -302,6 +342,30 @@ def _restore_birch(
             store.load_state(
                 {"meta": guardrails["quarantine"], **quarantine_arrays}
             )
+    # Evolve state is absent from version-1 archives; those resume with
+    # a zeroed decay clock and no window/drift state.
+    evolve = meta.get("evolve")
+    if evolve is not None:
+        birch._epoch = int(evolve["epoch"])
+        birch._points_forgotten = int(evolve["points_forgotten"])
+        birch._subtract_clamps = int(evolve.get("subtract_clamps", 0))
+        if config.decay_half_life is not None:
+            birch._tree.set_decay(
+                config.decay_half_life, int(evolve["decay_clock"])
+            )
+        if evolve.get("drift") is not None:
+            birch._ensure_evolve_state()
+            assert birch._drift_monitor is not None
+            birch._drift_monitor.load_state(evolve["drift"])
+        bucket_meta = evolve.get("buckets")
+        if bucket_meta is not None:
+            birch._epoch_buckets = EpochBuckets.from_arrays(
+                evolve_arrays,
+                max_buckets=int(bucket_meta["max_buckets"]),
+                max_entries=int(bucket_meta["max_entries"]),
+            )
+    elif config.decay_half_life is not None:
+        birch._tree.set_decay(config.decay_half_life, 0)
     every = config.checkpoint_every_points
     if every is not None:
         birch._next_checkpoint_at = (birch._points_seen // every + 1) * every
@@ -342,10 +406,10 @@ def _unseal(raw: bytes, path: Path) -> bytes:
             f"computed {expected.hex()[:16]}...)"
         )
     (version,) = _VERSION_STRUCT.unpack(version_bytes)
-    if version != CHECKPOINT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ArchiveError(
             f"checkpoint {path} has version {version}; this build reads "
-            f"version {CHECKPOINT_VERSION}"
+            f"versions {sorted(_SUPPORTED_VERSIONS)}"
         )
     (declared,) = _LENGTH_STRUCT.unpack(length_bytes)
     if declared != len(payload):  # pragma: no cover - caught by the digest

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.distances import Metric
+from repro.core.evolve import DRIFT_POLICIES
 from repro.core.tree import ThresholdKind
+from repro.errors import UnsupportedBackendError
 from repro.observe import ObserveConfig
 from repro.parallel.config import ParallelConfig
 
@@ -180,6 +182,44 @@ class BirchConfig:
         retried and escalated tasks are pure re-executions, so results
         stay byte-identical to a failure-free run for a fixed
         ``(random_seed, n_jobs)``.
+    decay_half_life:
+        Exponential CF decay for evolving streams, in logical epochs
+        (one epoch per ``partial_fit`` batch): every ``decay_half_life``
+        epochs, previously inserted mass halves.  Applied lazily
+        per-node, means (and hence routing) are decay-invariant.
+        Requires the weighted ``"stable"`` backend — the classic
+        ``(N, LS, SS)`` triple cannot carry fractional mass, so setting
+        this with ``cf_backend="classic"`` raises
+        :class:`~repro.errors.UnsupportedBackendError` — and a serial
+        stream (``n_jobs=1``); decayed runs also disable the outlier
+        disk (weighted spill mass cannot be re-resolved exactly).
+        ``None`` (default) disables decay.
+    epoch_buckets:
+        Sliding-window forgetting: remember the last this-many epochs
+        of inserted mass as bounded buckets of CF deltas; recording
+        past the window auto-retires the oldest bucket by guarded CF
+        subtraction, and :meth:`~repro.core.birch.Birch.forget_before`
+        retires buckets on demand.  Requires the ``"stable"`` backend.
+        ``None`` (default) disables the window (nothing is remembered
+        or forgotten).
+    epoch_bucket_entries:
+        Per-bucket delta budget; inserts beyond it nearest-merge, so a
+        bucket's memory stays bounded while its total mass stays exact.
+    drift_policy:
+        Response when the drift monitor alarms: ``"alarm"`` records the
+        event only; ``"auto_decay"`` additionally advances the decay
+        clock one extra epoch per alarm (requires ``decay_half_life``);
+        ``"recondense"`` rebuilds the tree at the current threshold to
+        heal subtraction-raggedness and re-pack drifted entries.
+        ``None`` (default) disables drift monitoring.
+    drift_window:
+        Epochs of history the drift monitor baselines against.
+    drift_velocity_factor:
+        Alarm when the grand-centroid velocity exceeds this multiple of
+        its recent median.
+    drift_rebuild_factor:
+        Alarm when an epoch's rebuild count exceeds this multiple of
+        the recent mean (at least 1).
     """
 
     n_clusters: int
@@ -218,6 +258,13 @@ class BirchConfig:
     n_jobs: int = 1
     observe: Optional[ObserveConfig] = None
     parallel: Optional[ParallelConfig] = None
+    decay_half_life: Optional[float] = None
+    epoch_buckets: Optional[int] = None
+    epoch_bucket_entries: int = 32
+    drift_policy: Optional[str] = None
+    drift_window: int = 8
+    drift_velocity_factor: float = 3.0
+    drift_rebuild_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -326,6 +373,57 @@ class BirchConfig:
             raise ValueError(
                 f"parallel must be a ParallelConfig, a dict or None, "
                 f"got {type(self.parallel).__name__}"
+            )
+        if self.decay_half_life is not None:
+            if self.decay_half_life <= 0:
+                raise ValueError(
+                    f"decay_half_life must be positive, "
+                    f"got {self.decay_half_life}"
+                )
+            if self.cf_backend != "stable":
+                raise UnsupportedBackendError(
+                    "decay_half_life needs the weighted 'stable' backend; "
+                    "the classic (N, LS, SS) representation cannot carry "
+                    "fractional (decayed) mass"
+                )
+            if self.n_jobs != 1:
+                raise ValueError(
+                    "decay_half_life requires n_jobs=1: the decay clock is "
+                    "a property of one sequential stream"
+                )
+        if self.epoch_buckets is not None:
+            if self.epoch_buckets < 1:
+                raise ValueError(
+                    f"epoch_buckets must be >= 1, got {self.epoch_buckets}"
+                )
+            if self.cf_backend != "stable":
+                raise UnsupportedBackendError(
+                    "epoch_buckets needs the weighted 'stable' backend; "
+                    "forgetting subtracts CF deltas, which can leave "
+                    "fractional remnants the classic triple cannot carry"
+                )
+        if self.epoch_bucket_entries < 1:
+            raise ValueError(
+                f"epoch_bucket_entries must be >= 1, "
+                f"got {self.epoch_bucket_entries}"
+            )
+        if self.drift_policy is not None:
+            if self.drift_policy not in DRIFT_POLICIES:
+                raise ValueError(
+                    f"drift_policy must be one of {DRIFT_POLICIES} or None, "
+                    f"got {self.drift_policy!r}"
+                )
+            if self.drift_policy == "auto_decay" and self.decay_half_life is None:
+                raise ValueError(
+                    "drift_policy='auto_decay' requires decay_half_life"
+                )
+        if self.drift_window < 2:
+            raise ValueError(
+                f"drift_window must be >= 2, got {self.drift_window}"
+            )
+        if self.drift_velocity_factor <= 1.0 or self.drift_rebuild_factor <= 1.0:
+            raise ValueError(
+                "drift_velocity_factor and drift_rebuild_factor must be > 1"
             )
         self.metric = Metric.from_name(self.metric)
 

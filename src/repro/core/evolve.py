@@ -1,0 +1,344 @@
+"""Evolving-stream support: epoch buckets and drift detection.
+
+BIRCH's additivity theorem (Theorem 4.1) runs in both directions, which
+is what makes a fitted tree *repairable* under distribution drift
+instead of disposable.  This module holds the two bookkeeping pieces
+the time-aware pipeline needs:
+
+* :class:`EpochBuckets` — a bounded, serialisable record of *what mass
+  went in when*.  Each ``partial_fit`` batch advances a logical epoch
+  and tags its inserted points into the current bucket as aggregated CF
+  deltas (nearest-merge keeps every bucket within a fixed entry
+  budget).  ``Birch.forget_before(epoch)`` later retires buckets by
+  guarded CF subtraction, and a bounded bucket count gives
+  sliding-window semantics for free: when the window overflows, the
+  oldest bucket is retired automatically.
+* :class:`DriftMonitor` — cheap per-epoch signals (grand-centroid
+  velocity against its own recent baseline, rebuild rate against its
+  recent mean) that flag when the stream has moved out from under the
+  tree.  The monitor only *detects*; the response policy
+  (``alarm`` / ``auto_decay`` / ``recondense``) lives on
+  :class:`~repro.core.birch.Birch`, mirroring the parallel failure
+  ladder's detect-then-degrade split.
+
+Both classes are plain state machines: no telemetry side effects, fully
+deterministic, and snapshot/restore exactly (the checkpoint layer
+persists them so kill + resume across a ``forget_before`` boundary is
+bit-identical).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["DRIFT_POLICIES", "DriftMonitor", "EpochBucket", "EpochBuckets"]
+
+#: Valid values for ``BirchConfig.drift_policy``.
+DRIFT_POLICIES = ("alarm", "auto_decay", "recondense")
+
+
+class EpochBucket:
+    """Aggregated CF deltas inserted during one logical epoch.
+
+    Deltas are stored struct-of-lists as ``(n, mean, ssd)`` rows in the
+    stable representation; ``n`` is *raw* (undecayed) mass — the forget
+    path applies the epoch's decay factor at retirement time, when the
+    factor is known exactly.
+    """
+
+    __slots__ = ("epoch", "ns", "means", "ssds")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = int(epoch)
+        self.ns: list[float] = []
+        self.means: list[np.ndarray] = []
+        self.ssds: list[float] = []
+
+    @property
+    def size(self) -> int:
+        """Number of delta rows held."""
+        return len(self.ns)
+
+    @property
+    def points(self) -> float:
+        """Raw mass recorded in this bucket."""
+        return float(sum(self.ns))
+
+    def add(self, n: float, mean: np.ndarray, ssd: float, capacity: int) -> None:
+        """Record a delta, nearest-merging when the bucket is full.
+
+        The merge is the pairwise Chan update, so a bucket's total
+        ``(n, mean, SSD)`` is exact no matter how entries coalesce —
+        only the *granularity* of the later subtraction coarsens.
+        """
+        if len(self.ns) < capacity:
+            self.ns.append(float(n))
+            self.means.append(np.array(mean, dtype=np.float64, copy=True))
+            self.ssds.append(float(ssd))
+            return
+        stacked = np.stack(self.means)
+        diff = stacked - mean
+        j = int(np.argmin(np.einsum("ij,ij->i", diff, diff)))
+        n_old = self.ns[j]
+        n_new = n_old + float(n)
+        delta = np.asarray(mean, dtype=np.float64) - self.means[j]
+        self.means[j] = self.means[j] + (float(n) / n_new) * delta
+        self.ssds[j] += float(ssd) + (n_old * float(n) / n_new) * float(
+            np.einsum("j,j->", delta, delta)
+        )
+        self.ns[j] = n_new
+
+    def iter_deltas(self) -> Iterator[tuple[float, np.ndarray, float]]:
+        """Yield ``(n, mean, ssd)`` rows largest-mass first.
+
+        Retiring big deltas before small ones lets the forget walk's
+        bounded probe count spend its descents where the mass is.
+        """
+        order = sorted(range(len(self.ns)), key=lambda i: -self.ns[i])
+        for i in order:
+            yield self.ns[i], self.means[i], self.ssds[i]
+
+
+class EpochBuckets:
+    """Bounded sliding window of :class:`EpochBucket` records.
+
+    Parameters
+    ----------
+    max_buckets:
+        Window length in epochs; recording into a new epoch beyond this
+        bound pops the oldest bucket and returns it from :meth:`record`
+        for the caller to retire.
+    max_entries:
+        Per-bucket delta budget (nearest-merge beyond it).
+    """
+
+    def __init__(self, max_buckets: int, max_entries: int) -> None:
+        if max_buckets < 1:
+            raise ValueError(f"max_buckets must be >= 1, got {max_buckets}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_buckets = int(max_buckets)
+        self.max_entries = int(max_entries)
+        self.buckets: list[EpochBucket] = []
+
+    @property
+    def size(self) -> int:
+        """Number of live buckets."""
+        return len(self.buckets)
+
+    @property
+    def points(self) -> float:
+        """Raw mass across every live bucket."""
+        return float(sum(b.points for b in self.buckets))
+
+    def epochs(self) -> list[int]:
+        """Epochs of the live buckets, oldest first."""
+        return [b.epoch for b in self.buckets]
+
+    def record(
+        self, epoch: int, n: float, mean: np.ndarray, ssd: float
+    ) -> Optional[EpochBucket]:
+        """Tag inserted mass into the bucket for ``epoch``.
+
+        Epochs must be non-decreasing (the logical clock only moves
+        forward).  Returns the bucket evicted by window overflow, if
+        any — the caller owns its retirement.
+        """
+        if self.buckets and epoch < self.buckets[-1].epoch:
+            raise ValueError(
+                f"epoch {epoch} precedes the live bucket for "
+                f"{self.buckets[-1].epoch}; the logical clock cannot rewind"
+            )
+        if not self.buckets or self.buckets[-1].epoch != epoch:
+            self.buckets.append(EpochBucket(epoch))
+        self.buckets[-1].add(n, mean, ssd, self.max_entries)
+        if len(self.buckets) > self.max_buckets:
+            return self.buckets.pop(0)
+        return None
+
+    def retire_before(self, epoch: int) -> list[EpochBucket]:
+        """Remove and return every bucket with ``bucket.epoch < epoch``."""
+        retired = [b for b in self.buckets if b.epoch < epoch]
+        self.buckets = [b for b in self.buckets if b.epoch >= epoch]
+        return retired
+
+    # -- serialization (checkpoint payload) --------------------------------
+
+    def to_arrays(self, dimensions: int) -> dict[str, np.ndarray]:
+        """Flatten to named arrays (bit-for-bit, checkpoint-friendly)."""
+        epochs = np.array([b.epoch for b in self.buckets], dtype=np.int64)
+        offsets = np.zeros(len(self.buckets) + 1, dtype=np.int64)
+        for i, b in enumerate(self.buckets):
+            offsets[i + 1] = offsets[i] + b.size
+        total = int(offsets[-1])
+        ns = np.zeros(total, dtype=np.float64)
+        vec = np.zeros((total, dimensions), dtype=np.float64)
+        sq = np.zeros(total, dtype=np.float64)
+        cursor = 0
+        for b in self.buckets:
+            for i in range(b.size):
+                ns[cursor] = b.ns[i]
+                vec[cursor] = b.means[i]
+                sq[cursor] = b.ssds[i]
+                cursor += 1
+        return {
+            "bucket_epochs": epochs,
+            "bucket_offsets": offsets,
+            "bucket_ns": ns,
+            "bucket_vec": vec,
+            "bucket_sq": sq,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        max_buckets: int,
+        max_entries: int,
+    ) -> "EpochBuckets":
+        """Rebuild the exact window captured by :meth:`to_arrays`."""
+        epochs = np.asarray(arrays["bucket_epochs"], dtype=np.int64)
+        offsets = np.asarray(arrays["bucket_offsets"], dtype=np.int64)
+        ns = np.asarray(arrays["bucket_ns"], dtype=np.float64)
+        vec = np.asarray(arrays["bucket_vec"], dtype=np.float64)
+        sq = np.asarray(arrays["bucket_sq"], dtype=np.float64)
+        if offsets.shape[0] != epochs.shape[0] + 1:
+            raise ValueError("bucket offsets disagree with bucket count")
+        out = cls(max_buckets=max_buckets, max_entries=max_entries)
+        for i, epoch in enumerate(epochs):
+            bucket = EpochBucket(int(epoch))
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            bucket.ns = [float(x) for x in ns[lo:hi]]
+            bucket.means = [vec[j].copy() for j in range(lo, hi)]
+            bucket.ssds = [float(x) for x in sq[lo:hi]]
+            out.buckets.append(bucket)
+        return out
+
+
+class DriftMonitor:
+    """Per-epoch drift signals with a self-calibrating baseline.
+
+    Two independent detectors, both compared against their own recent
+    history rather than absolute thresholds (streams differ wildly in
+    scale):
+
+    * **centroid velocity** — Euclidean displacement of the tree's
+      grand centroid per epoch; an alarm fires when the current
+      velocity exceeds ``velocity_factor`` times the median of the
+      window's previous velocities.
+    * **rebuild rate** — budget-triggered rebuilds per epoch; an alarm
+      fires when an epoch's count exceeds ``rebuild_factor`` times the
+      window's mean (at least 1), since drift shows up as entries no
+      longer absorbing and the tree re-coarsening to keep up.
+
+    Detection needs ``min_history`` settled epochs before either
+    detector arms, so start-up transients never alarm.
+    """
+
+    def __init__(
+        self,
+        window: int = 8,
+        velocity_factor: float = 3.0,
+        rebuild_factor: float = 2.0,
+        min_history: int = 3,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if velocity_factor <= 1.0 or rebuild_factor <= 1.0:
+            raise ValueError("drift factors must be > 1")
+        self.window = int(window)
+        self.velocity_factor = float(velocity_factor)
+        self.rebuild_factor = float(rebuild_factor)
+        self.min_history = int(min_history)
+        self.prev_mean: Optional[np.ndarray] = None
+        self.prev_rebuilds = 0
+        self.velocities: list[float] = []
+        self.rebuild_counts: list[int] = []
+        self.alarms = 0
+        self.last_alarm_epoch: Optional[int] = None
+        self.last_alarm_reasons: list[str] = []
+
+    def observe_epoch(
+        self, epoch: int, grand_mean: Optional[np.ndarray], rebuilds_total: int
+    ) -> Optional[dict[str, object]]:
+        """Feed one epoch's signals; returns alarm details or ``None``."""
+        velocity = 0.0
+        if grand_mean is not None and self.prev_mean is not None:
+            velocity = float(np.linalg.norm(grand_mean - self.prev_mean))
+        rebuilds = max(0, int(rebuilds_total) - self.prev_rebuilds)
+        reasons: list[str] = []
+        if len(self.velocities) >= self.min_history:
+            baseline = statistics.median(self.velocities)
+            if velocity > self.velocity_factor * baseline and velocity > 1e-12:
+                reasons.append("centroid_velocity")
+        if len(self.rebuild_counts) >= self.min_history:
+            mean_rate = max(
+                1.0, sum(self.rebuild_counts) / len(self.rebuild_counts)
+            )
+            if rebuilds > self.rebuild_factor * mean_rate:
+                reasons.append("rebuild_rate")
+        self.velocities.append(velocity)
+        if len(self.velocities) > self.window:
+            self.velocities.pop(0)
+        self.rebuild_counts.append(rebuilds)
+        if len(self.rebuild_counts) > self.window:
+            self.rebuild_counts.pop(0)
+        if grand_mean is not None:
+            self.prev_mean = np.array(grand_mean, dtype=np.float64, copy=True)
+        self.prev_rebuilds = int(rebuilds_total)
+        if not reasons:
+            return None
+        self.alarms += 1
+        self.last_alarm_epoch = int(epoch)
+        self.last_alarm_reasons = reasons
+        return {
+            "epoch": int(epoch),
+            "reasons": reasons,
+            "velocity": velocity,
+            "rebuilds": rebuilds,
+        }
+
+    # -- serialization (checkpoint payload) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serialisable snapshot of the monitor's rolling state."""
+        return {
+            "prev_mean": (
+                None if self.prev_mean is None else self.prev_mean.tolist()
+            ),
+            "prev_rebuilds": self.prev_rebuilds,
+            "velocities": list(self.velocities),
+            "rebuild_counts": list(self.rebuild_counts),
+            "alarms": self.alarms,
+            "last_alarm_epoch": self.last_alarm_epoch,
+            "last_alarm_reasons": list(self.last_alarm_reasons),
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore the snapshot produced by :meth:`state_dict`."""
+        prev = state.get("prev_mean")
+        self.prev_mean = (
+            None if prev is None else np.asarray(prev, dtype=np.float64)
+        )
+        self.prev_rebuilds = int(state.get("prev_rebuilds", 0))
+        self.velocities = [float(v) for v in state.get("velocities", [])]
+        self.rebuild_counts = [int(c) for c in state.get("rebuild_counts", [])]
+        self.alarms = int(state.get("alarms", 0))
+        last = state.get("last_alarm_epoch")
+        self.last_alarm_epoch = None if last is None else int(last)
+        self.last_alarm_reasons = [
+            str(r) for r in state.get("last_alarm_reasons", [])
+        ]
+
+    def summary(self) -> dict[str, object]:
+        """Result-facing snapshot (``BirchResult.drift``)."""
+        return {
+            "alarms": self.alarms,
+            "last_alarm_epoch": self.last_alarm_epoch,
+            "last_alarm_reasons": list(self.last_alarm_reasons),
+            "last_velocity": self.velocities[-1] if self.velocities else 0.0,
+        }

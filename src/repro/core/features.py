@@ -34,11 +34,15 @@ Both classes expose the same algebra/statistics interface, and
 from __future__ import annotations
 
 import math
-from typing import Iterable, Union
+from typing import Callable, Iterable, Optional, Union
 
 import numpy as np
 
 __all__ = ["CF", "StableCF", "AnyCF", "CF_BACKENDS", "coerce_backend"]
+
+#: Relative scale below which a negative square-sum / SSD residue is
+#: treated as round-off (clamped to zero) rather than a logic error.
+_NEGATIVE_RESIDUE_RTOL = 1e-6
 
 
 class CF:
@@ -63,6 +67,11 @@ class CF:
     def __init__(self, n: int, ls: np.ndarray, ss: float) -> None:
         if n < 0:
             raise ValueError(f"N must be >= 0, got {n}")
+        if not float(n).is_integer():
+            raise ValueError(
+                f"classic CF counts are integral, got N={n}; fractional "
+                "(decayed) mass requires the stable backend"
+            )
         self.n = int(n)
         self.ls = np.asarray(ls, dtype=np.float64)
         if self.ls.ndim != 1:
@@ -114,14 +123,50 @@ class CF:
         self.ls += other.ls
         self.ss += other.ss
 
-    def subtract(self, other: "CF") -> "CF":
-        """``self - other``; valid when ``other`` summarises a subset."""
+    def subtract(
+        self,
+        other: "CF",
+        *,
+        on_clamp: Optional[Callable[[float], None]] = None,
+    ) -> "CF":
+        """``self - other``; valid when ``other`` summarises a subset.
+
+        The difference of two square sums accumulated in different
+        orders can dip a hair below its true value; a *tiny* negative
+        ``SS`` residue (within ``1e-6`` of the minuend's scale) is
+        clamped to zero and reported through ``on_clamp`` (called with
+        the clamped magnitude).  A grossly negative square sum — or a
+        grossly negative implied variance ``SS - ||LS||^2/N`` — means
+        ``other`` was never a subset of ``self`` and raises
+        ``ValueError`` instead of minting imaginary radius.
+        """
         self._check_compatible(other)
         if other.n > self.n:
             raise ValueError(
                 f"cannot subtract CF with N={other.n} from CF with N={self.n}"
             )
-        return CF(self.n - other.n, self.ls - other.ls, self.ss - other.ss)
+        n_rest = self.n - other.n
+        ls_rest = self.ls - other.ls
+        ss_rest = self.ss - other.ss
+        floor = -_NEGATIVE_RESIDUE_RTOL * max(self.ss, 1.0)
+        if ss_rest < 0.0:
+            if ss_rest < floor:
+                raise ValueError(
+                    f"CF subtraction yields grossly negative SS {ss_rest}; "
+                    "the subtrahend does not summarise a subset"
+                )
+            if on_clamp is not None:
+                on_clamp(-ss_rest)
+            ss_rest = 0.0
+        if n_rest > 0:
+            ssd_rest = ss_rest - float(ls_rest @ ls_rest) / n_rest
+            if ssd_rest < floor:
+                raise ValueError(
+                    f"CF subtraction yields grossly negative variance "
+                    f"(implied SSD {ssd_rest}); the subtrahend does not "
+                    "summarise a subset"
+                )
+        return CF(n_rest, ls_rest, ss_rest)
 
     def add_point(self, point: np.ndarray) -> None:
         """Absorb a single point in place."""
@@ -252,10 +297,14 @@ class StableCF:
 
     __slots__ = ("n", "mean", "ssd")
 
-    def __init__(self, n: int, mean: np.ndarray, ssd: float) -> None:
+    def __init__(self, n: float, mean: np.ndarray, ssd: float) -> None:
         if n < 0:
             raise ValueError(f"N must be >= 0, got {n}")
-        self.n = int(n)
+        # Exponential decay scales counts by a fractional factor, so the
+        # stable backend carries float mass; integral counts normalise
+        # back to int so undecayed trees keep exact integer semantics.
+        n = float(n)
+        self.n = int(n) if n.is_integer() else n
         self.mean = np.asarray(mean, dtype=np.float64)
         if self.mean.ndim != 1:
             raise ValueError(
@@ -337,12 +386,22 @@ class StableCF:
         self.ssd += other.ssd + (self.n * other.n / n) * float(delta @ delta)
         self.n = n
 
-    def subtract(self, other: "StableCF") -> "StableCF":
+    def subtract(
+        self,
+        other: "StableCF",
+        *,
+        on_clamp: Optional[Callable[[float], None]] = None,
+    ) -> "StableCF":
         """``self - other``; valid when ``other`` summarises a subset.
 
         Inverts the pairwise merge.  Removing most of a cluster is an
-        inherently ill-conditioned operation in any representation; the
-        residue is clamped at zero like everywhere else.
+        inherently ill-conditioned operation in any representation; a
+        *tiny* negative SSD residue (within ``1e-6`` of the minuend's
+        scale) is round-off — it is clamped to zero and reported
+        through ``on_clamp`` (called with the clamped magnitude).  A
+        grossly negative residue means ``other`` was never a subset of
+        ``self`` and raises ``ValueError`` instead of minting imaginary
+        radius.
         """
         self._check_compatible(other)
         if other.n > self.n:
@@ -359,7 +418,30 @@ class StableCF:
         ssd_rest = (
             self.ssd - other.ssd - (n_rest * other.n / self.n) * float(delta @ delta)
         )
-        return StableCF(n_rest, mean_rest, max(ssd_rest, 0.0))
+        if ssd_rest < 0.0:
+            if ssd_rest < -_NEGATIVE_RESIDUE_RTOL * max(self.ssd, 1.0):
+                raise ValueError(
+                    f"CF subtraction yields grossly negative SSD {ssd_rest}; "
+                    "the subtrahend does not summarise a subset"
+                )
+            if on_clamp is not None:
+                on_clamp(-ssd_rest)
+            ssd_rest = 0.0
+        return StableCF(n_rest, mean_rest, ssd_rest)
+
+    def scaled(self, factor: float) -> "StableCF":
+        """This cluster with its mass multiplied by ``factor``.
+
+        Uniform exponential decay multiplies every member's weight by
+        the same factor, which scales ``n`` and ``SSD`` and leaves the
+        mean invariant.  Only the stable backend supports fractional
+        mass; classic CFs have no counterpart.
+        """
+        if not (math.isfinite(factor) and factor >= 0.0):
+            raise ValueError(f"scale factor must be finite and >= 0, got {factor}")
+        if factor == 0.0 or self.n == 0:
+            return StableCF.empty(self.dimensions)
+        return StableCF(self.n * factor, self.mean.copy(), self.ssd * factor)
 
     def add_point(self, point: np.ndarray) -> None:
         """Absorb a single point in place (Welford's update)."""
@@ -402,7 +484,9 @@ class StableCF:
         """Diameter ``D = sqrt(2 SSD / (n - 1))`` (eq. (3))."""
         if self.n == 0:
             raise ValueError("diameter of an empty CF is undefined")
-        if self.n == 1:
+        if self.n <= 1:
+            # A singleton (or a decayed remnant below unit mass) has no
+            # pairwise distances; by convention its diameter is 0.
             return 0.0
         return math.sqrt(2.0 * max(self.ssd, 0.0) / (self.n - 1))
 
@@ -441,9 +525,15 @@ class StableCF:
     def allclose(
         self, other: "StableCF", rtol: float = 1e-9, atol: float = 1e-9
     ) -> bool:
-        """Approximate equality, tolerant of float accumulation order."""
+        """Approximate equality, tolerant of float accumulation order.
+
+        Counts compare approximately too: decayed mass is fractional,
+        and ``g * sum(n_i)`` vs ``sum(g * n_i)`` differ in the last
+        ulp.  Integral counts still compare exactly under any sane
+        tolerance (distinct integers are never within ``1e-9``).
+        """
         return (
-            self.n == other.n
+            math.isclose(self.n, other.n, rel_tol=rtol, abs_tol=atol)
             and np.allclose(self.mean, other.mean, rtol=rtol, atol=atol)
             and math.isclose(self.ssd, other.ssd, rel_tol=rtol, abs_tol=atol)
         )

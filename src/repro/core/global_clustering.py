@@ -171,7 +171,9 @@ def agglomerative_cf(
 
     def row_distances(i: int) -> np.ndarray:
         if stable:
-            probe = StableCF(int(ns[i]), vec[i], float(sq[i]))
+            # float n: stable rows may carry fractional (decayed) mass,
+            # which int() would truncate to an empty probe.
+            probe = StableCF(float(ns[i]), vec[i], float(sq[i]))
             dist = stable_distances_to_set(probe, ns, vec, sq, metric)
         else:
             probe = CF(int(ns[i]), vec[i], float(sq[i]))
@@ -203,8 +205,8 @@ def agglomerative_cf(
 
     def merged_diameter_of(i: int, j: int) -> float:
         if stable:
-            a = StableCF(int(ns[i]), vec[i], float(sq[i]))
-            return a.merge(StableCF(int(ns[j]), vec[j], float(sq[j]))).diameter
+            a = StableCF(float(ns[i]), vec[i], float(sq[i]))
+            return a.merge(StableCF(float(ns[j]), vec[j], float(sq[j]))).diameter
         merged = CF(int(ns[i] + ns[j]), vec[i] + vec[j], float(sq[i] + sq[j]))
         return merged.diameter
 
@@ -283,9 +285,12 @@ def _package(
     cluster_ids = np.nonzero(active)[0]
     id_to_compact = {int(cid): pos for pos, cid in enumerate(cluster_ids)}
     compact_labels = np.array([id_to_compact[int(c)] for c in labels], dtype=np.int64)
-    cf_class = StableCF if stable else CF
     clusters = [
-        cf_class(int(ns[cid]), vec[cid].copy(), float(sq[cid]))
+        (
+            StableCF(float(ns[cid]), vec[cid].copy(), float(sq[cid]))
+            if stable
+            else CF(int(ns[cid]), vec[cid].copy(), float(sq[cid]))
+        )
         for cid in cluster_ids
     ]
     return GlobalClustering(labels=compact_labels, clusters=clusters, history=history)

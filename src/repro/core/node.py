@@ -62,6 +62,7 @@ class CFNode:
         "children",
         "prev_leaf",
         "next_leaf",
+        "decay_epoch",
     )
 
     def __init__(
@@ -83,6 +84,9 @@ class CFNode:
         self.children: Optional[list[CFNode]] = None if is_leaf else []
         self.prev_leaf: Optional[CFNode] = None
         self.next_leaf: Optional[CFNode] = None
+        # Logical epoch this node's entries were last decayed to; the
+        # tree's lazy decay multiplies pending factors in on touch.
+        self.decay_epoch = 0
 
     # -- capacity & views -----------------------------------------------------
 
@@ -136,8 +140,10 @@ class CFNode:
         """Entry ``index`` as an independent CF object (backend class)."""
         self._check_index(index)
         if self.cf_backend == "stable":
+            # Pass the raw float count: decayed entries carry fractional
+            # mass (StableCF normalises integral counts back to int).
             return StableCF(
-                int(self._ns[index]), self._vec[index].copy(), float(self._sq[index])
+                float(self._ns[index]), self._vec[index].copy(), float(self._sq[index])
             )
         return CF(int(self._ns[index]), self._vec[index].copy(), float(self._sq[index]))
 
@@ -158,7 +164,7 @@ class CFNode:
             # are sums of non-negative same-scale terms (no cancellation).
             diff = self.means - mean
             between = float(ns @ np.einsum("ij,ij->i", diff, diff))
-            return StableCF(int(round(n_total)), mean, float(self.ssds.sum()) + between)
+            return StableCF(n_total, mean, float(self.ssds.sum()) + between)
         return CF(
             int(self.ns.sum()),
             self._vec[: self.size].sum(axis=0)

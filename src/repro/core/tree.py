@@ -49,6 +49,7 @@ from repro.core.distances import (
 )
 from repro.core.features import CF, AnyCF, CF_BACKENDS, StableCF, coerce_backend
 from repro.core.node import CFNode
+from repro.errors import UnsupportedBackendError
 from repro.observe.recorder import NULL_RECORDER, Recorder
 from repro.pagestore.iostats import IOStats
 from repro.pagestore.memory import MemoryBudget
@@ -168,6 +169,12 @@ class CFTree:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._node_count = 0
         self._points = 0
+        # Exponential decay state (evolving-stream support).  ``None``
+        # half-life disables decay entirely; the clock counts logical
+        # epochs and nodes record the epoch they were last decayed to,
+        # so pending factors multiply in lazily on touch.
+        self.decay_half_life: Optional[float] = None
+        self.decay_clock: int = 0
         self.root: CFNode = self._new_node(is_leaf=True)
         self._leaf_head: CFNode = self.root
 
@@ -177,7 +184,9 @@ class CFTree:
         if self.budget is not None:
             self.budget.allocate(1)
         self._node_count += 1
-        return CFNode(self.layout, is_leaf, cf_backend=self.cf_backend)
+        node = CFNode(self.layout, is_leaf, cf_backend=self.cf_backend)
+        node.decay_epoch = self.decay_clock
+        return node
 
     def _free_node(self, node: CFNode) -> None:
         if node.is_leaf:
@@ -207,6 +216,79 @@ class CFTree:
             leaf.next_leaf.prev_leaf = leaf.prev_leaf
         leaf.prev_leaf = None
         leaf.next_leaf = None
+
+    # -- exponential decay (evolving streams) -----------------------------------
+
+    def _touch(self, node: CFNode) -> None:
+        """Fold the node's pending decay factor into its entries.
+
+        Mass decays as ``0.5 ** (pending_epochs / half_life)``; scaling
+        both ``n`` and the quadratic statistic by the same factor keeps
+        every mean (and hence every centroid distance) invariant, so a
+        settled node and a lazily-pending node route probes identically.
+        """
+        if self.decay_half_life is None:
+            return
+        pending = self.decay_clock - node.decay_epoch
+        if pending > 0:
+            g = 0.5 ** (pending / self.decay_half_life)
+            node._ns[: node.size] *= g
+            node._sq[: node.size] *= g
+        node.decay_epoch = self.decay_clock
+
+    def settle_decay(self) -> None:
+        """Apply every pending decay factor tree-wide (preorder walk).
+
+        Callers must settle before exporting structure, rebuilding or
+        comparing weighted mass against the raw point count.  A no-op
+        when decay is disabled; idempotent otherwise.
+        """
+        if self.decay_half_life is None:
+            return
+
+        def visit(node: CFNode) -> None:
+            self._touch(node)
+            if node.children is not None:
+                for child in node.children:
+                    visit(child)
+
+        visit(self.root)
+
+    def set_decay(self, half_life: Optional[float], clock: int) -> None:
+        """Install decay state, stamping every node as settled at ``clock``.
+
+        Used when adopting a tree whose entries already reflect the
+        given clock — checkpoint restore and post-rebuild state copy —
+        so the lazy touch does not re-apply epochs that were settled
+        before the snapshot.
+        """
+        self.decay_half_life = half_life
+        self.decay_clock = int(clock)
+
+        def visit(node: CFNode) -> None:
+            node.decay_epoch = self.decay_clock
+            if node.children is not None:
+                for child in node.children:
+                    visit(child)
+
+        visit(self.root)
+
+    def advance_decay_clock(self, epochs: int = 1) -> None:
+        """Advance the logical decay clock and settle the whole tree.
+
+        Settling eagerly here pins the floating-point decay trajectory
+        to the epoch schedule alone: every node accrues one factor per
+        clock advance, at the advance.  If nodes instead caught up
+        lazily at first touch, *when* a node was touched (an insert
+        descent, a checkpoint snapshot, a diagnostic walk) would decide
+        how its pending epochs were chunked into factors — and since
+        ``0.5**(a/H) * 0.5**(b/H)`` is not bit-equal to
+        ``0.5**((a+b)/H)``, observation timing would leak into results.
+        """
+        if epochs < 0:
+            raise ValueError(f"cannot rewind the decay clock by {epochs}")
+        self.decay_clock += int(epochs)
+        self.settle_decay()
 
     # -- public API --------------------------------------------------------------
 
@@ -323,6 +405,14 @@ class CFTree:
             Number of rows consumed (all of them unless ``max_rows`` or
             ``stop_after_fallback`` cut the batch short).
         """
+        if self.decay_half_life is not None:
+            # The speculative window replays entry histories against
+            # static states and never folds pending decay factors in;
+            # decayed trees must take the scalar path.
+            raise RuntimeError(
+                "bulk_insert bypasses lazy decay; a decay-enabled tree "
+                "must ingest via insert_points/insert_cf"
+            )
         points = self._coerce_points(points)
         limit = points.shape[0] if max_rows is None else min(
             points.shape[0], int(max_rows)
@@ -620,6 +710,165 @@ class CFTree:
         self._points += cf.n
         return True
 
+    # -- forgetting (guarded CF subtraction) ----------------------------------
+
+    def subtract_cf(
+        self,
+        cf: AnyCF,
+        *,
+        account_points: bool = True,
+        max_probes: int = 8,
+        on_clamp=None,
+    ) -> dict[str, float]:
+        """Remove ``cf``'s mass from the tree by guarded CF subtraction.
+
+        The additivity theorem runs in both directions: a delta that was
+        once merged in can be subtracted back out.  Each probe descends
+        to the leaf entry closest to the remaining delta (the same walk
+        an insertion of that delta would take, so the mass comes out of
+        the entries it most plausibly went into), then either
+
+        * subtracts the whole remaining delta from that entry via the
+          guarded :meth:`StableCF.subtract` (tiny negative SSD residues
+          clamp to zero through ``on_clamp``; grossly negative residues
+          raise and demote to a pro-rata mass withdrawal that keeps the
+          entry's own mean and variance shape, so the removal never
+          exceeds the request), or
+        * removes the entry outright when the delta covers it, scaling
+          the remaining delta's mass down by what the entry held.
+
+        Ancestor summaries are recomputed exactly bottom-up, emptied
+        leaves are pruned (freeing their pages), and a root left with a
+        single child collapses.  Splitting a delta across entries stops
+        after ``max_probes`` descents; any unsubtracted residue stays in
+        the tree and is *not* deducted from the point count, so the
+        conservation ledger never over-reports forgetting.
+
+        Parameters
+        ----------
+        account_points:
+            When True (default) the tree decrements its own raw point
+            count by the subtracted mass (exact for integral deltas).
+            Decay-enabled callers pass False and convert the weighted
+            mass back to raw points themselves.
+
+        Returns
+        -------
+        dict
+            ``subtracted_n`` (mass actually removed), ``removed_entries``,
+            ``clamped`` / ``clamped_mass`` (round-off guards that fired),
+            ``mismatched`` (pro-rata fallbacks for deltas whose geometry
+            did not match any entry), ``pruned_nodes`` and ``probes``.
+
+        Raises
+        ------
+        UnsupportedBackendError
+            On the classic backend: ``(N, LS, SS)`` rows cannot carry
+            the fractional remnants partial forgetting produces.
+        """
+        if self.cf_backend != "stable":
+            raise UnsupportedBackendError(
+                "subtract_cf needs the weighted stable backend; the "
+                "classic (N, LS, SS) representation cannot carry the "
+                "fractional remnants partial forgetting produces"
+            )
+        stats: dict[str, float] = {
+            "subtracted_n": 0.0,
+            "removed_entries": 0,
+            "clamped": 0,
+            "clamped_mass": 0.0,
+            "mismatched": 0,
+            "pruned_nodes": 0,
+            "probes": 0,
+        }
+
+        def clamp(mag: float) -> None:
+            stats["clamped"] += 1
+            stats["clamped_mass"] += mag
+            if on_clamp is not None:
+                on_clamp(mag)
+
+        remaining = coerce_backend(cf, self.cf_backend)
+        while (
+            remaining.n > 1e-9
+            and stats["probes"] < max_probes
+            and self.root.size > 0
+        ):
+            stats["probes"] += 1
+            leaf, path = self._descend_to_leaf(remaining)
+            if leaf.size == 0:  # pragma: no cover - empty root leaf only
+                break
+            index, _ = leaf.closest_entry(remaining, self.metric)
+            entry = leaf.entry_cf(index)
+            if remaining.n >= entry.n - 1e-9:
+                # The delta covers this entry: drop it whole and carry
+                # the uncovered remainder (same mean, reduced mass) to
+                # the next probe.
+                leaf.remove_entry(index)
+                stats["removed_entries"] += 1
+                stats["subtracted_n"] += entry.n
+                factor = max(0.0, remaining.n - entry.n) / remaining.n
+                remaining = remaining.scaled(factor)
+            else:
+                try:
+                    rest = entry.subtract(remaining, on_clamp=clamp)
+                except ValueError:
+                    # Grossly negative residue: the delta's geometry does
+                    # not live in this entry.  Withdraw the requested mass
+                    # pro-rata instead — the entry keeps its own mean and
+                    # SSD, scaled down — so no imaginary variance is
+                    # minted and the removal never exceeds the request
+                    # (removing the entry whole here would over-forget by
+                    # ``entry.n - remaining.n`` and, through the decay
+                    # factor, let one retirement hollow out the tree).
+                    stats["mismatched"] += 1
+                    keep = (entry.n - remaining.n) / entry.n
+                    rest = entry.scaled(keep)
+                    if rest.n <= 1e-9:
+                        leaf.remove_entry(index)
+                        stats["removed_entries"] += 1
+                    else:
+                        leaf.set_entry(index, rest)
+                    stats["subtracted_n"] += remaining.n
+                    remaining = StableCF.empty(self.layout.dimensions)
+                else:
+                    leaf.set_entry(index, rest)
+                    stats["subtracted_n"] += remaining.n
+                    remaining = StableCF.empty(self.layout.dimensions)
+            # Refresh ancestors bottom-up: exact recomputation (not a
+            # subtraction) so the parent/child invariant holds to the
+            # last ulp, pruning nodes the subtraction emptied.
+            child = leaf
+            for parent, idx in reversed(path):
+                if child.size == 0:
+                    parent.remove_entry(idx)
+                    self._free_node(child)
+                    stats["pruned_nodes"] += 1
+                else:
+                    parent.set_entry(idx, child.summary_cf())
+                child = parent
+        # A nonleaf root that lost children down to one collapses; a
+        # fully emptied nonleaf root becomes a fresh empty leaf so the
+        # next insertion descends into a well-formed tree.
+        while not self.root.is_leaf and self.root.size == 1:
+            assert self.root.children is not None
+            child = self.root.children[0]
+            self._free_node(self.root)
+            stats["pruned_nodes"] += 1
+            self.root = child
+        if not self.root.is_leaf and self.root.size == 0:
+            self._free_node(self.root)
+            stats["pruned_nodes"] += 1
+            self.root = self._new_node(is_leaf=True)
+            self._leaf_head = self.root
+        if self.root.is_leaf:
+            self._leaf_head = self.root
+        if account_points:
+            self._points = max(
+                0, self._points - int(round(stats["subtracted_n"]))
+            )
+        return stats
+
     # -- bulk CF merge (the pairwise tree-merge hot path) ---------------------
 
     def bulk_insert_cfs(
@@ -669,6 +918,11 @@ class CFTree:
             The new cursor: index of the first row *not* consumed
             (``m`` when the whole batch went in).
         """
+        if self.decay_half_life is not None:
+            raise RuntimeError(
+                "bulk_insert_cfs bypasses lazy decay; a decay-enabled "
+                "tree must ingest via insert_cf"
+            )
         ns = np.asarray(ns, dtype=np.float64)
         vecs = np.asarray(vecs, dtype=np.float64)
         sqs = np.asarray(sqs, dtype=np.float64)
@@ -744,7 +998,9 @@ class CFTree:
     ) -> AnyCF:
         """Materialise donor row ``i`` as a CF of the tree's backend."""
         if stable:
-            return StableCF(int(ns[i]), vecs[i].copy(), float(sqs[i]))
+            # Raw float count: decayed donors carry fractional mass
+            # (StableCF normalises integral counts back to int).
+            return StableCF(float(ns[i]), vecs[i].copy(), float(sqs[i]))
         return CF(int(ns[i]), vecs[i].copy(), float(sqs[i]))
 
     def _route_cfs(
@@ -865,6 +1121,7 @@ class CFTree:
         """Every leaf entry (subcluster) as CF objects, in chain order."""
         entries: list[AnyCF] = []
         for leaf in self.leaves():
+            self._touch(leaf)
             entries.extend(leaf.iter_entry_cfs())
         return entries
 
@@ -904,13 +1161,18 @@ class CFTree:
 
     def _descend_to_leaf(self, cf: AnyCF) -> tuple[CFNode, list[tuple[CFNode, int]]]:
         """Walk to the closest leaf; returns (leaf, [(node, child_idx), ...])."""
+        decaying = self.decay_half_life is not None
         path: list[tuple[CFNode, int]] = []
         node = self.root
         while not node.is_leaf:
+            if decaying:
+                self._touch(node)
             index, _ = node.closest_entry(cf, self.metric)
             path.append((node, index))
             assert node.children is not None
             node = node.children[index]
+        if decaying:
+            self._touch(node)
         return node, path
 
     def _fits_threshold(self, leaf: CFNode, index: int, cf: AnyCF) -> bool:
@@ -953,6 +1215,8 @@ class CFTree:
         return bool(value * value <= self.threshold**2 + slack_sq)
 
     def _insert(self, node: CFNode, cf: AnyCF) -> _SplitResult:
+        if self.decay_half_life is not None:
+            self._touch(node)
         if node.is_leaf:
             return self._insert_into_leaf(node, cf)
 
@@ -1070,6 +1334,9 @@ class CFTree:
     def _grow_root(self, sibling: CFNode) -> None:
         """Create a new root after the old root split."""
         old_root = self.root
+        if self.decay_half_life is not None:
+            self._touch(old_root)
+            self._touch(sibling)
         new_root = self._new_node(is_leaf=False)
         new_root.append_entry(old_root.summary_cf(), old_root)
         new_root.append_entry(sibling.summary_cf(), sibling)
@@ -1102,6 +1369,12 @@ class CFTree:
         left, right = node.children[i], node.children[j]
         if left.is_leaf != right.is_leaf:  # pragma: no cover - structural guard
             return
+        if self.decay_half_life is not None:
+            # The children's entries are about to be read and re-summed;
+            # fold pending decay in first so summaries stay consistent
+            # with the (already touched) parent.
+            self._touch(left)
+            self._touch(right)
         total = left.size + right.size
         if total <= left.capacity:
             self._merge_children(node, i, j)
@@ -1313,7 +1586,16 @@ class CFTree:
         Checked: per-node consistency, parent summaries equal child
         sums, uniform leaf depth, leaf chain completeness, threshold
         satisfaction of multi-point leaf entries, and point conservation.
+
+        Under decay, pending factors are settled first and two checks
+        relax: the exact point-count identity (weighted mass is a
+        decayed fraction of the raw count, which ``_points`` keeps) and
+        the leaf threshold (decay shrinks ``n`` faster than SSD's
+        ``n - 1`` denominator, inflating the *diameter* of entries that
+        satisfied ``T`` when their mass was whole).
         """
+        self.settle_decay()
+        decaying = self.decay_half_life is not None
         leaf_depths: set[int] = set()
         leaves_via_tree: list[CFNode] = []
 
@@ -1322,7 +1604,8 @@ class CFTree:
             if node.is_leaf:
                 leaf_depths.add(depth)
                 leaves_via_tree.append(node)
-                self._check_leaf_threshold(node)
+                if not decaying:
+                    self._check_leaf_threshold(node)
                 return node.summary_cf()
             assert node.children is not None
             for idx, child in enumerate(node.children):
@@ -1337,7 +1620,7 @@ class CFTree:
         total = visit(self.root, 0)
         if len(leaf_depths) > 1:
             raise AssertionError(f"leaves at multiple depths: {sorted(leaf_depths)}")
-        if total.n != self._points:
+        if not decaying and total.n != self._points:
             raise AssertionError(
                 f"tree summarises {total.n} points but {self._points} were inserted"
             )

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.datagen.generator import (
     Dataset,
     DatasetGenerator,
@@ -41,6 +43,7 @@ __all__ = [
     "ds1o",
     "ds2o",
     "ds3o",
+    "drifting_mixture",
     "scaled_n_family",
     "scaled_k_family",
 ]
@@ -132,6 +135,70 @@ def ds2o(scale: float = 1.0, seed: int = 2) -> Dataset:
 def ds3o(scale: float = 1.0, seed: int = 3) -> Dataset:
     """DS3 point set in randomized input order."""
     return ds3(scale=scale, seed=seed, order=InputOrder.RANDOMIZED)
+
+
+def drifting_mixture(
+    n_epochs: int = 20,
+    points_per_epoch: int = 500,
+    n_clusters: int = 4,
+    dimensions: int = 2,
+    drift_per_epoch: float = 0.6,
+    speed_spread: float = 0.75,
+    cluster_std: float = 0.35,
+    seed: int = 7,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Evolving-stream workload: a Gaussian mixture whose centers move.
+
+    Unlike the paper's static Table 3 datasets, this preset models the
+    *evolving database* case the decay/forgetting machinery targets:
+    the ``n_clusters`` mixture centers sit on a circle and each rotates
+    at its own angular speed — component ``i`` moves an arc length of
+    ``drift_per_epoch * (1 + speed_spread * i)`` per epoch.  The
+    heterogeneous speeds matter: under a rigid (equal-speed) rotation
+    the final configuration is just a rotated copy of the start, and a
+    model that never forgets can still split its accumulated ring into
+    arcs that happen to biject with the current clusters.  With spread
+    speeds the components repeatedly lap one another, so stale mass sits
+    in territory a *different* cluster now occupies.  A model that never
+    forgets confuses the components; a decayed or windowed model sees
+    only the recent arcs and keeps them apart.
+
+    Returns one ``(points, labels)`` pair per epoch — points shape
+    ``(points_per_epoch, dimensions)`` float64, labels the generating
+    component — ready to feed batch-per-epoch into ``partial_fit``.
+    """
+    if n_epochs < 1:
+        raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+    if dimensions < 2:
+        raise ValueError(f"dimensions must be >= 2, got {dimensions}")
+    if points_per_epoch < n_clusters:
+        raise ValueError(
+            f"points_per_epoch must be >= n_clusters, got "
+            f"{points_per_epoch} < {n_clusters}"
+        )
+    if speed_spread < 0:
+        raise ValueError(f"speed_spread must be >= 0, got {speed_spread}")
+    rng = np.random.default_rng(seed)
+    # Well-separated starting centers on a circle (first two dims),
+    # remaining dims at distinct offsets so separation survives d > 2.
+    start = 2.0 * np.pi * np.arange(n_clusters) / n_clusters
+    radius = 4.0 * max(1.0, cluster_std / 0.35)
+    speeds = 1.0 + speed_spread * np.arange(n_clusters)
+    theta = drift_per_epoch / radius
+    centers = np.zeros((n_clusters, dimensions), dtype=np.float64)
+    if dimensions > 2:
+        centers[:, 2:] = rng.normal(0.0, radius / 2, (n_clusters, dimensions - 2))
+    epochs: list[tuple[np.ndarray, np.ndarray]] = []
+    for t in range(n_epochs):
+        angles = start + speeds * theta * t
+        centers[:, 0] = radius * np.cos(angles)
+        centers[:, 1] = radius * np.sin(angles)
+        labels = rng.integers(0, n_clusters, size=points_per_epoch)
+        points = centers[labels] + rng.normal(
+            0.0, cluster_std, (points_per_epoch, dimensions)
+        )
+        epochs.append((points, labels))
+    return epochs
 
 
 def scaled_n_family(

@@ -171,6 +171,11 @@ class RunReport:
     quarantined_points / invalid_dropped_points / outlier_points:
         The non-clustered buckets of the ledger (see
         :meth:`repro.core.birch.BirchResult.accounting`).
+    forgotten_points / decayed_mass / drift:
+        Evolving-stream columns: raw points retired by sliding-window
+        forgetting, mass evaporated by the decay clock (reported
+        outside the integer ledger), and the drift-monitor summary
+        (``None`` when drift detection is off).
     memory_degraded:
         True when the memory watchdog tripped during the scan.
     conservation_ok:
@@ -190,6 +195,9 @@ class RunReport:
     quarantined_points: int = 0
     invalid_dropped_points: int = 0
     outlier_points: int = 0
+    forgotten_points: int = 0
+    decayed_mass: float = 0.0
+    drift: Optional[dict] = None
     memory_degraded: bool = False
     conservation_ok: bool = True
     phase1_ingest_seconds: float = 0.0
@@ -237,8 +245,16 @@ class RunReport:
             f"  ledger: fed={self.points_fed} outliers={self.outlier_points} "
             f"quarantined={self.quarantined_points} "
             f"dropped={self.invalid_dropped_points} "
+            f"forgotten={self.forgotten_points} "
             f"conservation={'ok' if self.conservation_ok else 'VIOLATED'}"
         )
+        if self.decayed_mass:
+            lines.append(f"  decayed mass: {self.decayed_mass:.3f}")
+        if self.drift is not None:
+            lines.append(
+                f"  drift: {self.drift.get('alarms', 0)} alarm(s), "
+                f"last at epoch {self.drift.get('last_alarm_epoch')}"
+            )
         if self.telemetry is not None:
             lines.extend(f"  {l}" for l in self.telemetry.summary_lines())
         return "\n".join(lines)
@@ -575,6 +591,9 @@ def _fill_accounting(
         report.quarantined_points = ledger["quarantined"]
         report.invalid_dropped_points = result.invalid_dropped_points
         report.outlier_points = ledger["outliers"]
+        report.forgotten_points = ledger["forgotten"]
+        report.decayed_mass = result.decayed_mass
+        report.drift = result.drift
         report.memory_degraded = result.memory_degraded
         report.conservation_ok = result.conservation_ok
     else:

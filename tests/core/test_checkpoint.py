@@ -272,3 +272,105 @@ class TestAtomicity:
             )
         assert not ckpt.exists()
         assert not ckpt.with_name(ckpt.name + ".tmp").exists()
+
+
+@pytest.mark.evolve
+class TestEvolveArchiveCompat:
+    """Archive minor version 2: evolve state rides along; v1 still loads."""
+
+    def _evolve_config(self) -> BirchConfig:
+        return BirchConfig(
+            n_clusters=3,
+            decay_half_life=3.0,
+            epoch_buckets=4,
+            drift_policy="alarm",
+        )
+
+    def _stream_epoch(self, i: int) -> np.ndarray:
+        rng = np.random.default_rng(100 + i)
+        return rng.normal((i % 5, i % 5), 0.3, (120, 2))
+
+    @staticmethod
+    def _reseal(payload: bytes, version: int) -> bytes:
+        packed = struct.pack("<I", version)
+        length = struct.pack("<Q", len(payload))
+        digest = hashlib.sha256(packed + length + payload).digest()
+        return b"BIRCHCKP" + packed + digest + length + payload
+
+    def test_v1_archive_loads_with_zeroed_evolve_state(
+        self, tmp_path: Path
+    ) -> None:
+        # Emulate a genuine version-1 archive: take a v2 snapshot of a
+        # plain (non-evolving) run and strip the evolve payload the old
+        # writer never produced.
+        import io
+        import json
+
+        est = Birch(_config("stable"))
+        est.partial_fit(_stream()[:400])
+        ckpt = tmp_path / "v1.ckpt"
+        est.checkpoint(ckpt)
+        raw = ckpt.read_bytes()
+
+        with np.load(io.BytesIO(raw[52:]), allow_pickle=False) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            arrays = {
+                key: data[key]
+                for key in data.files
+                if key != "meta" and not key.startswith("evolve_")
+            }
+        assert meta.pop("evolve", None) is not None
+        meta["format"] = 1
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **arrays,
+        )
+        ckpt.write_bytes(self._reseal(buffer.getvalue(), 1))
+
+        resumed = load_checkpoint(ckpt)
+        assert resumed.epoch == 0
+        assert resumed.points_forgotten == 0
+        assert resumed.tree.decay_clock == 0
+        assert resumed._epoch_buckets is None
+        # The tree itself is intact.
+        assert resumed.points_seen == 400
+        resumed.tree.check_invariants()
+
+    def test_v2_round_trips_epoch_buckets_bit_for_bit(
+        self, tmp_path: Path
+    ) -> None:
+        est = Birch(self._evolve_config())
+        for i in range(6):
+            est.partial_fit(self._stream_epoch(i))
+        ckpt = tmp_path / "v2.ckpt"
+        write_checkpoint(ckpt, est)
+
+        resumed = load_checkpoint(ckpt)
+        assert resumed.epoch == est.epoch
+        assert resumed.tree.decay_clock == est.tree.decay_clock
+        assert resumed.points_forgotten == est.points_forgotten
+        original = est._epoch_buckets
+        clone = resumed._epoch_buckets
+        assert clone.epochs() == original.epochs()
+        assert clone.max_buckets == original.max_buckets
+        assert clone.max_entries == original.max_entries
+        for a, b in zip(clone.buckets, original.buckets):
+            assert a.epoch == b.epoch
+            for (na, ma, sa), (nb, mb, sb) in zip(
+                a.iter_deltas(), b.iter_deltas()
+            ):
+                assert na == nb and sa == sb
+                np.testing.assert_array_equal(ma, mb)
+        # Drift monitor state survives byte-for-byte too.
+        assert (
+            resumed._drift_monitor.state_dict()
+            == est._drift_monitor.state_dict()
+        )
+
+    def test_both_versions_are_supported(self) -> None:
+        from repro.core.checkpoint import _SUPPORTED_VERSIONS
+
+        assert CHECKPOINT_VERSION == 2
+        assert _SUPPORTED_VERSIONS == frozenset({1, 2})

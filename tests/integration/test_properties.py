@@ -84,3 +84,75 @@ class TestPipelineProperties:
         )
         best = dist2[np.arange(points.shape[0]), labels]
         assert np.allclose(best, dist2.min(axis=1))
+
+
+@pytest.mark.evolve
+class TestAdditivityRoundTrip:
+    """The CF additivity theorem run backwards: add then subtract.
+
+    The decay/forgetting machinery leans on ``merge`` and ``subtract``
+    being exact inverses up to round-off; these properties pin that
+    down for both backends on arbitrary splits.
+    """
+
+    @given(points=small_datasets, cut=st.integers(1, 79))
+    @settings(max_examples=25, deadline=None)
+    def test_stable_add_then_subtract_recovers_the_rest(self, points, cut):
+        from repro.core.features import StableCF
+
+        cut = min(cut, points.shape[0] - 1)
+        if cut < 1:
+            return
+        whole = StableCF.from_points(points)
+        part = StableCF.from_points(points[:cut])
+        rest = whole.subtract(part)
+        expected = StableCF.from_points(points[cut:])
+        assert rest.n == expected.n
+        assert np.allclose(rest.mean, expected.mean, rtol=1e-6, atol=1e-6)
+        scale = max(abs(expected.ssd), 1.0)
+        assert abs(rest.ssd - expected.ssd) <= 1e-5 * scale
+
+    @given(points=small_datasets, cut=st.integers(1, 79))
+    @settings(max_examples=25, deadline=None)
+    def test_classic_add_then_subtract_recovers_the_rest(self, points, cut):
+        from repro.core.features import CF
+
+        cut = min(cut, points.shape[0] - 1)
+        if cut < 1:
+            return
+        whole = CF.from_points(points)
+        part = CF.from_points(points[:cut])
+        rest = whole.subtract(part)
+        expected = CF.from_points(points[cut:])
+        assert rest.n == expected.n
+        assert np.allclose(rest.ls, expected.ls, rtol=1e-9, atol=1e-9)
+        scale = max(abs(expected.ss), 1.0)
+        assert abs(rest.ss - expected.ss) <= 1e-6 * scale
+
+    @given(points=small_datasets)
+    @settings(max_examples=25, deadline=None)
+    def test_subtracting_a_non_subset_raises_not_mints_variance(self, points):
+        from repro.core.features import StableCF
+
+        whole = StableCF.from_points(points)
+        # A "subset" translated far away can never have been merged in:
+        # the guard must raise rather than fabricate negative spread.
+        # (Leave a remainder — removing *all* mass legitimately returns
+        # an empty CF without consulting the geometry.)
+        alien = StableCF(
+            float(points.shape[0] - 1),
+            whole.mean + 1e4,
+            whole.ssd * 100.0 + 1e8,
+        )
+        with pytest.raises(ValueError):
+            whole.subtract(alien)
+
+    @given(points=small_datasets)
+    @settings(max_examples=25, deadline=None)
+    def test_subtract_everything_leaves_an_empty_cf(self, points):
+        from repro.core.features import StableCF
+
+        whole = StableCF.from_points(points)
+        rest = whole.subtract(whole.copy())
+        assert rest.n == 0
+        assert rest.ssd == 0.0
