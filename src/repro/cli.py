@@ -12,7 +12,12 @@ Three commands cover the adopt-this-library workflow:
   (``cluster --checkpoint``), optionally feed it more points, and
   finish Phases 2-3;
 * ``inspect``  — print tree-health diagnostics and an ASCII outline
-  from a checkpoint or a ``save_tree`` archive, without clustering.
+  from a checkpoint or a ``save_tree`` archive, without clustering;
+  also recognises frozen-model artifacts and prints their summary;
+* ``serve``    — the read path: ``serve compile`` freezes a checkpoint
+  or result archive into a sealed mmap-shareable ``BIRCHFRZ`` artifact,
+  ``serve query`` answers a CSV of batch queries from it, and
+  ``serve bench`` probes its QPS/latency in-process.
 
 ``cluster`` takes ``--trace PATH`` (append a JSONL telemetry journal)
 and ``--metrics PATH`` (write a Prometheus textfile of run counters);
@@ -311,20 +316,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.02, help="dataset scale (0,1]"
     )
 
+    serve = sub.add_parser(
+        "serve", help="compile, query and bench a frozen query model"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_mode", required=True)
+
+    compile_cmd = serve_sub.add_parser(
+        "compile",
+        help="freeze a checkpoint or result archive into a BIRCHFRZ artifact",
+    )
+    compile_cmd.add_argument(
+        "source",
+        type=Path,
+        help="BIRCHCKP checkpoint or ``cluster --save-result`` .npz",
+    )
+    compile_cmd.add_argument("output", type=Path, help="artifact file to write")
+    compile_cmd.add_argument(
+        "--no-index",
+        action="store_true",
+        help="skip the pruned candidate index (brute-force-only artifact)",
+    )
+    compile_cmd.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append a JSONL telemetry journal of serve.* events to PATH",
+    )
+
+    query_cmd = serve_sub.add_parser(
+        "query", help="batch-predict a CSV of points from an artifact"
+    )
+    query_cmd.add_argument("artifact", type=Path, help="BIRCHFRZ artifact")
+    query_cmd.add_argument("input", type=Path, help="CSV with one point per row")
+    query_cmd.add_argument(
+        "--out", type=Path, default=None, help="write labels CSV (default stdout summary only)"
+    )
+    query_cmd.add_argument(
+        "--brute",
+        action="store_true",
+        help="force the brute-force kernel (skip the pruned index)",
+    )
+    query_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the artifact's payload sha256 before serving",
+    )
+    query_cmd.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append a JSONL telemetry journal of serve.* events to PATH",
+    )
+
+    bench_cmd = serve_sub.add_parser(
+        "bench", help="probe an artifact's batch-predict QPS in-process"
+    )
+    bench_cmd.add_argument("artifact", type=Path, help="BIRCHFRZ artifact")
+    bench_cmd.add_argument(
+        "--queries", type=int, default=100_000, help="total synthetic queries"
+    )
+    bench_cmd.add_argument(
+        "--batch-size", type=int, default=4096, help="rows per predict call"
+    )
+    bench_cmd.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions (best kept)"
+    )
+    bench_cmd.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
 def _nearest_centroid_labels(
     points: np.ndarray, centroids: np.ndarray
 ) -> np.ndarray:
-    """Assign each point to its closest centroid (chunked)."""
-    labels = np.empty(points.shape[0], dtype=np.int64)
-    chunk = 8192
-    for start in range(0, points.shape[0], chunk):
-        block = points[start : start + chunk]
-        dist2 = ((block[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
-        labels[start : start + chunk] = np.argmin(dist2, axis=1)
-    return labels
+    """Assign each point to its closest centroid (shared serving kernel)."""
+    from repro.serve.kernel import nearest_centroids
+
+    return nearest_centroids(
+        np.ascontiguousarray(points, dtype=np.float64), centroids
+    )
 
 
 def _load_points(
@@ -597,6 +669,31 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             magic = fh.read(8)
     except OSError as exc:
         raise ArchiveError(f"cannot read {args.archive}: {exc}") from exc
+    if magic == b"BIRCHFRZ":
+        from repro.serve import read_artifact_header
+
+        header = read_artifact_header(args.archive)
+        meta = header.get("metadata", {})
+        source = meta.get("source", {})
+        print(
+            f"frozen model {args.archive}: "
+            f"{meta.get('n_clusters', '?')} centroids, "
+            f"d={meta.get('dimensions', '?')}, "
+            f"index={meta.get('index', '?')}"
+        )
+        print(
+            f"format v{header.get('version')}, "
+            f"payload sha256 {header.get('payload_sha256', '?')[:16]}…"
+        )
+        origin = source.get("kind", "unknown")
+        digest = source.get("sha256")
+        if digest:
+            print(f"compiled from {origin} (sha256 {digest[:16]}…)")
+        else:
+            print(f"compiled from {origin}")
+        if meta.get("cf_backend"):
+            print(f"cf backend: {meta['cf_backend']}")
+        return 0
     if magic == b"BIRCHCKP":
         estimator = Birch.resume(args.archive)
         tree = estimator.tree
@@ -746,6 +843,96 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown experiment {args.name!r}")  # pragma: no cover
 
 
+def _serve_recorder(trace: Path | None):
+    if trace is None:
+        from repro.observe import NULL_RECORDER
+
+        return NULL_RECORDER
+    from repro.observe import ObserveConfig, build_recorder
+
+    return build_recorder(ObserveConfig(trace_path=str(trace)))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import FrozenModel, compile_model
+
+    if args.serve_mode == "compile":
+        recorder = _serve_recorder(args.trace)
+        with Timer() as timer:
+            model = compile_model(
+                args.source, pruned=not args.no_index, recorder=recorder
+            )
+            digest = model.save(args.output)
+        recorder.close()
+        print(
+            f"compiled {args.source} -> {args.output} in {timer.elapsed:.2f}s: "
+            f"{model.n_clusters} centroids, d={model.dimensions}, "
+            f"index={model.metadata['index']}"
+        )
+        print(f"payload sha256 {digest}")
+        return 0
+
+    if args.serve_mode == "query":
+        points, _ = _load_points(args.input, truth_column=False)
+        recorder = _serve_recorder(args.trace)
+        model = FrozenModel.load(
+            args.artifact, verify=args.verify, recorder=recorder
+        )
+        with Timer() as timer:
+            labels = model.predict(
+                points, pruned=False if args.brute else None
+            )
+        recorder.close()
+        qps = points.shape[0] / timer.elapsed if timer.elapsed > 0 else 0.0
+        print(
+            f"answered {points.shape[0]} queries in {timer.elapsed:.3f}s "
+            f"({qps:,.0f} QPS, "
+            f"{'brute-force' if args.brute else model.metadata['index']})"
+        )
+        if args.out is not None:
+            np.savetxt(args.out, labels, fmt="%d")
+            print(f"labels written to {args.out}")
+        else:
+            unique, counts = np.unique(labels, return_counts=True)
+            top = sorted(zip(counts, unique), reverse=True)[:5]
+            print(
+                "top clusters: "
+                + ", ".join(f"{int(u)}×{int(c)}" for c, u in top)
+            )
+        return 0
+
+    if args.serve_mode == "bench":
+        import time as _time
+
+        model = FrozenModel.load(args.artifact)
+        rng = np.random.default_rng(args.seed)
+        # Synthetic queries drawn around the model's own centroids: the
+        # realistic regime for a serving bench (queries resemble the
+        # fitted data) and the one where the pruned index matters.
+        picks = rng.integers(model.n_clusters, size=args.queries)
+        scale = float(np.median(model.radii)) or 1.0
+        queries = np.asarray(model.centroids)[picks] + rng.normal(
+            scale=scale, size=(args.queries, model.dimensions)
+        )
+        best = None
+        for _ in range(max(1, args.repeats)):
+            start = _time.perf_counter()
+            for lo in range(0, args.queries, args.batch_size):
+                model.predict(queries[lo : lo + args.batch_size])
+            elapsed = _time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        qps = args.queries / best if best and best > 0 else 0.0
+        print(
+            f"{args.queries} queries, batch={args.batch_size}: "
+            f"best {best:.3f}s = {qps:,.0f} QPS "
+            f"({model.n_clusters} centroids, d={model.dimensions}, "
+            f"index={model.metadata['index']})"
+        )
+        return 0
+
+    raise SystemExit(f"unknown serve mode {args.serve_mode!r}")  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
@@ -760,6 +947,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
     }
     try:
         command = commands[args.command]

@@ -41,6 +41,7 @@ from repro.core.refinement import RefinementResult, refine
 from repro.core.threshold import ThresholdPolicy
 from repro.core.tree import CFTree
 from repro.errors import NotFittedError, PhaseError
+from repro.serve.kernel import nearest_centroids
 from repro.guardrails.quarantine import QuarantineStore
 from repro.observe import TelemetrySnapshot, build_recorder
 from repro.guardrails.validation import PointValidator, ScreenResult
@@ -1836,18 +1837,21 @@ class Birch:
         return self._result
 
     def predict(self, points: np.ndarray) -> np.ndarray:
-        """Assign each point to the nearest fitted centroid."""
+        """Assign each point to the nearest fitted centroid.
+
+        Runs on the shared serving kernel
+        (:func:`repro.serve.kernel.nearest_centroids`): the
+        ``||x||^2 - 2 x.c + ||c||^2`` decomposition — one BLAS matmul
+        per cache-blocked chunk instead of a ``(B, K, d)`` difference
+        tensor — so a compiled :class:`~repro.serve.FrozenModel` of this
+        estimator returns byte-identical labels.  Among exactly
+        equidistant centroids the **lowest cluster index wins**,
+        deterministically.
+        """
         if self._result is None:
             raise NotFittedError(_NOT_FITTED_MESSAGE)
         points = np.asarray(points, dtype=np.float64)
-        centroids = self._result.centroids
-        labels = np.empty(points.shape[0], dtype=np.int64)
-        chunk = 8192
-        for start in range(0, points.shape[0], chunk):
-            block = points[start : start + chunk]
-            dist2 = ((block[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
-            labels[start : start + chunk] = np.argmin(dist2, axis=1)
-        return labels
+        return nearest_centroids(points, self._result.centroids)
 
     # -- phase helpers ------------------------------------------------------------
 

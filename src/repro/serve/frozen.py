@@ -1,0 +1,496 @@
+"""``FrozenModel`` — the compiled, immutable read path of a BIRCH fit.
+
+BIRCH's Phase 3 output (§4 of the paper) is a compact set of cluster
+centroids plus their CF statistics — exactly what a high-QPS
+nearest-centroid service needs, and nothing a live CF-tree carries
+(nodes, thresholds, outlier disks) helps with at query time.  Compiling
+freezes that output into flat structure-of-arrays form:
+
+* ``centroids``       ``(K, d)`` float64 cluster centroids;
+* ``centroid_sq_norms`` ``(K,)`` precomputed ``||c||^2`` for the einsum
+  kernel (never recomputed per batch);
+* ``radii``           ``(K,)`` cluster radius ``R`` (paper eq. (2));
+* ``weights``         ``(K,)`` per-cluster mass ``N`` (float — decayed
+  stable-backend clusters carry fractional mass);
+* ``label_remap``     ``(K,)`` int64 mapping from internal centroid row
+  to the public label (identity today; the indirection is the hook for
+  future label compaction without a format bump);
+* optionally the :class:`~repro.serve.index.PrunedIndex` arrays.
+
+A frozen model can be built from a live :class:`~repro.core.birch.Birch`
+/ :class:`~repro.core.birch.BirchResult`, from a sealed ``BIRCHCKP``
+checkpoint (resumed and finalized), or from a ``save_result`` archive —
+and round-trips through the sealed mmap-able ``BIRCHFRZ`` artifact
+(:mod:`repro.serve.artifact`), so any number of worker processes serve
+queries off one shared read-only file.
+
+Query semantics match :meth:`Birch.predict <repro.core.birch.Birch.predict>`
+exactly — same kernel, same lowest-index tie rule — whether the pruned
+index or the brute-force fallback answers; the index is a pure
+accelerator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import ArchiveError
+from repro.serve.artifact import (
+    ARTIFACT_MAGIC,
+    load_artifact,
+    write_artifact,
+)
+from repro.serve.index import PrunedIndex, build_index
+from repro.serve.kernel import (
+    default_chunk,
+    nearest_centroids,
+    pairwise_sq_dists,
+    sq_norms,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.birch import Birch, BirchResult
+    from repro.observe import Recorder
+
+__all__ = ["FrozenModel", "compile_model"]
+
+_CORE_ARRAYS = ("centroids", "centroid_sq_norms", "radii", "weights", "label_remap")
+
+# BIRCHCKP magic, duplicated as bytes to avoid importing the checkpoint
+# module (and its dependency fan-out) just to sniff eight bytes.
+_CHECKPOINT_MAGIC = b"BIRCHCKP"
+
+
+def _file_digest(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+def _null_recorder() -> "Recorder":
+    from repro.observe import NULL_RECORDER
+
+    return NULL_RECORDER
+
+
+class FrozenModel:
+    """Immutable nearest-centroid query model (see module docs).
+
+    Construct via :meth:`from_result`, :meth:`from_estimator`,
+    :func:`compile_model` or :meth:`load` — the raw constructor expects
+    already-flattened arrays.
+    """
+
+    __slots__ = (
+        "centroids",
+        "centroid_sq_norms",
+        "radii",
+        "weights",
+        "label_remap",
+        "metadata",
+        "index",
+        "_recorder",
+    )
+
+    def __init__(
+        self,
+        centroids: np.ndarray,
+        radii: np.ndarray,
+        weights: np.ndarray,
+        *,
+        centroid_sq_norms: Optional[np.ndarray] = None,
+        label_remap: Optional[np.ndarray] = None,
+        metadata: Optional[dict] = None,
+        index: Optional[PrunedIndex] = None,
+        recorder: Optional["Recorder"] = None,
+    ) -> None:
+        centroids = np.asarray(centroids, dtype=np.float64)
+        if centroids.ndim != 2 or centroids.shape[0] == 0:
+            raise ValueError(
+                f"centroids must be a non-empty (K, d) matrix, got shape "
+                f"{centroids.shape}"
+            )
+        k = centroids.shape[0]
+        self.centroids = centroids
+        self.centroid_sq_norms = (
+            np.asarray(centroid_sq_norms, dtype=np.float64)
+            if centroid_sq_norms is not None
+            else sq_norms(centroids)
+        )
+        self.radii = np.asarray(radii, dtype=np.float64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.label_remap = (
+            np.asarray(label_remap, dtype=np.int64)
+            if label_remap is not None
+            else np.arange(k, dtype=np.int64)
+        )
+        for name in ("centroid_sq_norms", "radii", "weights", "label_remap"):
+            if getattr(self, name).shape != (k,):
+                raise ValueError(
+                    f"{name} must have shape ({k},), got "
+                    f"{getattr(self, name).shape}"
+                )
+        self.metadata = dict(metadata or {})
+        self.metadata.setdefault("n_clusters", k)
+        self.metadata.setdefault("dimensions", centroids.shape[1])
+        self.index = index
+        self.metadata["index"] = "pruned-groups" if index is not None else "flat"
+        self._recorder = recorder if recorder is not None else _null_recorder()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of frozen clusters ``K``."""
+        return self.centroids.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        """Feature dimensionality ``d``."""
+        return self.centroids.shape[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FrozenModel(n_clusters={self.n_clusters}, "
+            f"dimensions={self.dimensions}, "
+            f"index={self.metadata.get('index')!r})"
+        )
+
+    # -- compilation ----------------------------------------------------------
+
+    @classmethod
+    def from_result(
+        cls,
+        result: "BirchResult",
+        *,
+        cf_backend: Optional[str] = None,
+        source_digest: Optional[str] = None,
+        pruned: bool = True,
+        recorder: Optional["Recorder"] = None,
+    ) -> "FrozenModel":
+        """Compile a fitted :class:`~repro.core.birch.BirchResult`.
+
+        Radii and weights come from the exact final-cluster CFs; decayed
+        stable-backend clusters keep their fractional mass.
+        """
+        centroids = np.ascontiguousarray(result.centroids, dtype=np.float64)
+        radii = np.array(
+            [cf.radius if cf.n > 0 else 0.0 for cf in result.clusters],
+            dtype=np.float64,
+        )
+        weights = np.array(
+            [float(cf.n) for cf in result.clusters], dtype=np.float64
+        )
+        metadata: dict = {"source": {"kind": "result"}}
+        if cf_backend is not None:
+            metadata["cf_backend"] = cf_backend
+        if source_digest is not None:
+            metadata["source"]["sha256"] = source_digest
+        index = build_index(centroids) if pruned else None
+        return cls(
+            centroids,
+            radii,
+            weights,
+            metadata=metadata,
+            index=index,
+            recorder=recorder,
+        )
+
+    @classmethod
+    def from_estimator(
+        cls,
+        birch: "Birch",
+        *,
+        pruned: bool = True,
+        recorder: Optional["Recorder"] = None,
+    ) -> "FrozenModel":
+        """Compile a fitted :class:`~repro.core.birch.Birch` estimator.
+
+        Raises :class:`~repro.errors.NotFittedError` (via the
+        estimator) when no result exists yet.
+        """
+        result = birch.result  # raises NotFittedError when unfitted
+        model = cls.from_result(
+            result,
+            cf_backend=birch.config.cf_backend,
+            pruned=pruned,
+            recorder=recorder,
+        )
+        model.metadata["source"] = {"kind": "estimator"}
+        return model
+
+    # -- artifact round-trip --------------------------------------------------
+
+    def save(self, path: str | Path) -> str:
+        """Seal into a ``BIRCHFRZ`` artifact; returns the payload digest."""
+        arrays: dict[str, np.ndarray] = {
+            "centroids": self.centroids,
+            "centroid_sq_norms": self.centroid_sq_norms,
+            "radii": self.radii,
+            "weights": self.weights,
+            "label_remap": self.label_remap,
+        }
+        if self.index is not None:
+            arrays.update(self.index.to_arrays())
+        digest = write_artifact(Path(path), arrays, self.metadata)
+        self._recorder.event(
+            "serve.compile.saved",
+            path=str(path),
+            n_clusters=self.n_clusters,
+            dimensions=self.dimensions,
+            index=self.metadata.get("index"),
+        )
+        return digest
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        verify: bool = False,
+        mmap: bool = True,
+        recorder: Optional["Recorder"] = None,
+    ) -> "FrozenModel":
+        """Open a sealed artifact, read-only.
+
+        With ``mmap=True`` (default) the model's arrays are
+        :class:`numpy.memmap` views — many processes loading the same
+        file share one set of physical pages and copy nothing.
+        ``verify=True`` additionally checks the payload digest.
+        """
+        arrays, header = load_artifact(Path(path), verify=verify, mmap=mmap)
+        missing = [name for name in _CORE_ARRAYS if name not in arrays]
+        if missing:
+            raise ArchiveError(
+                f"{path}: frozen-model artifact is missing arrays {missing}"
+            )
+        index = None
+        if "index_centers" in arrays:
+            index = PrunedIndex.from_arrays(arrays)
+        metadata = dict(header.get("metadata", {}))
+        metadata["artifact"] = {
+            "path": str(path),
+            "version": header.get("version"),
+            "payload_sha256": header.get("payload_sha256"),
+        }
+        model = cls(
+            arrays["centroids"],
+            arrays["radii"],
+            arrays["weights"],
+            centroid_sq_norms=arrays["centroid_sq_norms"],
+            label_remap=arrays["label_remap"],
+            metadata=metadata,
+            index=index,
+            recorder=recorder,
+        )
+        model._recorder.event(
+            "serve.load",
+            path=str(path),
+            n_clusters=model.n_clusters,
+            dimensions=model.dimensions,
+            mmap=bool(mmap),
+            verified=bool(verify),
+        )
+        return model
+
+    # -- queries --------------------------------------------------------------
+
+    def _coerce(self, points: np.ndarray) -> np.ndarray:
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(
+                f"query points must be 2-d (n, d), got shape {points.shape}"
+            )
+        if points.shape[1] != self.dimensions:
+            raise ValueError(
+                f"dimension mismatch: model has d={self.dimensions}, "
+                f"queries have d={points.shape[1]}"
+            )
+        return points
+
+    def predict(
+        self,
+        points: np.ndarray,
+        *,
+        chunk: Optional[int] = None,
+        pruned: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Nearest-centroid label for each query row.
+
+        ``pruned=None`` (default) picks the fastest measured path: the
+        flat reduced-panel kernel.  On this class of single-core BLAS
+        hosts one matmul over all ``K`` centroids beats the index's
+        gather-based candidate scan at every scale we benchmarked (see
+        ``docs/performance.md``), so the index is an explicit opt-in:
+        ``pruned=True`` requires an index and uses it, ``pruned=False``
+        forces the brute kernel.  Either path returns identical labels
+        — exact search, ties to the lowest cluster index.
+        """
+        points = self._coerce(points)
+        if pruned is None:
+            pruned = False
+        if pruned and self.index is None:
+            raise ValueError("this frozen model carries no pruned index")
+        n = points.shape[0]
+        if chunk is None:
+            chunk = default_chunk(self.n_clusters)
+        rec = self._recorder
+        stats: dict = {}
+        with rec.span("serve.predict", n=n, pruned=bool(pruned)):
+            labels = np.empty(n, dtype=np.int64)
+            for start in range(0, n, chunk):
+                block = points[start : start + chunk]
+                if pruned:
+                    idx = self.index.assign(
+                        block,
+                        self.centroids,
+                        self.centroid_sq_norms,
+                        stats=stats,
+                    )
+                else:
+                    idx = nearest_centroids(
+                        block,
+                        self.centroids,
+                        self.centroid_sq_norms,
+                        chunk=chunk,
+                    )
+                labels[start : start + chunk] = self.label_remap[idx]
+        rec.count("serve.queries", n)
+        rec.count("serve.batches")
+        if pruned:
+            rec.count("serve.candidates", stats.get("candidates", 0))
+            rec.count("serve.candidates.brute_equiv", n * self.n_clusters)
+        return labels
+
+    def transform(
+        self, points: np.ndarray, *, chunk: Optional[int] = None
+    ) -> np.ndarray:
+        """Euclidean distance from each query to every centroid, ``(n, K)``.
+
+        Columns follow internal centroid order (``label_remap`` of the
+        argmin of a row equals :meth:`predict` of that row).
+        """
+        points = self._coerce(points)
+        n = points.shape[0]
+        if chunk is None:
+            chunk = default_chunk(self.n_clusters)
+        out = np.empty((n, self.n_clusters), dtype=np.float64)
+        with self._recorder.span("serve.transform", n=n):
+            for start in range(0, n, chunk):
+                block = points[start : start + chunk]
+                d2 = pairwise_sq_dists(
+                    block, self.centroids, self.centroid_sq_norms
+                )
+                np.sqrt(d2, out=out[start : start + chunk])
+        self._recorder.count("serve.queries", n)
+        return out
+
+    def score(self, points: np.ndarray, *, chunk: Optional[int] = None) -> float:
+        """Negative mean squared distance to the nearest centroid.
+
+        The sign convention matches the estimator-score idiom (larger is
+        better); the magnitude is the per-point quantisation error of
+        serving queries off the frozen centroids.
+        """
+        points = self._coerce(points)
+        if chunk is None:
+            chunk = default_chunk(self.n_clusters)
+        with self._recorder.span("serve.score", n=points.shape[0]):
+            _, best = nearest_centroids(
+                points,
+                self.centroids,
+                self.centroid_sq_norms,
+                chunk=chunk,
+                return_sq_dists=True,
+            )
+            value = -float(best.mean())
+        self._recorder.count("serve.queries", points.shape[0])
+        return value
+
+
+def compile_model(
+    source: str | Path,
+    *,
+    pruned: bool = True,
+    recorder: Optional["Recorder"] = None,
+) -> FrozenModel:
+    """Compile a frozen model from an on-disk source.
+
+    ``source`` may be a sealed ``BIRCHCKP`` checkpoint (the tree is
+    resumed and :meth:`~repro.core.birch.Birch.finalize`-d — Phases 2-3
+    run, no raw-data rescan) or a ``save_result`` ``.npz`` archive.  The
+    source file's sha256 is recorded in the model metadata so a served
+    artifact is traceable to the exact fit that produced it.
+
+    Raises :class:`~repro.errors.ArchiveError` when the source is
+    unreadable or of neither format.
+    """
+    source = Path(source)
+    try:
+        with open(source, "rb") as handle:
+            magic = handle.read(len(_CHECKPOINT_MAGIC))
+    except OSError as exc:
+        raise ArchiveError(f"{source}: cannot read compile source: {exc}")
+    rec = recorder if recorder is not None else _null_recorder()
+
+    with rec.span("serve.compile", source=str(source)):
+        digest = _file_digest(source)
+        if magic == _CHECKPOINT_MAGIC:
+            from repro.core.birch import Birch
+
+            estimator = Birch.resume(source)
+            result = estimator.finalize()
+            model = FrozenModel.from_result(
+                result,
+                cf_backend=estimator.config.cf_backend,
+                source_digest=digest,
+                pruned=pruned,
+                recorder=recorder,
+            )
+            model.metadata["source"].update(
+                {"kind": "checkpoint", "path": str(source)}
+            )
+        elif magic == ARTIFACT_MAGIC:
+            raise ArchiveError(
+                f"{source}: already a frozen-model artifact; load it with "
+                f"FrozenModel.load instead of compiling"
+            )
+        else:
+            from repro.core.serialization import load_result_arrays
+
+            clusters, centroids, _labels, _header = load_result_arrays(source)
+            radii = np.array(
+                [cf.radius if cf.n > 0 else 0.0 for cf in clusters],
+                dtype=np.float64,
+            )
+            weights = np.array(
+                [float(cf.n) for cf in clusters], dtype=np.float64
+            )
+            model = FrozenModel(
+                np.ascontiguousarray(centroids, dtype=np.float64),
+                radii,
+                weights,
+                metadata={
+                    "source": {
+                        "kind": "result-archive",
+                        "path": str(source),
+                        "sha256": digest,
+                    }
+                },
+                index=build_index(centroids) if pruned else None,
+                recorder=recorder,
+            )
+    rec.event(
+        "serve.compile.done",
+        source=str(source),
+        n_clusters=model.n_clusters,
+        dimensions=model.dimensions,
+        index=model.metadata.get("index"),
+    )
+    return model

@@ -1,0 +1,319 @@
+"""Exact pruned candidate search over a frozen centroid set.
+
+K-tree (De Vries & Geva; PAPERS.md) keeps means at internal nodes so a
+nearest-neighbour descent touches a logarithmic frontier instead of
+every leaf.  A compiled :class:`~repro.serve.frozen.FrozenModel` has no
+tree above its centroids, so this module rebuilds the idea as a flat
+two-level structure: the ``K`` centroids are partitioned into
+``G ~ sqrt(K)`` groups, each summarised by its mean (the "internal
+node" centroid) and covering radius.  A query then:
+
+1. measures its distance ``D_g`` to every group mean (``G`` dot
+   products, not ``K``);
+2. forms the upper bound ``ub = min_g (D_g + r_g)`` on its true
+   nearest-centroid distance (triangle inequality: some member of the
+   closest-by-bound group is at most that far);
+3. keeps only groups with ``D_g - r_g <= ub`` — no member of a pruned
+   group can beat the bound — and scans just their members exactly.
+
+The search is **exact**: the true nearest centroid's group always
+survives step 3 (its lower bound is at most the true distance, which is
+at most ``ub``).  A small relative epsilon widens the comparison so
+floating-point rounding in the bounds can never prune a true winner or
+an exact tie; candidates are always scanned in ascending centroid
+order, preserving the kernel's lowest-index-wins tie rule.  Parity with
+brute force is asserted by the test-suite and the serving benchmark.
+
+The scan runs in two passes.  Pass one scans every query's *nearest*
+group exactly — cheap, and it replaces the loose ``min(D_g + r_g)``
+bound with the *actual* distance to a real centroid.  It is one
+batch-wide gather over a member table padded to the widest group (each
+group's member list, ascending, padded by repeating its last member),
+so the whole pass is three vectorised ops with no per-group Python
+loop.  Pass two rescans only the groups whose ball bound can still
+beat that realised distance, updating a running best per row — on
+clustered query traffic almost all rows are already settled, so these
+per-group calls see tiny row sets.  The winner is resolved with an
+explicit "strictly closer, or equally close with a lower centroid
+index" update rule, so the result is independent of scan order and
+identical to the flat kernel's tie behaviour.
+
+Group construction is a deterministic seeded Lloyd refinement over the
+centroids themselves — pure numpy, a few iterations over at most a few
+thousand points, run once at compile time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.serve.kernel import nearest_centroids, pairwise_sq_dists, sq_norms
+
+__all__ = ["PrunedIndex", "build_index"]
+
+#: Relative slack applied to the prune comparison: groups within
+#: ``ub * (1 + eps) + eps`` survive.  Covers bound round-off and exact
+#: ties; the cost is scanning the odd extra group, never wrong labels.
+_PRUNE_EPS = 1e-9
+
+#: Lloyd refinement passes over the centroid set at build time.
+_BUILD_ITERATIONS = 8
+
+#: Below this many centroids a flat scan beats any two-level scheme.
+_MIN_CENTROIDS = 16
+
+
+class PrunedIndex:
+    """Two-level exact nearest-centroid accelerator (see module docs).
+
+    Attributes
+    ----------
+    centers:
+        Group means, shape ``(G, d)``.
+    radii:
+        Covering radius of each group (max member distance), ``(G,)``.
+    perm:
+        Centroid indices grouped by group, ascending inside each group,
+        shape ``(K,)`` — a permutation of ``arange(K)``.
+    starts:
+        Group boundaries into ``perm``, shape ``(G + 1,)``.
+    """
+
+    __slots__ = (
+        "centers",
+        "center_sq_norms",
+        "radii",
+        "perm",
+        "starts",
+        "_padded_members",
+    )
+
+    def __init__(
+        self,
+        centers: np.ndarray,
+        radii: np.ndarray,
+        perm: np.ndarray,
+        starts: np.ndarray,
+        center_sq_norms: Optional[np.ndarray] = None,
+    ) -> None:
+        self.centers = np.ascontiguousarray(centers, dtype=np.float64)
+        self.radii = np.ascontiguousarray(radii, dtype=np.float64)
+        self.perm = np.ascontiguousarray(perm, dtype=np.int64)
+        self.starts = np.ascontiguousarray(starts, dtype=np.int64)
+        if center_sq_norms is None:
+            center_sq_norms = sq_norms(self.centers)
+        self.center_sq_norms = np.ascontiguousarray(
+            center_sq_norms, dtype=np.float64
+        )
+        g = self.centers.shape[0]
+        if self.radii.shape != (g,) or self.starts.shape != (g + 1,):
+            raise ValueError("inconsistent index array shapes")
+        if self.starts[0] != 0 or self.starts[-1] != self.perm.shape[0]:
+            raise ValueError("starts must span the permutation exactly")
+        counts = np.diff(self.starts)
+        if np.any(counts <= 0):
+            raise ValueError("every group must hold at least one centroid")
+        # Member table padded to the widest group by repeating each
+        # group's last (largest) member: rows stay ascending, so the
+        # first argmin hit inside a row is still the lowest centroid
+        # index.  Derived, never serialised.
+        width = int(counts.max())
+        padded = np.empty((g, width), dtype=np.int64)
+        for row in range(g):
+            members = self.perm[self.starts[row] : self.starts[row + 1]]
+            padded[row, : members.shape[0]] = members
+            padded[row, members.shape[0] :] = members[-1]
+        self._padded_members = padded
+
+    @property
+    def n_groups(self) -> int:
+        """Number of groups ``G``."""
+        return self.centers.shape[0]
+
+    @property
+    def n_centroids(self) -> int:
+        """Number of indexed centroids ``K``."""
+        return self.perm.shape[0]
+
+    def members(self, group: int) -> np.ndarray:
+        """Centroid indices of one group (ascending)."""
+        return self.perm[self.starts[group] : self.starts[group + 1]]
+
+    # -- search ---------------------------------------------------------------
+
+    def assign(
+        self,
+        block: np.ndarray,
+        centroids: np.ndarray,
+        centroid_sq_norms: np.ndarray,
+        *,
+        stats: Optional[dict] = None,
+    ) -> np.ndarray:
+        """Exact nearest-centroid labels for one query block.
+
+        ``stats`` (optional dict) accumulates ``candidates`` — the total
+        centroid comparisons actually performed — so callers can report
+        the pruning rate.
+        """
+        block = np.ascontiguousarray(block, dtype=np.float64)
+        b = block.shape[0]
+        block_norms = sq_norms(block)
+        dg = np.sqrt(
+            pairwise_sq_dists(
+                block,
+                self.centers,
+                self.center_sq_norms,
+                block_sq_norms=block_norms,
+            )
+        )
+        nearest_group = np.argmin(dg, axis=1)
+        # All candidate comparisons run on the kernel's reduced values
+        # r = -2 x.c + ||c||^2 — within a row they rank exactly like the
+        # true squared distances (constant ||x||^2 shift).
+        neg2 = centroids * -2.0
+
+        # Pass 1 — batch-wide: gather each row's nearest-group member
+        # list from the padded table and take the exact r values in one
+        # einsum.  Padding repeats a group's last member, so rows stay
+        # ascending and the first argmin hit is the lowest index.
+        cand = self._padded_members[nearest_group]  # (b, width)
+        r = np.einsum("bd,bwd->bw", block, neg2[cand])
+        r += centroid_sq_norms[cand]
+        j = np.argmin(r, axis=1)
+        rows_arange = np.arange(b)
+        best_r = r[rows_arange, j]
+        best_idx = cand[rows_arange, j]
+        scanned = b * cand.shape[1]
+
+        # Pass 2 — only groups whose ball could still hold something
+        # closer than (or exactly tied with) the realised best; the
+        # epsilon keeps borderline ties scannable despite round-off.
+        # On clustered traffic few rows survive, so the per-group calls
+        # here see small row sets.  The bound lives in Euclidean space,
+        # so the realised best r is converted back to a distance.
+        ub = np.sqrt(np.maximum(best_r + block_norms, 0.0))
+        keep = (dg - self.radii[None, :]) <= (
+            ub * (1.0 + _PRUNE_EPS) + _PRUNE_EPS
+        )[:, None]
+        keep[rows_arange, nearest_group] = False  # already scanned
+        for g in np.nonzero(keep.any(axis=0))[0]:
+            rows = np.nonzero(keep[:, g])[0]
+            members = self.members(int(g))
+            rp = block[rows] @ neg2[members].T
+            rp += centroid_sq_norms[members][None, :]
+            jj = np.argmin(rp, axis=1)
+            rmin = rp[np.arange(rows.shape[0]), jj]
+            cidx = members[jj]  # members ascend, argmin takes the first
+            cur_r = best_r[rows]
+            cur_i = best_idx[rows]
+            # Strictly closer wins; an exact tie goes to the lower
+            # centroid index — order-independent, so groups can be
+            # visited in any sequence and still match the flat kernel's
+            # lowest-index rule.
+            improved = (rmin < cur_r) | ((rmin == cur_r) & (cidx < cur_i))
+            touched = rows[improved]
+            best_r[touched] = rmin[improved]
+            best_idx[touched] = cidx[improved]
+            scanned += rows.shape[0] * members.shape[0]
+
+        if stats is not None:
+            stats["candidates"] = stats.get("candidates", 0) + scanned
+        return best_idx
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat arrays for the frozen artifact."""
+        return {
+            "index_centers": self.centers,
+            "index_center_sq_norms": self.center_sq_norms,
+            "index_radii": self.radii,
+            "index_perm": self.perm,
+            "index_starts": self.starts,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "PrunedIndex":
+        """Rebuild from :meth:`to_arrays` output (or mmap views of it)."""
+        return cls(
+            arrays["index_centers"],
+            arrays["index_radii"],
+            arrays["index_perm"],
+            arrays["index_starts"],
+            center_sq_norms=arrays.get("index_center_sq_norms"),
+        )
+
+
+def build_index(
+    centroids: np.ndarray, *, n_groups: Optional[int] = None
+) -> Optional[PrunedIndex]:
+    """Build a :class:`PrunedIndex` over a centroid matrix.
+
+    Returns ``None`` for tiny centroid sets, where the flat kernel scan
+    is already optimal and a second level only adds overhead.  The
+    construction is deterministic: seeded farthest-spread init, a fixed
+    number of Lloyd passes, stable grouping.
+    """
+    centroids = np.ascontiguousarray(centroids, dtype=np.float64)
+    k = centroids.shape[0]
+    if k < _MIN_CENTROIDS:
+        return None
+    if n_groups is None:
+        n_groups = max(2, int(round(math.sqrt(k))))
+    n_groups = min(n_groups, k)
+
+    rng = np.random.default_rng(0)
+    # Seeded k-means++-style spread init over the centroid set.
+    first = int(rng.integers(k))
+    chosen = [first]
+    d2 = pairwise_sq_dists(centroids, centroids[[first]]).ravel()
+    for _ in range(1, n_groups):
+        nxt = int(np.argmax(d2))
+        chosen.append(nxt)
+        d2 = np.minimum(
+            d2, pairwise_sq_dists(centroids, centroids[[nxt]]).ravel()
+        )
+    centers = centroids[chosen].copy()
+
+    norms = sq_norms(centroids)
+    assign = np.zeros(k, dtype=np.int64)
+    for _ in range(_BUILD_ITERATIONS):
+        assign = nearest_centroids(centroids, centers)
+        for g in range(n_groups):
+            members = np.nonzero(assign == g)[0]
+            if members.shape[0]:
+                centers[g] = centroids[members].mean(axis=0)
+            else:
+                # Re-seed an empty group on the centroid farthest from
+                # its current center (deterministic).
+                _, best = nearest_centroids(
+                    centroids, centers, return_sq_dists=True
+                )
+                centers[g] = centroids[int(np.argmax(best))]
+        del norms  # unused after the first pass; keep flake quiet
+        norms = None  # type: ignore[assignment]
+
+    assign = nearest_centroids(centroids, centers)
+    # Drop groups that ended empty: they would be dead weight in every
+    # query's group-distance pass and the member table has no row shape
+    # for them.
+    live = np.nonzero(np.bincount(assign, minlength=n_groups) > 0)[0]
+    centers = centers[live]
+    remap = np.full(n_groups, -1, dtype=np.int64)
+    remap[live] = np.arange(live.shape[0])
+    assign = remap[assign]
+    n_groups = live.shape[0]
+
+    order = np.argsort(assign, kind="stable")  # ascending inside groups
+    counts = np.bincount(assign, minlength=n_groups)
+    starts = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    radii = np.zeros(n_groups, dtype=np.float64)
+    for g in range(n_groups):
+        members = order[starts[g] : starts[g + 1]]
+        d2 = pairwise_sq_dists(centroids[members], centers[[g]])
+        radii[g] = math.sqrt(float(d2.max()))
+    return PrunedIndex(centers, radii, order.astype(np.int64), starts)

@@ -1,0 +1,118 @@
+"""BIRCHFRZ container integrity: sealing, tamper detection, mmap."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ArchiveError, ChecksumMismatchError
+from repro.serve.artifact import (
+    ARTIFACT_MAGIC,
+    ARTIFACT_VERSION,
+    load_artifact,
+    read_artifact_header,
+    write_artifact,
+)
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def sealed(tmp_path, rng):
+    arrays = {
+        "centroids": rng.normal(size=(10, 3)),
+        "weights": rng.uniform(1, 5, size=10),
+        "label_remap": np.arange(10, dtype=np.int64),
+    }
+    path = tmp_path / "model.frz"
+    digest = write_artifact(path, arrays, {"note": "test"})
+    return path, arrays, digest
+
+
+class TestRoundTrip:
+    def test_arrays_and_metadata_survive(self, sealed):
+        path, arrays, digest = sealed
+        loaded, header = load_artifact(path, verify=True)
+        assert header["version"] == ARTIFACT_VERSION
+        assert header["payload_sha256"] == digest
+        assert header["metadata"] == {"note": "test"}
+        for name, value in arrays.items():
+            np.testing.assert_array_equal(loaded[name], value)
+            assert loaded[name].dtype == value.dtype
+
+    def test_mmap_arrays_are_read_only_views(self, sealed):
+        path, _, _ = sealed
+        loaded, _ = load_artifact(path, mmap=True)
+        for arr in loaded.values():
+            assert isinstance(arr, np.memmap)
+            assert not arr.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[...] = 0
+
+    def test_private_copies_without_mmap(self, sealed):
+        path, arrays, _ = sealed
+        loaded, _ = load_artifact(path, mmap=False)
+        for name in arrays:
+            assert not isinstance(loaded[name], np.memmap)
+            np.testing.assert_array_equal(loaded[name], arrays[name])
+
+    def test_payload_is_aligned(self, sealed):
+        path, _, _ = sealed
+        header = read_artifact_header(path)
+        for entry in header["arrays"]:
+            assert entry["offset"] % 64 == 0
+
+    def test_rewrite_is_deterministic(self, tmp_path, rng):
+        arrays = {"a": rng.normal(size=(5, 2))}
+        p1, p2 = tmp_path / "one.frz", tmp_path / "two.frz"
+        d1 = write_artifact(p1, arrays, {"k": 1})
+        d2 = write_artifact(p2, arrays, {"k": 1})
+        assert d1 == d2
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+class TestTamperDetection:
+    def test_foreign_magic_is_archive_error(self, tmp_path):
+        path = tmp_path / "foreign.bin"
+        path.write_bytes(b"NOTAFRZ!" + b"\x00" * 64)
+        with pytest.raises(ArchiveError, match="bad magic"):
+            read_artifact_header(path)
+
+    def test_truncation_is_archive_error(self, sealed):
+        path, _, _ = sealed
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(ArchiveError, match="truncated"):
+            read_artifact_header(path)
+
+    def test_unknown_version_is_archive_error(self, sealed):
+        path, _, _ = sealed
+        raw = bytearray(path.read_bytes())
+        raw[8:12] = struct.pack("<I", ARTIFACT_VERSION + 1)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArchiveError, match="version"):
+            read_artifact_header(path)
+
+    def test_header_corruption_always_detected(self, sealed):
+        # The header digest is verified on every open, even verify=False.
+        path, _, _ = sealed
+        raw = bytearray(path.read_bytes())
+        offset = len(ARTIFACT_MAGIC) + 4 + 32 + 8  # first header byte
+        raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ChecksumMismatchError):
+            load_artifact(path)
+
+    def test_payload_corruption_caught_by_verify(self, sealed):
+        path, _, _ = sealed
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a byte inside the last array
+        path.write_bytes(bytes(raw))
+        load_artifact(path)  # lazy open does not touch the payload
+        with pytest.raises(ChecksumMismatchError):
+            load_artifact(path, verify=True)
+
+    def test_missing_file_is_archive_error(self, tmp_path):
+        with pytest.raises(ArchiveError):
+            read_artifact_header(tmp_path / "absent.frz")

@@ -1,0 +1,98 @@
+"""Pruned candidate index: exactness, tie parity, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.index import PrunedIndex, build_index
+from repro.serve.kernel import nearest_centroids, sq_norms
+
+pytestmark = pytest.mark.serve
+
+
+def _clustered(rng, k: int, d: int, n: int, jitter: float = 0.5):
+    centroids = rng.normal(size=(k, d)) * 20.0
+    picks = rng.integers(0, k, n)
+    queries = centroids[picks] + rng.normal(size=(n, d)) * jitter
+    return centroids, queries
+
+
+class TestBuildIndex:
+    def test_none_below_minimum(self, rng):
+        assert build_index(rng.normal(size=(15, 2))) is None
+        assert build_index(rng.normal(size=(16, 2))) is not None
+
+    def test_groups_partition_all_centroids(self, rng):
+        centroids = rng.normal(size=(100, 3))
+        index = build_index(centroids)
+        seen = np.concatenate(
+            [index.members(g) for g in range(index.n_groups)]
+        )
+        assert np.array_equal(np.sort(seen), np.arange(100))
+
+    def test_no_empty_groups(self, rng):
+        # Heavily duplicated centroids force k-means groups to collapse;
+        # the builder must compact the survivors.
+        centroids = np.repeat(rng.normal(size=(4, 2)) * 10, 8, axis=0)
+        index = build_index(centroids)
+        assert index is not None
+        for g in range(index.n_groups):
+            assert index.members(g).size > 0
+
+
+class TestAssignExactness:
+    @pytest.mark.parametrize("k,d", [(64, 2), (100, 8), (256, 16)])
+    def test_byte_identical_to_brute(self, rng, k, d):
+        centroids, queries = _clustered(rng, k, d, 5000)
+        index = build_index(centroids)
+        norms = sq_norms(centroids)
+        assert np.array_equal(
+            index.assign(queries, centroids, norms),
+            nearest_centroids(queries, centroids),
+        )
+
+    def test_uniform_queries_still_exact(self, rng):
+        # Worst case for the bound: queries unrelated to the centroids.
+        centroids = rng.normal(size=(80, 4)) * 3
+        queries = rng.uniform(-20, 20, size=(4000, 4))
+        index = build_index(centroids)
+        assert np.array_equal(
+            index.assign(queries, centroids, sq_norms(centroids)),
+            nearest_centroids(queries, centroids),
+        )
+
+    def test_tie_parity_with_duplicated_centroids(self, rng):
+        base = rng.normal(size=(24, 3)) * 10
+        centroids = np.vstack([base, base])  # exact duplicates
+        queries = base[rng.integers(0, 24, 2000)] + rng.normal(
+            size=(2000, 3)
+        )
+        index = build_index(centroids)
+        labels = index.assign(queries, centroids, sq_norms(centroids))
+        brute = nearest_centroids(queries, centroids)
+        assert np.array_equal(labels, brute)
+        assert labels.max() < 24  # lowest index wins on exact ties
+
+    def test_stats_report_pruning(self, rng):
+        centroids, queries = _clustered(rng, 256, 2, 4000, jitter=0.2)
+        index = build_index(centroids)
+        stats: dict = {}
+        index.assign(queries, centroids, sq_norms(centroids), stats=stats)
+        assert 0 < stats["candidates"] < queries.shape[0] * 256
+
+
+class TestSerialization:
+    def test_round_trip_preserves_assignments(self, rng):
+        centroids, queries = _clustered(rng, 64, 3, 2000)
+        index = build_index(centroids)
+        arrays = index.to_arrays()
+        assert all(name.startswith("index_") for name in arrays)
+        restored = PrunedIndex.from_arrays(
+            {k: np.array(v) for k, v in arrays.items()}
+        )
+        norms = sq_norms(centroids)
+        assert np.array_equal(
+            restored.assign(queries, centroids, norms),
+            index.assign(queries, centroids, norms),
+        )

@@ -1,0 +1,110 @@
+"""The shared nearest-centroid kernel: parity, ties, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.kernel import (
+    default_chunk,
+    nearest_centroids,
+    pairwise_sq_dists,
+    reduced_panel,
+    sq_norms,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def _naive_labels(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return np.argmin(d2, axis=1)
+
+
+class TestNearestCentroids:
+    @pytest.mark.parametrize("k,d", [(3, 1), (17, 2), (64, 8), (200, 16)])
+    def test_matches_naive_broadcast(self, rng, k, d):
+        centroids = rng.normal(size=(k, d)) * 5
+        points = rng.normal(size=(3000, d)) * 5
+        assert np.array_equal(
+            nearest_centroids(points, centroids),
+            _naive_labels(points, centroids),
+        )
+
+    def test_chunking_does_not_change_labels(self, rng):
+        centroids = rng.normal(size=(20, 3))
+        points = rng.normal(size=(1000, 3))
+        whole = nearest_centroids(points, centroids)
+        for chunk in (1, 7, 256, 4096):
+            assert np.array_equal(
+                nearest_centroids(points, centroids, chunk=chunk), whole
+            )
+
+    def test_ties_break_to_lowest_index(self, rng):
+        centroids = rng.normal(size=(25, 4))
+        doubled = np.vstack([centroids, centroids])
+        points = rng.normal(size=(500, 4))
+        labels = nearest_centroids(points, doubled)
+        # Every point is exactly equidistant to centroid i and i+25;
+        # the documented rule says the lower index must win, always.
+        assert labels.max() < 25
+
+    def test_exactly_equidistant_point(self):
+        centroids = np.array([[0.0, 0.0], [8.0, 0.0]])
+        query = np.array([[4.0, 0.0]])  # dead centre, exact in float64
+        assert nearest_centroids(query, centroids)[0] == 0
+
+    def test_returned_sq_dists_match_and_are_nonnegative(self, rng):
+        centroids = rng.normal(size=(30, 5)) + 100.0  # offset → cancellation
+        points = rng.normal(size=(800, 5)) + 100.0
+        labels, d2 = nearest_centroids(points, centroids, return_sq_dists=True)
+        expected = ((points - centroids[labels]) ** 2).sum(axis=1)
+        assert np.all(d2 >= 0.0)
+        np.testing.assert_allclose(d2, expected, atol=1e-7)
+
+    def test_precomputed_norms_are_equivalent(self, rng):
+        centroids = rng.normal(size=(12, 3))
+        points = rng.normal(size=(100, 3))
+        assert np.array_equal(
+            nearest_centroids(points, centroids, sq_norms(centroids)),
+            nearest_centroids(points, centroids),
+        )
+
+    def test_rejects_bad_shapes(self):
+        good = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="2-d"):
+            nearest_centroids(np.zeros(4), good)
+        with pytest.raises(ValueError, match="empty"):
+            nearest_centroids(good, np.zeros((0, 2)))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            nearest_centroids(good, np.zeros((3, 5)))
+
+
+class TestPanels:
+    def test_reduced_panel_ranks_like_true_distances(self, rng):
+        centroids = rng.normal(size=(40, 6))
+        block = rng.normal(size=(64, 6))
+        neg2t = np.ascontiguousarray(centroids.T) * -2.0
+        r = reduced_panel(block, neg2t, sq_norms(centroids))
+        full = pairwise_sq_dists(block, centroids)
+        assert np.array_equal(np.argmin(r, axis=1), np.argmin(full, axis=1))
+        # r differs from the true squared distance by exactly ||x||^2.
+        np.testing.assert_allclose(
+            r + sq_norms(block)[:, None], full, atol=1e-8
+        )
+
+    def test_pairwise_sq_dists_clamped_nonnegative(self, rng):
+        base = rng.normal(size=(50, 4)) + 1e4  # huge offset → cancellation
+        d2 = pairwise_sq_dists(base, base.copy())
+        assert np.all(d2 >= 0.0)
+        # Cancellation at this offset leaves O(1e-7) residue on the
+        # diagonal; the clamp guarantees the sign, not exact zeros.
+        assert np.allclose(np.diag(d2), 0.0, atol=1e-5)
+
+
+class TestDefaultChunk:
+    def test_bounds(self):
+        assert default_chunk(1) == 8192
+        assert default_chunk(100_000) == 256
+        # 2 MiB panel budget / (8 bytes * K)
+        assert default_chunk(512) == (2 << 20) // (8 * 512)
