@@ -17,7 +17,12 @@ Three commands cover the adopt-this-library workflow:
 * ``serve``    — the read path: ``serve compile`` freezes a checkpoint
   or result archive into a sealed mmap-shareable ``BIRCHFRZ`` artifact,
   ``serve query`` answers a CSV of batch queries from it, and
-  ``serve bench`` probes its QPS/latency in-process.
+  ``serve bench`` probes its QPS/latency in-process;
+* ``ensemble`` — the order-robust path: ``ensemble fit`` clusters a CSV
+  with a forest of K perturbed BIRCH members and CF-level consensus,
+  ``ensemble compile`` freezes that consensus straight into a
+  ``BIRCHFRZ`` artifact, and ``ensemble predict`` answers queries from
+  a compiled forest artifact.
 
 ``cluster`` takes ``--trace PATH`` (append a JSONL telemetry journal)
 and ``--metrics PATH`` (write a Prometheus textfile of run counters);
@@ -384,6 +389,116 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3, help="timed repetitions (best kept)"
     )
     bench_cmd.add_argument("--seed", type=int, default=0)
+
+    ensemble = sub.add_parser(
+        "ensemble",
+        help="fit, compile and query a BIRCH forest (CF-level consensus)",
+    )
+    ensemble_sub = ensemble.add_subparsers(dest="ensemble_mode", required=True)
+
+    def _forest_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("input", type=Path, help="CSV with one point per row")
+        p.add_argument("-k", "--clusters", type=int, required=True)
+        p.add_argument(
+            "--members", type=int, default=8, help="forest size K"
+        )
+        p.add_argument("--seed", type=int, default=0, help="master seed")
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the member fits (never changes "
+            "the result; 1 = in-process)",
+        )
+        p.add_argument("--memory-kb", type=int, default=80, help="per-member M in KB")
+        p.add_argument(
+            "--backend", choices=["stable", "classic"], default="stable"
+        )
+        p.add_argument(
+            "--no-shuffle",
+            action="store_true",
+            help="disable the per-member seeded order shuffle",
+        )
+        p.add_argument(
+            "--feature-fraction",
+            type=float,
+            default=None,
+            metavar="F",
+            help="fit members 1.. on a seeded F-fraction feature subset "
+            "(member 0 keeps all features: it anchors the consensus)",
+        )
+        p.add_argument(
+            "--threshold-jitter",
+            type=float,
+            default=0.0,
+            metavar="J",
+            help="scale each member's threshold/expansion by a seeded "
+            "factor in [1-J, 1+J]",
+        )
+        p.add_argument(
+            "--consensus", choices=["average", "kmeans"], default="average"
+        )
+        p.add_argument(
+            "--max-anchors",
+            type=int,
+            default=512,
+            metavar="A",
+            help="condense the anchor set to at most A CFs before "
+            "consensus (exact CF merges)",
+        )
+        p.add_argument(
+            "--trace",
+            type=Path,
+            default=None,
+            metavar="PATH",
+            help="append a JSONL telemetry journal of ensemble.* events",
+        )
+
+    ens_fit = ensemble_sub.add_parser(
+        "fit", help="cluster a CSV with a BIRCH forest"
+    )
+    _forest_options(ens_fit)
+    ens_fit.add_argument(
+        "--truth-column",
+        action="store_true",
+        help="treat the last CSV column as ground-truth labels and score",
+    )
+    ens_fit.add_argument(
+        "--save-labels", type=Path, default=None, help="write labels CSV"
+    )
+    ens_fit.add_argument(
+        "--save-result", type=Path, default=None, help="write result .npz"
+    )
+
+    ens_compile = ensemble_sub.add_parser(
+        "compile",
+        help="fit a forest and freeze the consensus into a BIRCHFRZ artifact",
+    )
+    _forest_options(ens_compile)
+    ens_compile.add_argument(
+        "output", type=Path, help="artifact file to write"
+    )
+    ens_compile.add_argument(
+        "--no-index",
+        action="store_true",
+        help="skip the pruned candidate index (brute-force-only artifact)",
+    )
+
+    ens_predict = ensemble_sub.add_parser(
+        "predict", help="batch-predict a CSV from a compiled forest artifact"
+    )
+    ens_predict.add_argument("artifact", type=Path, help="BIRCHFRZ artifact")
+    ens_predict.add_argument(
+        "input", type=Path, help="CSV with one point per row"
+    )
+    ens_predict.add_argument(
+        "--out", type=Path, default=None, help="write labels CSV"
+    )
+    ens_predict.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the artifact's payload sha256 before serving",
+    )
 
     return parser
 
@@ -933,6 +1048,137 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown serve mode {args.serve_mode!r}")  # pragma: no cover
 
 
+def _fit_forest(args: argparse.Namespace, points: np.ndarray):
+    """Build and fit a :class:`~repro.ensemble.BirchForest` from CLI args."""
+    from repro.ensemble import BirchForest, ForestConfig
+
+    base = BirchConfig(
+        n_clusters=args.clusters,
+        memory_bytes=args.memory_kb * 1024,
+        total_points_hint=points.shape[0],
+        cf_backend=args.backend,
+        n_jobs=args.jobs,
+        observe=(
+            ObserveConfig(trace_path=str(args.trace))
+            if args.trace is not None
+            else None
+        ),
+    )
+    config = ForestConfig(
+        base=base,
+        n_members=args.members,
+        seed=args.seed,
+        shuffle=not args.no_shuffle,
+        feature_fraction=args.feature_fraction,
+        threshold_jitter=args.threshold_jitter,
+        consensus=args.consensus,
+        max_anchors=args.max_anchors,
+    )
+    with BirchForest(config) as forest, Timer() as timer:
+        result = forest.fit(points, n_jobs=args.jobs)
+    return result, timer.elapsed
+
+
+def _print_forest_summary(result, elapsed: float) -> None:
+    live = [cf for cf in result.clusters if cf.n > 0]
+    print(
+        f"forest of {result.n_members} members -> {len(live)} consensus "
+        f"clusters from {len(result.anchors)} anchors in {elapsed:.2f}s "
+        f"({result.consensus} consensus, seed={result.seed})"
+    )
+    if result.incidents:
+        by_kind: dict[str, int] = {}
+        for incident in result.incidents:
+            kind = str(incident.get("kind"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        print(
+            "warning: parallel failure ladder engaged ("
+            + ", ".join(f"{k}×{n}" for k, n in sorted(by_kind.items()))
+            + "); output is byte-identical to a failure-free run"
+        )
+    print(
+        format_table(
+            ["cluster", "points", "radius", "diameter"],
+            [
+                [i, cf.n, cf.radius, cf.diameter]
+                for i, cf in enumerate(result.clusters)
+                if cf.n > 0
+            ],
+            float_format="{:.4f}",
+        )
+    )
+    print(f"weighted average diameter D = {weighted_average_diameter(live):.4f}")
+
+
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    if args.ensemble_mode == "fit":
+        points, truth = _load_points(args.input, args.truth_column)
+        result, elapsed = _fit_forest(args, points)
+        _print_forest_summary(result, elapsed)
+        if truth is not None and result.labels is not None:
+            print(
+                f"vs ground truth: "
+                f"purity={purity(result.labels, truth):.3f} "
+                f"ARI={adjusted_rand_index(result.labels, truth):.3f}"
+            )
+        if args.save_labels is not None:
+            np.savetxt(args.save_labels, result.labels, fmt="%d")
+            print(f"labels written to {args.save_labels}")
+        if args.save_result is not None:
+            save_result(args.save_result, result)
+            print(f"result archive written to {args.save_result}")
+        return 0
+
+    if args.ensemble_mode == "compile":
+        from repro.serve import FrozenModel
+
+        points, _ = _load_points(args.input, truth_column=False)
+        result, elapsed = _fit_forest(args, points)
+        recorder = _serve_recorder(args.trace)
+        model = FrozenModel.from_forest(
+            result, pruned=not args.no_index, recorder=recorder
+        )
+        digest = model.save(args.output)
+        recorder.close()
+        print(
+            f"compiled a {result.n_members}-member forest of "
+            f"{args.input} -> {args.output} in {elapsed:.2f}s: "
+            f"{model.n_clusters} centroids, d={model.dimensions}, "
+            f"index={model.metadata['index']}"
+        )
+        print(f"payload sha256 {digest}")
+        return 0
+
+    if args.ensemble_mode == "predict":
+        from repro.serve import FrozenModel
+
+        points, _ = _load_points(args.input, truth_column=False)
+        model = FrozenModel.load(args.artifact, verify=args.verify)
+        source = model.metadata.get("source", {})
+        with Timer() as timer:
+            labels = model.predict(points)
+        qps = points.shape[0] / timer.elapsed if timer.elapsed > 0 else 0.0
+        print(
+            f"answered {points.shape[0]} queries in {timer.elapsed:.3f}s "
+            f"({qps:,.0f} QPS, source={source.get('kind', 'unknown')})"
+        )
+        if args.out is not None:
+            np.savetxt(args.out, labels, fmt="%d")
+            print(f"labels written to {args.out}")
+        else:
+            unique, counts = np.unique(labels, return_counts=True)
+            top = sorted(zip(counts, unique), reverse=True)[:5]
+            print(
+                "top clusters: "
+                + ", ".join(f"{int(u)}×{int(c)}" for c, u in top)
+            )
+        return 0
+
+    raise SystemExit(  # pragma: no cover - argparse enforces choices
+        f"unknown ensemble mode {args.ensemble_mode!r}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
@@ -948,6 +1194,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
+        "ensemble": _cmd_ensemble,
     }
     try:
         command = commands[args.command]

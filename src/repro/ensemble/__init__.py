@@ -1,0 +1,25 @@
+"""``repro.ensemble`` — BIRCH forests with CF-level consensus.
+
+K independent BIRCH members fitted over perturbed views of one batch
+(seeded order shuffles, optional feature subsampling, threshold
+jitter), dispatched on the persistent supervised worker pool, then
+aggregated through a mass-weighted co-association matrix over one
+member's leaf CFs.  See :mod:`repro.ensemble.forest` for the design.
+"""
+
+from repro.ensemble.coassoc import coassociation, member_votes
+from repro.ensemble.consensus import (
+    average_linkage_consensus,
+    kmeans_consensus,
+)
+from repro.ensemble.forest import BirchForest, ForestConfig, ForestResult
+
+__all__ = [
+    "BirchForest",
+    "ForestConfig",
+    "ForestResult",
+    "average_linkage_consensus",
+    "coassociation",
+    "kmeans_consensus",
+    "member_votes",
+]

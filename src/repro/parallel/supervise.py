@@ -26,8 +26,8 @@ A task that kills ``poison_threshold`` consecutive workers skips
 straight to the last rung instead of burning the respawn budget.  Every
 rung taken is recorded as an :class:`Incident` (surfaced as
 ``BirchResult.parallel_incidents``) and emitted as a telemetry event
-(``worker.death`` / ``worker.hang`` / ``pool.respawn`` / ``task.retry``
-/ ``task.escalated``).
+(``worker.death`` / ``worker.hang`` / ``pool.respawn`` /
+``pool.stale_worker`` / ``task.retry`` / ``task.escalated``).
 
 Determinism: results are keyed by task id and returned in task order,
 retries re-run the *same pure function on the same payload*, and
@@ -77,7 +77,8 @@ class Incident:
     ----------
     kind:
         ``"worker.death"``, ``"worker.hang"``, ``"pool.respawn"``,
-        ``"task.retry"``, ``"task.escalated"`` or ``"task.error"``.
+        ``"pool.stale_worker"``, ``"task.retry"``, ``"task.escalated"``
+        or ``"task.error"``.
     op:
         The dispatch's task kind (``"build"``, ``"merge"``, ...).
     task_index:
@@ -515,7 +516,7 @@ class Supervisor:
             processes=len(self._workers),
             serial=False,
         ):
-            self._drain_stale()
+            self._drain_stale(op, record)
             while remaining:
                 # Cull workers that died between dispatches or while
                 # idle, then hand pending tasks to free workers.
@@ -647,18 +648,44 @@ class Supervisor:
         )
         raise value
 
-    def _drain_stale(self) -> None:
-        """Discard results of tasks from an aborted earlier dispatch.
+    def _drain_stale(self, op: str, record) -> None:
+        """Reset workers left over from an aborted earlier dispatch.
 
         A dispatch that raised left its in-flight workers running; by
-        the time the next dispatch starts, their (now meaningless)
-        results may be sitting in the pipes.  Pop everything readable
-        so the new dispatch starts from a clean slate.
+        the time the next dispatch starts, two kinds of leftovers can
+        remain.  Results already sitting in the pipes are popped and
+        discarded.  A worker still *executing* an abandoned task is
+        retired outright (force-stop and replace): letting it live
+        would leak its stale ``task_id``/``started_at`` into the new
+        dispatch, where the hang check would charge phantom
+        ``worker.hang`` incidents — and respawn budget — to an op that
+        never dispatched to that worker, while the squatting worker
+        accepted no new tasks.  Replacements are spawned outside the
+        per-dispatch respawn budget; retiring a stale worker is pool
+        hygiene, not a failure of the dispatch that found it.
         """
-        for worker in self._workers:
+        for worker in list(self._workers):
             try:
                 while worker.conn.poll():
                     worker.conn.recv()
                     worker.task_id = None
             except (EOFError, OSError):
-                continue  # dead worker: the main loop will cull it
+                pass  # dead worker: retired below if it was mid-task
+            if not worker.busy:
+                continue  # idle dead workers are culled by the loop
+            stale_id = worker.task_id
+            worker.stop(force=True)
+            self._workers.remove(worker)
+            detail: dict[str, object] = {
+                "pid": worker.process.pid,
+                "exitcode": worker.process.exitcode,
+                "stale_task_id": stale_id,
+            }
+            try:
+                replacement = self._spawn()
+            except (OSError, PermissionError, ImportError) as exc:
+                detail["respawn_failed"] = str(exc)
+            else:
+                self._workers.append(replacement)
+                detail["replacement_pid"] = replacement.process.pid
+            record(Incident("pool.stale_worker", op, detail=detail))

@@ -23,11 +23,21 @@ folds two states into one via the bulk CF merge.  Shipping structure
 arrays instead of CF object lists is what lets the tournament reduction
 reconstruct each tree bit-for-bit in whichever worker process the next
 round lands on.
+
+``fit_member`` is the ensemble op (:mod:`repro.ensemble`): one complete
+single-process BIRCH fit over a perturbed view of the shared rows,
+returning a compact *member state* — cluster centroids plus (for the
+anchor member) the leaf-CF component arrays — instead of a tree.  The
+perturbation (seeded shuffle, feature subset) is part of the payload,
+so the task is a pure function and rides the same retry/respawn/serial
+ladder as the shard ops.
 """
 
 from __future__ import annotations
 
 from typing import Optional
+
+import numpy as np
 
 from repro.core.birch import Birch
 from repro.core.config import BirchConfig
@@ -40,13 +50,21 @@ from repro.pagestore.memory import MemoryBudget
 from repro.pagestore.page import PageLayout
 from repro.parallel.shm import open_shard
 
-__all__ = ["OP_BUILD", "OP_MERGE", "build_shard", "merge_pair"]
+__all__ = [
+    "OP_BUILD",
+    "OP_MEMBER",
+    "OP_MERGE",
+    "build_shard",
+    "fit_member",
+    "merge_pair",
+]
 
 #: Dispatch ``op`` labels — the task-kind vocabulary shared by chaos
 #: schedules (``ChaosInjector(ops=...)``), incident records and the
 #: ``pool.dispatch`` telemetry span.
 OP_BUILD = "build"
 OP_MERGE = "merge"
+OP_MEMBER = "member"
 
 
 def build_shard(task: dict[str, object]) -> dict[str, object]:
@@ -78,6 +96,83 @@ def build_shard(task: dict[str, object]) -> dict[str, object]:
             "io": worker.stats.state_dict(),
             "telemetry": worker._recorder.state_dict(),
         }
+    finally:
+        del rows
+        close()
+
+
+def fit_member(task: dict[str, object]) -> dict[str, object]:
+    """Fit one forest member over a perturbed view of the shared rows.
+
+    ``task`` carries the member's :class:`~repro.core.config.BirchConfig`
+    (already jittered and stripped by the parent), a shard spec covering
+    the *whole* batch, and the perturbation: ``shuffle_seed`` permutes
+    the rows (the §4.1 order perturbation), ``features`` restricts the
+    member to a sorted column subset.  The returned member state is
+    compact — centroid/leaf arrays only, never a tree — because the
+    forest consensus needs votes and anchors, not topology:
+
+    ``centroids`` / ``threshold`` / ``rebuilds`` / ``leaf_entries``
+        the member's final cluster centroids (in its own feature
+        subspace) and fit accounting;
+    ``entry_ns`` / ``entry_vec`` / ``entry_sq``
+        leaf-CF component arrays (``(n, LS, SS)`` classic or
+        ``(n, mean, SSD)`` stable), shipped only when the parent asked
+        for them (``want_entries`` — the anchor member);
+    ``telemetry``
+        the member's own additive counters, merged by the parent in
+        member order.
+    """
+    config: BirchConfig = task["config"]  # type: ignore[assignment]
+    rows, close = open_shard(task["shard"])  # type: ignore[arg-type]
+    try:
+        data = np.asarray(rows, dtype=np.float64)
+        shuffle_seed = task.get("shuffle_seed")
+        if shuffle_seed is not None:
+            order = np.random.default_rng(int(shuffle_seed)).permutation(
+                data.shape[0]
+            )
+            data = data[order]
+        features = task.get("features")
+        if features is not None:
+            idx = np.asarray(features, dtype=np.int64)
+            data = data[:, idx]
+        data = np.ascontiguousarray(data)
+        member = Birch(config)
+        try:
+            result = member.fit(data)
+            state: dict[str, object] = {
+                "member": int(task.get("member", 0)),  # type: ignore[arg-type]
+                "centroids": np.ascontiguousarray(
+                    result.centroids, dtype=np.float64
+                ),
+                "threshold": float(result.final_threshold),
+                "rebuilds": int(result.rebuilds),
+                "leaf_entries": len(result.subclusters),
+                "telemetry": member._recorder.state_dict(),
+            }
+            if task.get("want_entries"):
+                entries = result.subclusters
+                state["entry_ns"] = np.array(
+                    [cf.n for cf in entries], dtype=np.float64
+                )
+                if config.cf_backend == "stable":
+                    state["entry_vec"] = np.stack(
+                        [cf.mean for cf in entries]
+                    ).astype(np.float64)
+                    state["entry_sq"] = np.array(
+                        [cf.ssd for cf in entries], dtype=np.float64
+                    )
+                else:
+                    state["entry_vec"] = np.stack(
+                        [cf.ls for cf in entries]
+                    ).astype(np.float64)
+                    state["entry_sq"] = np.array(
+                        [cf.ss for cf in entries], dtype=np.float64
+                    )
+            return state
+        finally:
+            member.close()
     finally:
         del rows
         close()

@@ -13,14 +13,19 @@ freezes that output into flat structure-of-arrays form:
 * ``weights``         ``(K,)`` per-cluster mass ``N`` (float — decayed
   stable-backend clusters carry fractional mass);
 * ``label_remap``     ``(K,)`` int64 mapping from internal centroid row
-  to the public label (identity today; the indirection is the hook for
-  future label compaction without a format bump);
+  to the public label (identity over the *compacted* rows: clusters
+  that Phase 4 refinement emptied are dropped at compile time, so a
+  frozen model always emits dense consecutive labels — the original
+  cluster count and the dropped ids are recorded under
+  ``metadata["compaction"]``);
 * optionally the :class:`~repro.serve.index.PrunedIndex` arrays.
 
 A frozen model can be built from a live :class:`~repro.core.birch.Birch`
 / :class:`~repro.core.birch.BirchResult`, from a sealed ``BIRCHCKP``
-checkpoint (resumed and finalized), or from a ``save_result`` archive —
-and round-trips through the sealed mmap-able ``BIRCHFRZ`` artifact
+checkpoint (resumed and finalized), from a ``save_result`` archive, or
+from a :class:`~repro.ensemble.ForestResult` consensus
+(:meth:`FrozenModel.from_forest`) — all round-trip through the sealed
+mmap-able ``BIRCHFRZ`` artifact
 (:mod:`repro.serve.artifact`), so any number of worker processes serve
 queries off one shared read-only file.
 
@@ -54,6 +59,7 @@ from repro.serve.kernel import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.birch import Birch, BirchResult
+    from repro.ensemble.forest import ForestResult
     from repro.observe import Recorder
 
 __all__ = ["FrozenModel", "compile_model"]
@@ -77,6 +83,39 @@ def _null_recorder() -> "Recorder":
     from repro.observe import NULL_RECORDER
 
     return NULL_RECORDER
+
+
+def _compact_clusters(
+    centroids: np.ndarray,
+    radii: np.ndarray,
+    weights: np.ndarray,
+    metadata: dict,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Drop zero-mass clusters so the frozen label space is dense.
+
+    Phase 4 refinement can empty a cluster (every point migrates to a
+    nearer centroid); its CF then has ``n == 0`` and its centroid is
+    meaningless.  Freezing such a row would both leave a hole in the
+    public label space and let a garbage centroid compete in the
+    nearest-centroid kernel.  Compaction keeps only the massive rows —
+    public labels become their dense consecutive indices — and records
+    the original cluster count plus the dropped original ids under
+    ``metadata["compaction"]``.  Results without empty clusters pass
+    through untouched (no metadata key, byte-identical arrays).
+    """
+    keep = np.flatnonzero(weights > 0)
+    if keep.size in (0, weights.shape[0]):
+        return centroids, radii, weights
+    dropped = np.flatnonzero(weights <= 0)
+    metadata["compaction"] = {
+        "original_n_clusters": int(weights.shape[0]),
+        "dropped_labels": [int(i) for i in dropped],
+    }
+    return (
+        np.ascontiguousarray(centroids[keep]),
+        np.ascontiguousarray(radii[keep]),
+        np.ascontiguousarray(weights[keep]),
+    )
 
 
 class FrozenModel:
@@ -177,7 +216,9 @@ class FrozenModel:
         """Compile a fitted :class:`~repro.core.birch.BirchResult`.
 
         Radii and weights come from the exact final-cluster CFs; decayed
-        stable-backend clusters keep their fractional mass.
+        stable-backend clusters keep their fractional mass.  Clusters
+        that refinement emptied are compacted away so the served label
+        space is dense (see :func:`_compact_clusters`).
         """
         centroids = np.ascontiguousarray(result.centroids, dtype=np.float64)
         radii = np.array(
@@ -192,6 +233,9 @@ class FrozenModel:
             metadata["cf_backend"] = cf_backend
         if source_digest is not None:
             metadata["source"]["sha256"] = source_digest
+        centroids, radii, weights = _compact_clusters(
+            centroids, radii, weights, metadata
+        )
         index = build_index(centroids) if pruned else None
         return cls(
             centroids,
@@ -224,6 +268,53 @@ class FrozenModel:
         )
         model.metadata["source"] = {"kind": "estimator"}
         return model
+
+    @classmethod
+    def from_forest(
+        cls,
+        result: "ForestResult",
+        *,
+        pruned: bool = True,
+        recorder: Optional["Recorder"] = None,
+    ) -> "FrozenModel":
+        """Compile a :class:`~repro.ensemble.ForestResult` consensus.
+
+        The consensus clusters are exact CF merges of the forest's
+        anchor CFs, so radii and weights are as honest as a single
+        tree's; the artifact serves through the same kernel at the same
+        QPS.  Metadata records the forest provenance (member count,
+        seed, consensus method) so a served model is traceable to the
+        exact ensemble that produced it.
+        """
+        centroids = np.ascontiguousarray(result.centroids, dtype=np.float64)
+        radii = np.array(
+            [cf.radius if cf.n > 0 else 0.0 for cf in result.clusters],
+            dtype=np.float64,
+        )
+        weights = np.array(
+            [float(cf.n) for cf in result.clusters], dtype=np.float64
+        )
+        metadata: dict = {
+            "source": {
+                "kind": "forest",
+                "n_members": int(result.n_members),
+                "seed": int(result.seed),
+                "consensus": str(result.consensus),
+                "n_anchors": len(result.anchors),
+            }
+        }
+        centroids, radii, weights = _compact_clusters(
+            centroids, radii, weights, metadata
+        )
+        index = build_index(centroids) if pruned else None
+        return cls(
+            centroids,
+            radii,
+            weights,
+            metadata=metadata,
+            index=index,
+            recorder=recorder,
+        )
 
     # -- artifact round-trip --------------------------------------------------
 
@@ -465,6 +556,7 @@ def compile_model(
             from repro.core.serialization import load_result_arrays
 
             clusters, centroids, _labels, _header = load_result_arrays(source)
+            centroids = np.ascontiguousarray(centroids, dtype=np.float64)
             radii = np.array(
                 [cf.radius if cf.n > 0 else 0.0 for cf in clusters],
                 dtype=np.float64,
@@ -472,17 +564,21 @@ def compile_model(
             weights = np.array(
                 [float(cf.n) for cf in clusters], dtype=np.float64
             )
+            metadata = {
+                "source": {
+                    "kind": "result-archive",
+                    "path": str(source),
+                    "sha256": digest,
+                }
+            }
+            centroids, radii, weights = _compact_clusters(
+                centroids, radii, weights, metadata
+            )
             model = FrozenModel(
-                np.ascontiguousarray(centroids, dtype=np.float64),
+                centroids,
                 radii,
                 weights,
-                metadata={
-                    "source": {
-                        "kind": "result-archive",
-                        "path": str(source),
-                        "sha256": digest,
-                    }
-                },
+                metadata=metadata,
                 index=build_index(centroids) if pruned else None,
                 recorder=recorder,
             )

@@ -1,0 +1,143 @@
+"""Unit behaviour of the co-association and consensus primitives."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    average_linkage_consensus,
+    coassociation,
+    kmeans_consensus,
+    member_votes,
+)
+
+pytestmark = pytest.mark.ensemble
+
+
+class TestMemberVotes:
+    def test_votes_use_lowest_index_tie_rule(self):
+        anchors = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 0.0]])
+        centroids = np.array([[0.0, 0.0], [10.0, 0.0]])
+        votes = member_votes(anchors, [centroids], [None])
+        # The midpoint anchor ties and resolves to the lower index.
+        np.testing.assert_array_equal(votes, [[0, 1, 0]])
+
+    def test_feature_subset_projects_anchors(self):
+        # In full space both anchors are nearest centroid 0; member 1
+        # only sees column 1, where the second anchor flips to
+        # centroid 1.
+        anchors = np.array([[0.0, 0.0], [1.0, 9.0]])
+        centroids = np.array([[0.0, 0.0], [100.0, 10.0]])
+        sub_centroids = centroids[:, [1]]
+        votes = member_votes(
+            anchors,
+            [centroids, sub_centroids],
+            [None, np.array([1])],
+        )
+        np.testing.assert_array_equal(votes, [[0, 0], [0, 1]])
+
+    def test_mismatched_member_lists_raise(self):
+        anchors = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="one feature subset"):
+            member_votes(anchors, [anchors], [])
+
+
+class TestCoassociation:
+    def test_unanimous_members_give_all_ones(self):
+        votes = np.array([[0, 0, 1], [2, 2, 0]])
+        w = coassociation(votes)
+        expected = np.array(
+            [[1.0, 1.0, 0.0], [1.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        )
+        np.testing.assert_array_equal(w, expected)
+
+    def test_disagreement_is_fractional(self):
+        votes = np.array([[0, 0], [0, 1]])
+        w = coassociation(votes)
+        assert w[0, 1] == w[1, 0] == 0.5
+        np.testing.assert_array_equal(np.diag(w), [1.0, 1.0])
+
+    def test_empty_votes_raise(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            coassociation(np.empty((0, 3), dtype=np.int64))
+
+
+class TestAverageLinkage:
+    def test_block_structure_recovers_clusters(self):
+        w = np.array(
+            [
+                [1.0, 0.9, 0.1, 0.0],
+                [0.9, 1.0, 0.0, 0.1],
+                [0.1, 0.0, 1.0, 0.8],
+                [0.0, 0.1, 0.8, 1.0],
+            ]
+        )
+        labels = average_linkage_consensus(w, np.ones(4), 2)
+        np.testing.assert_array_equal(labels, [0, 0, 1, 1])
+
+    def test_labels_are_dense_and_first_appearance_ordered(self):
+        w = np.eye(5)
+        w[1, 4] = w[4, 1] = 0.9
+        labels = average_linkage_consensus(w, np.ones(5), 4)
+        assert labels.min() == 0 and labels.max() == 3
+        # First occurrences appear in increasing order.
+        firsts = [int(np.flatnonzero(labels == c)[0]) for c in range(4)]
+        assert firsts == sorted(firsts)
+        assert labels[1] == labels[4]
+
+    def test_mass_weights_steer_merges(self):
+        # Anchor 2 is equally similar to 0 and 1 pairwise, but anchor
+        # 1 carries far more mass, diluting its average link — the
+        # merge goes to the light anchor 0.
+        w = np.array(
+            [
+                [1.0, 0.0, 0.6],
+                [0.0, 1.0, 0.6],
+                [0.6, 0.6, 1.0],
+            ]
+        )
+        heavy = average_linkage_consensus(w, np.array([1.0, 9.0, 1.0]), 2)
+        assert heavy[2] == heavy[0] and heavy[1] != heavy[0]
+
+    def test_n_clusters_at_least_anchor_count_is_identity(self):
+        w = np.eye(3)
+        np.testing.assert_array_equal(
+            average_linkage_consensus(w, np.ones(3), 7), [0, 1, 2]
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            average_linkage_consensus(np.zeros((2, 3)), np.ones(2), 1)
+        with pytest.raises(ValueError, match="positive"):
+            average_linkage_consensus(np.eye(2), np.array([1.0, 0.0]), 1)
+        with pytest.raises(ValueError, match="n_clusters"):
+            average_linkage_consensus(np.eye(2), np.ones(2), 0)
+
+
+class TestKMeansConsensus:
+    def test_recovers_block_structure(self):
+        w = np.array(
+            [
+                [1.0, 0.9, 0.0, 0.0],
+                [0.9, 1.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0, 0.9],
+                [0.0, 0.0, 0.9, 1.0],
+            ]
+        )
+        labels = kmeans_consensus(w, np.ones(4), 2, seed=0)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_seeded_and_repeatable(self):
+        rng = np.random.default_rng(5)
+        votes = rng.integers(0, 3, size=(7, 20))
+        w = coassociation(votes)
+        weights = rng.integers(1, 50, size=20).astype(float)
+        first = kmeans_consensus(w, weights, 3, seed=42)
+        again = kmeans_consensus(w, weights, 3, seed=42)
+        np.testing.assert_array_equal(first, again)
+        assert first.min() == 0 and first.max() <= 2
+
+    def test_k_clamped_to_anchor_count(self):
+        labels = kmeans_consensus(np.eye(2), np.ones(2), 10, seed=0)
+        assert set(labels) == {0, 1}

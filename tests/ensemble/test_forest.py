@@ -1,0 +1,214 @@
+"""BirchForest end-to-end: determinism, supervision, serving, config."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BirchConfig
+from repro.ensemble import BirchForest, ForestConfig
+from repro.evaluation.labels import adjusted_rand_index
+from repro.observe import ObserveConfig
+from repro.parallel.chaos import ChaosInjector
+from repro.parallel.pool import FORCE_SERIAL_ENV
+from repro.parallel.worker import OP_MEMBER
+from repro.serve import FrozenModel
+
+pytestmark = pytest.mark.ensemble
+
+
+def _blobs(n_per=70, d=2, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-10.0, 10.0, size=(4, d))
+    points = np.vstack(
+        [c + rng.normal(scale=0.4, size=(n_per, d)) for c in centers]
+    )
+    truth = np.repeat(np.arange(4), n_per)
+    return points, truth
+
+
+def _config(**overrides):
+    base = BirchConfig(n_clusters=4, memory_bytes=30_000)
+    defaults = dict(
+        base=base, n_members=4, seed=9, threshold_jitter=0.2, max_anchors=64
+    )
+    defaults.update(overrides)
+    return ForestConfig(**defaults)
+
+
+def _snapshot(result):
+    return (
+        result.centroids.tobytes(),
+        result.labels.tobytes(),
+        result.entry_labels.tobytes(),
+        result.coassoc.tobytes(),
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parallel
+    def test_byte_identical_across_n_jobs(self):
+        points, _ = _blobs()
+        snaps = []
+        for jobs in (1, 2, 4):
+            with BirchForest(_config()) as forest:
+                snaps.append(_snapshot(forest.fit(points, n_jobs=jobs)))
+        assert snaps[0] == snaps[1] == snaps[2]
+
+    @pytest.mark.parallel
+    def test_serial_env_fallback_is_identical(self, monkeypatch):
+        points, _ = _blobs()
+        with BirchForest(_config()) as forest:
+            pooled = _snapshot(forest.fit(points, n_jobs=2))
+        monkeypatch.setenv(FORCE_SERIAL_ENV, "1")
+        with BirchForest(_config()) as forest:
+            serial = _snapshot(forest.fit(points, n_jobs=2))
+        assert pooled == serial
+
+    def test_different_seed_changes_member_plans(self):
+        # The perturbation plan is a pure function of (seed, member):
+        # repeatable for one seed, different across seeds.
+        with BirchForest(_config(seed=1)) as one, BirchForest(
+            _config(seed=2)
+        ) as two, BirchForest(_config(seed=1)) as again:
+            plans = lambda f: [f._member_plan(m, 2)[1] for m in range(4)]
+            assert plans(one) == plans(again)
+            assert plans(one) != plans(two)
+            # Jitter perturbs the rebuild trajectory per member.
+            factors = [
+                one._member_plan(m, 2)[0].expansion_factor for m in range(4)
+            ]
+            assert len(set(factors)) == 4
+
+
+class TestSupervisedMembers:
+    @pytest.mark.chaos
+    @pytest.mark.parallel
+    def test_member_crash_retries_without_poisoning_forest(self):
+        points, _ = _blobs()
+        with BirchForest(_config()) as forest:
+            clean = forest.fit(points, n_jobs=2)
+        chaos = ChaosInjector(
+            mode="kill", ops=(OP_MEMBER,), fail_on_task=1, max_faults=1
+        )
+        with BirchForest(_config(), chaos_injector=chaos) as forest:
+            survived = forest.fit(points, n_jobs=2)
+        assert _snapshot(survived) == _snapshot(clean)
+        kinds = {i["kind"] for i in survived.incidents}
+        assert "worker.death" in kinds
+        assert all(i["op"] == OP_MEMBER for i in survived.incidents)
+        # The clean run saw no ladder activity.
+        assert clean.incidents == []
+
+
+class TestConsensusQuality:
+    def test_consensus_labels_match_truth_on_blobs(self):
+        points, truth = _blobs()
+        with BirchForest(_config()) as forest:
+            result = forest.fit(points, n_jobs=1)
+        assert adjusted_rand_index(result.labels, truth) > 0.95
+        # Mass conservation: anchors partition the data exactly.
+        assert sum(cf.n for cf in result.clusters) == points.shape[0]
+        assert sum(cf.n for cf in result.anchors) == points.shape[0]
+
+    def test_kmeans_consensus_and_feature_subsampling(self):
+        points, truth = _blobs(d=6)
+        config = _config(
+            base=BirchConfig(n_clusters=4, memory_bytes=60_000),
+            consensus="kmeans",
+            feature_fraction=0.5,
+            n_members=5,
+        )
+        with BirchForest(config) as forest:
+            result = forest.fit(points, n_jobs=1)
+        assert adjusted_rand_index(result.labels, truth) > 0.9
+        # Member 0 anchors the consensus in the full feature space;
+        # the others were subsampled.
+        features = [s["features"] for s in result.member_stats]
+        assert features[0] == 6
+        assert all(f == 3 for f in features[1:])
+
+    def test_predict_routes_through_shared_kernel(self):
+        points, _ = _blobs()
+        with BirchForest(_config()) as forest:
+            result = forest.fit(points, n_jobs=1)
+            np.testing.assert_array_equal(
+                forest.predict(points), result.labels
+            )
+
+
+class TestServing:
+    def test_from_forest_artifact_round_trip(self, tmp_path):
+        points, _ = _blobs()
+        with BirchForest(_config()) as forest:
+            result = forest.fit(points, n_jobs=1)
+        model = FrozenModel.from_forest(result)
+        source = model.metadata["source"]
+        assert source["kind"] == "forest"
+        assert source["n_members"] == 4
+        assert source["consensus"] == "average"
+        path = tmp_path / "forest.frz"
+        model.save(path)
+        loaded = FrozenModel.load(path, verify=True)
+        np.testing.assert_array_equal(loaded.predict(points), result.labels)
+        assert loaded.metadata["source"]["seed"] == 9
+
+
+class TestTelemetry:
+    def test_ensemble_counters_and_snapshot(self):
+        points, _ = _blobs()
+        config = _config(
+            base=BirchConfig(
+                n_clusters=4, memory_bytes=30_000, observe=ObserveConfig()
+            )
+        )
+        with BirchForest(config) as forest:
+            result = forest.fit(points, n_jobs=1)
+        assert result.telemetry is not None
+        counters = result.telemetry.counters
+        assert counters["ensemble.fits"] == 1
+        assert counters["ensemble.members"] == 4
+        assert counters["ensemble.anchors"] == len(result.anchors)
+        assert counters["ensemble.consensus_clusters"] == len(result.clusters)
+
+    def test_telemetry_never_changes_output(self):
+        points, _ = _blobs()
+        with BirchForest(_config()) as forest:
+            silent = forest.fit(points, n_jobs=1)
+        config = _config(
+            base=BirchConfig(
+                n_clusters=4, memory_bytes=30_000, observe=ObserveConfig()
+            )
+        )
+        with BirchForest(config) as forest:
+            observed = forest.fit(points, n_jobs=1)
+        assert _snapshot(silent) == _snapshot(observed)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        base = BirchConfig(n_clusters=2)
+        with pytest.raises(ValueError, match="n_members"):
+            ForestConfig(base=base, n_members=0)
+        with pytest.raises(ValueError, match="feature_fraction"):
+            ForestConfig(base=base, feature_fraction=1.5)
+        with pytest.raises(ValueError, match="threshold_jitter"):
+            ForestConfig(base=base, threshold_jitter=1.0)
+        with pytest.raises(ValueError, match="consensus"):
+            ForestConfig(base=base, consensus="vote")
+        with pytest.raises(ValueError, match="max_anchors"):
+            ForestConfig(base=base, max_anchors=0)
+        with pytest.raises(ValueError, match="base"):
+            ForestConfig(base=7)
+
+    def test_dict_coercion(self):
+        config = ForestConfig(base={"n_clusters": 3}, n_members=2)
+        assert isinstance(config.base, BirchConfig)
+        assert config.base.n_clusters == 3
+
+    def test_rejects_bad_points(self):
+        from repro.errors import InvalidPointError
+
+        with BirchForest(_config(n_members=2)) as forest:
+            with pytest.raises(InvalidPointError, match="NaN"):
+                forest.fit(np.array([[0.0, 1.0], [np.nan, 2.0]]))
+            with pytest.raises(InvalidPointError, match="non-empty"):
+                forest.fit(np.empty((0, 2)))

@@ -1,0 +1,211 @@
+"""Heterogeneous-op pool reuse and stale-busy worker retirement.
+
+A persistent :class:`~repro.parallel.pool.SharedPool` outlives any one
+dispatch and any one task *kind*: an estimator's pool that just built
+shards may next run forest member fits (:mod:`repro.ensemble`).  Two
+properties make that safe, both pinned here:
+
+* task ids are global (never reset per dispatch), so a result from an
+  aborted earlier dispatch of a *different op* can never be mistaken
+  for a current task's;
+* a worker still executing an abandoned task when the next dispatch
+  starts is retired outright by ``_drain_stale`` — before the fix it
+  squatted its slot and leaked its stale ``started_at`` into the new
+  dispatch's hang check, charging phantom ``worker.hang`` incidents
+  (and respawn budget) to an op that never dispatched to it.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import BirchConfig
+from repro.errors import PermanentIOError
+from repro.parallel.config import ParallelConfig
+from repro.parallel.pool import SharedPool
+from repro.parallel.shm import inline_slice
+from repro.parallel.supervise import Supervisor
+from repro.parallel.worker import (
+    OP_BUILD,
+    OP_MEMBER,
+    OP_MERGE,
+    build_shard,
+    fit_member,
+)
+
+pytestmark = [pytest.mark.parallel, pytest.mark.ensemble]
+
+FAST = dict(retry_backoff_seconds=0.0, supervise_interval_seconds=0.02)
+
+
+def _square(x):
+    return x * x
+
+
+def _cube(x):
+    return x**3
+
+
+def _raise_or_sleep(x):
+    if x == 0:
+        raise PermanentIOError("task 0 is fatal")
+    time.sleep(5.0)
+    return x
+
+
+def _blobs(n_per=60, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [8.0, 8.0], [0.0, 9.0]])
+    return np.vstack(
+        [c + rng.normal(scale=0.4, size=(n_per, 2)) for c in centers]
+    )
+
+
+class TestHeterogeneousDispatch:
+    def test_one_pool_serves_successive_ops(self):
+        pool = SharedPool(2, parallel=ParallelConfig(**FAST))
+        try:
+            assert pool.map(_square, [1, 2, 3], op=OP_BUILD) == [1, 4, 9]
+            assert pool.map(_cube, [2, 3], op=OP_MEMBER) == [8, 27]
+            assert pool.map(_square, [4], op=OP_MERGE) == [16]
+            assert pool.reset_incidents() == []
+        finally:
+            pool.close()
+
+    def test_member_fit_after_shard_build_on_one_pool(self):
+        # The real heterogeneous sequence: shard builds, then forest
+        # member fits, on the same worker fleet.  Results must match
+        # in-process runs of the same pure task functions.
+        points = _blobs()
+        config = BirchConfig(
+            n_clusters=3, memory_bytes=40_000, validate_points=False
+        )
+        member_task = {
+            "config": config,
+            "shard": inline_slice(points, 0, points.shape[0]),
+            "member": 0,
+            "shuffle_seed": 123,
+            "features": None,
+            "want_entries": True,
+        }
+        build_task = {
+            "config": config,
+            "shard": inline_slice(points, 0, points.shape[0]),
+        }
+        pool = SharedPool(2, parallel=ParallelConfig(**FAST))
+        try:
+            built = pool.map(build_shard, [build_task], op=OP_BUILD)
+            states = pool.map(
+                fit_member, [member_task, member_task], op=OP_MEMBER
+            )
+            assert pool.reset_incidents() == []
+        finally:
+            pool.close()
+        assert built[0]["points"] == points.shape[0]
+        expected = fit_member(member_task)
+        for state in states:
+            np.testing.assert_array_equal(
+                state["centroids"], expected["centroids"]
+            )
+            np.testing.assert_array_equal(
+                state["entry_ns"], expected["entry_ns"]
+            )
+
+    def test_forest_reusing_estimator_style_pool_matches_owned(self):
+        from repro.ensemble import BirchForest, ForestConfig
+
+        points = _blobs()
+        config = ForestConfig(
+            base=BirchConfig(n_clusters=3, memory_bytes=40_000),
+            n_members=3,
+            seed=11,
+        )
+        shared = SharedPool(2, parallel=ParallelConfig(**FAST))
+        try:
+            # Warm the pool with a different op first (shard-build
+            # stand-in), then run the forest's member dispatch on it.
+            shared.map(_square, [1, 2], op=OP_BUILD)
+            with BirchForest(config, pool=shared) as borrowing:
+                borrowed = borrowing.fit(points, n_jobs=2)
+            # A borrowed pool must survive the forest's close().
+            assert shared.map(_square, [3], op=OP_BUILD) == [9]
+        finally:
+            shared.close()
+        with BirchForest(config) as owning:
+            owned = owning.fit(points, n_jobs=2)
+        np.testing.assert_array_equal(borrowed.centroids, owned.centroids)
+        np.testing.assert_array_equal(borrowed.labels, owned.labels)
+
+
+class TestStaleWorkerRetirement:
+    def test_stale_busy_worker_is_retired_not_hang_culled(self):
+        sup = Supervisor(2, config=ParallelConfig(**FAST))
+        try:
+            with pytest.raises(PermanentIOError):
+                # Task 0 raises instantly and aborts the dispatch while
+                # task 1's worker is still asleep inside its payload.
+                sup.map(_raise_or_sleep, [0, 1], op=OP_BUILD)
+            before = set(sup.worker_pids)
+            assert sup.map(_square, [5, 6], op=OP_MEMBER) == [25, 36]
+            kinds = [i.kind for i in sup.incidents]
+            assert "pool.stale_worker" in kinds
+            assert "worker.hang" not in kinds, (
+                "a stale worker from the aborted build dispatch must be "
+                "retired, not charged as a hang of the member dispatch"
+            )
+            stale = [
+                i for i in sup.incidents if i.kind == "pool.stale_worker"
+            ]
+            assert stale[0].op == OP_MEMBER
+            assert stale[0].detail["stale_task_id"] is not None
+            # The squatter is gone and its replacement keeps the fleet
+            # at full strength.
+            assert stale[0].detail["pid"] not in sup.worker_pids
+            assert len(sup.worker_pids) == 2
+            assert set(sup.worker_pids) != before
+            # Subsequent dispatches run on a clean fleet: no further
+            # stale retirements.
+            n_stale = len(stale)
+            assert sup.map(_cube, [2, 3], op=OP_MERGE) == [8, 27]
+            assert (
+                sum(
+                    1
+                    for i in sup.incidents
+                    if i.kind == "pool.stale_worker"
+                )
+                == n_stale
+            )
+        finally:
+            sup.close()
+
+    def test_stale_retirement_skips_respawn_budget(self):
+        # Retiring a stale worker must not consume the next dispatch's
+        # respawn budget: with a budget of zero the replacement is
+        # still spawned and the fleet stays at strength.
+        sup = Supervisor(
+            2, config=ParallelConfig(max_worker_respawns=0, **FAST)
+        )
+        try:
+            with pytest.raises(PermanentIOError):
+                sup.map(_raise_or_sleep, [0, 1], op=OP_BUILD)
+            assert sup.map(_square, [7, 8], op=OP_MEMBER) == [49, 64]
+            kinds = [i.kind for i in sup.incidents]
+            assert "pool.stale_worker" in kinds
+            assert "pool.respawn" not in kinds
+            assert len(sup.worker_pids) == 2
+        finally:
+            sup.close()
+
+    def test_pool_reuse_after_abort_with_mixed_ops(self):
+        pool = SharedPool(2, parallel=ParallelConfig(**FAST))
+        try:
+            with pytest.raises(PermanentIOError):
+                pool.map(_raise_or_sleep, [0, 1], op=OP_BUILD)
+            incidents = pool.reset_incidents()
+            assert any(i.kind == "task.error" for i in incidents)
+            assert pool.map(_cube, [2, 3, 4], op=OP_MEMBER) == [8, 27, 64]
+            kinds = [i.kind for i in pool.reset_incidents()]
+            assert "worker.hang" not in kinds
+        finally:
+            pool.close()

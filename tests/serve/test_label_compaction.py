@@ -1,0 +1,106 @@
+"""Label compaction when Phase 4 refinement empties a cluster.
+
+A dominated Phase 3 seed — one no point is nearest to — comes out of
+refinement as a zero-mass CF, leaving a hole in the label space
+(labels ``{0, 2}`` from three seeds).  A frozen model compiled from
+such a result must drop the empty row and emit dense consecutive
+labels, recording the original cluster count and the dropped ids in
+``metadata["compaction"]``; results without empty clusters must pass
+through byte-identical (no metadata key, same arrays).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.refinement import refine
+from repro.serve import FrozenModel, compile_model
+
+pytestmark = pytest.mark.serve
+
+
+class _RefinedResult:
+    """The BirchResult surface that compilation and archiving read."""
+
+    def __init__(self, refinement):
+        self.centroids = refinement.centroids
+        self.clusters = refinement.clusters
+        self.labels = refinement.labels
+        self.entry_labels = np.arange(len(refinement.clusters))
+        self.final_threshold = 0.0
+        self.rebuilds = 0
+        self.io = {}
+        self.tree_stats = {}
+
+
+@pytest.fixture
+def emptied_result():
+    # Every point sits at x=0 or x=10; the middle seed loses all of
+    # them on the first pass and its recomputed cluster is empty.
+    points = np.vstack(
+        [np.tile([0.0, 0.0], (40, 1)), np.tile([10.0, 0.0], (40, 1))]
+    )
+    seeds = np.array([[0.5, 0.0], [5.4, 0.0], [9.5, 0.0]])
+    refinement = refine(points, seeds, passes=1)
+    assert [cf.n for cf in refinement.clusters] == [40, 0, 40]
+    assert set(np.unique(refinement.labels)) == {0, 2}  # the hole
+    return points, _RefinedResult(refinement)
+
+
+class TestCompaction:
+    def test_from_result_emits_dense_labels(self, emptied_result):
+        points, result = emptied_result
+        model = FrozenModel.from_result(result)
+        assert model.n_clusters == 2
+        np.testing.assert_array_equal(
+            model.label_remap, np.arange(2, dtype=np.int64)
+        )
+        labels = model.predict(points)
+        assert set(np.unique(labels)) == {0, 1}
+        # The left blob keeps label 0; the right blob's label 2
+        # compacts to 1.
+        assert labels[0] == 0 and labels[-1] == 1
+        assert model.metadata["compaction"] == {
+            "original_n_clusters": 3,
+            "dropped_labels": [1],
+        }
+        assert float(model.weights.min()) > 0
+
+    def test_artifact_round_trip_preserves_compaction(
+        self, emptied_result, tmp_path
+    ):
+        points, result = emptied_result
+        model = FrozenModel.from_result(result)
+        path = tmp_path / "compacted.frz"
+        model.save(path)
+        loaded = FrozenModel.load(path, verify=True)
+        assert loaded.n_clusters == 2
+        assert loaded.metadata["compaction"]["dropped_labels"] == [1]
+        np.testing.assert_array_equal(
+            loaded.predict(points), model.predict(points)
+        )
+
+    def test_compile_model_archive_path_compacts(
+        self, emptied_result, tmp_path
+    ):
+        from repro.core.serialization import save_result
+
+        points, result = emptied_result
+        archive = tmp_path / "refined.npz"
+        save_result(archive, result)
+        model = compile_model(archive)
+        assert model.n_clusters == 2
+        assert model.metadata["compaction"]["original_n_clusters"] == 3
+        assert set(np.unique(model.predict(points))) == {0, 1}
+
+    def test_no_compaction_without_empty_clusters(self):
+        points = np.vstack(
+            [np.tile([0.0, 0.0], (30, 1)), np.tile([10.0, 0.0], (30, 1))]
+        )
+        seeds = np.array([[0.5, 0.0], [9.5, 0.0]])
+        result = _RefinedResult(refine(points, seeds, passes=1))
+        model = FrozenModel.from_result(result)
+        assert model.n_clusters == 2
+        assert "compaction" not in model.metadata
+        np.testing.assert_array_equal(
+            model.predict(points), result.labels
+        )
